@@ -1,0 +1,33 @@
+"""Shared reporting for the benchmark harness.
+
+Each bench regenerates one exhibit of the paper (Table I, Figs. 1–3,
+Algorithm 1) or one hypothesis experiment (E1–E5). pytest captures
+stdout, so every bench also writes its table to
+``benchmarks/reports/<id>.txt`` — those files are the measured side of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+_REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def report(experiment_id: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/reports/."""
+    os.makedirs(_REPORT_DIR, exist_ok=True)
+    path = os.path.join(_REPORT_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n=== {experiment_id} ===\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Execute a report body exactly once under the benchmark fixture.
+
+    Report tests time an entire experiment (minutes of pipeline work),
+    so they run a single round; using the fixture keeps them alive under
+    ``--benchmark-only``, which skips fixture-less tests.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,102 @@
+"""A1 — Algorithm 1: per-phase costs of the novelty-based GA.
+
+Times each phase of one Algorithm 1 generation in isolation (offspring
+generation, fitness evaluation, novelty computation, archive update,
+novelty-elitist replacement, bestSet update) and sweeps k for the
+ρ(x) computation — the one knob Eq. 1 adds over a classical GA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.archive import BestSet, NoveltyArchive
+from repro.core.individual import Individual, fitness_vector
+from repro.core.novelty import novelty_scores
+from repro.ea.ga import GAConfig, generate_offspring
+
+from _report import report, run_once
+
+POP = 50
+
+
+@pytest.fixture(scope="module")
+def population(space):
+    rng = np.random.default_rng(0)
+    genomes = space.sample(POP, 1)
+    return [
+        Individual(genome=g, fitness=float(f), novelty=float(n))
+        for g, f, n in zip(genomes, rng.random(POP), rng.random(POP))
+    ]
+
+
+def test_bench_generate_offspring(benchmark, population, space):
+    """Algorithm 1 line 7 (selection + crossover + mutation + clip)."""
+    scores = np.asarray([ind.novelty for ind in population])
+    config = GAConfig(population_size=POP)
+    rng = np.random.default_rng(2)
+    off = benchmark(
+        generate_offspring, population, scores, POP, config, space, rng, 1
+    )
+    assert len(off) == POP
+
+
+def test_bench_novelty_scores(benchmark, population):
+    """Algorithm 1 lines 12–14 over population ∪ offspring ∪ archive."""
+    fits = fitness_vector(population)
+    reference = np.concatenate([fits, np.random.default_rng(3).random(100)])
+    rho = benchmark(novelty_scores, fits, reference, 15)
+    assert rho.shape == (POP,)
+
+
+def test_bench_archive_update(benchmark, population):
+    """Algorithm 1 line 15 (novelty-based replacement)."""
+
+    def update():
+        arch = NoveltyArchive(capacity=100)
+        for _ in range(10):
+            arch.update(population)
+        return arch
+
+    arch = benchmark(update)
+    assert len(arch) == 100
+
+
+def test_bench_best_set_update(benchmark, population):
+    """Algorithm 1 line 17 (fitness-sorted merge with dedupe)."""
+
+    def update():
+        bs = BestSet(capacity=25)
+        for _ in range(10):
+            bs.update(population)
+        return bs
+
+    bs = benchmark(update)
+    assert len(bs) == 25
+
+
+def test_alg1_k_sensitivity_report(benchmark, space):
+    def _body():
+        """ρ(x) cost and magnitude as k grows (Eq. 1's parameter)."""
+        import time
+
+        rng = np.random.default_rng(5)
+        fits = rng.random(200)
+        rows = []
+        for k in (1, 5, 15, 50, 199):
+            t0 = time.perf_counter()
+            for _ in range(50):
+                rho = novelty_scores(fits, fits, k=k)
+            elapsed = (time.perf_counter() - t0) / 50
+            rows.append([k, round(float(rho.mean()), 4), round(elapsed * 1e6, 1)])
+        report(
+            "A1_k_sensitivity",
+            format_table(["k", "mean ρ(x)", "µs per call (n=200)"], rows),
+        )
+        # ρ is monotone non-decreasing in k (average of k smallest distances)
+        means = [r[1] for r in rows]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+    run_once(benchmark, _body)
+

@@ -1,0 +1,112 @@
+"""E1 — the paper's hypothesis: ESS-NS quality vs the lineage.
+
+Runs the four systems on the static and dynamic cases with a matched
+per-step simulation budget and reports quality-per-step — the
+experiment §III sets up ("comparable or better results in quality with
+respect to existing methods"). Also verifies the comparison mechanics
+the Monitor relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import compare_runs
+from repro.analysis.reporting import format_comparison
+from repro.ea.de import DEConfig
+from repro.ea.ga import GAConfig
+from repro.ea.nsga import NoveltyGAConfig
+from repro.parallel.islands import IslandModelConfig
+from repro.systems import (
+    ESS,
+    ESSIMDE,
+    ESSIMEA,
+    ESSNS,
+    ESSConfig,
+    ESSIMDEConfig,
+    ESSIMEAConfig,
+    ESSNSConfig,
+)
+
+from _report import report, run_once
+
+_GENS = 6
+_ISLANDS = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
+
+
+def _systems():
+    return [
+        ESS(ESSConfig(ga=GAConfig(population_size=16), max_generations=_GENS)),
+        ESSNS(
+            ESSNSConfig(
+                nsga=NoveltyGAConfig(
+                    population_size=16,
+                    k_neighbors=8,
+                    best_set_capacity=12,
+                    archive_capacity=48,
+                ),
+                max_generations=_GENS,
+            )
+        ),
+        ESSIMEA(
+            ESSIMEAConfig(
+                ga=GAConfig(population_size=8),
+                islands=_ISLANDS,
+                max_generations=_GENS,
+            )
+        ),
+        ESSIMDE(
+            ESSIMDEConfig(
+                de=DEConfig(population_size=8),
+                islands=_ISLANDS,
+                max_generations=_GENS,
+                tuning="both",
+            )
+        ),
+    ]
+
+
+def _compare_on(fire, seeds):
+    mean_by_system: dict[str, list[float]] = {}
+    last = None
+    for seed in seeds:
+        runs = [system.run(fire, rng=3000 + seed) for system in _systems()]
+        last = compare_runs(runs)
+        for run in runs:
+            mean_by_system.setdefault(run.system, []).append(run.mean_quality())
+    return last, {k: float(np.mean(v)) for k, v in mean_by_system.items()}
+
+
+def test_e1_static_case(benchmark, bench_fire):
+    def _body():
+        """Static conditions: every system should be competitive."""
+        cmp, means = _compare_on(bench_fire, seeds=[0, 1])
+        lines = [format_comparison(cmp), "", "mean quality over seeds:"]
+        lines += [f"  {k:16s} {v:.4f}" for k, v in means.items()]
+        report("E1_static_quality", "\n".join(lines))
+        # hypothesis check: ESS-NS comparable or better than ESS
+        assert means["ESS-NS"] >= 0.8 * means["ESS"]
+
+
+    run_once(benchmark, _body)
+
+def test_e1_dynamic_case(benchmark, bench_dynamic_fire):
+    def _body():
+        """Dynamic conditions (§IV): the stressor for converged populations."""
+        cmp, means = _compare_on(bench_dynamic_fire, seeds=[0])
+        lines = [format_comparison(cmp), "", "mean quality over seeds:"]
+        lines += [f"  {k:16s} {v:.4f}" for k, v in means.items()]
+        report("E1_dynamic_quality", "\n".join(lines))
+        for v in means.values():
+            assert 0.0 <= v <= 1.0
+
+
+    run_once(benchmark, _body)
+
+def test_bench_essns_full_run(benchmark, bench_fire):
+    """Wall-clock of a complete ESS-NS predictive process (all steps)."""
+    system = _systems()[1]
+    run = benchmark.pedantic(
+        lambda: system.run(bench_fire, rng=5), rounds=1, iterations=1
+    )
+    assert len(run.steps) == bench_fire.n_steps

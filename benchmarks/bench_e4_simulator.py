@@ -1,0 +1,109 @@
+"""E4 — the fireLib-equivalent simulator substrate.
+
+Throughput of the two kernels every Worker call is made of: the
+vectorised Rothermel spread computation and the min-travel-time
+propagation, swept over grid sizes and fuel models.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.firelib.moisture import Moisture
+from repro.firelib.rothermel import FuelBed, spread
+from repro.firelib.simulator import FireSimulator
+from repro.grid.terrain import Terrain
+
+from _report import report, run_once
+
+DRY = Moisture.from_percent(5, 6, 8, 50)
+
+
+@pytest.fixture(scope="module")
+def windy_scenario(space):
+    from repro.core.scenario import Scenario
+
+    return Scenario(
+        model=1, wind_speed=12.0, wind_dir=90.0, m1=5, m10=6, m100=8,
+        mherb=50, slope=10.0, aspect=270.0,
+    )
+
+
+def test_e4_grid_size_sweep_report(benchmark, windy_scenario):
+    def _body():
+        """Simulation wall-clock vs grid size (the Worker's unit of work)."""
+        rows = []
+        for size in (50, 100, 150):
+            terrain = Terrain.uniform(size, size, cell_size=30.0)
+            sim = FireSimulator(terrain)
+            t0 = time.perf_counter()
+            reps = 3
+            for _ in range(reps):
+                res = sim.simulate(
+                    windy_scenario, [(size // 2, size // 4)], horizon=45.0
+                )
+            elapsed = (time.perf_counter() - t0) / reps
+            rows.append(
+                [
+                    f"{size}x{size}",
+                    size * size,
+                    round(elapsed * 1e3, 2),
+                    int(res.burned().sum()),
+                ]
+            )
+        report(
+            "E4_grid_sweep",
+            format_table(["grid", "cells", "ms/simulation", "burned cells"], rows),
+        )
+        # Near-linear scaling in cells: 9× cells should cost well under 30×.
+        assert rows[2][2] < rows[0][2] * 30
+
+
+    run_once(benchmark, _body)
+
+def test_e4_fuel_model_sweep_report(benchmark):
+    def _body():
+        """No-wind spread rate of all 13 NFFL models (catalog sanity)."""
+        rows = []
+        for code in range(1, 14):
+            bed = FuelBed.for_model(code)
+            rows.append(
+                [code, bed.model.name, round(bed.no_wind_rate(DRY), 3),
+                 round(bed.sigma, 0)]
+            )
+        report(
+            "E4_fuel_models",
+            format_table(["model", "name", "R0 ft/min (dry)", "sigma 1/ft"], rows),
+        )
+        rates = {r[0]: r[2] for r in rows}
+        assert rates[1] > rates[8]  # grass outruns closed timber litter
+
+
+    run_once(benchmark, _body)
+
+def test_bench_rothermel_kernel(benchmark):
+    """The vectorised spread computation over a 100×100 slope raster."""
+    slope = np.random.default_rng(0).uniform(0, 40, (100, 100))
+    aspect = np.random.default_rng(1).uniform(0, 360, (100, 100))
+    result = benchmark(spread, 4, DRY, 10.0, 45.0, slope, aspect)
+    assert np.asarray(result.ros_max).shape == (100, 100)
+
+
+def test_bench_propagation_100(benchmark, windy_scenario):
+    """One complete 100×100 simulation (spread + Dijkstra)."""
+    terrain = Terrain.uniform(100, 100, cell_size=30.0)
+    sim = FireSimulator(terrain)
+    res = benchmark(sim.simulate, windy_scenario, [(50, 25)], 45.0)
+    assert res.burned().sum() > 10
+
+
+def test_bench_propagation_16_neighbors(benchmark, windy_scenario):
+    """The finer 16-neighbour stencil (~2× edges)."""
+    terrain = Terrain.uniform(100, 100, cell_size=30.0)
+    sim = FireSimulator(terrain, n_neighbors=16)
+    res = benchmark(sim.simulate, windy_scenario, [(50, 25)], 45.0)
+    assert res.burned().sum() > 10

@@ -1,0 +1,132 @@
+"""E5 — ablations of the §III-B design choices and §IV future-work knobs.
+
+Sweeps the Algorithm 1 design decisions the paper singles out:
+
+* archive replacement policy — novelty-based (the paper) vs randomized
+  (Doncieux et al. 2020);
+* k for the ρ(x) computation (including the whole-population variant);
+* Eq. 2 reading — absolute (default) vs literal signed;
+* bestSet composition — offspring-only (literal pseudocode) vs also
+  seeding from the initial population (§IV's "percentage of novel or
+  random solutions" direction).
+
+Each variant races on the deceptive landscape, where the design
+differences actually matter; scores are escape rates and best fitness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.ea.nsga import NoveltyGA, NoveltyGAConfig
+from repro.ea.termination import Termination
+from repro.parallel.executor import SerialEvaluator
+from repro.workloads.deceptive import DeceptiveLandscape
+
+from _report import report, run_once
+
+_TRIALS = 6
+_TERM = Termination(max_generations=25, fitness_threshold=0.99)
+
+
+def _race(space, **cfg_overrides):
+    defaults = dict(
+        population_size=24, k_neighbors=8, mutation="gaussian",
+        best_set_capacity=16, archive_capacity=60,
+    )
+    defaults.update(cfg_overrides)
+    config = NoveltyGAConfig(**defaults)
+    best, escapes = [], 0
+    for trial in range(_TRIALS):
+        land = DeceptiveLandscape(space, rng=40_000 + trial)
+        result = NoveltyGA(config).run(
+            SerialEvaluator(land), space, _TERM, rng=trial
+        )
+        score = result.best_set.max_fitness()
+        best.append(score)
+        escapes += score > land.trap_height
+    return float(np.mean(best)), escapes
+
+
+def test_e5_archive_policy_report(benchmark, space):
+    def _body():
+        rows = []
+        for policy in ("novelty", "random"):
+            mean_best, escapes = _race(space, archive_policy=policy)
+            rows.append([policy, round(mean_best, 4), f"{escapes}/{_TRIALS}"])
+        report(
+            "E5_archive_policy",
+            format_table(["archive policy", "mean best fitness", "escaped trap"], rows),
+        )
+        # both must be functional; the paper's policy should not be worse
+        # by a large margin
+        assert rows[0][1] > 0.5 and rows[1][1] > 0.5
+
+
+    run_once(benchmark, _body)
+
+def test_e5_k_sweep_report(benchmark, space):
+    def _body():
+        rows = []
+        for k in (1, 4, 8, 16, None):
+            mean_best, escapes = _race(space, k_neighbors=k)
+            label = "whole set" if k is None else str(k)
+            rows.append([label, round(mean_best, 4), f"{escapes}/{_TRIALS}"])
+        report(
+            "E5_k_sweep",
+            format_table(["k", "mean best fitness", "escaped trap"], rows),
+        )
+        assert all(r[1] > 0.4 for r in rows)
+
+
+    run_once(benchmark, _body)
+
+def test_e5_distance_reading_report(benchmark, space):
+    def _body():
+        rows = []
+        for signed in (False, True):
+            mean_best, escapes = _race(space, signed_distance=signed)
+            rows.append(
+                ["signed Eq. 2" if signed else "|Eq. 2| (default)",
+                 round(mean_best, 4), f"{escapes}/{_TRIALS}"]
+            )
+        report(
+            "E5_distance_reading",
+            format_table(["distance reading", "mean best fitness", "escaped trap"], rows),
+        )
+        # the absolute reading must be at least competitive
+        assert rows[0][1] >= rows[1][1] - 0.15
+
+
+    run_once(benchmark, _body)
+
+def test_e5_best_set_seeding_report(benchmark, space):
+    def _body():
+        rows = []
+        for include in (False, True):
+            mean_best, escapes = _race(space, best_include_population=include)
+            rows.append(
+                ["offspring only (Alg. 1)" if not include else "+ initial population",
+                 round(mean_best, 4), f"{escapes}/{_TRIALS}"]
+            )
+        report(
+            "E5_best_set_seeding",
+            format_table(["bestSet source", "mean best fitness", "escaped trap"], rows),
+        )
+
+
+    run_once(benchmark, _body)
+
+def test_bench_nsga_generation(benchmark, space):
+    """One Algorithm 1 generation on the deceptive landscape."""
+    land = DeceptiveLandscape(space, rng=1)
+    config = NoveltyGAConfig(population_size=24, k_neighbors=8)
+
+    def one_gen():
+        return NoveltyGA(config).run(
+            SerialEvaluator(land), space, Termination(max_generations=1), rng=0
+        )
+
+    result = benchmark.pedantic(one_gen, rounds=3, iterations=1)
+    assert len(result.best_set) > 0

@@ -1,0 +1,148 @@
+"""E6 — the §IV future-work variants, measured.
+
+The paper closes with a list of planned extensions; this repository
+implements them and this bench quantifies each:
+
+* **hybrid guidance** — weighted novelty/fitness sum (ref [31]):
+  sweeping the weight trades exploration for exploitation, and the trap
+  landscape shows where each regime wins;
+* **dynamic novelty-threshold archive** (ref [15]) vs the fixed-size
+  archive of the first version;
+* **island ESS-NS with hybridization** vs the one-level ESS-NS of the
+  paper, on prediction quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.archive import ThresholdArchive
+from repro.ea.nsga import NoveltyGA, NoveltyGAConfig
+from repro.ea.termination import Termination
+from repro.parallel.executor import SerialEvaluator
+from repro.parallel.islands import IslandModelConfig
+from repro.systems import ESSNS, ESSNSIM, ESSNSConfig, ESSNSIMConfig
+from repro.workloads.deceptive import DeceptiveLandscape
+
+from _report import report, run_once
+
+_TRIALS = 6
+_TERM = Termination(max_generations=25, fitness_threshold=0.99)
+
+
+def _trap_race(space, archive_factory=None, **cfg_overrides):
+    defaults = dict(
+        population_size=24, k_neighbors=8, mutation="gaussian",
+        best_set_capacity=16, archive_capacity=60,
+    )
+    defaults.update(cfg_overrides)
+    config = NoveltyGAConfig(**defaults)
+    best, escapes = [], 0
+    for trial in range(_TRIALS):
+        land = DeceptiveLandscape(space, rng=50_000 + trial)
+        archive = archive_factory() if archive_factory else None
+        result = NoveltyGA(config).run(
+            SerialEvaluator(land), space, _TERM, rng=trial, archive=archive
+        )
+        score = result.best_set.max_fitness()
+        best.append(score)
+        escapes += score > land.trap_height
+    return float(np.mean(best)), escapes
+
+
+def test_e6_hybrid_weight_sweep(benchmark, space):
+    def _body():
+        rows = []
+        for w in (0.0, 0.25, 0.5, 0.75, 1.0):
+            mean_best, escapes = _trap_race(space, fitness_weight=w)
+            rows.append([w, round(mean_best, 4), f"{escapes}/{_TRIALS}"])
+        report(
+            "E6_hybrid_weight",
+            format_table(
+                ["fitness weight w", "mean best fitness", "escaped trap"], rows
+            ),
+        )
+        # pure novelty must escape the trap at least as often as pure
+        # fitness guidance (the whole point of the paradigm)
+        assert int(rows[0][2].split("/")[0]) >= int(rows[-1][2].split("/")[0])
+
+    run_once(benchmark, _body)
+
+
+def test_e6_threshold_archive(benchmark, space):
+    def _body():
+        bounded, b_esc = _trap_race(space)
+        dynamic, d_esc = _trap_race(
+            space,
+            archive_factory=lambda: ThresholdArchive(
+                threshold=0.02, max_size=120
+            ),
+        )
+        rows = [
+            ["fixed-size (first version)", round(bounded, 4), f"{b_esc}/{_TRIALS}"],
+            ["dynamic threshold [15]", round(dynamic, 4), f"{d_esc}/{_TRIALS}"],
+        ]
+        report(
+            "E6_threshold_archive",
+            format_table(["archive", "mean best fitness", "escaped trap"], rows),
+        )
+        assert bounded > 0.4 and dynamic > 0.4
+
+    run_once(benchmark, _body)
+
+
+def test_e6_island_essns_quality(benchmark, bench_fire):
+    def _body():
+        nsga = NoveltyGAConfig(
+            population_size=16, k_neighbors=8, best_set_capacity=12,
+            archive_capacity=48,
+        )
+        island_nsga = NoveltyGAConfig(
+            population_size=8, k_neighbors=6, best_set_capacity=8,
+            archive_capacity=32,
+        )
+        hybrid_nsga = NoveltyGAConfig(
+            population_size=8, k_neighbors=6, best_set_capacity=8,
+            archive_capacity=32, fitness_weight=0.5,
+        )
+        islands = IslandModelConfig(
+            n_islands=2, migration_interval=2, n_migrants=2
+        )
+        systems = [
+            ESSNS(ESSNSConfig(nsga=nsga, max_generations=6)),
+            ESSNSIM(
+                ESSNSIMConfig(
+                    nsga=island_nsga, islands=islands, max_generations=6
+                )
+            ),
+            ESSNSIM(
+                ESSNSIMConfig(
+                    nsga=hybrid_nsga, islands=islands, max_generations=6
+                )
+            ),
+            ESSNS(
+                ESSNSConfig(
+                    nsga=nsga,
+                    max_generations=6,
+                    novel_fraction=0.2,
+                    random_fraction=0.1,
+                )
+            ),
+        ]
+        labels = ["ESS-NS (paper)", "ESSNS-IM", "ESSNS-IM(w=0.5)", "ESS-NS +novel/random mix"]
+        rows = []
+        for label, system in zip(labels, systems):
+            qualities = [
+                system.run(bench_fire, rng=7000 + seed).mean_quality()
+                for seed in range(2)
+            ]
+            rows.append([label, round(float(np.mean(qualities)), 4)])
+        report(
+            "E6_island_essns",
+            format_table(["system", "mean quality (2 seeds)"], rows),
+        )
+        for row in rows:
+            assert 0.0 <= row[1] <= 1.0
+
+    run_once(benchmark, _body)

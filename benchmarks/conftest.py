@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness (realistic sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import ParameterSpace
+from repro.systems.problem import PredictionStepProblem
+from repro.workloads.cases import dynamic_wind_case, grassland_case
+
+
+@pytest.fixture(scope="session")
+def space():
+    return ParameterSpace()
+
+
+@pytest.fixture(scope="session")
+def bench_fire():
+    """The standard E1/F1/F3 case: 44×44 grassland, 3 steps."""
+    return grassland_case(size=44, n_steps=3)
+
+
+@pytest.fixture(scope="session")
+def bench_dynamic_fire():
+    """The dynamic-conditions stressor at bench scale."""
+    return dynamic_wind_case(size=44, n_steps=4)
+
+
+@pytest.fixture(scope="session")
+def bench_problem(bench_fire):
+    """Step-1 evaluation problem of the standard case."""
+    return PredictionStepProblem(
+        terrain=bench_fire.terrain,
+        start_burned=bench_fire.start_mask(1),
+        real_burned=bench_fire.real_mask(1),
+        horizon=bench_fire.step_horizon(1),
+    )

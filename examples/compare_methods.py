@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""The paper's hypothesis experiment (E1): ESS-NS vs the lineage.
+
+Runs the four systems — ESS (Fig. 1), ESS-NS (Fig. 3), ESSIM-EA and
+ESSIM-DE — on the same reference fires with a matched per-step
+simulation budget, and prints the quality-per-step comparison table.
+
+The paper's hypothesis: "the application of a novelty-based
+metaheuristic to the fire propagation prediction problem can obtain
+comparable or better results in quality with respect to existing
+methods". The dynamic-wind case is the stressor where converged
+populations age badly (§IV).
+
+Usage::
+
+    python examples/compare_methods.py [--case grassland|heterogeneous|dynamic_wind|river_gap]
+                                       [--size 44] [--steps 4] [--seeds 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    ESS,
+    ESSConfig,
+    ESSIMDE,
+    ESSIMDEConfig,
+    ESSIMEA,
+    ESSIMEAConfig,
+    ESSNS,
+    ESSNSConfig,
+    GAConfig,
+    DEConfig,
+    IslandModelConfig,
+    NoveltyGAConfig,
+    compare_runs,
+    format_comparison,
+)
+from repro.workloads import CASE_BUILDERS
+
+
+def build_systems(n_workers: int):
+    """The four systems with a matched ~(24 × 8) per-step budget."""
+    ga = GAConfig(population_size=24)
+    nsga = NoveltyGAConfig(
+        population_size=24, k_neighbors=10, best_set_capacity=16, archive_capacity=60
+    )
+    islands = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
+    return [
+        ESS(ESSConfig(ga=ga, max_generations=8), n_workers=n_workers),
+        ESSNS(ESSNSConfig(nsga=nsga, max_generations=8), n_workers=n_workers),
+        ESSIMEA(
+            ESSIMEAConfig(
+                ga=GAConfig(population_size=12), islands=islands, max_generations=8
+            ),
+            n_workers=n_workers,
+        ),
+        ESSIMDE(
+            ESSIMDEConfig(
+                de=DEConfig(population_size=12),
+                islands=islands,
+                max_generations=8,
+                tuning="both",
+            ),
+            n_workers=n_workers,
+        ),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--case", choices=sorted(CASE_BUILDERS), default="grassland"
+    )
+    parser.add_argument("--size", type=int, default=44)
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--seeds", type=int, default=3, help="independent repetitions")
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    fire = CASE_BUILDERS[args.case](size=args.size, n_steps=args.steps)
+    print(f"case: {fire.description}\n")
+
+    per_system: dict[str, list[float]] = {}
+    last_comparison = None
+    for seed in range(args.seeds):
+        runs = []
+        for system in build_systems(args.workers):
+            run = system.run(fire, rng=1000 + seed)
+            runs.append(run)
+            per_system.setdefault(run.system, []).append(run.mean_quality())
+        last_comparison = compare_runs(runs)
+        print(f"--- seed {seed} ---")
+        print(format_comparison(last_comparison))
+        print()
+
+    print("=== mean quality over seeds ===")
+    for name, values in per_system.items():
+        arr = np.asarray(values)
+        print(f"  {name:16s} {arr.mean():.4f} ± {arr.std():.4f}")
+
+
+if __name__ == "__main__":
+    main()

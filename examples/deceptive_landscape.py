@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Novelty Search vs fitness-guided search on a deceptive landscape.
+
+§II-C motivates NS with *deceptiveness*: landscapes where combining
+high-fitness solutions leads away from the global optimum. This example
+builds the trap landscape of :mod:`repro.workloads.deceptive` over the
+Table I scenario space — a narrow global peak plus a smooth slope whose
+gradient points away from it — and races Algorithm 1 against the
+classical GA and DE.
+
+Expected outcome: GA/DE climb the deceptive slope and plateau at the
+trap height (~0.6); the NS bestSet finds the hidden peak (> 0.8) in a
+substantial fraction of seeds, because the search never commits to the
+slope's gradient.
+
+Usage::
+
+    python examples/deceptive_landscape.py [--trials 10] [--generations 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DEConfig,
+    DifferentialEvolution,
+    GAConfig,
+    GeneticAlgorithm,
+    NoveltyGA,
+    NoveltyGAConfig,
+    ParameterSpace,
+    SerialEvaluator,
+    Termination,
+)
+from repro.analysis.reporting import format_table
+from repro.workloads import DeceptiveLandscape
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--generations", type=int, default=40)
+    parser.add_argument("--population", type=int, default=30)
+    args = parser.parse_args()
+
+    space = ParameterSpace()
+    term = Termination(max_generations=args.generations, fitness_threshold=0.99)
+    pop = args.population
+
+    scores = {"GA": [], "NS-GA (Alg. 1)": [], "DE": []}
+    solved = {k: 0 for k in scores}
+    for trial in range(args.trials):
+        # The landscape seed is offset from the algorithm seed so the
+        # hidden optimum never collides with an initial population draw.
+        landscape = DeceptiveLandscape(space, rng=10_000 + trial)
+        evaluate = SerialEvaluator(landscape)
+
+        # Gaussian (local) mutation gives the hill-climbing semantics
+        # deception preys on; uniform-reset mutation would degrade every
+        # algorithm into global random search and mask the effect.
+        ga = GeneticAlgorithm(
+            GAConfig(population_size=pop, mutation="gaussian")
+        ).run(evaluate, space, term, rng=trial)
+        ns = NoveltyGA(
+            NoveltyGAConfig(population_size=pop, k_neighbors=10, mutation="gaussian")
+        ).run(evaluate, space, term, rng=trial)
+        de = DifferentialEvolution(DEConfig(population_size=pop)).run(
+            evaluate, space, term, rng=trial
+        )
+
+        results = {
+            "GA": ga.best.fitness,
+            "NS-GA (Alg. 1)": ns.best_set.max_fitness(),
+            "DE": de.best.fitness,
+        }
+        for name, value in results.items():
+            scores[name].append(value)
+            if value > landscape.trap_height:
+                solved[name] += 1
+
+    rows = []
+    for name, values in scores.items():
+        arr = np.asarray(values)
+        rows.append(
+            [
+                name,
+                float(arr.mean()),
+                float(arr.max()),
+                f"{solved[name]}/{args.trials}",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "mean best fitness", "max best fitness", "escaped trap"],
+            rows,
+        )
+    )
+    print(
+        f"\ntrap height = {DeceptiveLandscape(space, rng=0).trap_height}; "
+        "'escaped trap' counts trials whose best fitness beat every "
+        "off-peak value."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""The §IV future-work variants in action: islands, hybrids, archives.
+
+The paper's conclusions list planned extensions; this example runs the
+implemented versions side by side on one reference fire:
+
+1. **ESS-NS** — the paper's one-level proposal (baseline);
+2. **ESSNS-IM** — island-model ESS-NS with ring migration and
+   persistent per-island archives/bestSets;
+3. **ESSNS-IM(w)** — islands with hybrid novelty/fitness guidance
+   (the weighted sum of the paper's ref [31]);
+4. **ESS-NS + mixing** — solution set with a percentage of novel and
+   random scenarios on top of the bestSet core;
+5. **ESS-NS + threshold archive** — the dynamic novelty-threshold
+   archive of Lehman & Stanley (ref [15]).
+
+Usage::
+
+    python examples/islands_and_hybrids.py [--case grassland] [--size 44] [--steps 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    ESSNS,
+    ESSNSIM,
+    ESSNSConfig,
+    ESSNSIMConfig,
+    IslandModelConfig,
+    NoveltyGAConfig,
+)
+from repro.analysis.reporting import format_table
+from repro.workloads import CASE_BUILDERS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--case", choices=sorted(CASE_BUILDERS), default="grassland")
+    parser.add_argument("--size", type=int, default=44)
+    parser.add_argument("--steps", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    fire = CASE_BUILDERS[args.case](size=args.size, n_steps=args.steps)
+    print(f"case: {fire.description}\n")
+
+    nsga = NoveltyGAConfig(
+        population_size=16, k_neighbors=8, best_set_capacity=12, archive_capacity=48
+    )
+    island_nsga = NoveltyGAConfig(
+        population_size=8, k_neighbors=6, best_set_capacity=8, archive_capacity=32
+    )
+    hybrid_nsga = NoveltyGAConfig(
+        population_size=8, k_neighbors=6, best_set_capacity=8,
+        archive_capacity=32, fitness_weight=0.5,
+    )
+    islands = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
+
+    systems = [
+        ESSNS(ESSNSConfig(nsga=nsga, max_generations=6), n_workers=args.workers),
+        ESSNSIM(
+            ESSNSIMConfig(nsga=island_nsga, islands=islands, max_generations=6),
+            n_workers=args.workers,
+        ),
+        ESSNSIM(
+            ESSNSIMConfig(nsga=hybrid_nsga, islands=islands, max_generations=6),
+            n_workers=args.workers,
+        ),
+        ESSNS(
+            ESSNSConfig(
+                nsga=nsga, max_generations=6,
+                novel_fraction=0.2, random_fraction=0.1,
+            ),
+            n_workers=args.workers,
+        ),
+        ESSNS(
+            ESSNSConfig(nsga=nsga, max_generations=6, archive_kind="threshold"),
+            n_workers=args.workers,
+        ),
+    ]
+    labels = [
+        "ESS-NS (paper, one level)",
+        "ESSNS-IM (islands)",
+        "ESSNS-IM (hybrid w=0.5)",
+        "ESS-NS + novel/random mix",
+        "ESS-NS + threshold archive",
+    ]
+
+    rows = []
+    for label, system in zip(labels, systems):
+        run = system.run(fire, rng=args.seed)
+        rows.append(
+            [
+                label,
+                round(run.mean_quality(), 4),
+                run.total_evaluations(),
+                round(run.total_time(), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "mean quality", "simulations", "seconds"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

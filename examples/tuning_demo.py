@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""ESSIM-DE premature convergence and the dynamic tuning fix (E2).
+
+§II-B: plain ESSIM-DE converged prematurely; a population-restart
+operator and an IQR-factor metric were retrofitted and "achieved better
+quality and response times with respect to the same method without
+tuning". This example reproduces that story:
+
+1. run island DE on a reference fire with tuning off — watch the
+   per-island fitness IQR collapse;
+2. run the same configuration with restart / IQR / both — the
+   interventions fire and quality recovers;
+3. contrast with ESS-NS, which needs no tuning because novelty search
+   "not only keeps diversity but actively reinforces it" (§III-A).
+
+Usage::
+
+    python examples/tuning_demo.py [--size 44] [--steps 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DEConfig,
+    ESSIMDE,
+    ESSIMDEConfig,
+    ESSNS,
+    ESSNSConfig,
+    IslandModelConfig,
+    NoveltyGAConfig,
+    grassland_case,
+)
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=44)
+    parser.add_argument("--steps", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    fire = grassland_case(size=args.size, n_steps=args.steps)
+    print(f"case: {fire.description}\n")
+
+    islands = IslandModelConfig(n_islands=2, migration_interval=2)
+    de = DEConfig(population_size=14)
+    rows = []
+    for tuning in ("none", "restart", "iqr", "both"):
+        config = ESSIMDEConfig(
+            de=de, islands=islands, max_generations=10, tuning=tuning
+        )
+        system = ESSIMDE(config)
+        run = system.run(fire, rng=args.seed)
+        rows.append(
+            [
+                system.name,
+                run.mean_quality(),
+                run.total_evaluations(),
+                round(run.total_time(), 2),
+            ]
+        )
+
+    ns = ESSNS(
+        ESSNSConfig(
+            nsga=NoveltyGAConfig(population_size=28, k_neighbors=10),
+            max_generations=10,
+        )
+    )
+    ns_run = ns.run(fire, rng=args.seed)
+    rows.append(
+        [
+            ns.name + " (no tuning needed)",
+            ns_run.mean_quality(),
+            ns_run.total_evaluations(),
+            round(ns_run.total_time(), 2),
+        ]
+    )
+
+    print(
+        format_table(
+            ["system", "mean quality", "simulations", "seconds"], rows
+        )
+    )
+    print(
+        "\nESSIM-DE rows show the §II-B tuning ladder; ESS-NS sustains "
+        "diversity by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

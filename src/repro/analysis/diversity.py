@@ -1,0 +1,79 @@
+"""Population diversity measures (experiment E2).
+
+§II-B's critique of the fitness-guided systems is a diversity story:
+"Evolutionary metaheuristics tend to converge to a population of similar
+genotypes ... which limits the contribution of these solutions to
+uncertainty reduction and defeats its purpose." These measures quantify
+that collapse and NS's resistance to it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.individual import Individual, fitness_vector, genomes_matrix
+from repro.core.scenario import ParameterSpace
+from repro.ea.history import EvolutionHistory
+from repro.errors import ReproError
+
+__all__ = ["genotypic_diversity", "behavioural_diversity", "diversity_series"]
+
+
+def genotypic_diversity(
+    population: Sequence[Individual] | np.ndarray,
+    space: ParameterSpace,
+) -> float:
+    """Mean pairwise normalised genome distance of a population.
+
+    0 = all clones; larger = more spread. Uses the per-parameter
+    normalised (and circular-aware) distance of
+    :meth:`ParameterSpace.pairwise_distances`.
+    """
+    if isinstance(population, np.ndarray):
+        genomes = np.atleast_2d(np.asarray(population, dtype=np.float64))
+        if genomes.size == 0:
+            raise ReproError("cannot measure diversity of an empty population")
+    else:
+        members = list(population)
+        if not members:
+            raise ReproError("cannot measure diversity of an empty population")
+        if isinstance(members[0], Individual):
+            genomes = genomes_matrix(members)
+        else:
+            genomes = np.atleast_2d(np.asarray(members, dtype=np.float64))
+    n = genomes.shape[0]
+    if n == 1:
+        return 0.0
+    d = space.pairwise_distances(genomes)
+    return float(d.sum() / (n * (n - 1)))
+
+
+def behavioural_diversity(population: Sequence[Individual]) -> float:
+    """Mean pairwise |Δ fitness| — diversity in the Eq. 2 behaviour space.
+
+    This is the quantity NS directly sustains: by Eq. 2 two individuals
+    are behaviourally identical iff their fitness coincides.
+    """
+    fit = fitness_vector(list(population))
+    n = fit.size
+    if n == 1:
+        return 0.0
+    diff = np.abs(fit[:, None] - fit[None, :])
+    return float(diff.sum() / (n * (n - 1)))
+
+
+def diversity_series(history: EvolutionHistory) -> dict[str, np.ndarray]:
+    """Extract the E2 time series from an evolution history.
+
+    Returns the per-generation arrays keyed ``"generation"``,
+    ``"genotypic_diversity"``, ``"fitness_iqr"`` and ``"max_fitness"`` —
+    the exact signals the ESSIM-DE IQR tuning monitors.
+    """
+    return {
+        "generation": history.series("generation"),
+        "genotypic_diversity": history.series("genotypic_diversity"),
+        "fitness_iqr": history.series("fitness_iqr"),
+        "max_fitness": history.series("max_fitness"),
+    }

@@ -1,0 +1,112 @@
+"""Cross-system comparison metrics (experiments E1, E3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.parallel.timing import efficiency, speedup
+from repro.systems.results import RunResult
+
+__all__ = ["QualityComparison", "compare_runs", "speedup_table"]
+
+
+@dataclass(frozen=True)
+class QualityComparison:
+    """Quality-per-step comparison across systems (the E1 table).
+
+    Attributes
+    ----------
+    systems:
+        System names, in presentation order.
+    steps:
+        The 1-based step indices that have predictions (step ≥ 2).
+    quality:
+        Array ``(n_systems, n_steps)`` of Eq. 3 prediction qualities.
+    mean_quality:
+        Per-system mean over the prediction steps.
+    evaluations, seconds:
+        Per-system totals (cost side of the comparison).
+    """
+
+    systems: tuple[str, ...]
+    steps: tuple[int, ...]
+    quality: np.ndarray
+    mean_quality: np.ndarray
+    evaluations: np.ndarray
+    seconds: np.ndarray
+
+    def winner(self) -> str:
+        """System with the highest mean quality."""
+        return self.systems[int(np.argmax(self.mean_quality))]
+
+    def margin_over(self, baseline: str) -> float:
+        """Winner's mean-quality ratio over a named baseline system."""
+        if baseline not in self.systems:
+            raise ReproError(f"unknown baseline {baseline!r}; have {self.systems}")
+        base = self.mean_quality[self.systems.index(baseline)]
+        if base <= 0:
+            return float("inf")
+        return float(self.mean_quality.max() / base)
+
+
+def compare_runs(runs: list[RunResult]) -> QualityComparison:
+    """Align several systems' runs (same fire, same steps) into one table."""
+    if not runs:
+        raise ReproError("need at least one run to compare")
+    n_steps = len(runs[0].steps)
+    for run in runs:
+        if len(run.steps) != n_steps:
+            raise ReproError(
+                "runs cover different step counts: "
+                f"{[len(r.steps) for r in runs]}"
+            )
+    pred_steps = tuple(
+        s.step for s in runs[0].steps if s.has_prediction
+    )
+    quality = np.asarray(
+        [
+            [s.prediction_quality for s in run.steps if s.has_prediction]
+            for run in runs
+        ]
+    )
+    return QualityComparison(
+        systems=tuple(run.system for run in runs),
+        steps=pred_steps,
+        quality=quality,
+        mean_quality=quality.mean(axis=1) if quality.size else np.zeros(len(runs)),
+        evaluations=np.asarray([run.total_evaluations() for run in runs]),
+        seconds=np.asarray([run.total_time() for run in runs]),
+    )
+
+
+def speedup_table(
+    serial_seconds: float, parallel_seconds: dict[int, float]
+) -> list[dict]:
+    """E3 rows: workers → (seconds, speedup, efficiency).
+
+    ``parallel_seconds`` maps worker counts to measured wall-clock.
+    """
+    rows = [
+        {
+            "workers": 1,
+            "seconds": round(serial_seconds, 4),
+            "speedup": 1.0,
+            "efficiency": 1.0,
+        }
+    ]
+    for workers in sorted(parallel_seconds):
+        secs = parallel_seconds[workers]
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": round(secs, 4),
+                "speedup": round(speedup(serial_seconds, secs), 3),
+                "efficiency": round(
+                    efficiency(serial_seconds, secs, workers), 3
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,89 @@
+"""Plain-text / markdown tables for examples, benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import QualityComparison
+from repro.systems.results import RunResult
+
+__all__ = ["format_table", "format_run", "format_comparison"]
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "—"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    markdown: bool = False,
+) -> str:
+    """Render an aligned text table (optionally GitHub-markdown)."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = " | " if markdown else "  "
+    edge = "| " if markdown else ""
+    lines = [edge + sep.join(h.ljust(w) for h, w in zip(headers, widths)) + (" |" if markdown else "")]
+    if markdown:
+        lines.append("| " + " | ".join("-" * w for w in widths) + " |")
+    else:
+        lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            edge + sep.join(v.ljust(w) for v, w in zip(row, widths)) + (" |" if markdown else "")
+        )
+    return "\n".join(lines)
+
+
+def format_run(run: RunResult, markdown: bool = False) -> str:
+    """Per-step table of one system run (the Fig. 1/3 pipeline log)."""
+    headers = ["step", "Kign", "cal. fitness", "quality", "best fitness", "evals", "sec"]
+    rows = [
+        [
+            r["step"],
+            r["kign"],
+            r["cal_fitness"],
+            r["quality"],
+            r["best_fitness"],
+            r["evaluations"],
+            r["seconds"],
+        ]
+        for r in run.summary_rows()
+    ]
+    title = f"{run.system}: mean quality {run.mean_quality():.4f}, " \
+            f"{run.total_evaluations()} simulations, {run.total_time():.2f}s"
+    return title + "\n" + format_table(headers, rows, markdown=markdown)
+
+
+def format_comparison(cmp: QualityComparison, markdown: bool = False) -> str:
+    """The E1 table: systems × prediction steps + summary columns."""
+    headers = ["system"] + [f"step {s}" for s in cmp.steps] + [
+        "mean",
+        "evals",
+        "sec",
+    ]
+    rows = []
+    for i, name in enumerate(cmp.systems):
+        rows.append(
+            [name]
+            + [float(q) for q in cmp.quality[i]]
+            + [
+                float(cmp.mean_quality[i]),
+                int(cmp.evaluations[i]),
+                float(cmp.seconds[i]),
+            ]
+        )
+    table = format_table(headers, rows, markdown=markdown)
+    return table + f"\nwinner: {cmp.winner()}"

@@ -1,0 +1,192 @@
+"""Seed/case sweeps: run systems repeatedly and aggregate statistics.
+
+The lineage papers report means over repeated runs; this module is the
+harness for that: run every (system, case) pair over a set of seeds,
+collect per-run mean qualities, and aggregate to mean ± std. Results
+serialise to JSON so long sweeps can be archived.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.systems.base import PredictionSystem
+from repro.workloads.synthetic import ReferenceFire
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Aggregated outcome of one (system, case) pair over seeds."""
+
+    system: str
+    case: str
+    qualities: tuple[float, ...]
+    evaluations: int
+    seconds: float
+
+    @property
+    def mean(self) -> float:
+        """Mean of the per-seed mean qualities."""
+        return float(np.mean(self.qualities))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation over seeds (0 for a single seed)."""
+        return float(np.std(self.qualities))
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, with table/JSON export."""
+
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def cell(self, system: str, case: str) -> SweepCell:
+        """Look up one (system, case) cell."""
+        for c in self.cells:
+            if c.system == system and c.case == case:
+                return c
+        raise ReproError(f"no sweep cell for ({system!r}, {case!r})")
+
+    def systems(self) -> list[str]:
+        """Distinct system names, in first-seen order."""
+        seen: list[str] = []
+        for c in self.cells:
+            if c.system not in seen:
+                seen.append(c.system)
+        return seen
+
+    def cases(self) -> list[str]:
+        """Distinct case names, in first-seen order."""
+        seen: list[str] = []
+        for c in self.cells:
+            if c.case not in seen:
+                seen.append(c.case)
+        return seen
+
+    def table_rows(self) -> list[list]:
+        """Rows ``[system, case, mean±std, evals, seconds]`` for reporting."""
+        return [
+            [
+                c.system,
+                c.case,
+                f"{c.mean:.4f} ± {c.std:.4f}",
+                c.evaluations,
+                round(c.seconds, 2),
+            ]
+            for c in self.cells
+        ]
+
+    def winner(self, case: str) -> str:
+        """System with the best mean quality on ``case``."""
+        candidates = [c for c in self.cells if c.case == case]
+        if not candidates:
+            raise ReproError(f"no cells for case {case!r}")
+        return max(candidates, key=lambda c: c.mean).system
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "cells": [
+                {
+                    "system": c.system,
+                    "case": c.case,
+                    "qualities": list(c.qualities),
+                    "evaluations": c.evaluations,
+                    "seconds": c.seconds,
+                }
+                for c in self.cells
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            cells = [
+                SweepCell(
+                    system=str(c["system"]),
+                    case=str(c["case"]),
+                    qualities=tuple(float(q) for q in c["qualities"]),
+                    evaluations=int(c["evaluations"]),
+                    seconds=float(c["seconds"]),
+                )
+                for c in data["cells"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed sweep payload: {exc}") from exc
+        return cls(cells=cells)
+
+    def save_json(self, path: str | os.PathLike) -> None:
+        """Write the sweep to ``path`` as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load_json(cls, path: str | os.PathLike) -> "SweepResult":
+        """Read a sweep previously written by :meth:`save_json`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def run_sweep(
+    system_factories: dict[str, Callable[[], PredictionSystem]],
+    cases: dict[str, ReferenceFire],
+    seeds: Sequence[int],
+    seed_offset: int = 0,
+) -> SweepResult:
+    """Run every (system, case) pair over all seeds.
+
+    Parameters
+    ----------
+    system_factories:
+        Label → zero-arg constructor. A fresh system instance is built
+        per run so no state leaks between repetitions.
+    cases:
+        Label → reference fire (pre-built so every system sees the
+        identical ground truth).
+    seeds:
+        The RNG seeds; each run uses ``seed_offset + seed``.
+
+    Returns
+    -------
+    SweepResult
+        One cell per (system, case), aggregating the per-seed mean
+        prediction qualities and total cost.
+    """
+    if not system_factories:
+        raise ReproError("need at least one system")
+    if not cases:
+        raise ReproError("need at least one case")
+    if not seeds:
+        raise ReproError("need at least one seed")
+    result = SweepResult()
+    for sys_label, factory in system_factories.items():
+        for case_label, fire in cases.items():
+            qualities: list[float] = []
+            evaluations = 0
+            seconds = 0.0
+            for seed in seeds:
+                run = factory().run(fire, rng=seed_offset + seed)
+                qualities.append(run.mean_quality())
+                evaluations += run.total_evaluations()
+                seconds += run.total_time()
+            result.cells.append(
+                SweepCell(
+                    system=sys_label,
+                    case=case_label,
+                    qualities=tuple(qualities),
+                    evaluations=evaluations,
+                    seconds=seconds,
+                )
+            )
+    return result

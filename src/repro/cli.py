@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing a script:
+
+* ``simulate`` — run one fire simulation on a canonical case terrain
+  and print burned-area statistics (the fireLib-style use).
+* ``run`` — run one prediction system on a case and print the per-step
+  table; optionally save the result as JSON.
+* ``compare`` — run several systems on the same case and print the E1
+  quality-per-step comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import compare_runs
+from repro.analysis.reporting import format_comparison, format_run
+from repro.core.scenario import Scenario
+from repro.ea.de import DEConfig
+from repro.ea.ga import GAConfig
+from repro.ea.nsga import NoveltyGAConfig
+from repro.firelib.simulator import FireSimulator
+from repro.parallel.islands import IslandModelConfig
+from repro.systems import (
+    ESS,
+    ESSIMDE,
+    ESSIMEA,
+    ESSNS,
+    ESSNSIM,
+    ESSConfig,
+    ESSIMDEConfig,
+    ESSIMEAConfig,
+    ESSNSConfig,
+    ESSNSIMConfig,
+)
+from repro.workloads.cases import CASE_BUILDERS
+
+__all__ = ["main", "build_system"]
+
+_SYSTEM_NAMES = ("ess", "ess-ns", "essim-ea", "essim-de", "essns-im")
+
+
+def build_system(
+    name: str,
+    population: int = 16,
+    generations: int = 6,
+    n_workers: int = 1,
+    tuning: str = "both",
+):
+    """Construct a prediction system by CLI name with matched budgets."""
+    islands = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
+    half = max(4, population // 2)
+    if name == "ess":
+        return ESS(
+            ESSConfig(ga=GAConfig(population_size=population),
+                      max_generations=generations),
+            n_workers=n_workers,
+        )
+    if name == "ess-ns":
+        return ESSNS(
+            ESSNSConfig(
+                nsga=NoveltyGAConfig(
+                    population_size=population,
+                    k_neighbors=max(2, population // 2),
+                    best_set_capacity=max(4, (3 * population) // 4),
+                ),
+                max_generations=generations,
+            ),
+            n_workers=n_workers,
+        )
+    if name == "essim-ea":
+        return ESSIMEA(
+            ESSIMEAConfig(
+                ga=GAConfig(population_size=half),
+                islands=islands,
+                max_generations=generations,
+            ),
+            n_workers=n_workers,
+        )
+    if name == "essim-de":
+        return ESSIMDE(
+            ESSIMDEConfig(
+                de=DEConfig(population_size=half),
+                islands=islands,
+                max_generations=generations,
+                tuning=tuning,
+            ),
+            n_workers=n_workers,
+        )
+    if name == "essns-im":
+        return ESSNSIM(
+            ESSNSIMConfig(
+                nsga=NoveltyGAConfig(
+                    population_size=half,
+                    k_neighbors=max(2, half // 2),
+                    best_set_capacity=max(4, (3 * half) // 4),
+                ),
+                islands=islands,
+                max_generations=generations,
+            ),
+            n_workers=n_workers,
+        )
+    raise SystemExit(f"unknown system {name!r}; choose from {_SYSTEM_NAMES}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--case", choices=sorted(CASE_BUILDERS), default="grassland")
+    parser.add_argument("--size", type=int, default=44, help="grid side, cells")
+    parser.add_argument("--steps", type=int, default=3, help="prediction steps")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--population", type=int, default=16)
+    parser.add_argument("--generations", type=int, default=6)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    fire = CASE_BUILDERS[args.case](size=args.size, n_steps=2)
+    scenario = Scenario(
+        model=args.model,
+        wind_speed=args.wind_speed,
+        wind_dir=args.wind_dir,
+        m1=args.m1,
+        m10=args.m1 + 1,
+        m100=args.m1 + 2,
+        mherb=args.mherb,
+        slope=args.slope,
+        aspect=args.aspect,
+    )
+    sim = FireSimulator(fire.terrain)
+    result = sim.simulate(
+        scenario, [fire.terrain.center()], horizon=args.minutes
+    )
+    burned = result.burned()
+    print(f"terrain: {args.case} {fire.terrain.shape}")
+    print(f"scenario: {scenario}")
+    print(f"horizon: {args.minutes:g} min")
+    print(f"burned cells: {int(burned.sum())} / {fire.terrain.n_cells}")
+    print(f"max head-fire rate: {result.ros_max_ftmin:.2f} ft/min")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    fire = CASE_BUILDERS[args.case](size=args.size, n_steps=args.steps)
+    system = build_system(
+        args.system, args.population, args.generations, args.workers
+    )
+    run = system.run(fire, rng=args.seed)
+    print(f"case: {fire.description}")
+    print(format_run(run))
+    if args.output:
+        run.save_json(args.output)
+        print(f"saved: {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    fire = CASE_BUILDERS[args.case](size=args.size, n_steps=args.steps)
+    names = args.systems.split(",")
+    runs = []
+    for name in names:
+        system = build_system(
+            name.strip(), args.population, args.generations, args.workers
+        )
+        runs.append(system.run(fire, rng=args.seed))
+    print(f"case: {fire.description}")
+    print(format_comparison(compare_runs(runs)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ESS-NS wildfire-prediction reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one fire simulation")
+    p_sim.add_argument("--case", choices=sorted(CASE_BUILDERS), default="grassland")
+    p_sim.add_argument("--size", type=int, default=60)
+    p_sim.add_argument("--minutes", type=float, default=45.0)
+    p_sim.add_argument("--model", type=int, default=1)
+    p_sim.add_argument("--wind-speed", type=float, default=8.0)
+    p_sim.add_argument("--wind-dir", type=float, default=90.0)
+    p_sim.add_argument("--m1", type=float, default=6.0)
+    p_sim.add_argument("--mherb", type=float, default=60.0)
+    p_sim.add_argument("--slope", type=float, default=5.0)
+    p_sim.add_argument("--aspect", type=float, default=270.0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_run = sub.add_parser("run", help="run one prediction system")
+    p_run.add_argument("system", choices=_SYSTEM_NAMES)
+    _add_common(p_run)
+    p_run.add_argument("--output", help="save the run as JSON")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare systems on one case")
+    p_cmp.add_argument(
+        "--systems",
+        default="ess,ess-ns",
+        help="comma-separated list from: " + ", ".join(_SYSTEM_NAMES),
+    )
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: scenarios, fitness, novelty, archives.
+
+* :mod:`~repro.core.scenario` — the Table I parameter space and the
+  :class:`Scenario` value object (the "parameter vectors PV" of Figs. 1/3).
+* :mod:`~repro.core.individual` — the evolutionary unit: a genome over
+  the parameter space plus its fitness and novelty scores.
+* :mod:`~repro.core.fitness` — the Jaccard-index fitness (Eq. 3).
+* :mod:`~repro.core.novelty` — the novelty score ρ(x) (Eq. 1) with the
+  fitness-difference behaviour distance (Eq. 2).
+* :mod:`~repro.core.archive` — the archive of novel solutions and the
+  ``bestSet`` accumulator of Algorithm 1.
+"""
+
+from repro.core.scenario import ParameterSpace, Scenario, TABLE_I_SPECS
+from repro.core.individual import Individual, genomes_matrix, fitness_vector
+from repro.core.fitness import jaccard_fitness, jaccard_from_counts
+from repro.core.novelty import behaviour_distance_matrix, novelty_scores
+from repro.core.archive import BestSet, NoveltyArchive, ThresholdArchive
+
+__all__ = [
+    "ParameterSpace",
+    "Scenario",
+    "TABLE_I_SPECS",
+    "Individual",
+    "genomes_matrix",
+    "fitness_vector",
+    "jaccard_fitness",
+    "jaccard_from_counts",
+    "behaviour_distance_matrix",
+    "novelty_scores",
+    "BestSet",
+    "NoveltyArchive",
+    "ThresholdArchive",
+]

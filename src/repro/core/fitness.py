@@ -1,0 +1,98 @@
+"""The fitness function — Eq. 3 of the paper (Jaccard index).
+
+    fitness(A, B) = |A ∩ B| / |A ∪ B|
+
+where A is the set of *really* burned cells minus the cells already
+burned before the simulation started, and B is the set of *simulated*
+burned cells minus the same pre-burned subset. "Previously burned cells
+are not considered in order to avoid skewed results" (paper §III-B).
+
+The value is 1 for a perfect prediction and 0 for the worst possible
+one. When both A and B are empty (the fire did not grow and none was
+predicted) the prediction is vacuously perfect and the fitness is
+defined as 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FitnessError
+
+__all__ = ["jaccard_fitness", "jaccard_from_counts", "batch_jaccard"]
+
+
+def jaccard_from_counts(intersection: int, union: int) -> float:
+    """Jaccard index from precomputed counts (1.0 for the empty union)."""
+    if union < 0 or intersection < 0 or intersection > union:
+        raise FitnessError(
+            f"inconsistent counts: intersection={intersection}, union={union}"
+        )
+    if union == 0:
+        return 1.0
+    return intersection / union
+
+
+def jaccard_fitness(
+    real_burned: np.ndarray,
+    sim_burned: np.ndarray,
+    pre_burned: np.ndarray | None = None,
+) -> float:
+    """Eq. 3 on boolean burned masks.
+
+    Parameters
+    ----------
+    real_burned:
+        Cells burned in reality at the evaluation instant (RFL_i as a
+        filled region).
+    sim_burned:
+        Cells burned in the simulation at the same instant.
+    pre_burned:
+        Cells already burned before the simulations started
+        (RFL_{i−1}); excluded from both sets.
+    """
+    a = np.asarray(real_burned, dtype=bool)
+    b = np.asarray(sim_burned, dtype=bool)
+    if a.shape != b.shape:
+        raise FitnessError(f"map shapes differ: {a.shape} vs {b.shape}")
+    if pre_burned is not None:
+        pre = np.asarray(pre_burned, dtype=bool)
+        if pre.shape != a.shape:
+            raise FitnessError(
+                f"pre-burned shape {pre.shape} != map shape {a.shape}"
+            )
+        keep = ~pre
+        a = a & keep
+        b = b & keep
+    intersection = int(np.count_nonzero(a & b))
+    union = int(np.count_nonzero(a | b))
+    return jaccard_from_counts(intersection, union)
+
+
+def batch_jaccard(
+    real_burned: np.ndarray,
+    sim_burned_stack: np.ndarray,
+    pre_burned: np.ndarray | None = None,
+) -> np.ndarray:
+    """Vectorised Eq. 3 for a stack of simulated maps.
+
+    ``sim_burned_stack`` has shape ``(n, H, W)``; returns ``(n,)``
+    fitness values. Used by the Statistical Stage and benchmarks to
+    score many scenario maps against one reality without a Python loop.
+    """
+    a = np.asarray(real_burned, dtype=bool)
+    stack = np.asarray(sim_burned_stack, dtype=bool)
+    if stack.ndim != 3 or stack.shape[1:] != a.shape:
+        raise FitnessError(
+            f"stack shape {stack.shape} incompatible with map shape {a.shape}"
+        )
+    if pre_burned is not None:
+        keep = ~np.asarray(pre_burned, dtype=bool)
+        a = a & keep
+        stack = stack & keep  # broadcasts over the leading axis
+    inter = np.count_nonzero(stack & a, axis=(1, 2)).astype(np.float64)
+    union = np.count_nonzero(stack | a, axis=(1, 2)).astype(np.float64)
+    out = np.ones(stack.shape[0], dtype=np.float64)
+    nz = union > 0
+    out[nz] = inter[nz] / union[nz]
+    return out

@@ -1,0 +1,101 @@
+"""The evolutionary unit: a genome plus its evaluated scores.
+
+Algorithm 1 manipulates individuals carrying two scores: the *fitness*
+(Eq. 3, computed by the Workers) and the *novelty* ρ(x) (Eq. 1, computed
+by the Master). Both start unset; stages fill them in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EvolutionError
+
+__all__ = ["Individual", "genomes_matrix", "fitness_vector", "novelty_vector"]
+
+
+@dataclass
+class Individual:
+    """One candidate scenario in the evolutionary search.
+
+    Attributes
+    ----------
+    genome:
+        9-float vector in the Table I box (see
+        :class:`repro.core.scenario.ParameterSpace`).
+    fitness:
+        Jaccard fitness in [0, 1], or ``None`` before evaluation.
+    novelty:
+        Novelty score ρ(x) ≥ 0, or ``None`` before evaluation.
+    birth_generation:
+        Generation at which the individual was created (0 for the
+        initial population); used by analysis only.
+    """
+
+    genome: np.ndarray
+    fitness: float | None = None
+    novelty: float | None = None
+    birth_generation: int = 0
+
+    def __post_init__(self) -> None:
+        g = np.asarray(self.genome, dtype=np.float64)
+        if g.ndim != 1:
+            raise EvolutionError(f"genome must be a 1-D vector, got shape {g.shape}")
+        self.genome = g
+
+    @property
+    def evaluated(self) -> bool:
+        """Whether fitness has been computed."""
+        return self.fitness is not None
+
+    def copy(self) -> "Individual":
+        """Deep copy (genome array included)."""
+        return Individual(
+            genome=self.genome.copy(),
+            fitness=self.fitness,
+            novelty=self.novelty,
+            birth_generation=self.birth_generation,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        f = "None" if self.fitness is None else f"{self.fitness:.4f}"
+        n = "None" if self.novelty is None else f"{self.novelty:.4f}"
+        return f"Individual(fitness={f}, novelty={n}, genome={np.round(self.genome, 2)})"
+
+
+def genomes_matrix(individuals: Sequence[Individual]) -> np.ndarray:
+    """Stack genomes into an ``(n, d)`` matrix (empty → ``(0, 0)``)."""
+    if not individuals:
+        return np.zeros((0, 0))
+    return np.stack([ind.genome for ind in individuals])
+
+
+def fitness_vector(individuals: Iterable[Individual]) -> np.ndarray:
+    """Vector of fitness values.
+
+    Raises
+    ------
+    EvolutionError
+        If any individual has not been evaluated yet — callers must run
+        the fitness stage first (Algorithm 1 lines 8–10 precede lines
+        12–14 for exactly this reason).
+    """
+    values = []
+    for i, ind in enumerate(individuals):
+        if ind.fitness is None:
+            raise EvolutionError(f"individual #{i} has no fitness; evaluate first")
+        values.append(ind.fitness)
+    return np.asarray(values, dtype=np.float64)
+
+
+def novelty_vector(individuals: Iterable[Individual]) -> np.ndarray:
+    """Vector of novelty values (requires prior novelty evaluation)."""
+    values = []
+    for i, ind in enumerate(individuals):
+        if ind.novelty is None:
+            raise EvolutionError(f"individual #{i} has no novelty; evaluate first")
+        values.append(ind.novelty)
+    return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,52 @@
+"""Evolutionary metaheuristics: the paper's Algorithm 1 and its baselines.
+
+* :mod:`~repro.ea.operators` — selection / crossover / mutation
+  operators shared by all algorithms (roulette-wheel selection and the
+  conventional GA operators named in §III-B).
+* :mod:`~repro.ea.ga` — the classical fitness-guided genetic algorithm
+  used by ESS and (per island) ESSIM-EA.
+* :mod:`~repro.ea.nsga` — **Algorithm 1**: the novelty-search-based GA
+  with archive and bestSet (the paper's contribution).
+* :mod:`~repro.ea.de` — differential evolution used by ESSIM-DE.
+* :mod:`~repro.ea.termination` — the two stopping conditions of
+  Algorithm 1 line 6 (generation budget, fitness threshold).
+"""
+
+from repro.ea.termination import Termination
+from repro.ea.history import GenerationRecord, EvolutionHistory
+from repro.ea.operators import (
+    roulette_wheel,
+    tournament,
+    one_point_crossover,
+    two_point_crossover,
+    uniform_crossover,
+    blx_alpha_crossover,
+    uniform_reset_mutation,
+    gaussian_mutation,
+)
+from repro.ea.ga import GAConfig, GeneticAlgorithm, GAResult
+from repro.ea.nsga import NoveltyGAConfig, NoveltyGA, NoveltyGAResult
+from repro.ea.de import DEConfig, DifferentialEvolution, DEResult
+
+__all__ = [
+    "Termination",
+    "GenerationRecord",
+    "EvolutionHistory",
+    "roulette_wheel",
+    "tournament",
+    "one_point_crossover",
+    "two_point_crossover",
+    "uniform_crossover",
+    "blx_alpha_crossover",
+    "uniform_reset_mutation",
+    "gaussian_mutation",
+    "GAConfig",
+    "GeneticAlgorithm",
+    "GAResult",
+    "NoveltyGAConfig",
+    "NoveltyGA",
+    "NoveltyGAResult",
+    "DEConfig",
+    "DifferentialEvolution",
+    "DEResult",
+]

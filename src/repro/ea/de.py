@@ -1,0 +1,206 @@
+"""Differential evolution — the ESSIM-DE optimisation engine.
+
+ESSIM-DE (Tardivo et al.) replaces the island GA of ESSIM-EA with
+Differential Evolution. Each island Master runs one DE population; this
+module implements the canonical DE/rand/1/bin and DE/best/1/bin schemes
+with greedy one-to-one replacement.
+
+§II-B notes that ESSIM-DE suffered premature convergence and population
+stagnation, later mitigated by dynamic tuning (population restart, IQR
+analysis — :mod:`repro.tuning`). The diversity experiment (E2)
+reproduces that failure mode with this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.individual import Individual, fitness_vector, genomes_matrix
+from repro.core.scenario import ParameterSpace
+from repro.ea.ga import FitnessFunction, _evaluate_missing, population_stats
+from repro.ea.history import EvolutionHistory, GenerationRecord
+from repro.ea.termination import Termination
+from repro.errors import EvolutionError
+from repro.rng import ensure_rng
+
+__all__ = ["DEConfig", "DEResult", "DifferentialEvolution"]
+
+_STRATEGIES = ("rand/1/bin", "best/1/bin")
+
+
+@dataclass(frozen=True)
+class DEConfig:
+    """DE hyper-parameters.
+
+    Defaults follow the common settings of the ESSIM-DE papers:
+    DE/rand/1/bin with F = 0.9, CR = 0.5.
+    """
+
+    population_size: int = 50
+    differential_weight: float = 0.9  # F
+    crossover_probability: float = 0.5  # CR
+    strategy: str = "rand/1/bin"
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise EvolutionError(
+                "DE needs a population of at least 4 (target + 3 distinct "
+                f"donors), got {self.population_size}"
+            )
+        if not (0.0 < self.differential_weight <= 2.0):
+            raise EvolutionError(
+                f"differential_weight must be in (0, 2], got "
+                f"{self.differential_weight}"
+            )
+        if not (0.0 <= self.crossover_probability <= 1.0):
+            raise EvolutionError(
+                "crossover_probability must be in [0, 1], got "
+                f"{self.crossover_probability}"
+            )
+        if self.strategy not in _STRATEGIES:
+            raise EvolutionError(
+                f"unknown DE strategy {self.strategy!r}; choose from {_STRATEGIES}"
+            )
+
+
+@dataclass
+class DEResult:
+    """Outcome of one DE run (same shape as the GA result)."""
+
+    population: list[Individual]
+    best: Individual
+    history: EvolutionHistory
+    evaluations: int
+    stop_reason: str
+
+    def population_genomes(self) -> np.ndarray:
+        """Genome matrix of the final population."""
+        return genomes_matrix(self.population)
+
+
+class DifferentialEvolution:
+    """DE/rand-or-best/1/bin with greedy selection."""
+
+    def __init__(self, config: DEConfig | None = None) -> None:
+        self.config = config or DEConfig()
+
+    def run(
+        self,
+        evaluate: FitnessFunction,
+        space: ParameterSpace,
+        termination: Termination,
+        rng: np.random.Generator | int | None = None,
+        initial_population: Sequence[Individual] | None = None,
+        observer: Callable[[int, list[Individual]], None] | None = None,
+    ) -> DEResult:
+        """Run DE to termination (interface mirrors the GA)."""
+        cfg = self.config
+        gen_rng = ensure_rng(rng)
+        n = cfg.population_size
+        evaluations = 0
+
+        if initial_population is None:
+            genomes = space.sample(n, gen_rng)
+            population = [Individual(genome=g) for g in genomes]
+        else:
+            if len(initial_population) != n:
+                raise EvolutionError(
+                    f"initial population size {len(initial_population)} != "
+                    f"configured {n}"
+                )
+            population = [ind.copy() for ind in initial_population]
+
+        evaluations += _evaluate_missing(population, evaluate)
+        best = max(population, key=lambda ind: ind.fitness).copy()  # type: ignore[arg-type, return-value]
+
+        history = EvolutionHistory()
+        generation = 0
+        d = space.dimension
+        while termination.should_continue(generation, best.fitness):  # type: ignore[arg-type]
+            genomes = genomes_matrix(population)
+            fitness = fitness_vector(population)
+
+            # Donor indices: three distinct rows, all different from the
+            # target. Drawn per target with a vectorised rejection trick.
+            donors = _distinct_donors(n, gen_rng)
+            if cfg.strategy == "best/1/bin":
+                base = np.broadcast_to(
+                    genomes[int(np.argmax(fitness))], (n, d)
+                ).copy()
+            else:
+                base = genomes[donors[:, 0]]
+            mutant = base + cfg.differential_weight * (
+                genomes[donors[:, 1]] - genomes[donors[:, 2]]
+            )
+
+            # Binomial crossover with a forced j_rand coordinate.
+            cross = gen_rng.random((n, d)) < cfg.crossover_probability
+            j_rand = gen_rng.integers(0, d, size=n)
+            cross[np.arange(n), j_rand] = True
+            trial_genomes = space.clip(np.where(cross, mutant, genomes))
+
+            trials = [
+                Individual(genome=trial_genomes[i], birth_generation=generation + 1)
+                for i in range(n)
+            ]
+            evaluations += _evaluate_missing(trials, evaluate)
+
+            # Greedy one-to-one replacement.
+            for i in range(n):
+                if trials[i].fitness >= population[i].fitness:  # type: ignore[operator]
+                    population[i] = trials[i]
+            gen_best = max(population, key=lambda ind: ind.fitness)  # type: ignore[arg-type, return-value]
+            if gen_best.fitness > best.fitness:  # type: ignore[operator]
+                best = gen_best.copy()
+
+            generation += 1
+            mx, mean, iqr, div = population_stats(population, space)
+            history.append(
+                GenerationRecord(
+                    generation=generation,
+                    max_fitness=mx,
+                    mean_fitness=mean,
+                    fitness_iqr=iqr,
+                    mean_novelty=float("nan"),
+                    genotypic_diversity=div,
+                    archive_size=0,
+                    best_set_size=0,
+                    evaluations=evaluations,
+                )
+            )
+            if observer is not None:
+                observer(generation, population)
+
+        return DEResult(
+            population=population,
+            best=best,
+            history=history,
+            evaluations=evaluations,
+            stop_reason=termination.reason(generation, best.fitness),  # type: ignore[arg-type]
+        )
+
+
+def _distinct_donors(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``(n, 3)`` donor indices, each row distinct and != the row index.
+
+    Uses the classic shifted-permutation trick: sample within
+    ``[0, n-1)`` then bump values ≥ forbidden index, guaranteeing
+    distinctness without rejection loops.
+    """
+    donors = np.empty((n, 3), dtype=np.int64)
+    for j in range(3):
+        # choice from n-1-j values, then map around the already-used ones
+        donors[:, j] = rng.integers(0, n - 1 - j, size=n)
+    for i in range(n):
+        used = [i]
+        for j in range(3):
+            v = donors[i, j]
+            for u in sorted(used):
+                if v >= u:
+                    v += 1
+            donors[i, j] = v
+            used.append(v)
+    return donors

@@ -1,0 +1,321 @@
+"""Classical fitness-guided genetic algorithm (the ESS baseline).
+
+ESS and (per island) ESSIM-EA drive their Optimization Stage with a
+conventional generational GA: roulette-wheel selection on fitness,
+crossover + mutation, elitist replacement. Its final population is the
+OS output (contrast with Algorithm 1's bestSet) — the very design §II-B
+criticises for converging to similar genotypes.
+
+The fitness function is an arbitrary callable ``(n, d) genome matrix →
+(n,) fitness vector``; the parallel layer supplies implementations that
+fan the evaluations out to Workers, so this module stays runtime-
+agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.individual import Individual, fitness_vector, genomes_matrix
+from repro.core.scenario import ParameterSpace
+from repro.ea.history import EvolutionHistory, GenerationRecord
+from repro.ea.operators import (
+    blx_alpha_crossover,
+    gaussian_mutation,
+    one_point_crossover,
+    rank_selection,
+    roulette_wheel,
+    tournament,
+    two_point_crossover,
+    uniform_crossover,
+    uniform_reset_mutation,
+)
+from repro.ea.termination import Termination
+from repro.errors import EvolutionError
+from repro.rng import ensure_rng
+
+__all__ = ["FitnessFunction", "GAConfig", "GAResult", "GeneticAlgorithm", "generate_offspring"]
+
+#: Batch fitness evaluator: genome matrix (n, d) → fitness vector (n,).
+FitnessFunction = Callable[[np.ndarray], np.ndarray]
+
+_SELECTIONS = {
+    "roulette": roulette_wheel,
+    "tournament": tournament,
+    "rank": rank_selection,
+}
+_CROSSOVERS = {
+    "one_point": one_point_crossover,
+    "two_point": two_point_crossover,
+    "uniform": uniform_crossover,
+    "blx": blx_alpha_crossover,
+}
+_MUTATIONS = {
+    "uniform_reset": uniform_reset_mutation,
+    "gaussian": gaussian_mutation,
+}
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of the classical GA.
+
+    Defaults follow the conventional settings of the ESS lineage:
+    roulette selection, one-point crossover, uniform-reset mutation.
+    """
+
+    population_size: int = 50
+    n_offspring: int | None = None  # None → same as population_size
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.1
+    elitism: int = 2
+    selection: str = "roulette"
+    crossover: str = "one_point"
+    mutation: str = "uniform_reset"
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise EvolutionError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.n_offspring is not None and self.n_offspring < 1:
+            raise EvolutionError(f"n_offspring must be >= 1, got {self.n_offspring}")
+        for rate_name in ("crossover_rate", "mutation_rate"):
+            rate = getattr(self, rate_name)
+            if not (0.0 <= rate <= 1.0):
+                raise EvolutionError(f"{rate_name} must be in [0, 1], got {rate}")
+        if not (0 <= self.elitism <= self.population_size):
+            raise EvolutionError(
+                f"elitism must be in [0, population_size], got {self.elitism}"
+            )
+        for table, key in (
+            (_SELECTIONS, self.selection),
+            (_CROSSOVERS, self.crossover),
+            (_MUTATIONS, self.mutation),
+        ):
+            if key not in table:
+                raise EvolutionError(
+                    f"unknown operator {key!r}; choose from {sorted(table)}"
+                )
+
+    @property
+    def offspring_count(self) -> int:
+        """Effective number of offspring per generation."""
+        return self.n_offspring or self.population_size
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run.
+
+    ``population`` is the final evolved population — the OS output used
+    by ESS for the Statistical Stage.
+    """
+
+    population: list[Individual]
+    best: Individual
+    history: EvolutionHistory
+    evaluations: int
+    stop_reason: str
+
+    def population_genomes(self) -> np.ndarray:
+        """Genome matrix of the final population."""
+        return genomes_matrix(self.population)
+
+
+def generate_offspring(
+    population: Sequence[Individual],
+    scores: np.ndarray,
+    m: int,
+    config: GAConfig,
+    space: ParameterSpace,
+    rng: np.random.Generator,
+    generation: int,
+) -> list[Individual]:
+    """Algorithm 1 line 7 / classical GA reproduction.
+
+    Selects ``2·m`` parents with the configured selection operator on
+    ``scores`` (fitness for the classical GA, novelty for Algorithm 1),
+    applies crossover with probability ``crossover_rate`` (otherwise the
+    first parent is copied), mutates, clips into the Table I box.
+    """
+    if m < 1:
+        raise EvolutionError(f"offspring count must be >= 1, got {m}")
+    select = _SELECTIONS[config.selection]
+    cross = _CROSSOVERS[config.crossover]
+    mutate = _MUTATIONS[config.mutation]
+
+    genomes = genomes_matrix(population)
+    idx = select(scores, 2 * m, rng)
+    parents_a = genomes[idx[:m]]
+    parents_b = genomes[idx[m:]]
+
+    children = cross(parents_a, parents_b, rng)
+    no_cross = rng.random(m) >= config.crossover_rate
+    children[no_cross] = parents_a[no_cross]
+
+    children = mutate(
+        children,
+        config.mutation_rate,
+        space.lower_bounds,
+        space.upper_bounds,
+        rng,
+    )
+    children = space.clip(children)
+    return [
+        Individual(genome=children[i], birth_generation=generation)
+        for i in range(m)
+    ]
+
+
+def population_stats(
+    population: Sequence[Individual], space: ParameterSpace
+) -> tuple[float, float, float, float]:
+    """(max, mean, IQR of fitness, genotypic diversity) of a population."""
+    fit = fitness_vector(population)
+    q75, q25 = np.percentile(fit, [75, 25])
+    genomes = genomes_matrix(population)
+    n = genomes.shape[0]
+    if n > 1:
+        diversity = float(
+            space.pairwise_distances(genomes).sum() / (n * (n - 1))
+        )
+    else:
+        diversity = 0.0
+    return float(fit.max()), float(fit.mean()), float(q75 - q25), diversity
+
+
+class GeneticAlgorithm:
+    """Generational GA with elitist replacement, guided by fitness."""
+
+    def __init__(self, config: GAConfig | None = None) -> None:
+        self.config = config or GAConfig()
+
+    def run(
+        self,
+        evaluate: FitnessFunction,
+        space: ParameterSpace,
+        termination: Termination,
+        rng: np.random.Generator | int | None = None,
+        initial_population: Sequence[Individual] | None = None,
+        observer: Callable[[int, list[Individual]], None] | None = None,
+    ) -> GAResult:
+        """Run the GA to termination.
+
+        Parameters
+        ----------
+        evaluate:
+            Batch fitness function (typically a parallel evaluator).
+        space:
+            The scenario parameter space.
+        termination:
+            Stopping conditions.
+        rng:
+            Seeded generator (or seed) for reproducibility.
+        initial_population:
+            Optional seed population (used by the per-step systems to
+            carry state across prediction steps); sampled uniformly
+            when omitted.
+        observer:
+            Optional callback ``(generation, population)`` invoked after
+            each replacement (used by the diversity experiment).
+        """
+        cfg = self.config
+        gen_rng = ensure_rng(rng)
+        evaluations = 0
+
+        if initial_population is None:
+            genomes = space.sample(cfg.population_size, gen_rng)
+            population = [Individual(genome=g) for g in genomes]
+        else:
+            if len(initial_population) != cfg.population_size:
+                raise EvolutionError(
+                    f"initial population size {len(initial_population)} != "
+                    f"configured {cfg.population_size}"
+                )
+            population = [ind.copy() for ind in initial_population]
+
+        evaluations += _evaluate_missing(population, evaluate)
+        best = max(population, key=lambda ind: ind.fitness).copy()  # type: ignore[arg-type, return-value]
+
+        history = EvolutionHistory()
+        generation = 0
+        while termination.should_continue(generation, best.fitness):  # type: ignore[arg-type]
+            offspring = generate_offspring(
+                population,
+                fitness_vector(population),
+                cfg.offspring_count,
+                cfg,
+                space,
+                gen_rng,
+                generation + 1,
+            )
+            evaluations += _evaluate_missing(offspring, evaluate)
+
+            # Elitist generational replacement: keep the top `elitism`
+            # parents, fill the rest with the best offspring; fall back
+            # to parents when there are too few offspring.
+            parents_sorted = sorted(
+                population, key=lambda ind: ind.fitness, reverse=True  # type: ignore[arg-type, return-value]
+            )
+            offspring_sorted = sorted(
+                offspring, key=lambda ind: ind.fitness, reverse=True  # type: ignore[arg-type, return-value]
+            )
+            keep = parents_sorted[: cfg.elitism]
+            fill = offspring_sorted[: cfg.population_size - len(keep)]
+            if len(keep) + len(fill) < cfg.population_size:
+                fill += parents_sorted[
+                    cfg.elitism : cfg.population_size - len(fill)
+                ]
+            population = keep + fill
+
+            gen_best = max(population, key=lambda ind: ind.fitness)  # type: ignore[arg-type, return-value]
+            if gen_best.fitness > best.fitness:  # type: ignore[operator]
+                best = gen_best.copy()
+
+            generation += 1
+            mx, mean, iqr, div = population_stats(population, space)
+            history.append(
+                GenerationRecord(
+                    generation=generation,
+                    max_fitness=mx,
+                    mean_fitness=mean,
+                    fitness_iqr=iqr,
+                    mean_novelty=float("nan"),
+                    genotypic_diversity=div,
+                    archive_size=0,
+                    best_set_size=0,
+                    evaluations=evaluations,
+                )
+            )
+            if observer is not None:
+                observer(generation, population)
+
+        return GAResult(
+            population=population,
+            best=best,
+            history=history,
+            evaluations=evaluations,
+            stop_reason=termination.reason(generation, best.fitness),  # type: ignore[arg-type]
+        )
+
+
+def _evaluate_missing(
+    individuals: Sequence[Individual], evaluate: FitnessFunction
+) -> int:
+    """Evaluate fitness for individuals that lack it; returns eval count."""
+    missing = [ind for ind in individuals if ind.fitness is None]
+    if not missing:
+        return 0
+    values = np.asarray(evaluate(genomes_matrix(missing)), dtype=np.float64)
+    if values.shape != (len(missing),):
+        raise EvolutionError(
+            f"fitness function returned shape {values.shape}, "
+            f"expected ({len(missing)},)"
+        )
+    for ind, v in zip(missing, values):
+        ind.fitness = float(v)
+    return len(missing)

@@ -1,0 +1,77 @@
+"""Per-generation evolution records shared by GA / NoveltyGA / DE.
+
+The diversity experiment (E2) and the tuning metrics (IQR analysis)
+consume these records, so every algorithm emits the same schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GenerationRecord", "EvolutionHistory"]
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """Summary statistics of one generation.
+
+    Attributes
+    ----------
+    generation:
+        Generation index (1-based, matching Algorithm 1's counter after
+        the increment on line 19).
+    max_fitness, mean_fitness:
+        Of the individuals evaluated this generation.
+    fitness_iqr:
+        Interquartile range of the population fitness — the signal the
+        ESSIM-DE IQR tuning metric watches (§II-B).
+    mean_novelty:
+        Mean ρ(x) of the scored individuals (``nan`` for algorithms
+        that do not compute novelty).
+    genotypic_diversity:
+        Mean pairwise normalised genome distance of the population
+        after replacement.
+    archive_size, best_set_size:
+        Sizes of the NS accumulators (0 for non-NS algorithms).
+    evaluations:
+        Cumulative number of simulator/fitness evaluations so far.
+    """
+
+    generation: int
+    max_fitness: float
+    mean_fitness: float
+    fitness_iqr: float
+    mean_novelty: float
+    genotypic_diversity: float
+    archive_size: int
+    best_set_size: int
+    evaluations: int
+
+
+@dataclass
+class EvolutionHistory:
+    """Ordered collection of :class:`GenerationRecord`."""
+
+    records: list[GenerationRecord] = field(default_factory=list)
+
+    def append(self, record: GenerationRecord) -> None:
+        """Add the record for the latest generation."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def series(self, attribute: str) -> np.ndarray:
+        """Extract one attribute across generations as an array."""
+        return np.asarray(
+            [getattr(r, attribute) for r in self.records], dtype=np.float64
+        )
+
+    def final_max_fitness(self) -> float:
+        """Max fitness at the last generation (0.0 for an empty history)."""
+        return self.records[-1].max_fitness if self.records else 0.0

@@ -1,0 +1,218 @@
+"""Genetic operators: selection, crossover, mutation.
+
+§III-B fixes the paper's choices — roulette-wheel selection, and
+"conventional GA parameters, such as mutation rate and crossover" — and
+leaves the concrete crossover/mutation operators open. This module
+provides the conventional set; algorithms take the operator callables as
+configuration so the E5 ablation can swap them.
+
+All operators work on genome matrices ``(n, d)`` and take an explicit
+:class:`numpy.random.Generator`; none mutates its inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvolutionError
+from repro.rng import ensure_rng
+
+__all__ = [
+    "roulette_wheel",
+    "tournament",
+    "rank_selection",
+    "one_point_crossover",
+    "two_point_crossover",
+    "uniform_crossover",
+    "blx_alpha_crossover",
+    "uniform_reset_mutation",
+    "gaussian_mutation",
+]
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def roulette_wheel(
+    scores: np.ndarray,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Fitness-proportionate selection (the paper's choice, §III-B).
+
+    Returns ``n`` selected indices (with replacement). Scores must be
+    non-negative; an all-zero score vector degenerates to uniform
+    selection (every individual is equally (un)attractive), which is
+    exactly the first-generation situation before novelty exists.
+    """
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if s.size == 0:
+        raise EvolutionError("cannot select from an empty population")
+    if (s < 0).any():
+        raise EvolutionError("roulette-wheel selection needs non-negative scores")
+    gen = ensure_rng(rng)
+    total = s.sum()
+    if total <= 0 or not np.isfinite(total):
+        return gen.integers(0, s.size, size=n)
+    return gen.choice(s.size, size=n, replace=True, p=s / total)
+
+
+def tournament(
+    scores: np.ndarray,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    size: int = 2,
+) -> np.ndarray:
+    """Tournament selection of ``n`` indices (tournament ``size`` ≥ 1)."""
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if s.size == 0:
+        raise EvolutionError("cannot select from an empty population")
+    if size < 1:
+        raise EvolutionError(f"tournament size must be >= 1, got {size}")
+    gen = ensure_rng(rng)
+    entrants = gen.integers(0, s.size, size=(n, size))
+    winners = entrants[np.arange(n), np.argmax(s[entrants], axis=1)]
+    return winners
+
+
+def rank_selection(
+    scores: np.ndarray,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Linear-rank selection: probability proportional to rank position."""
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if s.size == 0:
+        raise EvolutionError("cannot select from an empty population")
+    gen = ensure_rng(rng)
+    order = np.argsort(np.argsort(s))  # rank 0 = worst
+    weights = (order + 1).astype(np.float64)
+    return gen.choice(s.size, size=n, replace=True, p=weights / weights.sum())
+
+
+# ----------------------------------------------------------------------
+# Crossover (each takes two parent matrices of equal shape and returns
+# one child matrix of that shape)
+# ----------------------------------------------------------------------
+def _check_parents(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if a.shape != b.shape:
+        raise EvolutionError(f"parent shapes differ: {a.shape} vs {b.shape}")
+    if a.shape[1] < 1:
+        raise EvolutionError("genomes must have at least one gene")
+    return a, b
+
+
+def one_point_crossover(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Classic single-point crossover per parent pair."""
+    a, b = _check_parents(a, b)
+    gen = ensure_rng(rng)
+    n, d = a.shape
+    points = gen.integers(1, d, size=n) if d > 1 else np.zeros(n, dtype=int)
+    cols = np.arange(d)
+    take_from_a = cols[None, :] < points[:, None]
+    return np.where(take_from_a, a, b)
+
+
+def two_point_crossover(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Two-point crossover: the middle segment comes from parent ``b``."""
+    a, b = _check_parents(a, b)
+    gen = ensure_rng(rng)
+    n, d = a.shape
+    p1 = gen.integers(0, d, size=n)
+    p2 = gen.integers(0, d, size=n)
+    lo = np.minimum(p1, p2)[:, None]
+    hi = np.maximum(p1, p2)[:, None]
+    cols = np.arange(d)[None, :]
+    middle = (cols >= lo) & (cols < hi)
+    return np.where(middle, b, a)
+
+
+def uniform_crossover(
+    a: np.ndarray,
+    b: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    p_swap: float = 0.5,
+) -> np.ndarray:
+    """Per-gene uniform crossover: each gene from ``b`` with prob ``p_swap``."""
+    a, b = _check_parents(a, b)
+    if not (0.0 <= p_swap <= 1.0):
+        raise EvolutionError(f"p_swap must be in [0, 1], got {p_swap}")
+    gen = ensure_rng(rng)
+    mask = gen.random(a.shape) < p_swap
+    return np.where(mask, b, a)
+
+
+def blx_alpha_crossover(
+    a: np.ndarray,
+    b: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    alpha: float = 0.5,
+) -> np.ndarray:
+    """BLX-α blend crossover for real-coded genomes.
+
+    Each child gene is uniform in the parent interval extended by a
+    fraction ``alpha`` on both sides. Children may leave the box; the
+    caller clips via :meth:`ParameterSpace.clip`.
+    """
+    a, b = _check_parents(a, b)
+    if alpha < 0:
+        raise EvolutionError(f"alpha must be >= 0, got {alpha}")
+    gen = ensure_rng(rng)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    spread = hi - lo
+    low = lo - alpha * spread
+    high = hi + alpha * spread
+    return low + gen.random(a.shape) * (high - low)
+
+
+# ----------------------------------------------------------------------
+# Mutation (per-gene probability; returns a new matrix; caller clips)
+# ----------------------------------------------------------------------
+def uniform_reset_mutation(
+    genomes: np.ndarray,
+    rate: float,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Each gene is replaced by a fresh uniform draw with prob ``rate``."""
+    if not (0.0 <= rate <= 1.0):
+        raise EvolutionError(f"mutation rate must be in [0, 1], got {rate}")
+    g = np.atleast_2d(np.asarray(genomes, dtype=np.float64)).copy()
+    gen = ensure_rng(rng)
+    mask = gen.random(g.shape) < rate
+    fresh = lower + gen.random(g.shape) * (upper - lower)
+    g[mask] = fresh[mask]
+    return g
+
+
+def gaussian_mutation(
+    genomes: np.ndarray,
+    rate: float,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    sigma_fraction: float = 0.1,
+) -> np.ndarray:
+    """Each gene gets Gaussian noise (σ = fraction of its span) with prob ``rate``.
+
+    Results may leave the box; the caller clips.
+    """
+    if not (0.0 <= rate <= 1.0):
+        raise EvolutionError(f"mutation rate must be in [0, 1], got {rate}")
+    if sigma_fraction <= 0:
+        raise EvolutionError(f"sigma_fraction must be > 0, got {sigma_fraction}")
+    g = np.atleast_2d(np.asarray(genomes, dtype=np.float64)).copy()
+    gen = ensure_rng(rng)
+    mask = gen.random(g.shape) < rate
+    sigma = (np.asarray(upper) - np.asarray(lower)) * sigma_fraction
+    noise = gen.normal(0.0, 1.0, size=g.shape) * sigma
+    g[mask] += noise[mask]
+    return g

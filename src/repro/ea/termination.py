@@ -1,0 +1,63 @@
+"""Stopping conditions — Algorithm 1 line 6.
+
+The loop runs "while generations < maxGen and maxFitness < fThreshold":
+it stops when either the generation budget is exhausted or a solution of
+sufficient quality has been recorded. Both conditions are also present
+in ESSIM-EA and ESSIM-DE (§III-B), so every algorithm in
+:mod:`repro.ea` shares this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvolutionError
+
+__all__ = ["Termination"]
+
+
+@dataclass(frozen=True)
+class Termination:
+    """Evaluation of the Algorithm 1 line 6 condition.
+
+    Parameters
+    ----------
+    max_generations:
+        ``maxGen`` — upper bound on GA generations (≥ 1).
+    fitness_threshold:
+        ``fThreshold`` — stop as soon as the recorded maximum fitness
+        reaches this value. The default 1.0 can only be met by a
+        perfect prediction, i.e. effectively "run the full budget".
+    """
+
+    max_generations: int
+    fitness_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_generations < 1:
+            raise EvolutionError(
+                f"max_generations must be >= 1, got {self.max_generations}"
+            )
+        if not (0.0 < self.fitness_threshold <= 1.0):
+            raise EvolutionError(
+                "fitness_threshold must be in (0, 1], got "
+                f"{self.fitness_threshold}"
+            )
+
+    def should_continue(self, generations: int, max_fitness: float) -> bool:
+        """The literal line 6 test."""
+        return (
+            generations < self.max_generations
+            and max_fitness < self.fitness_threshold
+        )
+
+    def reason(self, generations: int, max_fitness: float) -> str:
+        """Human-readable stop reason (for logs and result records)."""
+        if generations >= self.max_generations:
+            return f"generation budget exhausted ({generations}/{self.max_generations})"
+        if max_fitness >= self.fitness_threshold:
+            return (
+                f"fitness threshold reached ({max_fitness:.4f} >= "
+                f"{self.fitness_threshold:.4f})"
+            )
+        return "still running"

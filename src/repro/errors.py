@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ScenarioError(ReproError):
+    """Invalid scenario definition: out-of-range or malformed parameters."""
+
+
+class TerrainError(ReproError):
+    """Invalid terrain specification (shape mismatch, bad fuel codes...)."""
+
+
+class SimulationError(ReproError):
+    """The fire simulator was driven with inconsistent inputs."""
+
+
+class FitnessError(ReproError):
+    """Fitness evaluation received maps of mismatched geometry."""
+
+
+class NoveltyError(ReproError):
+    """Novelty computation was requested with an unusable reference set."""
+
+
+class EvolutionError(ReproError):
+    """Misconfigured evolutionary algorithm (bad rates, empty population)."""
+
+
+class ParallelError(ReproError):
+    """Failure inside the master/worker or island parallel runtime."""
+
+
+class CalibrationError(ReproError):
+    """The calibration stage could not produce a Key Ignition Value."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was requested with inconsistent parameters."""

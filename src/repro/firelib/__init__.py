@@ -1,0 +1,56 @@
+"""From-scratch Python reimplementation of the fireLib fire simulator.
+
+The paper's prediction systems delegate all fire-behaviour computation to
+the fireLib C library (Bevins 1996; the paper cites its GPU descendant
+vFireLib). This package rebuilds the same pipeline in vectorised NumPy:
+
+1. :mod:`~repro.firelib.fuel_models` — the 13 NFFL fuel models
+   (Anderson 1982), the exact catalog fireLib ships.
+2. :mod:`~repro.firelib.rothermel` — Rothermel (1972)/Albini (1976)
+   surface-fire spread rate, with wind and slope factors.
+3. :mod:`~repro.firelib.ellipse` — elliptical growth (Anderson 1983):
+   eccentricity from effective wind speed, directional spread rates.
+4. :mod:`~repro.firelib.propagation` — minimum-travel-time propagation
+   over an 8/16-neighbour cell grid (the fireLib contagion scheme).
+5. :mod:`~repro.firelib.simulator` — :class:`FireSimulator` facade:
+   (terrain, scenario, ignition, horizon) → ignition-time map.
+
+Inputs are the nine Table I parameters; output is the per-cell
+time-of-ignition map the paper describes — identical interface to
+fireLib, so the prediction systems above are substrate-agnostic.
+"""
+
+from repro.firelib.fuel_models import FuelModel, FuelParticle, catalog, get_model
+from repro.firelib.moisture import Moisture
+from repro.firelib.rothermel import FuelBed, SpreadResult, spread
+from repro.firelib.ellipse import eccentricity_from_effective_wind, ros_at_azimuth
+from repro.firelib.propagation import propagate
+from repro.firelib.simulator import FireSimulator, SimulationResult
+from repro.firelib.behavior import (
+    FireBehavior,
+    behavior_at_head,
+    fireline_intensity,
+    flame_length,
+    scorch_height,
+)
+
+__all__ = [
+    "FuelModel",
+    "FuelParticle",
+    "catalog",
+    "get_model",
+    "Moisture",
+    "FuelBed",
+    "SpreadResult",
+    "spread",
+    "eccentricity_from_effective_wind",
+    "ros_at_azimuth",
+    "propagate",
+    "FireSimulator",
+    "SimulationResult",
+    "FireBehavior",
+    "behavior_at_head",
+    "fireline_intensity",
+    "flame_length",
+    "scorch_height",
+]

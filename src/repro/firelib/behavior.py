@@ -1,0 +1,144 @@
+"""Derived fire-behaviour outputs (the rest of the fireLib API surface).
+
+fireLib reports, besides the spread rate, the classic Byram (1959)
+behaviour quantities used by fire managers. They are not needed by the
+ESS pipeline itself but complete the simulator substrate for downstream
+users:
+
+* **reaction intensity** I_R (Btu/ft²/min) — already computed inside
+  the Rothermel kernel; re-exposed here per fuel/moisture.
+* **heat per unit area** HPA = I_R · t_r, with residence time
+  t_r = 384/σ (Anderson 1969), Btu/ft².
+* **fireline intensity** I_B = HPA · R / 60 (Btu/ft/s).
+* **flame length** L = 0.45 · I_B^0.46 (ft, Byram 1959).
+* **scorch height** — Van Wagner (1973) in the fireLib form; see
+  :func:`scorch_height` for the exact formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.firelib.moisture import Moisture
+from repro.firelib.rothermel import FuelBed, SpreadResult
+
+__all__ = [
+    "FireBehavior",
+    "reaction_intensity",
+    "residence_time",
+    "heat_per_unit_area",
+    "fireline_intensity",
+    "flame_length",
+    "scorch_height",
+    "behavior_at_head",
+]
+
+
+def reaction_intensity(model_code: int, moisture: Moisture) -> float:
+    """Rothermel reaction intensity I_R, Btu/ft²/min.
+
+    Recomputed from the same intermediates the spread kernel uses (the
+    kernel folds I_R into R₀; this exposes it separately).
+    """
+    bed = FuelBed.for_model(model_code)
+    r0 = bed.no_wind_rate(moisture)
+    if r0 <= 0:
+        return 0.0
+    # R0 = I_R ξ / heat_sink → invert using the same moisture-dependent
+    # heat sink the kernel built.
+    m = np.array([moisture.value_for(k) for k in bed.p_moisture_key])
+    eps = np.exp(-138.0 / bed.p_sav)
+    qig = 250.0 + 1116.0 * m
+    heat_sink = bed.rho_b * float((bed.p_fcat * bed.p_f * eps * qig).sum())
+    return r0 * heat_sink / bed.xi
+
+
+def residence_time(model_code: int) -> float:
+    """Anderson (1969) flame residence time t_r = 384/σ, minutes."""
+    bed = FuelBed.for_model(model_code)
+    return 384.0 / bed.sigma
+
+
+def heat_per_unit_area(model_code: int, moisture: Moisture) -> float:
+    """HPA = I_R · t_r, Btu/ft²."""
+    return reaction_intensity(model_code, moisture) * residence_time(model_code)
+
+
+def fireline_intensity(
+    hpa_btu_ft2: float, ros_ftmin: np.ndarray | float
+) -> np.ndarray | float:
+    """Byram fireline intensity I_B = HPA·R/60, Btu/ft/s."""
+    if hpa_btu_ft2 < 0:
+        raise SimulationError(f"HPA must be non-negative, got {hpa_btu_ft2}")
+    ros = np.asarray(ros_ftmin, dtype=np.float64)
+    out = hpa_btu_ft2 * ros / 60.0
+    return out if out.ndim else float(out)
+
+
+def flame_length(intensity_btu_ft_s: np.ndarray | float) -> np.ndarray | float:
+    """Byram flame length L = 0.45·I_B^0.46, ft."""
+    i = np.maximum(np.asarray(intensity_btu_ft_s, dtype=np.float64), 0.0)
+    out = 0.45 * i**0.46
+    return out if out.ndim else float(out)
+
+
+def scorch_height(
+    intensity_btu_ft_s: np.ndarray | float,
+    wind_speed_mph: float = 0.0,
+    air_temp_f: float = 77.0,
+) -> np.ndarray | float:
+    """Van Wagner (1973) crown-scorch height, ft (fireLib formulation).
+
+        h_s = 63 / (140 − T) · I_B^(7/6) / (I_B + 0.00106·U³)^(1/2)
+
+    with I_B in Btu/ft/s, U the windspeed in mi/h and T the ambient air
+    temperature in °F.
+    """
+    if not (air_temp_f < 140.0):
+        raise SimulationError(
+            f"air temperature must be below lethal 140°F, got {air_temp_f}"
+        )
+    i = np.maximum(np.asarray(intensity_btu_ft_s, dtype=np.float64), 0.0)
+    u = max(wind_speed_mph, 0.0)
+    denom = np.sqrt(i + 0.00106 * u**3)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        hs = np.where(denom > 0, 63.0 / (140.0 - air_temp_f) * i ** (7.0 / 6.0) / denom, 0.0)
+    return hs if hs.ndim else float(hs)
+
+
+@dataclass(frozen=True)
+class FireBehavior:
+    """Bundle of derived behaviour quantities at the head of the fire."""
+
+    reaction_intensity_btu_ft2_min: float
+    residence_time_min: float
+    heat_per_unit_area_btu_ft2: float
+    fireline_intensity_btu_ft_s: float
+    flame_length_ft: float
+    scorch_height_ft: float
+
+
+def behavior_at_head(
+    model_code: int,
+    moisture: Moisture,
+    spread_result: SpreadResult,
+    wind_speed_mph: float = 0.0,
+    air_temp_f: float = 77.0,
+) -> FireBehavior:
+    """All derived quantities for a head-fire spread result."""
+    ir = reaction_intensity(model_code, moisture)
+    tr = residence_time(model_code)
+    hpa = ir * tr
+    ros = float(np.max(np.asarray(spread_result.ros_max)))
+    ib = float(fireline_intensity(hpa, ros))
+    return FireBehavior(
+        reaction_intensity_btu_ft2_min=ir,
+        residence_time_min=tr,
+        heat_per_unit_area_btu_ft2=hpa,
+        fireline_intensity_btu_ft_s=ib,
+        flame_length_ft=float(flame_length(ib)),
+        scorch_height_ft=float(scorch_height(ib, wind_speed_mph, air_temp_f)),
+    )

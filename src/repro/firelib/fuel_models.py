@@ -1,0 +1,196 @@
+"""The 13 NFFL (Anderson 1982) stylised fuel models.
+
+This is the same static catalog shipped by fireLib / BEHAVE: for each
+model, the fuel-bed depth, dead-fuel moisture of extinction and the
+loading of up to four particle classes (1-h, 10-h, 100-h dead fuels and
+live herbaceous fuel). Particle-level constants (surface-area-to-volume
+ratios for the coarser classes, heat content, densities, mineral
+fractions) follow Albini (1976).
+
+Units are the customary Rothermel system used by fireLib:
+
+* loads — lb/ft²
+* surface-area-to-volume (SAV) — ft²/ft³ (i.e. 1/ft)
+* depth — ft
+* heat content — Btu/lb
+* moisture values — fractions (lb water / lb ovendry fuel)
+
+Table I of the paper exposes ``Model`` as an integer 1–13 indexing this
+catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ScenarioError
+
+__all__ = [
+    "FuelParticle",
+    "FuelModel",
+    "catalog",
+    "get_model",
+    "HEAT_CONTENT",
+    "PARTICLE_DENSITY",
+    "TOTAL_MINERAL",
+    "EFFECTIVE_MINERAL",
+    "SAV_10H",
+    "SAV_100H",
+]
+
+#: Low heat content of all particles, Btu/lb (Albini 1976).
+HEAT_CONTENT = 8000.0
+#: Ovendry particle density, lb/ft³.
+PARTICLE_DENSITY = 32.0
+#: Total silica-free mineral content, fraction.
+TOTAL_MINERAL = 0.0555
+#: Effective (silica-free) mineral content, fraction.
+EFFECTIVE_MINERAL = 0.010
+#: Standard SAV ratios for the coarser dead classes, 1/ft.
+SAV_10H = 109.0
+SAV_100H = 30.0
+
+#: Particle life classes.
+DEAD = "dead"
+LIVE = "live"
+
+
+@dataclass(frozen=True)
+class FuelParticle:
+    """One particle class within a fuel bed.
+
+    Attributes
+    ----------
+    life:
+        ``"dead"`` or ``"live"``.
+    load:
+        Ovendry loading, lb/ft².
+    sav:
+        Surface-area-to-volume ratio, 1/ft.
+    moisture_key:
+        Which Table I moisture parameter drives this particle
+        (``"m1"``, ``"m10"``, ``"m100"`` or ``"mherb"``).
+    """
+
+    life: str
+    load: float
+    sav: float
+    moisture_key: str
+
+    @property
+    def surface_area_per_density(self) -> float:
+        """(load × sav) / particle density — the Rothermel weighting basis."""
+        return self.load * self.sav / PARTICLE_DENSITY
+
+
+@dataclass(frozen=True)
+class FuelModel:
+    """A stylised NFFL fuel model.
+
+    Attributes
+    ----------
+    code:
+        Model number, 1–13 (Table I ``Model``).
+    name:
+        Anderson (1982) short description.
+    depth:
+        Fuel bed depth, ft.
+    mext_dead:
+        Dead fuel moisture of extinction, fraction.
+    particles:
+        The particle classes composing the bed (only classes with
+        non-zero load are listed).
+    """
+
+    code: int
+    name: str
+    depth: float
+    mext_dead: float
+    particles: tuple[FuelParticle, ...]
+
+    @property
+    def total_load(self) -> float:
+        """Sum of particle loads, lb/ft²."""
+        return sum(p.load for p in self.particles)
+
+    @property
+    def dead_particles(self) -> tuple[FuelParticle, ...]:
+        """Dead particle classes."""
+        return tuple(p for p in self.particles if p.life == DEAD)
+
+    @property
+    def live_particles(self) -> tuple[FuelParticle, ...]:
+        """Live particle classes."""
+        return tuple(p for p in self.particles if p.life == LIVE)
+
+
+def _model(
+    code: int,
+    name: str,
+    depth: float,
+    mext: float,
+    load1: float,
+    load10: float,
+    load100: float,
+    load_herb: float,
+    sav1: float,
+    sav_herb: float = 1500.0,
+) -> FuelModel:
+    """Build a catalog entry from the fireLib-style row."""
+    particles: list[FuelParticle] = []
+    if load1 > 0:
+        particles.append(FuelParticle(DEAD, load1, sav1, "m1"))
+    if load10 > 0:
+        particles.append(FuelParticle(DEAD, load10, SAV_10H, "m10"))
+    if load100 > 0:
+        particles.append(FuelParticle(DEAD, load100, SAV_100H, "m100"))
+    if load_herb > 0:
+        particles.append(FuelParticle(LIVE, load_herb, sav_herb, "mherb"))
+    return FuelModel(
+        code=code,
+        name=name,
+        depth=depth,
+        mext_dead=mext,
+        particles=tuple(particles),
+    )
+
+
+#: The 13 standard models, keyed by ``Model`` code. Loads in lb/ft²
+#: (Anderson 1982 tons/acre converted, matching the fireLib catalog).
+_CATALOG: Mapping[int, FuelModel] = {
+    1: _model(1, "short grass", 1.0, 0.12, 0.0340, 0.0, 0.0, 0.0, 3500.0),
+    2: _model(2, "timber grass & understory", 1.0, 0.15, 0.0920, 0.0460, 0.0230, 0.0230, 3000.0),
+    3: _model(3, "tall grass", 2.5, 0.25, 0.1380, 0.0, 0.0, 0.0, 1500.0),
+    4: _model(4, "chaparral", 6.0, 0.20, 0.2300, 0.1840, 0.0920, 0.2300, 2000.0),
+    5: _model(5, "brush", 2.0, 0.20, 0.0460, 0.0230, 0.0, 0.0920, 2000.0),
+    6: _model(6, "dormant brush & hardwood slash", 2.5, 0.25, 0.0690, 0.1150, 0.0920, 0.0, 1750.0),
+    7: _model(7, "southern rough", 2.5, 0.40, 0.0520, 0.0860, 0.0690, 0.0170, 1750.0),
+    8: _model(8, "closed timber litter", 0.2, 0.30, 0.0690, 0.0460, 0.1150, 0.0, 2000.0),
+    9: _model(9, "hardwood litter", 0.2, 0.25, 0.1340, 0.0190, 0.0070, 0.0, 2500.0),
+    10: _model(10, "timber litter & understory", 1.0, 0.25, 0.1380, 0.0920, 0.2300, 0.0920, 2000.0),
+    11: _model(11, "light logging slash", 1.0, 0.15, 0.0690, 0.2070, 0.2530, 0.0, 1500.0),
+    12: _model(12, "medium logging slash", 2.3, 0.20, 0.1840, 0.6440, 0.7590, 0.0, 1500.0),
+    13: _model(13, "heavy logging slash", 3.0, 0.25, 0.3220, 1.0580, 1.2880, 0.0, 1500.0),
+}
+
+
+def catalog() -> Mapping[int, FuelModel]:
+    """The full NFFL catalog, keyed by model code 1–13."""
+    return _CATALOG
+
+
+def get_model(code: int) -> FuelModel:
+    """Look up a fuel model by its Table I ``Model`` code.
+
+    Raises
+    ------
+    ScenarioError
+        If ``code`` is not within 1–13.
+    """
+    try:
+        return _CATALOG[int(code)]
+    except (KeyError, ValueError, TypeError):
+        raise ScenarioError(
+            f"fuel model code must be an integer in 1..13, got {code!r}"
+        ) from None

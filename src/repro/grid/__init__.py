@@ -1,0 +1,28 @@
+"""Raster substrate: terrain descriptions and fire maps.
+
+The fire simulator (:mod:`repro.firelib`) operates on regular square-cell
+grids. This package provides the two raster types it consumes/produces:
+
+* :class:`~repro.grid.terrain.Terrain` — static description of the land:
+  grid geometry, optional per-cell fuel/slope/aspect rasters and an
+  unburnable mask.
+* :class:`~repro.grid.firemap.IgnitionMap` — per-cell time-of-ignition
+  raster produced by a simulation, with helpers to derive burned masks
+  and fire lines at arbitrary instants.
+"""
+
+from repro.grid.terrain import Terrain
+from repro.grid.firemap import (
+    IgnitionMap,
+    burned_mask,
+    fire_line,
+    fire_perimeter_cells,
+)
+
+__all__ = [
+    "Terrain",
+    "IgnitionMap",
+    "burned_mask",
+    "fire_line",
+    "fire_perimeter_cells",
+]

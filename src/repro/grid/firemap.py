@@ -1,0 +1,126 @@
+"""Fire maps: per-cell ignition times and derived burned masks / fire lines.
+
+The simulator's output follows the paper's convention: "another map
+indicating the time instant of ignition of each cell, that is, the moment
+when that cell is reached by the fire". Internally never-ignited cells
+hold ``+inf`` (rather than the paper's 0) so that "burned by time t" is
+the natural comparison ``times <= t``; :meth:`IgnitionMap.to_paper_convention`
+converts to the 0-for-unburned encoding when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "IgnitionMap",
+    "burned_mask",
+    "fire_line",
+    "fire_perimeter_cells",
+]
+
+#: Sentinel for cells never reached by the fire.
+NEVER = np.inf
+
+
+@dataclass(frozen=True)
+class IgnitionMap:
+    """Per-cell time of ignition (minutes), ``+inf`` where never ignited.
+
+    Instances are immutable value objects; all derivations return new
+    arrays.
+    """
+
+    times: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times, dtype=np.float64)
+        if t.ndim != 2:
+            raise SimulationError(f"ignition map must be 2-D, got shape {t.shape}")
+        if (t[np.isfinite(t)] < 0).any():
+            raise SimulationError("ignition times must be non-negative")
+        object.__setattr__(self, "times", t)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(rows, cols)``."""
+        return self.times.shape  # type: ignore[return-value]
+
+    def burned(self, at_time: float | None = None) -> np.ndarray:
+        """Boolean mask of cells ignited at or before ``at_time``.
+
+        ``None`` means "ever ignited during the simulation horizon".
+        """
+        if at_time is None:
+            return np.isfinite(self.times)
+        return self.times <= at_time
+
+    def burned_area_cells(self, at_time: float | None = None) -> int:
+        """Number of burned cells at ``at_time``."""
+        return int(self.burned(at_time).sum())
+
+    def arrival_horizon(self) -> float:
+        """Latest finite ignition time (0.0 for an all-unburned map)."""
+        finite = self.times[np.isfinite(self.times)]
+        return float(finite.max()) if finite.size else 0.0
+
+    def to_paper_convention(self) -> np.ndarray:
+        """Map with 0 for never-ignited cells (the paper's encoding).
+
+        Ignition points (time 0) are encoded as a small epsilon so they
+        remain distinguishable from unburned cells.
+        """
+        out = np.where(np.isfinite(self.times), self.times, 0.0)
+        # ignition points burn at t=0; keep them non-zero in this encoding
+        ignited_at_zero = np.isfinite(self.times) & (self.times == 0.0)
+        out[ignited_at_zero] = np.finfo(np.float64).tiny
+        return out
+
+    @classmethod
+    def from_paper_convention(cls, arr: np.ndarray) -> "IgnitionMap":
+        """Inverse of :meth:`to_paper_convention`."""
+        a = np.asarray(arr, dtype=np.float64)
+        times = np.where(a > 0, a, NEVER)
+        times[a == np.finfo(np.float64).tiny] = 0.0
+        return cls(times=times)
+
+
+def burned_mask(ignition: IgnitionMap | np.ndarray, at_time: float | None = None) -> np.ndarray:
+    """Burned mask from an :class:`IgnitionMap` or raw times array."""
+    if isinstance(ignition, IgnitionMap):
+        return ignition.burned(at_time)
+    times = np.asarray(ignition, dtype=np.float64)
+    if at_time is None:
+        return np.isfinite(times)
+    return times <= at_time
+
+
+def fire_line(burned: np.ndarray) -> np.ndarray:
+    """Boolean mask of the fire line (frontier) of a burned region.
+
+    A burned cell belongs to the fire line when at least one of its
+    4-neighbours is unburned or it touches the grid border. This is the
+    discrete analogue of the RFL/PFL maps of the paper.
+    """
+    b = np.asarray(burned, dtype=bool)
+    if b.ndim != 2:
+        raise SimulationError(f"burned mask must be 2-D, got shape {b.shape}")
+    interior = np.zeros_like(b)
+    # a cell is interior iff it and all 4 neighbours are burned
+    interior[1:-1, 1:-1] = (
+        b[1:-1, 1:-1]
+        & b[:-2, 1:-1]
+        & b[2:, 1:-1]
+        & b[1:-1, :-2]
+        & b[1:-1, 2:]
+    )
+    return b & ~interior
+
+
+def fire_perimeter_cells(burned: np.ndarray) -> int:
+    """Number of cells on the fire line."""
+    return int(fire_line(burned).sum())

@@ -1,0 +1,71 @@
+"""Serialisation of terrains and fire maps.
+
+Persists rasters as ``.npz`` archives so workloads and reference fires can
+be saved/reloaded by examples and benchmarks without re-simulation. The
+format is intentionally trivial: a flat namespace of arrays plus a scalar
+metadata vector, all NumPy-native (no pickle), so files are portable
+across Python versions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TerrainError
+from repro.grid.firemap import IgnitionMap
+from repro.grid.terrain import Terrain
+
+__all__ = ["save_terrain", "load_terrain", "save_ignition_map", "load_ignition_map"]
+
+_FORMAT_VERSION = 1
+
+
+def save_terrain(path: str | os.PathLike, terrain: Terrain) -> None:
+    """Write ``terrain`` to ``path`` as an ``.npz`` archive."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "geometry": np.array(
+            [terrain.rows, terrain.cols, terrain.cell_size], dtype=np.float64
+        ),
+    }
+    for name in ("fuel", "slope", "aspect", "unburnable"):
+        arr = getattr(terrain, name)
+        if arr is not None:
+            payload[name] = arr
+    np.savez(path, **payload)
+
+
+def load_terrain(path: str | os.PathLike) -> Terrain:
+    """Read a terrain previously written by :func:`save_terrain`."""
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise TerrainError(f"unsupported terrain file version: {version}")
+        rows, cols, cell_size = data["geometry"]
+        kwargs = {}
+        for name in ("fuel", "slope", "aspect", "unburnable"):
+            if name in data:
+                kwargs[name] = data[name]
+        return Terrain(
+            rows=int(rows), cols=int(cols), cell_size=float(cell_size), **kwargs
+        )
+
+
+def save_ignition_map(path: str | os.PathLike, ignition: IgnitionMap) -> None:
+    """Write an ignition map to ``path`` as an ``.npz`` archive."""
+    np.savez(
+        path,
+        format_version=np.array([_FORMAT_VERSION]),
+        times=ignition.times,
+    )
+
+
+def load_ignition_map(path: str | os.PathLike) -> IgnitionMap:
+    """Read an ignition map previously written by :func:`save_ignition_map`."""
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise TerrainError(f"unsupported ignition map file version: {version}")
+        return IgnitionMap(times=data["times"])

@@ -1,0 +1,47 @@
+"""Parallel runtime: Master/Worker evaluation and the island hierarchy.
+
+The paper's first version parallelises "only ... the evaluation of the
+scenarios, i.e., in the simulation process and subsequent computation of
+the fitness function" under a one-level Master/Worker design (§III-A).
+This package provides that runtime plus the two-level Monitor/Masters/
+Workers hierarchy the ESSIM systems use:
+
+* :mod:`~repro.parallel.executor` — batch fitness backends: in-process
+  (:class:`SerialEvaluator`) and process-pool
+  (:class:`ProcessPoolEvaluator`). Both are drop-in
+  ``FitnessFunction`` callables for the algorithms in :mod:`repro.ea`.
+* :mod:`~repro.parallel.master_worker` — an explicit message-passing
+  Master/Worker engine with on-demand (self-scheduling) task
+  distribution, mirroring the mpi4py send/recv idiom over
+  ``multiprocessing`` pipes.
+* :mod:`~repro.parallel.islands` — epoch-based island model with
+  migration (ring/broadcast topologies) used by ESSIM-EA / ESSIM-DE.
+* :mod:`~repro.parallel.timing` — wall-clock instrumentation, speedup
+  and efficiency metrics (experiment E3).
+"""
+
+from repro.parallel.executor import (
+    BatchProblem,
+    SerialEvaluator,
+    ProcessPoolEvaluator,
+    make_evaluator,
+)
+from repro.parallel.master_worker import MasterWorkerEngine, WorkerStats
+from repro.parallel.islands import IslandModel, IslandModelConfig, IslandResult
+from repro.parallel.timing import Timer, StageTimings, speedup, efficiency
+
+__all__ = [
+    "BatchProblem",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "make_evaluator",
+    "MasterWorkerEngine",
+    "WorkerStats",
+    "IslandModel",
+    "IslandModelConfig",
+    "IslandResult",
+    "Timer",
+    "StageTimings",
+    "speedup",
+    "efficiency",
+]

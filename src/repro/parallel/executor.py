@@ -1,0 +1,200 @@
+"""Batch fitness backends: serial and process-pool evaluation.
+
+The evolutionary algorithms consume a ``FitnessFunction`` — any callable
+``(n, d) genome matrix → (n,) fitness vector``. This module provides the
+two standard backends:
+
+* :class:`SerialEvaluator` — evaluates in-process; the deterministic
+  reference every parallel backend must agree with bit-for-bit.
+* :class:`ProcessPoolEvaluator` — fans chunks of genomes out to a
+  ``multiprocessing`` pool. The *problem* object (terrain, burned maps,
+  horizon) is pickled **once** into each worker at initialisation;
+  per-call traffic is only the 9-float genomes and the fitness floats,
+  following the small-message discipline of the mpi4py guide.
+
+Problems must be picklable and stateless-after-construction (workers
+share nothing). The concrete wildfire problem lives in
+:mod:`repro.systems.problem`; tests use toy problems.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ParallelError
+
+__all__ = [
+    "BatchProblem",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "make_evaluator",
+    "default_worker_count",
+]
+
+
+@runtime_checkable
+class BatchProblem(Protocol):
+    """A picklable batch evaluation problem."""
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Fitness of each row of ``genomes`` (shape ``(n, d)`` → ``(n,)``)."""
+        ...
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine (≥ 1)."""
+    return max(1, (os.cpu_count() or 1))
+
+
+def _check_result(values: np.ndarray, expected: int) -> np.ndarray:
+    out = np.asarray(values, dtype=np.float64).reshape(-1)
+    if out.shape != (expected,):
+        raise ParallelError(
+            f"problem returned {out.shape[0]} fitness values for "
+            f"{expected} genomes"
+        )
+    return out
+
+
+class SerialEvaluator:
+    """In-process evaluation; the reference backend.
+
+    Also counts evaluations and accumulates busy time so benchmarks can
+    compare against the parallel backends.
+    """
+
+    def __init__(self, problem: BatchProblem) -> None:
+        self._problem = problem
+        self.evaluations = 0
+
+    def __call__(self, genomes: np.ndarray) -> np.ndarray:
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        values = _check_result(
+            self._problem.evaluate_batch(genomes), genomes.shape[0]
+        )
+        self.evaluations += genomes.shape[0]
+        return values
+
+    def close(self) -> None:
+        """No resources to release; present for interface symmetry."""
+
+    def __enter__(self) -> "SerialEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+_WORKER_PROBLEM: BatchProblem | None = None
+
+
+def _init_worker(problem: BatchProblem) -> None:
+    """Pool initialiser: stash the problem in process-local state."""
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = problem
+
+
+def _eval_chunk(chunk: np.ndarray) -> np.ndarray:
+    """Evaluate one chunk inside a worker process."""
+    if _WORKER_PROBLEM is None:  # pragma: no cover - defensive
+        raise ParallelError("worker process was not initialised with a problem")
+    return np.asarray(_WORKER_PROBLEM.evaluate_batch(chunk), dtype=np.float64)
+
+
+class ProcessPoolEvaluator:
+    """Fan batch evaluations out to a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    problem:
+        Picklable batch problem, shipped once per worker.
+    n_workers:
+        Pool size (default: CPU count).
+    chunks_per_worker:
+        Scheduling granularity: each evaluate call is split into
+        ``n_workers × chunks_per_worker`` chunks, balancing load when
+        simulation times vary across scenarios (wet scenarios finish
+        almost instantly, windy ones burn the whole grid).
+
+    Results are reassembled **by index**, so the output is identical to
+    :class:`SerialEvaluator` regardless of completion order.
+    """
+
+    def __init__(
+        self,
+        problem: BatchProblem,
+        n_workers: int | None = None,
+        chunks_per_worker: int = 4,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
+        if chunks_per_worker < 1:
+            raise ParallelError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.n_workers = n_workers or default_worker_count()
+        self._chunks_per_worker = chunks_per_worker
+        self.evaluations = 0
+        # fork is fine here (no threads at pool-creation time) and avoids
+        # re-importing the package in every worker on every run.
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._pool = ctx.Pool(
+            processes=self.n_workers,
+            initializer=_init_worker,
+            initargs=(problem,),
+        )
+        self._closed = False
+
+    def __call__(self, genomes: np.ndarray) -> np.ndarray:
+        if self._closed:
+            raise ParallelError("evaluator already closed")
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        n = genomes.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        n_chunks = min(n, self.n_workers * self._chunks_per_worker)
+        chunks = np.array_split(genomes, n_chunks)
+        results = self._pool.map(_eval_chunk, chunks)
+        values = _check_result(np.concatenate(results), n)
+        self.evaluations += n
+        return values
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if not self._closed:
+            self._pool.close()
+            self._pool.join()
+            self._closed = True
+
+    def __enter__(self) -> "ProcessPoolEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_evaluator(
+    problem: BatchProblem, n_workers: int | None = None, **kwargs
+) -> SerialEvaluator | ProcessPoolEvaluator:
+    """Build the right backend for a worker count.
+
+    ``n_workers in (None, 0, 1)`` yields the serial backend; anything
+    larger a process pool. This is the single switch the prediction
+    systems expose as their ``n_workers`` parameter.
+    """
+    if not n_workers or n_workers == 1:
+        return SerialEvaluator(problem)
+    return ProcessPoolEvaluator(problem, n_workers=n_workers, **kwargs)

@@ -1,0 +1,192 @@
+"""Explicit Master/Worker message-passing engine.
+
+The OS of Figs. 1/3 is drawn as a Master process exchanging messages
+with Worker processes: the Master sends parameter vectors PV, the
+Workers run the fire simulator and send back fitness values. While
+:class:`~repro.parallel.executor.ProcessPoolEvaluator` hides that
+exchange behind ``Pool.map``, this engine makes it explicit — tagged
+task/result messages, on-demand self-scheduling, per-worker accounting —
+mirroring the canonical mpi4py master/worker pattern so the runtime can
+be studied (experiment E3) and later swapped for real MPI.
+
+Protocol
+--------
+* Master → worker queue: ``(TAG_TASK, task_id, genome_chunk)`` or
+  ``(TAG_STOP, None, None)``.
+* Worker → master queue: ``(worker_id, task_id, fitness_chunk,
+  busy_seconds)``.
+
+Workers pull tasks as they finish (a shared queue is the
+``multiprocessing`` analogue of MPI self-scheduling: any idle worker
+takes the next message), so heterogeneous simulation times balance
+automatically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.executor import BatchProblem, _check_result
+
+__all__ = ["MasterWorkerEngine", "WorkerStats"]
+
+TAG_TASK = 0
+TAG_STOP = 1
+
+#: Safety timeout for collecting a single result message, seconds.
+_RESULT_TIMEOUT = 300.0
+
+
+@dataclass
+class WorkerStats:
+    """Accounting for one worker process."""
+
+    worker_id: int
+    tasks_completed: int = 0
+    genomes_evaluated: int = 0
+    busy_seconds: float = 0.0
+
+
+def _worker_main(
+    worker_id: int,
+    problem: BatchProblem,
+    task_queue: mp.Queue,
+    result_queue: mp.Queue,
+) -> None:
+    """Worker loop: receive tasks, simulate + evaluate, send results."""
+    while True:
+        tag, task_id, chunk = task_queue.get()
+        if tag == TAG_STOP:
+            break
+        start = time.perf_counter()
+        values = np.asarray(problem.evaluate_batch(chunk), dtype=np.float64)
+        busy = time.perf_counter() - start
+        result_queue.put((worker_id, task_id, values, busy))
+
+
+class MasterWorkerEngine:
+    """One Master (the caller) with ``n_workers`` simulator processes.
+
+    Usable as a ``FitnessFunction``: calling the engine evaluates a
+    genome matrix and returns the fitness vector, while per-worker
+    statistics accumulate in :attr:`stats`.
+
+    Parameters
+    ----------
+    problem:
+        Picklable batch problem (shipped once at worker start).
+    n_workers:
+        Number of worker processes (≥ 1).
+    chunk_size:
+        Genomes per task message. Smaller chunks → better load balance,
+        more messages; the default 1 matches the paper's granularity
+        (one scenario simulation per worker task).
+    """
+
+    def __init__(
+        self,
+        problem: BatchProblem,
+        n_workers: int,
+        chunk_size: int = 1,
+    ) -> None:
+        if n_workers < 1:
+            raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_size < 1:
+            raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+        self.stats: list[WorkerStats] = [WorkerStats(i) for i in range(n_workers)]
+        self.evaluations = 0
+
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._tasks: mp.Queue = ctx.Queue()
+        self._results: mp.Queue = ctx.Queue()
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, problem, self._tasks, self._results),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __call__(self, genomes: np.ndarray) -> np.ndarray:
+        """Distribute one batch and gather the fitness vector (by index)."""
+        if self._closed:
+            raise ParallelError("engine already closed")
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        n = genomes.shape[0]
+        if n == 0:
+            return np.zeros(0)
+
+        chunks: list[np.ndarray] = [
+            genomes[i : i + self.chunk_size] for i in range(0, n, self.chunk_size)
+        ]
+        for task_id, chunk in enumerate(chunks):
+            self._tasks.put((TAG_TASK, task_id, chunk))
+
+        out = np.full(n, np.nan, dtype=np.float64)
+        received = 0
+        while received < len(chunks):
+            try:
+                worker_id, task_id, values, busy = self._results.get(
+                    timeout=_RESULT_TIMEOUT
+                )
+            except Exception as exc:  # queue.Empty or broken queue
+                raise ParallelError(
+                    f"timed out waiting for worker results "
+                    f"({received}/{len(chunks)} received)"
+                ) from exc
+            start = task_id * self.chunk_size
+            out[start : start + len(values)] = values
+            st = self.stats[worker_id]
+            st.tasks_completed += 1
+            st.genomes_evaluated += len(values)
+            st.busy_seconds += busy
+            received += 1
+
+        self.evaluations += n
+        return _check_result(out, n)
+
+    # ------------------------------------------------------------------
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-worker busy time (1.0 = perfect balance)."""
+        busy = np.asarray([s.busy_seconds for s in self.stats])
+        if busy.sum() <= 0:
+            return 1.0
+        return float(busy.max() / busy.mean())
+
+    def close(self) -> None:
+        """Stop all workers (idempotent)."""
+        if self._closed:
+            return
+        for _ in self._workers:
+            self._tasks.put((TAG_STOP, None, None))
+        for w in self._workers:
+            w.join(timeout=30)
+            if w.is_alive():  # pragma: no cover - hard kill safety net
+                w.terminate()
+        self._closed = True
+
+    def __enter__(self) -> "MasterWorkerEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

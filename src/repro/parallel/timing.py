@@ -1,0 +1,98 @@
+"""Wall-clock instrumentation and parallel-performance metrics.
+
+Used by the per-stage timing of the pipeline benchmarks (F1–F3) and the
+speedup/efficiency experiment (E3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ParallelError
+
+__all__ = ["Timer", "StageTimings", "speedup", "efficiency"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+
+@dataclass
+class StageTimings:
+    """Named wall-clock accumulators (e.g. one per pipeline stage)."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds under ``stage``."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
+    def measure(self, stage: str) -> "_StageContext":
+        """Context manager that accumulates into ``stage`` on exit."""
+        return _StageContext(self, stage)
+
+    def total(self) -> float:
+        """Sum over all stages."""
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Share of the total per stage (empty dict when nothing timed)."""
+        total = self.total()
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def merge(self, other: "StageTimings") -> None:
+        """Accumulate another timing set into this one."""
+        for k, v in other.seconds.items():
+            self.add(k, v)
+
+
+class _StageContext:
+    def __init__(self, timings: StageTimings, stage: str) -> None:
+        self._timings = timings
+        self._stage = stage
+        self._timer = Timer()
+
+    def __enter__(self) -> "_StageContext":
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.__exit__(*exc)
+        self._timings.add(self._stage, self._timer.elapsed)
+
+
+def speedup(serial_seconds: float, parallel_seconds: float) -> float:
+    """Classic speedup S = T₁ / T_p."""
+    if serial_seconds < 0 or parallel_seconds <= 0:
+        raise ParallelError(
+            f"invalid timings: serial={serial_seconds}, parallel={parallel_seconds}"
+        )
+    return serial_seconds / parallel_seconds
+
+
+def efficiency(serial_seconds: float, parallel_seconds: float, n_workers: int) -> float:
+    """Parallel efficiency E = S / p."""
+    if n_workers < 1:
+        raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
+    return speedup(serial_seconds, parallel_seconds) / n_workers

@@ -1,0 +1,26 @@
+"""The DDM-MOS pipeline stages shared by every prediction system.
+
+Per prediction step (Figs. 1–3):
+
+* :mod:`~repro.stages.statistical` — **SS**: aggregate the burned maps
+  of the selected scenarios into a per-cell ignition-probability matrix.
+* :mod:`~repro.stages.calibration` — **CS**: search the Key Ignition
+  Value ``Kign`` whose thresholding of the probability matrix best
+  matches the current real fire (the ``SKign`` block).
+* :mod:`~repro.stages.prediction` — **PS**: threshold the *current*
+  probability matrix with the *previous* step's ``Kign`` to produce the
+  predicted fire line PFL.
+"""
+
+from repro.stages.statistical import ProbabilityMap, aggregate_burned_maps
+from repro.stages.calibration import CalibrationResult, search_kign
+from repro.stages.prediction import PredictionOutput, predict
+
+__all__ = [
+    "ProbabilityMap",
+    "aggregate_burned_maps",
+    "CalibrationResult",
+    "search_kign",
+    "PredictionOutput",
+    "predict",
+]

@@ -1,0 +1,84 @@
+"""Prediction Stage (PS): produce the predicted fire line PFL.
+
+"The matrix obtained by applying the threshold Kign_n is used to perform
+the fire line prediction for the current time step. The new value
+Kign_{n+1} will be used in the next prediction step" (§II-A). Hence the
+PS for step *i* thresholds the **current** probability matrix with the
+Kign calibrated at step *i−1* — which is why "the prediction cannot
+start at the first time instant".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fitness import jaccard_fitness
+from repro.errors import CalibrationError
+from repro.grid.firemap import fire_line
+from repro.stages.statistical import ProbabilityMap
+
+__all__ = ["PredictionOutput", "predict"]
+
+
+@dataclass(frozen=True)
+class PredictionOutput:
+    """One step's prediction and (if reality is supplied) its quality.
+
+    Attributes
+    ----------
+    burned:
+        Predicted burned region (PFL as a filled mask).
+    fire_line:
+        Frontier cells of the prediction (the PFL proper).
+    kign:
+        The threshold used (from the previous step's CS).
+    quality:
+        Eq. 3 fitness of the prediction against the real map, or
+        ``nan`` when no real map was provided (true forecasting mode).
+    """
+
+    burned: np.ndarray
+    fire_line: np.ndarray
+    kign: float
+    quality: float
+
+
+def predict(
+    probability: ProbabilityMap,
+    kign: float,
+    real_burned: np.ndarray | None = None,
+    pre_burned: np.ndarray | None = None,
+) -> PredictionOutput:
+    """Run the PS for one step.
+
+    Parameters
+    ----------
+    probability:
+        SS output for the current step.
+    kign:
+        Key Ignition Value calibrated at the *previous* step.
+    real_burned:
+        Really burned cells at the current instant; when given, the
+        prediction quality (Eq. 3, excluding ``pre_burned``) is
+        evaluated — this is how the lineage papers score their systems.
+    pre_burned:
+        Cells burned before the step started.
+    """
+    if not np.isfinite(kign) or kign < 0:
+        raise CalibrationError(f"kign must be a non-negative finite value: {kign}")
+    burned = probability.threshold(kign)
+    if pre_burned is not None:
+        # The region burned before the step is part of the predicted
+        # burned area by definition (fire does not unburn).
+        burned = burned | np.asarray(pre_burned, dtype=bool)
+    quality = float("nan")
+    if real_burned is not None:
+        quality = jaccard_fitness(real_burned, burned, pre_burned)
+    return PredictionOutput(
+        burned=burned,
+        fire_line=fire_line(burned),
+        kign=float(kign),
+        quality=quality,
+    )

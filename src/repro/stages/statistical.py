@@ -1,0 +1,107 @@
+"""Statistical Stage (SS): the ignition-probability matrix.
+
+"The first step is for the Master to aggregate the resulting maps into a
+matrix in which each cell represents the probability of ignition of that
+region" (§II-A). Each selected scenario contributes its simulated burned
+map; the per-cell probability is the (optionally weighted) fraction of
+maps in which the cell burned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+__all__ = ["ProbabilityMap", "aggregate_burned_maps"]
+
+
+@dataclass(frozen=True)
+class ProbabilityMap:
+    """Per-cell ignition probability in [0, 1].
+
+    ``n_maps`` records how many scenario maps were aggregated — the CS
+    uses it to enumerate the distinct attainable probability levels.
+    """
+
+    probabilities: np.ndarray
+    n_maps: int
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.probabilities, dtype=np.float64)
+        if p.ndim != 2:
+            raise CalibrationError(
+                f"probability matrix must be 2-D, got shape {p.shape}"
+            )
+        if (p < 0).any() or (p > 1).any():
+            raise CalibrationError("probabilities must lie in [0, 1]")
+        if self.n_maps < 1:
+            raise CalibrationError(f"n_maps must be >= 1, got {self.n_maps}")
+        object.__setattr__(self, "probabilities", p)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape."""
+        return self.probabilities.shape  # type: ignore[return-value]
+
+    def threshold(self, kign: float) -> np.ndarray:
+        """Burned mask predicted by a Key Ignition Value.
+
+        A cell is predicted to burn when its ignition probability
+        reaches ``kign``. ``kign = 0`` predicts everything; values
+        above 1 predict nothing.
+        """
+        return self.probabilities >= kign
+
+    def levels(self) -> np.ndarray:
+        """Distinct attainable probability levels, ascending.
+
+        With ``n`` aggregated maps these are a subset of
+        ``{0, 1/n, ..., 1}``; the CS only needs to test thresholds at
+        the distinct non-zero levels (plus one above the maximum).
+        """
+        return np.unique(self.probabilities)
+
+
+def aggregate_burned_maps(
+    burned_maps: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> ProbabilityMap:
+    """Build the SS probability matrix from a stack of burned masks.
+
+    Parameters
+    ----------
+    burned_maps:
+        Boolean stack ``(n, H, W)`` — one simulated burned map per
+        selected scenario (the bestSet in ESS-NS, the final population
+        in ESS/ESSIM).
+    weights:
+        Optional per-map non-negative weights (e.g. fitness-
+        proportional aggregation, an ESS variant). ``None`` = uniform,
+        the paper's formulation.
+    """
+    stack = np.asarray(burned_maps, dtype=bool)
+    if stack.ndim != 3 or stack.shape[0] < 1:
+        raise CalibrationError(
+            f"need a (n>=1, H, W) stack of burned maps, got shape {stack.shape}"
+        )
+    n = stack.shape[0]
+    if weights is None:
+        probs = stack.mean(axis=0)
+    else:
+        w = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if w.shape[0] != n:
+            raise CalibrationError(
+                f"{w.shape[0]} weights for {n} maps"
+            )
+        if (w < 0).any():
+            raise CalibrationError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            # All-zero weights: fall back to uniform rather than 0/0.
+            probs = stack.mean(axis=0)
+        else:
+            probs = np.tensordot(w / total, stack.astype(np.float64), axes=1)
+    return ProbabilityMap(probabilities=probs, n_maps=n)

@@ -1,0 +1,185 @@
+"""The shared per-step prediction driver (the skeleton of Figs. 1–3).
+
+Every system in the lineage runs the same loop over prediction steps;
+only the Optimization Stage differs. :class:`PredictionSystem`
+implements the loop; subclasses provide :meth:`_optimize`, returning one
+or more *solution sets* (one per island — ESS and ESS-NS have exactly
+one, the ESSIM systems one per island Master).
+
+Per step *i* (paper §II-A):
+
+1. **OS** — search scenarios against RFL_{i−1} → RFL_i (Workers
+   simulate & evaluate).
+2. **SS** — simulate the solution set(s) and aggregate into ignition-
+   probability matrices.
+3. **PS** — if a Kign from step *i−1* exists, threshold the current
+   (Monitor-selected) matrix with it → PFL_i, scored against RFL_i.
+4. **CS** — search Kign_i on the current matrix (per island; the
+   Monitor keeps the best candidate for the next step).
+
+The PS runs *before* the CS in code so the prediction never peeks at
+the current step's calibration, matching the paper's data flow ("the
+prediction cannot start at the first time instant").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.scenario import ParameterSpace
+from repro.errors import ReproError
+from repro.parallel.executor import make_evaluator
+from repro.parallel.timing import StageTimings
+from repro.rng import ensure_rng, spawn
+from repro.stages.calibration import search_kign
+from repro.stages.prediction import predict
+from repro.stages.statistical import aggregate_burned_maps
+from repro.systems.problem import PredictionStepProblem
+from repro.systems.results import RunResult, StepResult
+from repro.workloads.synthetic import ReferenceFire
+
+__all__ = ["OSOutput", "PredictionSystem"]
+
+
+@dataclass
+class OSOutput:
+    """What an Optimization Stage hands to the Statistical Stage.
+
+    Attributes
+    ----------
+    solution_sets:
+        One genome matrix per island (a single-element list for the
+        one-level systems). Each matrix feeds one SS aggregation.
+    best_fitness:
+        Best single-scenario fitness found.
+    evaluations:
+        Simulator runs spent.
+    extras:
+        Free-form analysis payload (histories, archives, ...).
+    """
+
+    solution_sets: list[np.ndarray]
+    best_fitness: float
+    evaluations: int
+    extras: dict = field(default_factory=dict)
+
+
+class PredictionSystem(ABC):
+    """Base class of ESS / ESS-NS / ESSIM-EA / ESSIM-DE.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes for the fitness evaluation (1 = serial; the
+        paper's Master/Worker parallelism kicks in above 1).
+    space:
+        Scenario space (defaults to Table I).
+    """
+
+    #: Subclass display name (used in result records and reports).
+    name: str = "base"
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        space: ParameterSpace | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.space = space or ParameterSpace()
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _optimize(
+        self,
+        evaluate,
+        space: ParameterSpace,
+        rng: np.random.Generator,
+        step: int,
+    ) -> OSOutput:
+        """Run the system's Optimization Stage for one step."""
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fire: ReferenceFire,
+        rng: np.random.Generator | int | None = None,
+    ) -> RunResult:
+        """Execute the full predictive process over a reference fire."""
+        root = ensure_rng(rng)
+        step_rngs = spawn(root, fire.n_steps)
+        result = RunResult(system=self.name)
+        kign_prev: float | None = None
+
+        for step in range(1, fire.n_steps + 1):
+            timings = StageTimings()
+            start = fire.start_mask(step)
+            real = fire.real_mask(step)
+            problem = PredictionStepProblem(
+                terrain=fire.terrain,
+                start_burned=start,
+                real_burned=real,
+                horizon=fire.step_horizon(step),
+                space=self.space,
+            )
+            evaluator = make_evaluator(problem, self.n_workers)
+            try:
+                with timings.measure("os"):
+                    os_out = self._optimize(
+                        evaluator, self.space, step_rngs[step - 1], step
+                    )
+            finally:
+                evaluator.close()
+
+            # SS: one probability matrix per island (Master-side).
+            with timings.measure("ss"):
+                matrices = []
+                for genomes in os_out.solution_sets:
+                    if genomes.size == 0:
+                        raise ReproError(
+                            f"{self.name}: empty solution set at step {step}"
+                        )
+                    maps = problem.burned_maps(genomes)
+                    matrices.append(aggregate_burned_maps(maps))
+
+            # CS per island; the Monitor keeps the best candidate.
+            with timings.measure("cs"):
+                calibrations = [
+                    search_kign(m, real, pre_burned=start) for m in matrices
+                ]
+                chosen = int(
+                    np.argmax([c.fitness for c in calibrations])
+                )
+                calibration = calibrations[chosen]
+                matrix = matrices[chosen]
+
+            # PS with the previous step's Kign on the chosen matrix.
+            quality = float("nan")
+            if kign_prev is not None:
+                with timings.measure("ps"):
+                    prediction = predict(
+                        matrix, kign_prev, real_burned=real, pre_burned=start
+                    )
+                    quality = prediction.quality
+
+            kign_prev = calibration.kign
+            result.steps.append(
+                StepResult(
+                    step=step,
+                    kign=calibration.kign,
+                    calibration_fitness=calibration.fitness,
+                    prediction_quality=quality,
+                    best_scenario_fitness=os_out.best_fitness,
+                    n_solutions=int(
+                        sum(g.shape[0] for g in os_out.solution_sets)
+                    ),
+                    evaluations=os_out.evaluations,
+                    timings=timings,
+                )
+            )
+        return result

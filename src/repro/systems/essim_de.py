@@ -1,0 +1,163 @@
+"""ESSIM-DE — two-level island Differential Evolution with tuning.
+
+Same Monitor/Masters/Workers topology as ESSIM-EA, but each island runs
+DE. §II-B records two facts this implementation reproduces:
+
+1. the plain method "significantly reduced response times, but did not
+   obtain quality improvements", suffering premature convergence and
+   stagnation;
+2. two automatic/dynamic tuning metrics — a population **restart
+   operator** and **IQR-factor** population analysis — recovered
+   quality and response time.
+
+Both tuning metrics (:mod:`repro.tuning`) can be enabled through the
+config and are applied by the island Monitor between epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.individual import genomes_matrix
+from repro.core.scenario import ParameterSpace
+from repro.ea.de import DEConfig, DifferentialEvolution
+from repro.ea.termination import Termination
+from repro.parallel.islands import IslandModel, IslandModelConfig
+from repro.rng import spawn
+from repro.systems.base import OSOutput, PredictionSystem
+from repro.tuning.iqr import IQRTuning
+from repro.tuning.restart import PopulationRestart
+
+__all__ = ["ESSIMDEConfig", "ESSIMDE"]
+
+
+@dataclass(frozen=True)
+class ESSIMDEConfig:
+    """ESSIM-DE hyper-parameters: per-island DE + topology + tuning.
+
+    ``tuning`` selects the dynamic tuning applied between epochs:
+    ``"none"`` (the original method), ``"restart"``, ``"iqr"`` or
+    ``"both"`` (restart first, then IQR).
+
+    ``solution_policy`` reproduces the two ESSIM-DE result-harvesting
+    versions §II-B describes:
+
+    * ``"best_only"`` — the *first* version: only the fittest half of
+      each island population feeds the Statistical Stage ("the quality
+      of the results did not improve with respect to ESSIM-EA");
+    * ``"population"`` (default) — the *modified* version "that tends
+      toward greater diversity, where a part of the results are
+      incorporated in the prediction process regardless of their
+      fitness": the whole final population is used.
+    """
+
+    de: DEConfig = field(default_factory=lambda: DEConfig(population_size=25))
+    islands: IslandModelConfig = field(default_factory=IslandModelConfig)
+    max_generations: int = 15
+    fitness_threshold: float = 1.0
+    tuning: str = "none"
+    restart_patience: int = 2
+    iqr_threshold: float = 0.02
+    solution_policy: str = "population"
+
+    def __post_init__(self) -> None:
+        if self.tuning not in ("none", "restart", "iqr", "both"):
+            raise ValueError(f"unknown tuning mode {self.tuning!r}")
+        if self.solution_policy not in ("population", "best_only"):
+            raise ValueError(
+                f"unknown solution policy {self.solution_policy!r}"
+            )
+
+    def termination(self) -> Termination:
+        """Global (Monitor-level) stopping condition."""
+        return Termination(
+            max_generations=self.max_generations,
+            fitness_threshold=self.fitness_threshold,
+        )
+
+
+class ESSIMDE(PredictionSystem):
+    """Evolutionary Statistical System with Island Model (DE)."""
+
+    name = "ESSIM-DE"
+
+    def __init__(
+        self,
+        config: ESSIMDEConfig | None = None,
+        n_workers: int = 1,
+        space: ParameterSpace | None = None,
+    ) -> None:
+        super().__init__(n_workers=n_workers, space=space)
+        self.config = config or ESSIMDEConfig()
+        if self.config.tuning != "none":
+            self.name = f"ESSIM-DE+{self.config.tuning}"
+
+    def _optimize(
+        self,
+        evaluate,
+        space: ParameterSpace,
+        rng: np.random.Generator,
+        step: int,
+    ) -> OSOutput:
+        cfg = self.config
+        island_rng, tuning_rng = spawn(rng, 2)
+        intervention = self._build_intervention(space, tuning_rng)
+        model = IslandModel(
+            lambda: DifferentialEvolution(cfg.de), cfg.islands
+        )
+        result = model.run(
+            evaluate,
+            space,
+            cfg.termination(),
+            rng=island_rng,
+            intervention=intervention,
+        )
+        if cfg.solution_policy == "best_only":
+            # First-version harvesting: fittest half per island only.
+            solution_sets = []
+            for pop in result.populations:
+                ranked = sorted(
+                    pop, key=lambda ind: ind.fitness or 0.0, reverse=True
+                )
+                solution_sets.append(
+                    genomes_matrix(ranked[: max(1, len(ranked) // 2)])
+                )
+        else:
+            solution_sets = [genomes_matrix(pop) for pop in result.populations]
+        return OSOutput(
+            solution_sets=solution_sets,
+            best_fitness=float(result.best.fitness or 0.0),
+            evaluations=result.evaluations,
+            extras={
+                "histories": result.histories,
+                "best_island": result.best_island(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _build_intervention(
+        self, space: ParameterSpace, rng: np.random.Generator
+    ):
+        cfg = self.config
+        if cfg.tuning == "none":
+            return None
+        hooks = []
+        if cfg.tuning in ("restart", "both"):
+            hooks.append(
+                PopulationRestart(
+                    space, patience=cfg.restart_patience, rng=rng
+                )
+            )
+        if cfg.tuning in ("iqr", "both"):
+            hooks.append(
+                IQRTuning(space, iqr_threshold=cfg.iqr_threshold, rng=rng)
+            )
+
+        def intervention(epoch, populations):
+            for hook in hooks:
+                populations = hook(epoch, populations)
+            return populations
+
+        return intervention

@@ -1,0 +1,129 @@
+"""The OS-Worker job: simulate a scenario and score it (Eq. 3).
+
+:class:`PredictionStepProblem` is the picklable unit shipped to Workers:
+it carries the terrain, the burned region at the step start (RFL_{i−1}),
+the real burned region at the step end (RFL_i) and the step duration.
+``evaluate_batch`` decodes genomes into scenarios, restarts the fire
+simulator from the start region and returns the Jaccard fitness of each
+simulated map — exactly the ``FS`` + ``FF`` box of Figs. 1/3.
+
+The embedded :class:`~repro.firelib.simulator.FireSimulator` is rebuilt
+lazily after unpickling, so only rasters cross process boundaries once
+per worker; per-call traffic is genomes and floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fitness import jaccard_fitness
+from repro.core.scenario import ParameterSpace
+from repro.errors import SimulationError
+from repro.firelib.simulator import FireSimulator
+from repro.grid.terrain import Terrain
+
+__all__ = ["PredictionStepProblem"]
+
+
+class PredictionStepProblem:
+    """Batch fitness problem for one prediction step.
+
+    Parameters
+    ----------
+    terrain:
+        The landscape.
+    start_burned:
+        Burned region at the step start (the region enclosed by
+        RFL_{i−1}); the simulation restarts from it.
+    real_burned:
+        Really burned region at the step end (RFL_i); the Eq. 3
+        reference. Pre-burned cells (= ``start_burned``) are excluded
+        from the fitness per the paper.
+    horizon:
+        Step duration in minutes (t_i − t_{i−1}).
+    space:
+        Genome ↔ scenario codec (defaults to the Table I space).
+    n_neighbors:
+        Propagation stencil for the simulator.
+    """
+
+    def __init__(
+        self,
+        terrain: Terrain,
+        start_burned: np.ndarray,
+        real_burned: np.ndarray,
+        horizon: float,
+        space: ParameterSpace | None = None,
+        n_neighbors: int = 8,
+    ) -> None:
+        self.terrain = terrain
+        self.start_burned = np.asarray(start_burned, dtype=bool)
+        self.real_burned = np.asarray(real_burned, dtype=bool)
+        if self.start_burned.shape != terrain.shape:
+            raise SimulationError(
+                f"start_burned shape {self.start_burned.shape} != terrain "
+                f"{terrain.shape}"
+            )
+        if self.real_burned.shape != terrain.shape:
+            raise SimulationError(
+                f"real_burned shape {self.real_burned.shape} != terrain "
+                f"{terrain.shape}"
+            )
+        if not self.start_burned.any():
+            raise SimulationError("start_burned must contain at least one cell")
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        self.horizon = float(horizon)
+        self.space = space or ParameterSpace()
+        self.n_neighbors = n_neighbors
+        self._simulator: FireSimulator | None = None
+
+    # ------------------------------------------------------------------
+    # Pickling: drop the simulator; workers rebuild it lazily.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_simulator"] = None
+        return state
+
+    @property
+    def simulator(self) -> FireSimulator:
+        """Process-local simulator (built on first use)."""
+        if self._simulator is None:
+            self._simulator = FireSimulator(
+                self.terrain, n_neighbors=self.n_neighbors
+            )
+        return self._simulator
+
+    # ------------------------------------------------------------------
+    def burned_map(self, genome: np.ndarray) -> np.ndarray:
+        """Simulated burned region at the step end for one genome."""
+        scenario = self.space.decode(genome)
+        result = self.simulator.simulate_from_burned(
+            scenario, self.start_burned, self.horizon
+        )
+        # Cells burned at start stay burned: the simulation seeds them
+        # at t=0 so they are always within the horizon.
+        return result.burned()
+
+    def burned_maps(self, genomes: np.ndarray) -> np.ndarray:
+        """Stack of burned maps for a genome matrix — the SS input."""
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        maps = np.empty((genomes.shape[0], *self.terrain.shape), dtype=bool)
+        for i, g in enumerate(genomes):
+            maps[i] = self.burned_map(g)
+        return maps
+
+    def evaluate_one(self, genome: np.ndarray) -> float:
+        """Eq. 3 fitness of a single genome."""
+        return jaccard_fitness(
+            self.real_burned, self.burned_map(genome), self.start_burned
+        )
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Fitness vector of a genome matrix (the Worker loop)."""
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        out = np.empty(genomes.shape[0], dtype=np.float64)
+        for i, g in enumerate(genomes):
+            out[i] = self.evaluate_one(g)
+        return out

@@ -1,0 +1,176 @@
+"""Per-step and per-run result records for the prediction systems.
+
+Results serialise to plain JSON (``RunResult.save_json`` /
+``RunResult.load_json``) so sweeps can be archived and analysed without
+re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.parallel.timing import StageTimings
+
+__all__ = ["StepResult", "RunResult"]
+
+
+@dataclass
+class StepResult:
+    """Everything a system produced for one prediction step.
+
+    Attributes
+    ----------
+    step:
+        Step index (1-based; step 1 has no prediction by construction).
+    kign:
+        The Key Ignition Value calibrated *at this step* (used by the
+        next step's PS).
+    calibration_fitness:
+        Eq. 3 fitness the CS achieved with ``kign`` at this step — the
+        upper bound the next step's prediction chases.
+    prediction_quality:
+        Eq. 3 fitness of this step's PFL against reality (``nan`` for
+        the first step).
+    best_scenario_fitness:
+        Best individual-scenario fitness found by the OS.
+    n_solutions:
+        Size of the solution set fed to the SS (bestSet for ESS-NS,
+        population for the others).
+    evaluations:
+        Simulator runs spent by the OS this step.
+    timings:
+        Wall-clock per stage (keys: ``"os"``, ``"ss"``, ``"cs"``,
+        ``"ps"``).
+    """
+
+    step: int
+    kign: float
+    calibration_fitness: float
+    prediction_quality: float
+    best_scenario_fitness: float
+    n_solutions: int
+    evaluations: int
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @property
+    def has_prediction(self) -> bool:
+        """Whether this step produced a PFL (false only for step 1)."""
+        return not np.isnan(self.prediction_quality)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (nan quality → null)."""
+        return {
+            "step": self.step,
+            "kign": self.kign,
+            "calibration_fitness": self.calibration_fitness,
+            "prediction_quality": (
+                None
+                if math.isnan(self.prediction_quality)
+                else self.prediction_quality
+            ),
+            "best_scenario_fitness": self.best_scenario_fitness,
+            "n_solutions": self.n_solutions,
+            "evaluations": self.evaluations,
+            "timings": dict(self.timings.seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StepResult":
+        """Inverse of :meth:`to_dict`."""
+        quality = data["prediction_quality"]
+        return cls(
+            step=int(data["step"]),
+            kign=float(data["kign"]),
+            calibration_fitness=float(data["calibration_fitness"]),
+            prediction_quality=float("nan") if quality is None else float(quality),
+            best_scenario_fitness=float(data["best_scenario_fitness"]),
+            n_solutions=int(data["n_solutions"]),
+            evaluations=int(data["evaluations"]),
+            timings=StageTimings(seconds=dict(data.get("timings", {}))),
+        )
+
+
+@dataclass
+class RunResult:
+    """A full multi-step run of one prediction system."""
+
+    system: str
+    steps: list[StepResult] = field(default_factory=list)
+
+    def qualities(self) -> np.ndarray:
+        """Prediction quality per step (nan where no prediction)."""
+        return np.asarray(
+            [s.prediction_quality for s in self.steps], dtype=np.float64
+        )
+
+    def mean_quality(self) -> float:
+        """Mean prediction quality over the steps that have one."""
+        q = self.qualities()
+        valid = q[~np.isnan(q)]
+        return float(valid.mean()) if valid.size else float("nan")
+
+    def total_evaluations(self) -> int:
+        """Total simulator runs across all steps."""
+        return int(sum(s.evaluations for s in self.steps))
+
+    def total_time(self) -> float:
+        """Total wall-clock seconds across all stages and steps."""
+        return float(sum(s.timings.total() for s in self.steps))
+
+    def stage_timings(self) -> StageTimings:
+        """Aggregate per-stage wall-clock across steps."""
+        agg = StageTimings()
+        for s in self.steps:
+            agg.merge(s.timings)
+        return agg
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of the whole run."""
+        return {
+            "system": self.system,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            run = cls(system=str(data["system"]))
+            run.steps = [StepResult.from_dict(s) for s in data["steps"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed RunResult payload: {exc}") from exc
+        return run
+
+    def save_json(self, path: str | os.PathLike) -> None:
+        """Write the run to ``path`` as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load_json(cls, path: str | os.PathLike) -> "RunResult":
+        """Read a run previously written by :meth:`save_json`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def summary_rows(self) -> list[dict]:
+        """One dict per step — the schema the reporting module tabulates."""
+        return [
+            {
+                "step": s.step,
+                "kign": round(s.kign, 4),
+                "cal_fitness": round(s.calibration_fitness, 4),
+                "quality": (
+                    round(s.prediction_quality, 4) if s.has_prediction else None
+                ),
+                "best_fitness": round(s.best_scenario_fitness, 4),
+                "evaluations": s.evaluations,
+                "seconds": round(s.timings.total(), 3),
+            }
+            for s in self.steps
+        ]

@@ -1,0 +1,21 @@
+"""Dynamic tuning metrics for ESSIM-DE (§II-B).
+
+ESSIM-DE suffered premature convergence and population stagnation; two
+automatic+dynamic tuning metrics were retrofitted (Tardivo et al. 2018;
+Caymes-Scutari et al. 2020):
+
+* :mod:`~repro.tuning.restart` — a population **restart operator**
+  fired when the search stagnates;
+* :mod:`~repro.tuning.iqr` — monitoring of the population's fitness
+  **IQR factor** across generations, regenerating the population when
+  it collapses below a threshold.
+
+Both are implemented as island-model *interventions* (callables applied
+between epochs — see :mod:`repro.parallel.islands`), which is exactly
+where the ESSIM Monitors applied them.
+"""
+
+from repro.tuning.restart import PopulationRestart
+from repro.tuning.iqr import IQRTuning
+
+__all__ = ["PopulationRestart", "IQRTuning"]

@@ -1,0 +1,90 @@
+"""IQR-factor dynamic tuning (Caymes-Scutari et al. 2020).
+
+The second ESSIM-DE tuning metric watches the interquartile range of
+each island's population fitness: a collapsing IQR means the population
+has concentrated on one behaviour (premature convergence / stagnation).
+When the IQR falls below ``iqr_threshold``, the worst
+``replace_fraction`` of the population is replaced with fresh uniform
+samples, re-widening the distribution while keeping the good quartiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.individual import Individual
+from repro.core.scenario import ParameterSpace
+from repro.errors import EvolutionError
+from repro.rng import ensure_rng
+
+__all__ = ["IQRTuning"]
+
+
+class IQRTuning:
+    """Island-model intervention: regenerate low-IQR populations.
+
+    Parameters
+    ----------
+    space:
+        Scenario space for re-sampling.
+    iqr_threshold:
+        Fitness-IQR below which an island counts as converged.
+    replace_fraction:
+        Fraction (0, 1] of the island replaced, worst-first.
+    rng:
+        Seeded generator for the fresh samples.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        iqr_threshold: float = 0.02,
+        replace_fraction: float = 0.5,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if iqr_threshold < 0:
+            raise EvolutionError(
+                f"iqr_threshold must be >= 0, got {iqr_threshold}"
+            )
+        if not (0.0 < replace_fraction <= 1.0):
+            raise EvolutionError(
+                f"replace_fraction must be in (0, 1], got {replace_fraction}"
+            )
+        self.space = space
+        self.iqr_threshold = iqr_threshold
+        self.replace_fraction = replace_fraction
+        self._rng = ensure_rng(rng)
+        self.interventions_fired = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fitness_iqr(population: list[Individual]) -> float:
+        """Interquartile range of the population's fitness."""
+        fit = np.asarray([ind.fitness or 0.0 for ind in population])
+        q75, q25 = np.percentile(fit, [75, 25])
+        return float(q75 - q25)
+
+    def __call__(
+        self, epoch: int, populations: list[list[Individual]]
+    ) -> list[list[Individual]]:
+        """The :data:`repro.parallel.islands.Intervention` hook."""
+        out: list[list[Individual]] = []
+        for pop in populations:
+            if self.fitness_iqr(pop) >= self.iqr_threshold:
+                out.append(pop)
+                continue
+            out.append(self.regenerate(pop))
+        return out
+
+    def regenerate(self, population: list[Individual]) -> list[Individual]:
+        """Replace the worst fraction with fresh uniform samples."""
+        self.interventions_fired += 1
+        n_replace = max(1, int(round(len(population) * self.replace_fraction)))
+        n_replace = min(n_replace, len(population))
+        ranked = sorted(
+            population, key=lambda ind: ind.fitness or 0.0, reverse=True
+        )
+        keep = [ind.copy() for ind in ranked[: len(population) - n_replace]]
+        fresh_genomes = self.space.sample(n_replace, self._rng)
+        fresh = [Individual(genome=g) for g in fresh_genomes]
+        return keep + fresh

@@ -1,0 +1,98 @@
+"""Population restart operator (Tardivo et al. 2018).
+
+Fires when an island's best fitness has not improved for ``patience``
+consecutive epochs: the island keeps its ``elite_keep`` best individuals
+and re-draws the rest uniformly from the scenario space, restoring the
+exploration the converged population lost. This is the first of the two
+ESSIM-DE tuning metrics §II-B describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.individual import Individual
+from repro.core.scenario import ParameterSpace
+from repro.errors import EvolutionError
+from repro.rng import ensure_rng
+
+__all__ = ["PopulationRestart"]
+
+
+class PopulationRestart:
+    """Island-model intervention: restart stagnating populations.
+
+    Parameters
+    ----------
+    space:
+        Scenario space for re-sampling.
+    patience:
+        Number of consecutive non-improving epochs tolerated before a
+        restart (≥ 1).
+    elite_keep:
+        Individuals preserved across a restart (≥ 1 so the best-so-far
+        is never lost).
+    min_improvement:
+        Fitness gain below which an epoch counts as non-improving.
+    rng:
+        Seeded generator for the fresh samples.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        patience: int = 2,
+        elite_keep: int = 2,
+        min_improvement: float = 1e-6,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if patience < 1:
+            raise EvolutionError(f"patience must be >= 1, got {patience}")
+        if elite_keep < 1:
+            raise EvolutionError(f"elite_keep must be >= 1, got {elite_keep}")
+        if min_improvement < 0:
+            raise EvolutionError(
+                f"min_improvement must be >= 0, got {min_improvement}"
+            )
+        self.space = space
+        self.patience = patience
+        self.elite_keep = elite_keep
+        self.min_improvement = min_improvement
+        self._rng = ensure_rng(rng)
+        self._best: dict[int, float] = {}
+        self._stale: dict[int, int] = {}
+        self.restarts_fired = 0
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self, epoch: int, populations: list[list[Individual]]
+    ) -> list[list[Individual]]:
+        """The :data:`repro.parallel.islands.Intervention` hook."""
+        out: list[list[Individual]] = []
+        for island, pop in enumerate(populations):
+            best = max((ind.fitness or 0.0) for ind in pop)
+            prev = self._best.get(island, -np.inf)
+            if best > prev + self.min_improvement:
+                self._best[island] = best
+                self._stale[island] = 0
+                out.append(pop)
+                continue
+            self._stale[island] = self._stale.get(island, 0) + 1
+            if self._stale[island] >= self.patience:
+                out.append(self.restart(pop))
+                self._stale[island] = 0
+            else:
+                out.append(pop)
+        return out
+
+    def restart(self, population: list[Individual]) -> list[Individual]:
+        """Keep the elite, re-draw everyone else."""
+        self.restarts_fired += 1
+        ranked = sorted(
+            population, key=lambda ind: ind.fitness or 0.0, reverse=True
+        )
+        elites = [ind.copy() for ind in ranked[: self.elite_keep]]
+        n_fresh = len(population) - len(elites)
+        fresh_genomes = self.space.sample(n_fresh, self._rng)
+        fresh = [Individual(genome=g) for g in fresh_genomes]
+        return elites + fresh

@@ -1,0 +1,10 @@
+"""Version information for the ``repro`` package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "Strappa, Caymes-Scutari & Bianchini (2022). "
+    "A Parallel Novelty Search Metaheuristic Applied to a Wildfire "
+    "Prediction System. arXiv:2207.11646."
+)

@@ -1,0 +1,37 @@
+"""Workloads: reference fires and benchmark cases.
+
+The lineage papers evaluate on burned maps of real controlled burns —
+data we do not have. :mod:`~repro.workloads.synthetic` substitutes
+*synthetic reference fires*: a hidden "true" scenario (possibly changing
+over time) is simulated once and its burned maps at discrete instants
+play the role of the real fire lines RFL_t. The predictors never see
+the true scenario, so the uncertainty-reduction code path is identical.
+
+:mod:`~repro.workloads.cases` packages the canonical cases used by the
+examples/benchmarks; :mod:`~repro.workloads.deceptive` provides a
+simulator-free deceptive fitness landscape for algorithm-level
+experiments (the failure mode NS is designed to beat).
+"""
+
+from repro.workloads.synthetic import ReferenceFire, make_reference_fire
+from repro.workloads.cases import (
+    grassland_case,
+    heterogeneous_case,
+    dynamic_wind_case,
+    river_gap_case,
+    CASE_BUILDERS,
+)
+from repro.workloads.deceptive import DeceptiveLandscape
+from repro.workloads.mosaic import random_fuel_mosaic
+
+__all__ = [
+    "ReferenceFire",
+    "make_reference_fire",
+    "grassland_case",
+    "heterogeneous_case",
+    "dynamic_wind_case",
+    "river_gap_case",
+    "CASE_BUILDERS",
+    "DeceptiveLandscape",
+    "random_fuel_mosaic",
+]

@@ -1,0 +1,136 @@
+"""Canonical benchmark cases.
+
+Each builder returns a :class:`~repro.workloads.synthetic.ReferenceFire`
+sized so a full four-system comparison runs in seconds on a laptop. The
+``size`` and ``n_steps`` knobs scale them up for the benchmarks.
+
+* :func:`grassland_case` — homogeneous short grass, steady moderate
+  wind: the easy case every system should handle.
+* :func:`heterogeneous_case` — fuel patches (grass / brush / timber
+  litter): per-cell fuel overrides make single-scenario fits
+  imperfect, so combining multiple overlapping solutions pays off.
+* :func:`dynamic_wind_case` — the wind veers 90° halfway through: the
+  §IV "rapidly changing conditions" stressor where a converged
+  population ages badly.
+* :func:`river_gap_case` — an unburnable river with one ford: a
+  deceptive landscape (scenarios must push the fire through the gap;
+  "almost right" scenarios score far worse than the structure of the
+  space suggests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.scenario import Scenario
+from repro.grid.terrain import Terrain
+from repro.workloads.synthetic import ReferenceFire, make_reference_fire
+
+__all__ = [
+    "grassland_case",
+    "heterogeneous_case",
+    "dynamic_wind_case",
+    "river_gap_case",
+    "CASE_BUILDERS",
+]
+
+
+def _base_scenario(**overrides) -> Scenario:
+    values = dict(
+        model=1,
+        wind_speed=8.0,
+        wind_dir=90.0,
+        m1=6.0,
+        m10=8.0,
+        m100=10.0,
+        mherb=60.0,
+        slope=5.0,
+        aspect=270.0,
+    )
+    values.update(overrides)
+    return Scenario(**values)
+
+
+def grassland_case(size: int = 60, n_steps: int = 4) -> ReferenceFire:
+    """Homogeneous short grass under a steady easterly push."""
+    terrain = Terrain.uniform(size, size, cell_size=30.0)
+    scenario = _base_scenario()
+    return make_reference_fire(
+        terrain,
+        scenario,
+        ignition=[(size // 2, size // 4)],
+        n_steps=n_steps,
+        step_minutes=25.0,
+        description=f"grassland {size}x{size}, steady wind, {n_steps} steps",
+    )
+
+
+def heterogeneous_case(size: int = 60, n_steps: int = 4) -> ReferenceFire:
+    """Grass with brush and timber-litter patches."""
+    q = size // 4
+    terrain = Terrain.with_fuel_patches(
+        size,
+        size,
+        base_model=1,
+        patches=[
+            (slice(0, size // 2), slice(2 * q, 3 * q), 5),  # brush band
+            (slice(size // 2, size), slice(q, 2 * q), 8),  # timber litter
+        ],
+        cell_size=30.0,
+    )
+    scenario = _base_scenario(wind_speed=10.0)
+    return make_reference_fire(
+        terrain,
+        scenario,
+        ignition=[(size // 2, size // 6)],
+        n_steps=n_steps,
+        step_minutes=30.0,
+        description=f"heterogeneous fuels {size}x{size}, {n_steps} steps",
+    )
+
+
+def dynamic_wind_case(size: int = 60, n_steps: int = 4) -> ReferenceFire:
+    """Wind veers from East to South halfway through the fire."""
+    terrain = Terrain.uniform(size, size, cell_size=30.0)
+    first = _base_scenario(wind_speed=9.0, wind_dir=90.0)
+    second = first.replace(wind_dir=180.0)
+    half = n_steps // 2
+    schedule = [first] * half + [second] * (n_steps - half)
+    return make_reference_fire(
+        terrain,
+        schedule,
+        ignition=[(size // 3, size // 3)],
+        n_steps=n_steps,
+        step_minutes=25.0,
+        description=f"dynamic wind shift {size}x{size}, {n_steps} steps",
+    )
+
+
+def river_gap_case(size: int = 60, n_steps: int = 4) -> ReferenceFire:
+    """An unburnable river crossed through a single ford (deceptive)."""
+    terrain = Terrain.with_river(
+        size,
+        size,
+        river_col=size // 2,
+        width=2,
+        gap_row=size // 2,
+        cell_size=30.0,
+    )
+    scenario = _base_scenario(wind_speed=12.0)
+    return make_reference_fire(
+        terrain,
+        scenario,
+        ignition=[(size // 2, size // 5)],
+        n_steps=n_steps,
+        step_minutes=30.0,
+        description=f"river with ford {size}x{size}, {n_steps} steps",
+    )
+
+
+#: Name → builder registry used by examples and benches.
+CASE_BUILDERS: dict[str, Callable[..., ReferenceFire]] = {
+    "grassland": grassland_case,
+    "heterogeneous": heterogeneous_case,
+    "dynamic_wind": dynamic_wind_case,
+    "river_gap": river_gap_case,
+}

@@ -1,0 +1,126 @@
+"""A simulator-free deceptive fitness landscape over the Table I box.
+
+§II-C: "an objective function is deceptive with respect to a given
+algorithm when the combination ... of solutions of high fitness leads to
+solutions of lower fitness and vice versa". This landscape realises the
+classic trap structure in the scenario space:
+
+* only a few **active coordinates** matter (default: ``WindSpd`` and
+  ``WindDir`` — the two the fire physics is most sensitive to);
+* a **narrow global peak** (fitness up to 1.0) around a hidden optimum
+  in the active subspace, of normalised radius ``peak_width``;
+* a **deceptive slope** everywhere else whose gradient points *away*
+  from the peak — fitness grows with active-distance from the optimum,
+  topping out at ``trap_height`` < 1.
+
+A fitness-guided search follows the slope away from the peak and
+plateaus at the trap height; Novelty Search ignores the slope — its
+population keeps spraying across behaviour (fitness) levels, so its
+genotypes never concentrate in the trap corner, and its ``bestSet``
+*remembers* a peak hit the moment one occurs (the §II-C point that
+conventional metaheuristics "may lose high fitness solutions in
+intermediate iterations" while NS keeps a memory of the best).
+
+The landscape is a :class:`~repro.parallel.executor.BatchProblem`, so it
+plugs into every evaluator and algorithm exactly like the wildfire
+problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scenario import ParameterSpace
+from repro.errors import WorkloadError
+from repro.rng import ensure_rng
+
+__all__ = ["DeceptiveLandscape"]
+
+
+class DeceptiveLandscape:
+    """Trap landscape with a hidden optimum in the scenario space.
+
+    Parameters
+    ----------
+    space:
+        The genome space (defaults to Table I).
+    optimum:
+        Hidden optimum genome; sampled uniformly when omitted.
+    active_dims:
+        Coordinates the fitness depends on (default ``(1, 2)``:
+        WindSpd, WindDir). Fewer active dims → geometrically findable
+        peak; the trap stays deceptive regardless.
+    peak_width:
+        Normalised active-distance radius of the global peak
+        (0 < w < 0.5).
+    trap_height:
+        Fitness attained at the deceptive far end (0 < h < 1).
+    rng:
+        Used only to sample a random optimum.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace | None = None,
+        optimum: np.ndarray | None = None,
+        active_dims: tuple[int, ...] = (1, 2),
+        peak_width: float = 0.03,
+        trap_height: float = 0.6,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.space = space or ParameterSpace()
+        if optimum is None:
+            optimum = self.space.sample(1, ensure_rng(rng))[0]
+        optimum = np.asarray(optimum, dtype=np.float64)
+        if optimum.shape != (self.space.dimension,):
+            raise WorkloadError(
+                f"optimum shape {optimum.shape} != ({self.space.dimension},)"
+            )
+        if not active_dims:
+            raise WorkloadError("need at least one active dimension")
+        if any(not (0 <= j < self.space.dimension) for j in active_dims):
+            raise WorkloadError(
+                f"active_dims {active_dims} outside 0..{self.space.dimension - 1}"
+            )
+        if not (0.0 < peak_width < 0.5):
+            raise WorkloadError(f"peak_width must be in (0, 0.5), got {peak_width}")
+        if not (0.0 < trap_height < 1.0):
+            raise WorkloadError(f"trap_height must be in (0, 1), got {trap_height}")
+        self.optimum = optimum
+        self.active_dims = tuple(active_dims)
+        self.peak_width = peak_width
+        self.trap_height = trap_height
+
+    # ------------------------------------------------------------------
+    def distance_to_optimum(self, genomes: np.ndarray) -> np.ndarray:
+        """Mean normalised distance to the optimum over the active dims.
+
+        Circular parameters (e.g. WindDir) use wrap-around distance.
+        """
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        total = np.zeros(genomes.shape[0])
+        for j in self.active_dims:
+            spec = self.space.specs[j]
+            d = np.abs(genomes[:, j] - self.optimum[j])
+            if spec.circular:
+                d = np.minimum(d, spec.span - d)
+            total += d / spec.span
+        return total / len(self.active_dims)
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Trap fitness of each genome (see module docstring)."""
+        d = self.distance_to_optimum(genomes)
+        on_peak = d < self.peak_width
+        # 1.0 at the optimum, 0.8 at the peak rim.
+        peak = 1.0 - (d / self.peak_width) * 0.2
+        # Deceptive slope: grows with distance, saturating at the trap
+        # height near the far end of the active subspace (max distance
+        # for a circular+linear pair is ~0.75; 0.5 keeps a live
+        # gradient over most of the box).
+        trap = self.trap_height * np.minimum(d / 0.5, 1.0)
+        return np.where(on_peak, peak, trap)
+
+    def solved_by(self, genomes: np.ndarray, threshold: float | None = None) -> bool:
+        """Whether any genome scores above every off-peak fitness."""
+        threshold = self.trap_height if threshold is None else threshold
+        return bool((self.evaluate_batch(genomes) > threshold).any())

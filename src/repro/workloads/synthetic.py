@@ -1,0 +1,204 @@
+"""Synthetic reference fires — the stand-in for real burned maps.
+
+A :class:`ReferenceFire` holds what the prediction systems are allowed
+to see: the terrain and the sequence of really-burned regions at the
+prediction instants t₀ < t₁ < … < t_T (the filled interiors of the
+RFL_t fire lines). It is produced by simulating a *hidden* true
+scenario; the true scenario is stored only for analysis and is never
+read by any system.
+
+Two generation modes:
+
+* **static** — one true scenario drives the whole fire (the classic
+  lineage benchmark).
+* **dynamic** — a per-step scenario schedule (e.g. a wind shift halfway
+  through) models the "rapidly changing conditions" the paper's §IV
+  names as the hard case for fitness-only result harvesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.scenario import Scenario
+from repro.errors import WorkloadError
+from repro.firelib.simulator import FireSimulator
+from repro.grid.terrain import Terrain
+
+__all__ = ["ReferenceFire", "make_reference_fire"]
+
+
+@dataclass(frozen=True)
+class ReferenceFire:
+    """The ground truth a prediction run is scored against.
+
+    Attributes
+    ----------
+    terrain:
+        The landscape (shared with the predictors).
+    instants:
+        Monotonically increasing times in minutes; ``instants[0]`` is
+        the observation start (its mask is the initial burned region).
+    burned_masks:
+        ``burned_masks[i]`` is the really-burned region at
+        ``instants[i]`` (boolean, terrain-shaped). Masks are
+        monotonically non-decreasing (fire does not unburn).
+    true_scenarios:
+        The hidden scenario driving each step (``len == n_steps``);
+        analysis-only.
+    description:
+        Human-readable provenance.
+    """
+
+    terrain: Terrain
+    instants: tuple[float, ...]
+    burned_masks: tuple[np.ndarray, ...]
+    true_scenarios: tuple[Scenario, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.instants) < 2:
+            raise WorkloadError("a reference fire needs at least two instants")
+        if len(self.burned_masks) != len(self.instants):
+            raise WorkloadError(
+                f"{len(self.burned_masks)} masks for {len(self.instants)} instants"
+            )
+        if len(self.true_scenarios) != self.n_steps:
+            raise WorkloadError(
+                f"{len(self.true_scenarios)} scenarios for {self.n_steps} steps"
+            )
+        times = np.asarray(self.instants, dtype=np.float64)
+        if not (np.diff(times) > 0).all():
+            raise WorkloadError(f"instants must strictly increase: {self.instants}")
+        prev = None
+        for i, mask in enumerate(self.burned_masks):
+            m = np.asarray(mask, dtype=bool)
+            if m.shape != self.terrain.shape:
+                raise WorkloadError(
+                    f"mask {i} shape {m.shape} != terrain {self.terrain.shape}"
+                )
+            if prev is not None and (prev & ~m).any():
+                raise WorkloadError(f"burned region shrank between instants {i-1} and {i}")
+            prev = m
+
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        """Number of prediction steps (= len(instants) − 1)."""
+        return len(self.instants) - 1
+
+    def step_horizon(self, step: int) -> float:
+        """Duration in minutes of 1-based step ``step``."""
+        self._check_step(step)
+        return float(self.instants[step] - self.instants[step - 1])
+
+    def start_mask(self, step: int) -> np.ndarray:
+        """Burned region at the start of 1-based step ``step``."""
+        self._check_step(step)
+        return np.asarray(self.burned_masks[step - 1], dtype=bool)
+
+    def real_mask(self, step: int) -> np.ndarray:
+        """Really-burned region at the end of 1-based step ``step``."""
+        self._check_step(step)
+        return np.asarray(self.burned_masks[step], dtype=bool)
+
+    def growth_cells(self, step: int) -> int:
+        """Cells newly burned during the step (the prediction target)."""
+        return int((self.real_mask(step) & ~self.start_mask(step)).sum())
+
+    def _check_step(self, step: int) -> None:
+        if not (1 <= step <= self.n_steps):
+            raise WorkloadError(
+                f"step must be in 1..{self.n_steps}, got {step}"
+            )
+
+
+def make_reference_fire(
+    terrain: Terrain,
+    true_scenario: Scenario | Sequence[Scenario],
+    ignition: Sequence[tuple[int, int]],
+    n_steps: int,
+    step_minutes: float,
+    n_neighbors: int = 8,
+    description: str = "",
+) -> ReferenceFire:
+    """Simulate the hidden truth and slice it into step masks.
+
+    Parameters
+    ----------
+    terrain:
+        The landscape.
+    true_scenario:
+        Either one scenario (static conditions) or one per step
+        (dynamic conditions — each step re-simulates from the previous
+        mask under its own scenario).
+    ignition:
+        Ignition cells at t=0.
+    n_steps:
+        Number of prediction steps (≥ 2 so at least one PS happens).
+    step_minutes:
+        Uniform step duration.
+
+    Raises
+    ------
+    WorkloadError
+        If the true fire fails to grow in some step (a degenerate
+        reference that would make every prediction vacuously perfect),
+        or if it saturates the whole grid (no frontier left to
+        predict).
+    """
+    if n_steps < 2:
+        raise WorkloadError(f"n_steps must be >= 2, got {n_steps}")
+    if step_minutes <= 0:
+        raise WorkloadError(f"step_minutes must be positive, got {step_minutes}")
+    scenarios: list[Scenario]
+    if isinstance(true_scenario, Scenario):
+        scenarios = [true_scenario] * n_steps
+    else:
+        scenarios = list(true_scenario)
+        if len(scenarios) != n_steps:
+            raise WorkloadError(
+                f"{len(scenarios)} scenarios for {n_steps} steps"
+            )
+
+    sim = FireSimulator(terrain, n_neighbors=n_neighbors)
+    masks: list[np.ndarray] = []
+    initial = np.zeros(terrain.shape, dtype=bool)
+    blocked = terrain.blocked_mask()
+    for r, c in ignition:
+        if not terrain.contains(r, c):
+            raise WorkloadError(f"ignition cell {(r, c)} outside the terrain")
+        if blocked[r, c]:
+            raise WorkloadError(f"ignition cell {(r, c)} is unburnable")
+        initial[r, c] = True
+    masks.append(initial)
+
+    burned = initial
+    for step, scenario in enumerate(scenarios, start=1):
+        result = sim.simulate_from_burned(scenario, burned, step_minutes)
+        new_burned = result.burned() | burned
+        if new_burned.sum() == burned.sum():
+            raise WorkloadError(
+                f"the true fire did not grow during step {step}; pick a "
+                "more flammable true scenario or longer steps"
+            )
+        burnable = (~blocked).sum()
+        if new_burned.sum() >= burnable:
+            raise WorkloadError(
+                f"the true fire saturated the grid at step {step}; use a "
+                "larger terrain or shorter steps"
+            )
+        masks.append(new_burned)
+        burned = new_burned
+
+    instants = tuple(step_minutes * i for i in range(n_steps + 1))
+    return ReferenceFire(
+        terrain=terrain,
+        instants=instants,
+        burned_masks=tuple(masks),
+        true_scenarios=tuple(scenarios),
+        description=description,
+    )

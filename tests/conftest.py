@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Everything is deliberately small (grids ≤ 36², few generations) so the
+full suite runs in well under a minute; the benchmarks exercise
+realistic sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import ParameterSpace, Scenario
+from repro.grid.terrain import Terrain
+from repro.systems.problem import PredictionStepProblem
+from repro.workloads.synthetic import ReferenceFire, make_reference_fire
+
+
+@pytest.fixture(scope="session")
+def space() -> ParameterSpace:
+    """The Table I parameter space."""
+    return ParameterSpace()
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A moderate, spreading scenario."""
+    return Scenario(
+        model=1,
+        wind_speed=8.0,
+        wind_dir=90.0,
+        m1=6.0,
+        m10=8.0,
+        m100=10.0,
+        mherb=60.0,
+        slope=5.0,
+        aspect=270.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def wet_scenario(scenario: Scenario) -> Scenario:
+    """A scenario too wet to spread."""
+    return scenario.replace(m1=60.0, m10=60.0, m100=60.0, mherb=300.0)
+
+
+@pytest.fixture(scope="session")
+def terrain() -> Terrain:
+    """Small homogeneous terrain."""
+    return Terrain.uniform(24, 24, cell_size=30.0)
+
+
+@pytest.fixture(scope="session")
+def small_fire(terrain: Terrain, scenario: Scenario) -> ReferenceFire:
+    """A 3-step synthetic reference fire on the small terrain."""
+    return make_reference_fire(
+        terrain,
+        scenario,
+        ignition=[(12, 6)],
+        n_steps=3,
+        step_minutes=15.0,
+        description="test fire",
+    )
+
+
+@pytest.fixture()
+def step1_problem(small_fire: ReferenceFire) -> PredictionStepProblem:
+    """The step-1 evaluation problem of the small fire."""
+    return PredictionStepProblem(
+        terrain=small_fire.terrain,
+        start_burned=small_fire.start_mask(1),
+        real_burned=small_fire.real_mask(1),
+        horizon=small_fire.step_horizon(1),
+    )
+
+
+class ToyDistanceProblem:
+    """Picklable toy problem: fitness = 1 − distance to a target genome."""
+
+    def __init__(self, target: np.ndarray) -> None:
+        self.target = np.asarray(target, dtype=np.float64)
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        space = ParameterSpace()
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        return 1.0 - np.asarray(
+            [space.distance(g, self.target) for g in genomes]
+        )
+
+
+@pytest.fixture(scope="session")
+def toy_problem() -> ToyDistanceProblem:
+    """Session-wide toy problem with a fixed hidden target."""
+    return ToyDistanceProblem(ParameterSpace().sample(1, 12345)[0])

@@ -1,0 +1,173 @@
+"""Tests for diversity metrics, run comparisons and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diversity import (
+    behavioural_diversity,
+    diversity_series,
+    genotypic_diversity,
+)
+from repro.analysis.metrics import compare_runs, speedup_table
+from repro.analysis.reporting import format_comparison, format_run, format_table
+from repro.core.individual import Individual
+from repro.ea.history import EvolutionHistory, GenerationRecord
+from repro.errors import ReproError
+from repro.parallel.timing import StageTimings
+from repro.systems.results import RunResult, StepResult
+
+
+def _pop(space, n, seed=0, fitness=None):
+    genomes = space.sample(n, seed)
+    return [
+        Individual(genome=g, fitness=(fitness[i] if fitness else 0.5))
+        for i, g in enumerate(genomes)
+    ]
+
+
+class TestGenotypicDiversity:
+    def test_clones_have_zero(self, space):
+        g = space.sample(1, 0)[0]
+        pop = [Individual(genome=g.copy(), fitness=0.5) for _ in range(5)]
+        assert genotypic_diversity(pop, space) == 0.0
+
+    def test_spread_positive(self, space):
+        assert genotypic_diversity(_pop(space, 10, 1), space) > 0
+
+    def test_single_individual_zero(self, space):
+        assert genotypic_diversity(_pop(space, 1), space) == 0.0
+
+    def test_accepts_matrix(self, space):
+        assert genotypic_diversity(space.sample(5, 2), space) > 0
+
+    def test_empty_raises(self, space):
+        with pytest.raises(ReproError):
+            genotypic_diversity([], space)
+
+
+class TestBehaviouralDiversity:
+    def test_equal_fitness_zero(self, space):
+        pop = _pop(space, 4, fitness=[0.5] * 4)
+        assert behavioural_diversity(pop) == 0.0
+
+    def test_two_levels(self, space):
+        pop = _pop(space, 2, fitness=[0.2, 0.8])
+        assert behavioural_diversity(pop) == pytest.approx(0.6)
+
+    def test_single_zero(self, space):
+        assert behavioural_diversity(_pop(space, 1, fitness=[0.4])) == 0.0
+
+
+class TestDiversitySeries:
+    def test_keys_and_lengths(self):
+        h = EvolutionHistory()
+        for g in (1, 2):
+            h.append(
+                GenerationRecord(
+                    generation=g,
+                    max_fitness=0.5,
+                    mean_fitness=0.4,
+                    fitness_iqr=0.1,
+                    mean_novelty=0.2,
+                    genotypic_diversity=0.3,
+                    archive_size=5,
+                    best_set_size=3,
+                    evaluations=g * 10,
+                )
+            )
+        series = diversity_series(h)
+        assert set(series) == {
+            "generation",
+            "genotypic_diversity",
+            "fitness_iqr",
+            "max_fitness",
+        }
+        assert all(len(v) == 2 for v in series.values())
+
+
+def _run(name, qualities):
+    run = RunResult(system=name)
+    for i, q in enumerate(qualities, start=1):
+        run.steps.append(
+            StepResult(
+                step=i,
+                kign=0.3,
+                calibration_fitness=0.8,
+                prediction_quality=q,
+                best_scenario_fitness=0.7,
+                n_solutions=10,
+                evaluations=100,
+                timings=StageTimings({"os": 1.0}),
+            )
+        )
+    return run
+
+
+class TestCompareRuns:
+    def test_alignment(self):
+        cmp = compare_runs(
+            [
+                _run("A", [float("nan"), 0.4, 0.6]),
+                _run("B", [float("nan"), 0.5, 0.7]),
+            ]
+        )
+        assert cmp.systems == ("A", "B")
+        assert cmp.steps == (2, 3)
+        assert cmp.quality.shape == (2, 2)
+        assert cmp.winner() == "B"
+
+    def test_margin_over(self):
+        cmp = compare_runs(
+            [_run("A", [float("nan"), 0.4]), _run("B", [float("nan"), 0.8])]
+        )
+        assert cmp.margin_over("A") == pytest.approx(2.0)
+        with pytest.raises(ReproError):
+            cmp.margin_over("C")
+
+    def test_mismatched_steps_raise(self):
+        with pytest.raises(ReproError):
+            compare_runs([_run("A", [0.1]), _run("B", [0.1, 0.2])])
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            compare_runs([])
+
+
+class TestSpeedupTable:
+    def test_rows(self):
+        rows = speedup_table(10.0, {2: 6.0, 4: 3.0})
+        assert rows[0] == {
+            "workers": 1,
+            "seconds": 10.0,
+            "speedup": 1.0,
+            "efficiency": 1.0,
+        }
+        assert rows[1]["speedup"] == pytest.approx(1.667, abs=1e-3)
+        assert rows[2]["efficiency"] == pytest.approx(0.833, abs=1e-3)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        txt = format_table(["a", "bb"], [[1, 2.5], [None, float("nan")]])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "—" in lines[3]
+
+    def test_format_table_markdown(self):
+        txt = format_table(["x"], [[1]], markdown=True)
+        assert txt.splitlines()[1].startswith("| -")
+
+    def test_format_run(self):
+        txt = format_run(_run("ESS-NS", [float("nan"), 0.5]))
+        assert "ESS-NS" in txt
+        assert "Kign" in txt
+
+    def test_format_comparison(self):
+        cmp = compare_runs(
+            [_run("A", [float("nan"), 0.4]), _run("B", [float("nan"), 0.8])]
+        )
+        txt = format_comparison(cmp)
+        assert "winner: B" in txt
+        assert "step 2" in txt

@@ -1,0 +1,115 @@
+"""Tests for the derived fire-behaviour outputs (Byram/Van Wagner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.firelib.behavior import (
+    FireBehavior,
+    behavior_at_head,
+    fireline_intensity,
+    flame_length,
+    heat_per_unit_area,
+    reaction_intensity,
+    residence_time,
+    scorch_height,
+)
+from repro.firelib.moisture import Moisture
+from repro.firelib.rothermel import spread
+
+DRY = Moisture.from_percent(5, 6, 8, 50)
+DAMP = Moisture.from_percent(11, 12, 13, 90)
+
+
+class TestReactionIntensity:
+    @pytest.mark.parametrize("code", range(1, 14))
+    def test_positive_when_dry(self, code):
+        assert reaction_intensity(code, DRY) > 0
+
+    def test_zero_above_extinction(self):
+        soaked = Moisture.from_percent(40, 40, 40, 250)
+        assert reaction_intensity(1, soaked) == 0.0
+
+    def test_wetter_is_weaker(self):
+        assert reaction_intensity(1, DRY) > reaction_intensity(1, DAMP)
+
+    def test_heavy_slash_most_intense(self):
+        # model 13 carries far more fuel than model 1
+        assert reaction_intensity(13, DRY) > reaction_intensity(1, DRY)
+
+
+class TestResidenceAndHPA:
+    def test_residence_time_finer_fuel_shorter(self):
+        # model 1 (sigma 3500) burns out faster than model 13 (sigma ~1500s)
+        assert residence_time(1) < residence_time(13)
+
+    def test_hpa_composition(self):
+        hpa = heat_per_unit_area(4, DRY)
+        assert hpa == pytest.approx(
+            reaction_intensity(4, DRY) * residence_time(4)
+        )
+
+
+class TestByram:
+    def test_fireline_intensity_linear_in_ros(self):
+        assert fireline_intensity(600.0, 20.0) == pytest.approx(200.0)
+        assert fireline_intensity(600.0, 40.0) == pytest.approx(400.0)
+
+    def test_negative_hpa_raises(self):
+        with pytest.raises(SimulationError):
+            fireline_intensity(-1.0, 5.0)
+
+    def test_flame_length_monotone(self):
+        lengths = [flame_length(i) for i in (10, 100, 1000)]
+        assert lengths[0] < lengths[1] < lengths[2]
+
+    def test_flame_length_magnitude(self):
+        # Byram: 100 Btu/ft/s ≈ 3.7 ft flame
+        assert flame_length(100.0) == pytest.approx(0.45 * 100**0.46, rel=1e-9)
+        assert 3.0 < flame_length(100.0) < 5.0
+
+    def test_zero_intensity_zero_flame(self):
+        assert flame_length(0.0) == 0.0
+
+    def test_array_support(self):
+        out = flame_length(np.array([0.0, 100.0]))
+        assert out.shape == (2,)
+
+
+class TestScorch:
+    def test_zero_intensity_no_scorch(self):
+        assert scorch_height(0.0) == 0.0
+
+    def test_monotone_in_intensity(self):
+        a = scorch_height(50.0)
+        b = scorch_height(500.0)
+        assert b > a > 0
+
+    def test_hotter_air_scorches_higher(self):
+        assert scorch_height(100.0, air_temp_f=95.0) > scorch_height(
+            100.0, air_temp_f=60.0
+        )
+
+    def test_lethal_air_temperature_raises(self):
+        with pytest.raises(SimulationError):
+            scorch_height(100.0, air_temp_f=140.0)
+
+
+class TestBehaviorAtHead:
+    def test_bundle_consistent(self):
+        result = spread(1, DRY, 10.0, 0.0, 0.0, 0.0)
+        b = behavior_at_head(1, DRY, result, wind_speed_mph=10.0)
+        assert isinstance(b, FireBehavior)
+        assert b.fireline_intensity_btu_ft_s == pytest.approx(
+            b.heat_per_unit_area_btu_ft2 * result.ros_max / 60.0
+        )
+        assert b.flame_length_ft > 0
+        assert b.scorch_height_ft > 0
+
+    def test_windier_fire_more_intense(self):
+        slow = behavior_at_head(1, DRY, spread(1, DRY, 2.0, 0.0, 0.0, 0.0), 2.0)
+        fast = behavior_at_head(1, DRY, spread(1, DRY, 15.0, 0.0, 0.0, 0.0), 15.0)
+        assert fast.fireline_intensity_btu_ft_s > slow.fireline_intensity_btu_ft_s
+        assert fast.flame_length_ft > slow.flame_length_ft

@@ -1,0 +1,65 @@
+"""Tests for the canonical benchmark cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.cases import (
+    CASE_BUILDERS,
+    dynamic_wind_case,
+    grassland_case,
+    heterogeneous_case,
+    river_gap_case,
+)
+
+
+class TestRegistry:
+    def test_four_cases(self):
+        assert set(CASE_BUILDERS) == {
+            "grassland",
+            "heterogeneous",
+            "dynamic_wind",
+            "river_gap",
+        }
+
+    @pytest.mark.parametrize("name", sorted(CASE_BUILDERS))
+    def test_every_case_builds_and_grows(self, name):
+        fire = CASE_BUILDERS[name](size=36, n_steps=2)
+        assert fire.n_steps == 2
+        assert fire.terrain.shape == (36, 36)
+        for step in (1, 2):
+            assert fire.growth_cells(step) > 0
+        assert fire.description
+
+
+class TestCaseProperties:
+    def test_grassland_homogeneous(self):
+        fire = grassland_case(size=36, n_steps=2)
+        assert fire.terrain.fuel is None
+        assert fire.terrain.unburnable is None
+
+    def test_heterogeneous_has_fuel_patches(self):
+        fire = heterogeneous_case(size=36, n_steps=2)
+        assert fire.terrain.fuel is not None
+        assert len(np.unique(fire.terrain.fuel)) >= 2
+
+    def test_dynamic_wind_changes_scenario(self):
+        fire = dynamic_wind_case(size=36, n_steps=4)
+        dirs = {s.wind_dir for s in fire.true_scenarios}
+        assert dirs == {90.0, 180.0}
+        # same scenario within each half
+        assert fire.true_scenarios[0] == fire.true_scenarios[1]
+        assert fire.true_scenarios[2] == fire.true_scenarios[3]
+
+    def test_river_gap_blocks_most_of_column(self):
+        fire = river_gap_case(size=36, n_steps=2)
+        blocked = fire.terrain.blocked_mask()
+        river_col = 18
+        assert blocked[:, river_col].sum() == 35  # all but the ford
+
+    def test_deterministic_construction(self):
+        a = grassland_case(size=36, n_steps=2)
+        b = grassland_case(size=36, n_steps=2)
+        for ma, mb in zip(a.burned_masks, b.burned_masks):
+            assert np.array_equal(ma, mb)

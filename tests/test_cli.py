@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_system, main
+from repro.systems import ESS, ESSIMDE, ESSIMEA, ESSNS, ESSNSIM
+from repro.systems.results import RunResult
+
+
+class TestBuildSystem:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ess", ESS),
+            ("ess-ns", ESSNS),
+            ("essim-ea", ESSIMEA),
+            ("essim-de", ESSIMDE),
+            ("essns-im", ESSNSIM),
+        ],
+    )
+    def test_all_names(self, name, cls):
+        system = build_system(name, population=8, generations=2)
+        assert isinstance(system, cls)
+
+    def test_unknown_name_exits(self):
+        with pytest.raises(SystemExit):
+            build_system("bogus")
+
+    def test_workers_forwarded(self):
+        assert build_system("ess", n_workers=3).n_workers == 3
+
+
+class TestSimulateCommand:
+    def test_prints_stats(self, capsys):
+        rc = main(["simulate", "--size", "30", "--minutes", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "burned cells:" in out
+        assert "ft/min" in out
+
+    def test_wet_inputs(self, capsys):
+        rc = main(
+            ["simulate", "--size", "30", "--minutes", "20", "--m1", "55",
+             "--mherb", "290", "--wind-speed", "0"]
+        )
+        assert rc == 0
+        assert "burned cells: 1 /" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_table(self, capsys):
+        rc = main(
+            ["run", "ess-ns", "--size", "28", "--steps", "2",
+             "--population", "8", "--generations", "2", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ESS-NS" in out
+        assert "Kign" in out
+
+    def test_run_saves_json(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        rc = main(
+            ["run", "ess", "--size", "28", "--steps", "2",
+             "--population", "8", "--generations", "2", "--output", str(path)]
+        )
+        assert rc == 0
+        loaded = RunResult.load_json(path)
+        assert loaded.system == "ESS"
+        assert len(loaded.steps) == 2
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys):
+        rc = main(
+            ["compare", "--systems", "ess,ess-ns", "--size", "28",
+             "--steps", "2", "--population", "8", "--generations", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "ESS" in out and "ESS-NS" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSerializationRoundtrip:
+    def test_run_result_roundtrip(self, tmp_path, small_fire):
+        from repro.ea.ga import GAConfig
+        from repro.systems import ESSConfig
+
+        run = ESS(
+            ESSConfig(ga=GAConfig(population_size=8), max_generations=2)
+        ).run(small_fire, rng=0)
+        path = tmp_path / "r.json"
+        run.save_json(path)
+        back = RunResult.load_json(path)
+        assert back.system == run.system
+        assert np.array_equal(back.qualities(), run.qualities(), equal_nan=True)
+        assert back.total_evaluations() == run.total_evaluations()
+        for a, b in zip(run.steps, back.steps):
+            assert a.kign == b.kign
+            assert a.timings.seconds == pytest.approx(b.timings.seconds)
+
+    def test_malformed_payload_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            RunResult.from_dict({"no": "steps"})

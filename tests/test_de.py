@@ -1,0 +1,131 @@
+"""Tests for differential evolution (ESSIM-DE engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Individual
+from repro.ea.de import DEConfig, DifferentialEvolution, _distinct_donors
+from repro.ea.termination import Termination
+from repro.errors import EvolutionError
+from repro.parallel.executor import SerialEvaluator
+
+TERM = Termination(max_generations=10, fitness_threshold=0.99)
+
+
+def _run(problem, space, seed=0, term=TERM, **cfg):
+    defaults = dict(population_size=20)
+    defaults.update(cfg)
+    return DifferentialEvolution(DEConfig(**defaults)).run(
+        SerialEvaluator(problem), space, term, rng=seed
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 3},
+            {"differential_weight": 0.0},
+            {"differential_weight": 2.5},
+            {"crossover_probability": -0.1},
+            {"strategy": "bogus"},
+        ],
+    )
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(EvolutionError):
+            DEConfig(**kwargs)
+
+
+class TestDistinctDonors:
+    @pytest.mark.parametrize("n", [4, 5, 10, 50])
+    def test_rows_distinct_and_exclude_target(self, n):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            donors = _distinct_donors(n, rng)
+            assert donors.shape == (n, 3)
+            for i in range(n):
+                row = set(donors[i])
+                assert len(row) == 3
+                assert i not in row
+                assert all(0 <= v < n for v in row)
+
+
+class TestDERun:
+    def test_improves(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert result.best.fitness > 0.75
+
+    def test_greedy_selection_never_degrades(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        mx = result.history.series("max_fitness")
+        assert (np.diff(mx) >= -1e-12).all()
+
+    def test_deterministic(self, toy_problem, space):
+        a = _run(toy_problem, space, seed=4)
+        b = _run(toy_problem, space, seed=4)
+        assert np.array_equal(a.best.genome, b.best.genome)
+
+    def test_best_strategy_runs(self, toy_problem, space):
+        result = _run(toy_problem, space, strategy="best/1/bin")
+        assert result.best.fitness > 0.75
+
+    def test_population_stays_in_box(self, toy_problem, space):
+        result = _run(toy_problem, space, differential_weight=1.9)
+        for ind in result.population:
+            space.validate(ind.genome)
+
+    def test_evaluation_count(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert result.evaluations == 20 + 10 * 20
+
+    def test_threshold_stops_early(self, toy_problem, space):
+        term = Termination(max_generations=60, fitness_threshold=0.5)
+        result = _run(toy_problem, space, term=term)
+        assert "threshold" in result.stop_reason
+
+    def test_initial_population(self, toy_problem, space):
+        pop = [Individual(genome=g) for g in space.sample(20, 77)]
+        result = DifferentialEvolution(DEConfig(population_size=20)).run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=2),
+            rng=0,
+            initial_population=pop,
+        )
+        assert len(result.history) == 2
+
+    def test_wrong_initial_size_raises(self, toy_problem, space):
+        with pytest.raises(EvolutionError):
+            DifferentialEvolution(DEConfig(population_size=20)).run(
+                SerialEvaluator(toy_problem),
+                space,
+                TERM,
+                initial_population=[Individual(genome=space.sample(1, 0)[0])],
+            )
+
+    def test_observer_called(self, toy_problem, space):
+        seen = []
+        DifferentialEvolution(DEConfig(population_size=8)).run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=2),
+            rng=0,
+            observer=lambda gen, pop: seen.append(gen),
+        )
+        assert seen == [1, 2]
+
+    def test_de_converges_harder_than_ns(self, toy_problem, space):
+        """§II-B: DE is the most convergence-prone engine in the lineage."""
+        from repro.ea.nsga import NoveltyGA, NoveltyGAConfig
+
+        term = Termination(max_generations=15)
+        de = _run(toy_problem, space, seed=2, term=term)
+        ns = NoveltyGA(
+            NoveltyGAConfig(population_size=20, k_neighbors=5)
+        ).run(SerialEvaluator(toy_problem), space, term, rng=2)
+        assert (
+            de.history.records[-1].genotypic_diversity
+            < ns.history.records[-1].genotypic_diversity
+        )

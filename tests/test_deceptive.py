@@ -1,0 +1,119 @@
+"""Tests for the deceptive trap landscape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import ParameterSpace
+from repro.errors import WorkloadError
+from repro.workloads.deceptive import DeceptiveLandscape
+
+
+class TestConstruction:
+    def test_defaults(self, space):
+        land = DeceptiveLandscape(space, rng=0)
+        assert land.active_dims == (1, 2)
+        assert 0 < land.peak_width < 0.5
+        assert 0 < land.trap_height < 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"peak_width": 0.0},
+            {"peak_width": 0.6},
+            {"trap_height": 0.0},
+            {"trap_height": 1.0},
+            {"active_dims": ()},
+            {"active_dims": (99,)},
+            {"optimum": np.zeros(3)},
+        ],
+    )
+    def test_invalid_raises(self, space, kwargs):
+        with pytest.raises(WorkloadError):
+            DeceptiveLandscape(space, rng=0, **kwargs)
+
+
+class TestFitnessStructure:
+    def test_optimum_scores_one(self, space):
+        land = DeceptiveLandscape(space, rng=1)
+        assert land.evaluate_batch(land.optimum[None, :])[0] == pytest.approx(1.0)
+
+    def test_peak_beats_trap(self, space):
+        land = DeceptiveLandscape(space, rng=1)
+        # any point on the peak scores at least 0.8 > trap_height
+        g = land.optimum.copy()
+        g[1] += 0.5  # tiny WindSpd nudge (span 80 → distance ~0.003)
+        f = land.evaluate_batch(g[None, :])[0]
+        assert f > land.trap_height
+
+    def test_gradient_points_away(self, space):
+        """The defining property: off the peak, farther is fitter."""
+        land = DeceptiveLandscape(space, rng=2)
+        g_near = land.optimum.copy()
+        g_far = land.optimum.copy()
+        # move in the WindSpd coordinate, staying off-peak
+        span = 80.0
+        direction = 1.0 if land.optimum[1] < 40 else -1.0
+        g_near[1] += direction * 0.15 * span
+        g_far[1] += direction * 0.35 * span
+        f_near, f_far = land.evaluate_batch(np.stack([g_near, g_far]))
+        assert f_far > f_near
+
+    def test_inactive_dims_ignored(self, space):
+        land = DeceptiveLandscape(space, rng=3)
+        a = land.optimum.copy()
+        b = land.optimum.copy()
+        b[5] = 60.0 if a[5] < 30 else 1.0  # change M100 only
+        fa, fb = land.evaluate_batch(np.stack([a, b]))
+        assert fa == pytest.approx(fb)
+
+    def test_circular_active_dim(self, space):
+        # WindDir is circular: 359° and 1° are 2° apart.
+        land = DeceptiveLandscape(
+            space, optimum=np.array([7, 40, 0, 30, 30, 30, 150, 40, 180], float),
+            rng=0,
+        )
+        near = np.array([7, 40, 358, 30, 30, 30, 150, 40, 180], float)
+        d = land.distance_to_optimum(near[None, :])[0]
+        assert d < 0.01
+
+    def test_fitness_bounds(self, space):
+        land = DeceptiveLandscape(space, rng=4)
+        f = land.evaluate_batch(space.sample(200, 5))
+        assert (f >= 0).all() and (f <= 1).all()
+
+    def test_solved_by(self, space):
+        land = DeceptiveLandscape(space, rng=6)
+        assert land.solved_by(land.optimum[None, :])
+        # a mid-trap point does not solve it
+        far = space.sample(1, 7)
+        if land.distance_to_optimum(far)[0] > land.peak_width:
+            assert not land.solved_by(far)
+
+
+class TestDeceptionEffect:
+    def test_fitness_guided_search_traps(self, space):
+        """GA with local mutation plateaus at/below the trap height more
+        often than Algorithm 1 — the §II-C motivation in one assert."""
+        from repro.ea.ga import GAConfig, GeneticAlgorithm
+        from repro.ea.nsga import NoveltyGA, NoveltyGAConfig
+        from repro.ea.termination import Termination
+        from repro.parallel.executor import SerialEvaluator
+
+        term = Termination(max_generations=25, fitness_threshold=0.99)
+        ga_escapes = ns_escapes = 0
+        for trial in range(4):
+            land = DeceptiveLandscape(space, rng=20_000 + trial)
+            ev = SerialEvaluator(land)
+            ga = GeneticAlgorithm(
+                GAConfig(population_size=24, mutation="gaussian")
+            ).run(ev, space, term, rng=trial)
+            ns = NoveltyGA(
+                NoveltyGAConfig(
+                    population_size=24, k_neighbors=8, mutation="gaussian"
+                )
+            ).run(ev, space, term, rng=trial)
+            ga_escapes += ga.best.fitness > land.trap_height
+            ns_escapes += ns.best_set.max_fitness() > land.trap_height
+        assert ns_escapes >= ga_escapes

@@ -1,0 +1,87 @@
+"""Tests for the elliptical growth model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.firelib.ellipse import (
+    backing_ros,
+    eccentricity_from_effective_wind,
+    flanking_ros,
+    length_to_width_ratio,
+    ros_at_azimuth,
+)
+
+
+class TestLengthToWidth:
+    def test_zero_wind_is_circle(self):
+        assert length_to_width_ratio(0.0) == 1.0
+
+    def test_monotone_in_wind(self):
+        winds = [0.0, 100.0, 500.0, 2000.0]
+        lwrs = [length_to_width_ratio(w) for w in winds]
+        assert all(a <= b for a, b in zip(lwrs, lwrs[1:]))
+
+    def test_capped(self):
+        assert length_to_width_ratio(1e9) == 25.0
+
+    def test_negative_wind_clamped(self):
+        assert length_to_width_ratio(-10.0) == 1.0
+
+    def test_array_input(self):
+        out = length_to_width_ratio(np.array([0.0, 352.0]))
+        assert out.shape == (2,)
+        assert out[0] == 1.0
+
+
+class TestEccentricity:
+    def test_zero_wind_zero_ecc(self):
+        assert eccentricity_from_effective_wind(0.0) == 0.0
+
+    def test_in_unit_interval(self):
+        for w in (10.0, 100.0, 1000.0, 1e8):
+            e = eccentricity_from_effective_wind(w)
+            assert 0.0 <= e < 1.0
+
+    def test_monotone(self):
+        es = [eccentricity_from_effective_wind(w) for w in (0, 50, 500, 5000)]
+        assert all(a <= b for a, b in zip(es, es[1:]))
+
+
+class TestRosAtAzimuth:
+    def test_heading_equals_max(self):
+        assert ros_at_azimuth(10.0, 90.0, 0.8, 90.0) == pytest.approx(10.0)
+
+    def test_backing_is_minimum(self):
+        head = ros_at_azimuth(10.0, 0.0, 0.7, 0.0)
+        back = ros_at_azimuth(10.0, 0.0, 0.7, 180.0)
+        flank = ros_at_azimuth(10.0, 0.0, 0.7, 90.0)
+        assert back < flank < head
+        assert back == pytest.approx(backing_ros(10.0, 0.7))
+        assert flank == pytest.approx(flanking_ros(10.0, 0.7))
+
+    def test_symmetry_about_heading(self):
+        left = ros_at_azimuth(10.0, 45.0, 0.6, 45.0 - 30.0)
+        right = ros_at_azimuth(10.0, 45.0, 0.6, 45.0 + 30.0)
+        assert left == pytest.approx(right)
+
+    def test_circle_when_ecc_zero(self):
+        for az in (0.0, 90.0, 222.0):
+            assert ros_at_azimuth(5.0, 0.0, 0.0, az) == pytest.approx(5.0)
+
+    def test_zero_ros_max_stays_zero(self):
+        assert ros_at_azimuth(0.0, 0.0, 0.9, 123.0) == 0.0
+
+    def test_array_broadcast(self):
+        az = np.array([0.0, 90.0, 180.0])
+        out = ros_at_azimuth(10.0, 0.0, 0.5, az)
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(10.0)
+        assert out[2] == pytest.approx(10.0 * 0.5 / 1.5)
+
+    def test_near_degenerate_ecc_stable(self):
+        # ε extremely close to 1 must not divide by zero
+        out = ros_at_azimuth(10.0, 0.0, 1.0 - 1e-15, 180.0)
+        assert np.isfinite(out)
+        assert out >= 0.0

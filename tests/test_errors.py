@@ -1,0 +1,36 @@
+"""The exception hierarchy: every subsystem error is a ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ScenarioError,
+    errors.TerrainError,
+    errors.SimulationError,
+    errors.FitnessError,
+    errors.NoveltyError,
+    errors.EvolutionError,
+    errors.ParallelError,
+    errors.CalibrationError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_subclass_of_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_catchable_as_repro_error(exc):
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_distinct_types():
+    assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)

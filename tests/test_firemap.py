@@ -1,0 +1,107 @@
+"""Tests for repro.grid.firemap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.grid.firemap import IgnitionMap, burned_mask, fire_line, fire_perimeter_cells
+
+
+def _map_with_center(n=5, t=3.0):
+    times = np.full((n, n), np.inf)
+    times[n // 2, n // 2] = t
+    return IgnitionMap(times=times)
+
+
+class TestIgnitionMap:
+    def test_burned_at_time(self):
+        m = _map_with_center(t=3.0)
+        assert not m.burned(2.9).any()
+        assert m.burned(3.0).sum() == 1
+        assert m.burned(None).sum() == 1
+
+    def test_burned_area_cells(self):
+        assert _map_with_center().burned_area_cells(10.0) == 1
+
+    def test_arrival_horizon(self):
+        assert _map_with_center(t=7.5).arrival_horizon() == 7.5
+
+    def test_arrival_horizon_empty(self):
+        m = IgnitionMap(times=np.full((3, 3), np.inf))
+        assert m.arrival_horizon() == 0.0
+
+    def test_rejects_negative_times(self):
+        times = np.zeros((3, 3))
+        times[0, 0] = -1.0
+        with pytest.raises(SimulationError):
+            IgnitionMap(times=times)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(SimulationError):
+            IgnitionMap(times=np.zeros(5))
+
+    def test_paper_convention_roundtrip(self):
+        times = np.full((4, 4), np.inf)
+        times[1, 1] = 0.0  # ignition point
+        times[1, 2] = 5.0
+        m = IgnitionMap(times=times)
+        encoded = m.to_paper_convention()
+        # unburned cells encode as exactly 0
+        assert encoded[0, 0] == 0.0
+        assert encoded[1, 2] == 5.0
+        back = IgnitionMap.from_paper_convention(encoded)
+        assert np.array_equal(np.isfinite(back.times), np.isfinite(m.times))
+        assert back.times[1, 1] == 0.0
+        assert back.times[1, 2] == 5.0
+
+
+class TestBurnedMask:
+    def test_accepts_raw_array(self):
+        times = np.full((3, 3), np.inf)
+        times[0, 0] = 1.0
+        assert burned_mask(times, 2.0).sum() == 1
+        assert burned_mask(times).sum() == 1
+
+    def test_accepts_ignition_map(self):
+        assert burned_mask(_map_with_center(), None).sum() == 1
+
+
+class TestFireLine:
+    def test_single_cell_is_its_own_line(self):
+        b = np.zeros((5, 5), dtype=bool)
+        b[2, 2] = True
+        assert np.array_equal(fire_line(b), b)
+
+    def test_filled_square_line_is_border(self):
+        b = np.zeros((7, 7), dtype=bool)
+        b[1:6, 1:6] = True
+        line = fire_line(b)
+        assert line[1, 1] and line[1, 3] and line[5, 5]
+        assert not line[3, 3]  # interior
+        assert line.sum() == 25 - 9  # 5x5 minus 3x3 interior
+
+    def test_line_subset_of_burned(self):
+        rng = np.random.default_rng(3)
+        b = rng.random((10, 10)) > 0.5
+        line = fire_line(b)
+        assert not (line & ~b).any()
+
+    def test_grid_border_counts_as_frontier(self):
+        b = np.ones((4, 4), dtype=bool)
+        line = fire_line(b)
+        assert line[0, 0] and line[0, 2] and line[3, 3]
+        assert not line[1, 1]
+
+    def test_empty_mask(self):
+        assert fire_line(np.zeros((3, 3), dtype=bool)).sum() == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(SimulationError):
+            fire_line(np.zeros(4, dtype=bool))
+
+    def test_perimeter_count(self):
+        b = np.zeros((5, 5), dtype=bool)
+        b[1:4, 1:4] = True
+        assert fire_perimeter_cells(b) == 8

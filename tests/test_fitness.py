@@ -1,0 +1,110 @@
+"""Tests for the Jaccard fitness (Eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import batch_jaccard, jaccard_fitness, jaccard_from_counts
+from repro.errors import FitnessError
+
+
+def _mask(shape, cells):
+    m = np.zeros(shape, dtype=bool)
+    for r, c in cells:
+        m[r, c] = True
+    return m
+
+
+class TestJaccardFromCounts:
+    def test_basic(self):
+        assert jaccard_from_counts(2, 4) == 0.5
+
+    def test_empty_union_is_perfect(self):
+        assert jaccard_from_counts(0, 0) == 1.0
+
+    @pytest.mark.parametrize("i,u", [(-1, 4), (2, -1), (5, 4)])
+    def test_inconsistent_raises(self, i, u):
+        with pytest.raises(FitnessError):
+            jaccard_from_counts(i, u)
+
+
+class TestJaccardFitness:
+    def test_perfect_prediction(self):
+        a = _mask((4, 4), [(0, 0), (1, 1)])
+        assert jaccard_fitness(a, a.copy()) == 1.0
+
+    def test_disjoint_is_zero(self):
+        a = _mask((4, 4), [(0, 0)])
+        b = _mask((4, 4), [(3, 3)])
+        assert jaccard_fitness(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        real = _mask((4, 4), [(0, 0), (0, 1), (0, 2)])
+        sim = _mask((4, 4), [(0, 1), (0, 2), (0, 3)])
+        assert jaccard_fitness(real, sim) == pytest.approx(2 / 4)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 6)) > 0.5
+        b = rng.random((6, 6)) > 0.5
+        assert jaccard_fitness(a, b) == pytest.approx(jaccard_fitness(b, a))
+
+    def test_pre_burned_excluded(self):
+        # Cells burned before the step must not inflate the score.
+        pre = _mask((4, 4), [(0, 0), (0, 1)])
+        real = pre | _mask((4, 4), [(1, 0)])
+        sim = pre | _mask((4, 4), [(2, 2)])
+        # Without exclusion the shared pre-burned cells give 2/4;
+        # with exclusion the sets are disjoint → 0.
+        assert jaccard_fitness(real, sim) == pytest.approx(0.5)
+        assert jaccard_fitness(real, sim, pre_burned=pre) == 0.0
+
+    def test_no_growth_and_no_prediction_is_perfect(self):
+        pre = _mask((4, 4), [(0, 0)])
+        assert jaccard_fitness(pre, pre, pre_burned=pre) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FitnessError):
+            jaccard_fitness(np.zeros((3, 3), bool), np.zeros((4, 4), bool))
+
+    def test_pre_shape_mismatch_raises(self):
+        with pytest.raises(FitnessError):
+            jaccard_fitness(
+                np.zeros((3, 3), bool),
+                np.zeros((3, 3), bool),
+                pre_burned=np.zeros((2, 2), bool),
+            )
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = rng.random((5, 5)) > 0.4
+            b = rng.random((5, 5)) > 0.4
+            f = jaccard_fitness(a, b)
+            assert 0.0 <= f <= 1.0
+
+
+class TestBatchJaccard:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        real = rng.random((6, 6)) > 0.5
+        stack = rng.random((5, 6, 6)) > 0.5
+        batch = batch_jaccard(real, stack)
+        for i in range(5):
+            assert batch[i] == pytest.approx(jaccard_fitness(real, stack[i]))
+
+    def test_matches_scalar_with_pre(self):
+        rng = np.random.default_rng(3)
+        real = rng.random((6, 6)) > 0.5
+        pre = rng.random((6, 6)) > 0.8
+        stack = rng.random((4, 6, 6)) > 0.5
+        batch = batch_jaccard(real, stack, pre_burned=pre)
+        for i in range(4):
+            assert batch[i] == pytest.approx(
+                jaccard_fitness(real, stack[i], pre_burned=pre)
+            )
+
+    def test_bad_stack_shape_raises(self):
+        with pytest.raises(FitnessError):
+            batch_jaccard(np.zeros((3, 3), bool), np.zeros((3, 3), bool))

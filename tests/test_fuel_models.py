@@ -1,0 +1,88 @@
+"""Tests for the NFFL fuel-model catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.firelib.fuel_models import (
+    HEAT_CONTENT,
+    PARTICLE_DENSITY,
+    SAV_10H,
+    SAV_100H,
+    FuelModel,
+    catalog,
+    get_model,
+)
+
+
+class TestCatalog:
+    def test_thirteen_models(self):
+        assert sorted(catalog()) == list(range(1, 14))
+
+    @pytest.mark.parametrize("code", range(1, 14))
+    def test_every_model_well_formed(self, code):
+        m = get_model(code)
+        assert isinstance(m, FuelModel)
+        assert m.code == code
+        assert m.depth > 0
+        assert 0 < m.mext_dead < 1
+        assert m.particles, "every model has at least one particle"
+        assert m.total_load > 0
+        for p in m.particles:
+            assert p.load > 0
+            assert p.sav > 0
+            assert p.life in ("dead", "live")
+
+    def test_model_1_is_short_grass(self):
+        m = get_model(1)
+        assert "grass" in m.name
+        assert len(m.particles) == 1  # 1-h dead only
+        assert m.particles[0].sav == 3500.0
+        assert m.mext_dead == pytest.approx(0.12)
+
+    def test_model_13_is_heaviest(self):
+        loads = {code: get_model(code).total_load for code in range(1, 14)}
+        assert max(loads, key=loads.get) == 13
+
+    def test_live_fuel_models(self):
+        # Models with live herbaceous load per Anderson 1982.
+        live = {c for c in range(1, 14) if get_model(c).live_particles}
+        assert live == {2, 4, 5, 7, 10}
+
+    def test_standard_sav_constants(self):
+        m4 = get_model(4)
+        savs = {p.moisture_key: p.sav for p in m4.particles}
+        assert savs["m10"] == SAV_10H
+        assert savs["m100"] == SAV_100H
+
+    def test_moisture_keys_match_life(self):
+        for code in range(1, 14):
+            for p in get_model(code).particles:
+                if p.life == "live":
+                    assert p.moisture_key == "mherb"
+                else:
+                    assert p.moisture_key in ("m1", "m10", "m100")
+
+
+class TestGetModel:
+    @pytest.mark.parametrize("bad", [0, 14, -1, "x", None, 1.5])
+    def test_invalid_codes_raise(self, bad):
+        if bad == 1.5:
+            # floats that round-trip via int() are accepted only if exact
+            assert get_model(int(bad)).code == 1
+            return
+        with pytest.raises(ScenarioError):
+            get_model(bad)
+
+    def test_constants_physical(self):
+        assert HEAT_CONTENT == 8000.0
+        assert PARTICLE_DENSITY == 32.0
+
+
+class TestFuelParticle:
+    def test_surface_area_weighting_basis(self):
+        p = get_model(1).particles[0]
+        assert p.surface_area_per_density == pytest.approx(
+            p.load * p.sav / PARTICLE_DENSITY
+        )

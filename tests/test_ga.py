@@ -1,0 +1,164 @@
+"""Tests for the classical GA (ESS baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Individual
+from repro.core.scenario import ParameterSpace
+from repro.ea.ga import GAConfig, GeneticAlgorithm, generate_offspring
+from repro.ea.termination import Termination
+from repro.errors import EvolutionError
+from repro.parallel.executor import SerialEvaluator
+
+TERM = Termination(max_generations=10, fitness_threshold=0.99)
+
+
+def _run(toy_problem, space, seed=0, **cfg):
+    config = GAConfig(population_size=20, **cfg)
+    return GeneticAlgorithm(config).run(
+        SerialEvaluator(toy_problem), space, TERM, rng=seed
+    )
+
+
+class TestGAConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"elitism": 99},
+            {"selection": "bogus"},
+            {"crossover": "bogus"},
+            {"mutation": "bogus"},
+            {"n_offspring": 0},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(EvolutionError):
+            GAConfig(**kwargs)
+
+    def test_offspring_defaults_to_population(self):
+        assert GAConfig(population_size=30).offspring_count == 30
+        assert GAConfig(population_size=30, n_offspring=10).offspring_count == 10
+
+
+class TestGARun:
+    def test_improves_over_random(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        first_gen = result.history.records[0]
+        assert result.best.fitness >= first_gen.max_fitness - 1e-12
+        assert result.best.fitness > 0.7  # the toy problem is easy
+
+    def test_deterministic(self, toy_problem, space):
+        a = _run(toy_problem, space, seed=5)
+        b = _run(toy_problem, space, seed=5)
+        assert a.best.fitness == b.best.fitness
+        assert np.array_equal(a.best.genome, b.best.genome)
+
+    def test_population_size_invariant(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert len(result.population) == 20
+
+    def test_history_per_generation(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert len(result.history) == 10
+        gens = result.history.series("generation")
+        assert np.array_equal(gens, np.arange(1, 11))
+
+    def test_best_monotone_across_history(self, toy_problem, space):
+        result = _run(toy_problem, space, elitism=2)
+        mx = result.history.series("max_fitness")
+        assert (np.diff(mx) >= -1e-12).all()
+
+    def test_evaluation_count(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        # initial pop + offspring per generation
+        assert result.evaluations == 20 + 10 * 20
+
+    def test_threshold_stops_early(self, toy_problem, space):
+        term = Termination(max_generations=50, fitness_threshold=0.5)
+        result = GeneticAlgorithm(GAConfig(population_size=20)).run(
+            SerialEvaluator(toy_problem), space, term, rng=1
+        )
+        assert len(result.history) < 50
+        assert "threshold" in result.stop_reason
+
+    def test_initial_population_used(self, toy_problem, space):
+        genomes = space.sample(20, 99)
+        pop = [Individual(genome=g) for g in genomes]
+        result = GeneticAlgorithm(GAConfig(population_size=20)).run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=1),
+            rng=0,
+            initial_population=pop,
+        )
+        assert result.evaluations >= 20
+
+    def test_wrong_initial_size_raises(self, toy_problem, space):
+        with pytest.raises(EvolutionError):
+            GeneticAlgorithm(GAConfig(population_size=20)).run(
+                SerialEvaluator(toy_problem),
+                space,
+                TERM,
+                initial_population=[Individual(genome=space.sample(1, 0)[0])],
+            )
+
+    def test_observer_called(self, toy_problem, space):
+        seen = []
+        GeneticAlgorithm(GAConfig(population_size=10)).run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=3),
+            rng=0,
+            observer=lambda gen, pop: seen.append((gen, len(pop))),
+        )
+        assert seen == [(1, 10), (2, 10), (3, 10)]
+
+    def test_genomes_stay_in_box(self, toy_problem, space):
+        result = _run(toy_problem, space, mutation_rate=0.5)
+        for ind in result.population:
+            space.validate(ind.genome)
+
+    def test_bad_fitness_shape_raises(self, space):
+        from repro.errors import ReproError
+
+        class BrokenProblem:
+            def evaluate_batch(self, genomes):
+                return np.zeros(3)  # wrong length
+
+        with pytest.raises(ReproError):
+            GeneticAlgorithm(GAConfig(population_size=20)).run(
+                SerialEvaluator(BrokenProblem()), space, TERM, rng=0
+            )
+
+
+class TestGenerateOffspring:
+    def test_count_and_box(self, space):
+        rng = np.random.default_rng(0)
+        pop = [Individual(genome=g, fitness=0.5) for g in space.sample(10, 1)]
+        config = GAConfig(population_size=10)
+        off = generate_offspring(
+            pop, np.ones(10), 7, config, space, rng, generation=3
+        )
+        assert len(off) == 7
+        for ind in off:
+            assert ind.birth_generation == 3
+            assert ind.fitness is None
+            space.validate(ind.genome)
+
+    def test_zero_offspring_raises(self, space):
+        pop = [Individual(genome=g, fitness=0.5) for g in space.sample(4, 1)]
+        with pytest.raises(EvolutionError):
+            generate_offspring(
+                pop,
+                np.ones(4),
+                0,
+                GAConfig(population_size=4),
+                space,
+                np.random.default_rng(0),
+                1,
+            )

@@ -1,0 +1,74 @@
+"""Tests for repro.grid.io (terrain / ignition-map persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.grid.firemap import IgnitionMap
+from repro.grid.io import (
+    load_ignition_map,
+    load_terrain,
+    save_ignition_map,
+    save_terrain,
+)
+from repro.grid.terrain import Terrain
+
+
+class TestTerrainRoundtrip:
+    def test_uniform(self, tmp_path):
+        t = Terrain.uniform(6, 8, cell_size=15.0)
+        path = tmp_path / "t.npz"
+        save_terrain(path, t)
+        back = load_terrain(path)
+        assert back.shape == t.shape
+        assert back.cell_size == t.cell_size
+        assert back.fuel is None and back.unburnable is None
+
+    def test_full_rasters(self, tmp_path):
+        fuel = np.ones((5, 5), dtype=int)
+        fuel[0] = 5
+        slope = np.full((5, 5), 12.0)
+        aspect = np.full((5, 5), 45.0)
+        unb = np.zeros((5, 5), dtype=bool)
+        unb[2, 2] = True
+        t = Terrain(
+            rows=5, cols=5, cell_size=10.0, fuel=fuel, slope=slope,
+            aspect=aspect, unburnable=unb,
+        )
+        path = tmp_path / "t.npz"
+        save_terrain(path, t)
+        back = load_terrain(path)
+        assert np.array_equal(back.fuel, t.fuel)
+        assert np.array_equal(back.slope, t.slope)
+        assert np.array_equal(back.aspect, t.aspect)
+        assert np.array_equal(back.unburnable, t.unburnable)
+
+    def test_bad_version_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            format_version=np.array([99]),
+            geometry=np.array([4.0, 4.0, 30.0]),
+        )
+        with pytest.raises(TerrainError):
+            load_terrain(path)
+
+
+class TestIgnitionMapRoundtrip:
+    def test_roundtrip_preserves_inf(self, tmp_path):
+        times = np.full((4, 4), np.inf)
+        times[1, 1] = 0.0
+        times[1, 2] = 3.5
+        m = IgnitionMap(times=times)
+        path = tmp_path / "m.npz"
+        save_ignition_map(path, m)
+        back = load_ignition_map(path)
+        assert np.array_equal(back.times, m.times)
+
+    def test_bad_version_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, format_version=np.array([99]), times=np.zeros((2, 2)))
+        with pytest.raises(TerrainError):
+            load_ignition_map(path)

@@ -1,0 +1,57 @@
+"""Tests for the shared evolution history records."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ea.history import EvolutionHistory, GenerationRecord
+
+
+def _rec(gen, mx=0.5, **kw):
+    defaults = dict(
+        generation=gen,
+        max_fitness=mx,
+        mean_fitness=0.3,
+        fitness_iqr=0.1,
+        mean_novelty=float("nan"),
+        genotypic_diversity=0.2,
+        archive_size=0,
+        best_set_size=0,
+        evaluations=gen * 10,
+    )
+    defaults.update(kw)
+    return GenerationRecord(**defaults)
+
+
+class TestEvolutionHistory:
+    def test_append_and_len(self):
+        h = EvolutionHistory()
+        h.append(_rec(1))
+        h.append(_rec(2))
+        assert len(h) == 2
+
+    def test_iteration_in_order(self):
+        h = EvolutionHistory()
+        for g in range(1, 4):
+            h.append(_rec(g))
+        assert [r.generation for r in h] == [1, 2, 3]
+
+    def test_series(self):
+        h = EvolutionHistory()
+        h.append(_rec(1, mx=0.2))
+        h.append(_rec(2, mx=0.7))
+        assert np.array_equal(h.series("max_fitness"), [0.2, 0.7])
+        assert np.array_equal(h.series("evaluations"), [10, 20])
+
+    def test_final_max_fitness(self):
+        h = EvolutionHistory()
+        assert h.final_max_fitness() == 0.0
+        h.append(_rec(1, mx=0.4))
+        assert h.final_max_fitness() == 0.4
+
+    def test_records_frozen(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _rec(1).max_fitness = 0.9

@@ -1,0 +1,70 @@
+"""Tests for the Individual container and vector helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.individual import (
+    Individual,
+    fitness_vector,
+    genomes_matrix,
+    novelty_vector,
+)
+from repro.errors import EvolutionError
+
+
+def _ind(fit=None, nov=None, seed=0):
+    rng = np.random.default_rng(seed)
+    return Individual(genome=rng.random(9), fitness=fit, novelty=nov)
+
+
+class TestIndividual:
+    def test_genome_coerced_to_float_vector(self):
+        ind = Individual(genome=[1, 2, 3])
+        assert ind.genome.dtype == np.float64
+        assert ind.genome.shape == (3,)
+
+    def test_non_vector_genome_raises(self):
+        with pytest.raises(EvolutionError):
+            Individual(genome=np.zeros((2, 2)))
+
+    def test_evaluated_flag(self):
+        assert not _ind().evaluated
+        assert _ind(fit=0.5).evaluated
+
+    def test_copy_is_deep(self):
+        a = _ind(fit=0.5, nov=0.1)
+        b = a.copy()
+        b.genome[0] = 99.0
+        b.fitness = 0.9
+        assert a.genome[0] != 99.0
+        assert a.fitness == 0.5
+        assert b.novelty == 0.1
+
+
+class TestVectors:
+    def test_genomes_matrix(self):
+        pop = [_ind(seed=i) for i in range(4)]
+        m = genomes_matrix(pop)
+        assert m.shape == (4, 9)
+        assert np.array_equal(m[2], pop[2].genome)
+
+    def test_genomes_matrix_empty(self):
+        assert genomes_matrix([]).shape == (0, 0)
+
+    def test_fitness_vector(self):
+        pop = [_ind(fit=0.1), _ind(fit=0.9)]
+        assert np.array_equal(fitness_vector(pop), [0.1, 0.9])
+
+    def test_fitness_vector_unevaluated_raises(self):
+        with pytest.raises(EvolutionError, match="#1"):
+            fitness_vector([_ind(fit=0.1), _ind()])
+
+    def test_novelty_vector(self):
+        pop = [_ind(fit=0.1, nov=0.3)]
+        assert np.array_equal(novelty_vector(pop), [0.3])
+
+    def test_novelty_vector_missing_raises(self):
+        with pytest.raises(EvolutionError):
+            novelty_vector([_ind(fit=0.1)])

@@ -1,0 +1,186 @@
+"""Deep integration tests: the full Figs. 1–3 data flow.
+
+These pin the properties the architecture promises, beyond what any
+single module guarantees:
+
+* a search that contains the hidden true scenario calibrates to a
+  near-perfect Kign;
+* serial and parallel execution of a whole system run are bit-identical;
+* the ESS-NS bestSet spans more diverse scenarios than the converged
+  ESS population on the same budget;
+* the Kign chain works: step i's prediction uses step i−1's threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.individual import genomes_matrix
+from repro.ea.ga import GAConfig
+from repro.ea.nsga import NoveltyGAConfig
+from repro.parallel.executor import SerialEvaluator
+from repro.stages.calibration import search_kign
+from repro.stages.prediction import predict
+from repro.stages.statistical import aggregate_burned_maps
+from repro.systems import ESS, ESSNS, ESSConfig, ESSNSConfig
+from repro.systems.problem import PredictionStepProblem
+
+
+class TestOracleCalibration:
+    def test_true_scenario_in_solution_set_gives_high_calibration(
+        self, small_fire, space
+    ):
+        """If the OS hands the SS the true scenario (plus noise), the CS
+        must recover a threshold that reproduces reality almost exactly."""
+        problem = PredictionStepProblem(
+            small_fire.terrain,
+            small_fire.start_mask(1),
+            small_fire.real_mask(1),
+            small_fire.step_horizon(1),
+        )
+        true_genome = space.encode(small_fire.true_scenarios[0])
+        noise = space.sample(6, 3)
+        genomes = np.vstack([true_genome, noise])
+        maps = problem.burned_maps(genomes)
+        pm = aggregate_burned_maps(maps)
+        cal = search_kign(
+            pm, small_fire.real_mask(1), pre_burned=small_fire.start_mask(1)
+        )
+        assert cal.fitness > 0.9
+
+    def test_kign_chain_predicts_future_step(self, small_fire, space):
+        """Manual two-step pipeline: calibrate at step 1, predict step 2."""
+        # Step 1: calibrate.
+        p1 = PredictionStepProblem(
+            small_fire.terrain,
+            small_fire.start_mask(1),
+            small_fire.real_mask(1),
+            small_fire.step_horizon(1),
+        )
+        # Solution set: the truth plus small perturbations of it — the
+        # shape a well-converged OS hands to the SS.
+        truth = small_fire.true_scenarios[0]
+        rng = np.random.default_rng(1)
+        variants = [
+            truth.replace(
+                wind_speed=truth.wind_speed + float(rng.uniform(-2, 2)),
+                m1=truth.m1 + float(rng.uniform(-1, 1)),
+            )
+            for _ in range(5)
+        ]
+        genomes = np.vstack(
+            [space.encode(s) for s in [truth, *variants]]
+        )
+        pm1 = aggregate_burned_maps(p1.burned_maps(genomes))
+        kign1 = search_kign(
+            pm1, small_fire.real_mask(1), pre_burned=small_fire.start_mask(1)
+        ).kign
+
+        # Step 2: same solution set re-simulated from the new fire line,
+        # thresholded with the step-1 Kign.
+        p2 = PredictionStepProblem(
+            small_fire.terrain,
+            small_fire.start_mask(2),
+            small_fire.real_mask(2),
+            small_fire.step_horizon(2),
+        )
+        pm2 = aggregate_burned_maps(p2.burned_maps(genomes))
+        out = predict(
+            pm2,
+            kign1,
+            real_burned=small_fire.real_mask(2),
+            pre_burned=small_fire.start_mask(2),
+        )
+        # with the true scenario in the set the prediction is strong
+        assert out.quality > 0.5
+
+
+class TestSerialParallelEquivalence:
+    def test_full_run_bit_identical(self, small_fire):
+        config = ESSConfig(ga=GAConfig(population_size=8), max_generations=2)
+        serial = ESS(config, n_workers=1).run(small_fire, rng=13)
+        parallel = ESS(config, n_workers=2).run(small_fire, rng=13)
+        for s, p in zip(serial.steps, parallel.steps):
+            assert s.kign == p.kign
+            assert s.calibration_fitness == p.calibration_fitness
+            assert (
+                np.isnan(s.prediction_quality)
+                and np.isnan(p.prediction_quality)
+            ) or s.prediction_quality == p.prediction_quality
+
+
+class TestBestSetDiversity:
+    def test_essns_solutions_more_diverse_than_ess(self, small_fire, space):
+        """Fig. 3's payoff: the bestSet spans different regions of the
+        scenario space, the converged GA population does not."""
+        from repro.analysis.diversity import genotypic_diversity
+        from repro.ea.nsga import NoveltyGA
+        from repro.ea.ga import GeneticAlgorithm
+        from repro.ea.termination import Termination
+
+        problem = PredictionStepProblem(
+            small_fire.terrain,
+            small_fire.start_mask(1),
+            small_fire.real_mask(1),
+            small_fire.step_horizon(1),
+        )
+        term = Termination(max_generations=6)
+        ga = GeneticAlgorithm(GAConfig(population_size=12)).run(
+            SerialEvaluator(problem), space, term, rng=21
+        )
+        ns = NoveltyGA(
+            NoveltyGAConfig(
+                population_size=12, k_neighbors=5, best_set_capacity=12
+            )
+        ).run(SerialEvaluator(problem), space, term, rng=21)
+        ga_div = genotypic_diversity(genomes_matrix(ga.population), space)
+        ns_div = genotypic_diversity(ns.best_genomes(), space)
+        assert ns_div > 0
+        # On matched budgets the bestSet should not be *less* diverse
+        # than the converged population (usually far more).
+        assert ns_div > 0.5 * ga_div
+
+
+class TestDynamicConditions:
+    def test_systems_track_wind_shift(self):
+        """On the dynamic case the pipeline keeps producing predictions
+        after the wind shift (quality may dip but must stay defined)."""
+        from repro.workloads import dynamic_wind_case
+
+        fire = dynamic_wind_case(size=30, n_steps=4)
+        run = ESSNS(
+            ESSNSConfig(
+                nsga=NoveltyGAConfig(
+                    population_size=10, k_neighbors=4, best_set_capacity=8
+                ),
+                max_generations=3,
+            )
+        ).run(fire, rng=2)
+        q = run.qualities()
+        assert np.isnan(q[0])
+        assert np.isfinite(q[1:]).all()
+        assert (q[1:] >= 0).all()
+
+
+class TestPublicAPI:
+    def test_quickstart_snippet(self):
+        """The README quickstart must work verbatim (scaled down)."""
+        from repro import ESSNS as API_ESSNS, grassland_case
+
+        fire = grassland_case(size=28, n_steps=2)
+        result = API_ESSNS(
+            ESSNSConfig(
+                nsga=NoveltyGAConfig(
+                    population_size=8, k_neighbors=3, best_set_capacity=6
+                ),
+                max_generations=2,
+            )
+        ).run(fire, rng=42)
+        assert 0.0 <= result.mean_quality() <= 1.0
+
+    def test_all_exports_resolvable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,72 @@
+"""Tests for the explicit Master/Worker message engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.executor import SerialEvaluator
+from repro.parallel.master_worker import MasterWorkerEngine
+
+
+class TestEngine:
+    def test_matches_serial(self, toy_problem, space):
+        genomes = space.sample(13, 2)
+        expected = SerialEvaluator(toy_problem)(genomes)
+        with MasterWorkerEngine(toy_problem, n_workers=2) as eng:
+            assert np.allclose(eng(genomes), expected)
+
+    def test_chunked_dispatch_matches(self, toy_problem, space):
+        genomes = space.sample(10, 3)
+        expected = SerialEvaluator(toy_problem)(genomes)
+        with MasterWorkerEngine(toy_problem, n_workers=2, chunk_size=3) as eng:
+            assert np.allclose(eng(genomes), expected)
+
+    def test_multiple_batches(self, toy_problem, space):
+        with MasterWorkerEngine(toy_problem, n_workers=2) as eng:
+            a = eng(space.sample(5, 0))
+            b = eng(space.sample(5, 1))
+            assert a.shape == b.shape == (5,)
+            assert eng.evaluations == 10
+
+    def test_worker_stats_accumulate(self, toy_problem, space):
+        with MasterWorkerEngine(toy_problem, n_workers=2, chunk_size=1) as eng:
+            eng(space.sample(8, 0))
+            total_tasks = sum(s.tasks_completed for s in eng.stats)
+            total_genomes = sum(s.genomes_evaluated for s in eng.stats)
+            assert total_tasks == 8
+            assert total_genomes == 8
+
+    def test_load_imbalance_at_least_one(self, toy_problem, space):
+        with MasterWorkerEngine(toy_problem, n_workers=2) as eng:
+            eng(space.sample(6, 0))
+            assert eng.load_imbalance() >= 1.0
+
+    def test_empty_batch(self, toy_problem):
+        with MasterWorkerEngine(toy_problem, n_workers=2) as eng:
+            assert eng(np.zeros((0, 9))).shape == (0,)
+
+    def test_closed_engine_raises(self, toy_problem, space):
+        eng = MasterWorkerEngine(toy_problem, n_workers=2)
+        eng.close()
+        with pytest.raises(ParallelError):
+            eng(space.sample(2, 0))
+
+    def test_close_idempotent(self, toy_problem):
+        eng = MasterWorkerEngine(toy_problem, n_workers=2)
+        eng.close()
+        eng.close()
+
+    @pytest.mark.parametrize("kwargs", [{"n_workers": 0}, {"chunk_size": 0}])
+    def test_bad_params_raise(self, toy_problem, kwargs):
+        defaults = dict(n_workers=2, chunk_size=1)
+        defaults.update(kwargs)
+        with pytest.raises(ParallelError):
+            MasterWorkerEngine(toy_problem, **defaults)
+
+    def test_single_worker_works(self, toy_problem, space):
+        genomes = space.sample(4, 0)
+        expected = SerialEvaluator(toy_problem)(genomes)
+        with MasterWorkerEngine(toy_problem, n_workers=1) as eng:
+            assert np.allclose(eng(genomes), expected)

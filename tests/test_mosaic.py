@@ -1,0 +1,79 @@
+"""Tests for the random fuel-mosaic terrain generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mosaic import random_fuel_mosaic
+
+
+class TestMosaic:
+    def test_basic_generation(self):
+        t = random_fuel_mosaic(30, 40, n_patches=6, rng=0)
+        assert t.shape == (30, 40)
+        assert t.fuel is not None
+        assert (t.fuel > 0).all()  # every cell got a model
+
+    def test_deterministic(self):
+        a = random_fuel_mosaic(20, 20, rng=7)
+        b = random_fuel_mosaic(20, 20, rng=7)
+        assert np.array_equal(a.fuel, b.fuel)
+
+    def test_different_seeds_differ(self):
+        a = random_fuel_mosaic(20, 20, rng=1)
+        b = random_fuel_mosaic(20, 20, rng=2)
+        assert not np.array_equal(a.fuel, b.fuel)
+
+    def test_palette_respected(self):
+        t = random_fuel_mosaic(
+            25, 25, n_patches=8, palette=((3, 1.0), (7, 1.0)), rng=3
+        )
+        assert set(np.unique(t.fuel)) <= {3, 7}
+
+    def test_single_patch_uniform(self):
+        t = random_fuel_mosaic(15, 15, n_patches=1, palette=((5, 1.0),), rng=0)
+        assert (t.fuel == 5).all()
+
+    def test_patches_are_contiguous_regions(self):
+        # Every patch grows from one seed, so each fuel code's region
+        # count is bounded by the number of seeds with that code.
+        t = random_fuel_mosaic(30, 30, n_patches=5, rng=4)
+        codes = np.unique(t.fuel)
+        assert 1 <= len(codes) <= 5
+
+    def test_unburnable_pockets(self):
+        t = random_fuel_mosaic(30, 30, unburnable_fraction=0.1, rng=5)
+        frac = t.blocked_mask().mean()
+        assert 0.05 < frac < 0.35  # pockets overshoot a little by design
+
+    def test_hilly_fields(self):
+        t = random_fuel_mosaic(25, 25, hilly=True, max_slope=20.0, rng=6)
+        assert t.slope is not None and t.aspect is not None
+        assert t.slope.max() == pytest.approx(20.0)
+        assert t.slope.min() >= 0.0
+        assert ((t.aspect >= 0) & (t.aspect < 360)).all()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_patches": 0},
+            {"unburnable_fraction": 0.6},
+            {"unburnable_fraction": -0.1},
+            {"palette": ()},
+            {"palette": ((1, 0.0),)},
+        ],
+    )
+    def test_invalid_params_raise(self, kwargs):
+        with pytest.raises(WorkloadError):
+            random_fuel_mosaic(20, 20, rng=0, **kwargs)
+
+    def test_simulates_end_to_end(self, scenario):
+        """A mosaic terrain must be a valid simulator substrate."""
+        from repro.firelib.simulator import FireSimulator
+
+        t = random_fuel_mosaic(25, 25, n_patches=5, hilly=True, rng=8)
+        sim = FireSimulator(t)
+        res = sim.simulate(scenario, [(12, 12)], horizon=40.0)
+        assert res.burned().sum() >= 1

@@ -1,0 +1,113 @@
+"""Tests for the novelty score (Eqs. 1–2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.novelty import (
+    behaviour_distance_matrix,
+    knn_novelty,
+    novelty_scores,
+)
+from repro.errors import NoveltyError
+
+
+class TestBehaviourDistanceMatrix:
+    def test_absolute_by_default(self):
+        d = behaviour_distance_matrix([0.2], [0.5, 0.1])
+        assert np.allclose(d, [[0.3, 0.1]])
+
+    def test_signed_variant(self):
+        d = behaviour_distance_matrix([0.2], [0.5, 0.1], signed=True)
+        assert np.allclose(d, [[-0.3, 0.1]])
+
+    def test_shape(self):
+        d = behaviour_distance_matrix(np.zeros(3), np.zeros(5))
+        assert d.shape == (3, 5)
+
+    def test_self_distance_zero(self):
+        f = np.array([0.3, 0.7])
+        d = behaviour_distance_matrix(f, f)
+        assert np.allclose(np.diag(d), 0.0)
+
+
+class TestKnnNovelty:
+    def test_average_of_k_smallest(self):
+        d = np.array([[0.5, 0.1, 0.3]])
+        assert knn_novelty(d, 2)[0] == pytest.approx(0.2)
+
+    def test_k_clipped_to_row_length(self):
+        d = np.array([[0.5, 0.1]])
+        assert knn_novelty(d, 10)[0] == pytest.approx(0.3)
+
+    def test_k_one_is_nearest(self):
+        d = np.array([[0.5, 0.1, 0.3]])
+        assert knn_novelty(d, 1)[0] == pytest.approx(0.1)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(NoveltyError):
+            knn_novelty(np.ones((2, 2)), 0)
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(NoveltyError):
+            knn_novelty(np.zeros((2, 0)), 1)
+
+
+class TestNoveltyScores:
+    def test_unique_behaviour_is_most_novel(self):
+        # Four clones at fitness 0.5 and one outlier at 0.9: the outlier
+        # must receive the highest novelty (Eq. 1 with Eq. 2 distances).
+        fitness = np.array([0.5, 0.5, 0.5, 0.5, 0.9])
+        rho = novelty_scores(fitness, fitness, k=2)
+        assert np.argmax(rho) == 4
+        assert rho[0] == pytest.approx(0.0)  # has exact-behaviour peers
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        f = rng.random(20)
+        rho = novelty_scores(f, f, k=5)
+        assert (rho >= 0).all()
+
+    def test_self_exclusion_matters(self):
+        f = np.array([0.1, 0.9])
+        with_self = novelty_scores(f, f, k=1, exclude_self=False)
+        without = novelty_scores(f, f, k=1, exclude_self=True)
+        # with self included, everyone's nearest neighbour is themselves
+        assert np.allclose(with_self, 0.0)
+        assert np.allclose(without, 0.8)
+
+    def test_candidates_disjoint_from_reference(self):
+        rho = novelty_scores([0.5], [0.1, 0.9], k=2, exclude_self=False)
+        assert rho[0] == pytest.approx(0.4)
+
+    def test_single_member_reference(self):
+        # Only itself to compare against → novelty defined as 0.
+        rho = novelty_scores([0.4], [0.4], k=3, exclude_self=True)
+        assert rho[0] == 0.0
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(NoveltyError):
+            novelty_scores([0.5], [], k=1)
+
+    def test_whole_population_k(self):
+        # k = reference size reproduces the "entire population" variant.
+        f = np.array([0.0, 0.5, 1.0])
+        rho = novelty_scores(f, f, k=len(f))
+        assert rho[1] == pytest.approx(0.5)
+        assert rho[0] == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_signed_scores_can_be_negative(self):
+        f = np.array([0.1, 0.9])
+        rho = novelty_scores(f, f, k=1, signed=True)
+        assert rho[0] == pytest.approx(-0.8)  # 0.1 − 0.9
+        assert rho[1] == pytest.approx(0.8)
+
+    def test_archive_extends_reference(self):
+        # An individual unique in the population but common in the
+        # archive must not look novel (the archive's whole purpose).
+        pop = np.array([0.5, 0.5, 0.9])
+        archive = np.array([0.9, 0.9, 0.9])
+        rho_no_arch = novelty_scores(pop, pop, k=2)
+        rho_arch = novelty_scores(pop, np.concatenate([pop, archive]), k=2)
+        assert rho_arch[2] < rho_no_arch[2]

@@ -1,0 +1,175 @@
+"""Tests for Algorithm 1 (the Novelty-based GA with Multiple Solutions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Individual
+from repro.ea.nsga import NoveltyGA, NoveltyGAConfig
+from repro.ea.termination import Termination
+from repro.errors import EvolutionError
+from repro.parallel.executor import SerialEvaluator
+
+TERM = Termination(max_generations=10, fitness_threshold=0.99)
+
+
+def _run(problem, space, seed=0, term=TERM, **cfg):
+    defaults = dict(population_size=20, k_neighbors=5, best_set_capacity=8)
+    defaults.update(cfg)
+    return NoveltyGA(NoveltyGAConfig(**defaults)).run(
+        SerialEvaluator(problem), space, term, rng=seed
+    )
+
+
+class TestConfig:
+    def test_bad_k_raises(self):
+        with pytest.raises(EvolutionError):
+            NoveltyGAConfig(k_neighbors=0)
+
+    def test_none_k_means_whole_set(self):
+        NoveltyGAConfig(k_neighbors=None)  # must not raise
+
+    def test_ga_validations_inherited(self):
+        with pytest.raises(EvolutionError):
+            NoveltyGAConfig(population_size=1)
+        with pytest.raises(EvolutionError):
+            NoveltyGAConfig(crossover_rate=2.0)
+
+    def test_bad_archive_policy_raises(self):
+        with pytest.raises(EvolutionError):
+            NoveltyGAConfig(archive_policy="bogus")
+
+
+class TestAlgorithm1:
+    def test_returns_best_set(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert len(result.best_set) > 0
+        assert result.best_set.max_fitness() > 0.5
+        assert result.best_genomes().shape[1] == space.dimension
+
+    def test_best_set_bounded(self, toy_problem, space):
+        result = _run(toy_problem, space, best_set_capacity=4)
+        assert len(result.best_set) <= 4
+
+    def test_archive_grows_and_bounded(self, toy_problem, space):
+        result = _run(toy_problem, space, archive_capacity=30)
+        assert 0 < len(result.archive) <= 30
+
+    def test_every_individual_scored(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        for ind in result.population:
+            assert ind.fitness is not None
+            assert ind.novelty is not None
+            assert ind.novelty >= 0.0
+
+    def test_deterministic(self, toy_problem, space):
+        a = _run(toy_problem, space, seed=3)
+        b = _run(toy_problem, space, seed=3)
+        assert a.best_set.max_fitness() == b.best_set.max_fitness()
+        assert np.array_equal(a.best_genomes(), b.best_genomes())
+
+    def test_max_fitness_monotone(self, toy_problem, space):
+        # bestSet never forgets: the history's max_fitness (line 18) is
+        # non-decreasing by construction.
+        result = _run(toy_problem, space)
+        mx = result.history.series("max_fitness")
+        assert (np.diff(mx) >= -1e-12).all()
+
+    def test_threshold_stops_early(self, toy_problem, space):
+        term = Termination(max_generations=50, fitness_threshold=0.5)
+        result = _run(toy_problem, space, term=term)
+        assert len(result.history) < 50
+        assert "threshold" in result.stop_reason
+
+    def test_population_size_constant(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert len(result.population) == 20
+
+    def test_replacement_is_novelty_elitist(self, toy_problem, space):
+        # After a run, the surviving population must be the top-N by
+        # novelty of the last combined pool — verify survivors are
+        # sorted-compatible: every survivor's novelty >= 0 and the
+        # population is sorted in the order the replacement produced.
+        result = _run(toy_problem, space)
+        novs = [ind.novelty for ind in result.population]
+        assert novs == sorted(novs, reverse=True)
+
+    def test_evaluation_caching(self, toy_problem, space):
+        # Fitness must be computed once per individual: N initial +
+        # m per generation.
+        result = _run(toy_problem, space)
+        assert result.evaluations == 20 + 10 * 20
+
+    def test_best_include_population_flag(self, toy_problem, space):
+        with_pop = _run(toy_problem, space, best_include_population=True, seed=1)
+        # the initial population is evaluated before the loop in this mode
+        assert with_pop.evaluations == 20 + 10 * 20
+
+    def test_initial_population(self, toy_problem, space):
+        pop = [Individual(genome=g) for g in space.sample(20, 50)]
+        result = NoveltyGA(
+            NoveltyGAConfig(population_size=20, k_neighbors=5)
+        ).run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=2),
+            rng=0,
+            initial_population=pop,
+        )
+        assert len(result.history) == 2
+
+    def test_wrong_initial_size_raises(self, toy_problem, space):
+        with pytest.raises(EvolutionError):
+            NoveltyGA(NoveltyGAConfig(population_size=20)).run(
+                SerialEvaluator(toy_problem),
+                space,
+                TERM,
+                initial_population=[Individual(genome=space.sample(1, 0)[0])],
+            )
+
+    def test_observer_sees_all_accumulators(self, toy_problem, space):
+        captured = []
+
+        def observer(gen, pop, off, archive, best):
+            captured.append((gen, len(pop), len(off), len(archive), len(best)))
+
+        _run(toy_problem, space, term=Termination(max_generations=3))
+        NoveltyGA(
+            NoveltyGAConfig(population_size=10, k_neighbors=3)
+        ).run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=3),
+            rng=0,
+            observer=observer,
+        )
+        assert [c[0] for c in captured] == [1, 2, 3]
+        assert all(c[1] == 10 and c[2] == 10 for c in captured)
+
+    def test_history_mean_novelty_finite(self, toy_problem, space):
+        result = _run(toy_problem, space)
+        assert np.isfinite(result.history.series("mean_novelty")).all()
+
+
+class TestNoveltyVsFitnessGuidance:
+    def test_ns_population_more_diverse_than_ga(self, toy_problem, space):
+        """The paper's central §II-B/§III claim at algorithm level."""
+        from repro.ea.ga import GAConfig, GeneticAlgorithm
+
+        term = Termination(max_generations=15)
+        ga = GeneticAlgorithm(GAConfig(population_size=20)).run(
+            SerialEvaluator(toy_problem), space, term, rng=7
+        )
+        ns = _run(toy_problem, space, seed=7, term=term)
+        ga_div = ga.history.records[-1].genotypic_diversity
+        ns_div = ns.history.records[-1].genotypic_diversity
+        assert ns_div > ga_div
+
+    def test_signed_distance_variant_runs(self, toy_problem, space):
+        result = _run(toy_problem, space, signed_distance=True)
+        assert len(result.best_set) > 0
+
+    def test_random_archive_policy_runs(self, toy_problem, space):
+        result = _run(toy_problem, space, archive_policy="random")
+        assert len(result.archive) > 0

@@ -1,0 +1,207 @@
+"""Tests for the genetic operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import ParameterSpace
+from repro.ea.operators import (
+    blx_alpha_crossover,
+    gaussian_mutation,
+    one_point_crossover,
+    rank_selection,
+    roulette_wheel,
+    tournament,
+    two_point_crossover,
+    uniform_crossover,
+    uniform_reset_mutation,
+)
+from repro.errors import EvolutionError
+
+RNG = 123
+
+
+class TestRouletteWheel:
+    def test_returns_valid_indices(self):
+        idx = roulette_wheel(np.array([1.0, 2.0, 3.0]), 50, RNG)
+        assert idx.shape == (50,)
+        assert ((idx >= 0) & (idx < 3)).all()
+
+    def test_proportional_bias(self):
+        # score 9 vs 1: the heavy individual must dominate selections
+        idx = roulette_wheel(np.array([1.0, 9.0]), 2000, RNG)
+        assert (idx == 1).mean() > 0.8
+
+    def test_all_zero_degenerates_to_uniform(self):
+        idx = roulette_wheel(np.zeros(4), 4000, RNG)
+        counts = np.bincount(idx, minlength=4) / 4000
+        assert np.allclose(counts, 0.25, atol=0.05)
+
+    def test_negative_scores_raise(self):
+        with pytest.raises(EvolutionError):
+            roulette_wheel(np.array([-1.0, 2.0]), 5, RNG)
+
+    def test_empty_population_raises(self):
+        with pytest.raises(EvolutionError):
+            roulette_wheel(np.array([]), 5, RNG)
+
+    def test_deterministic(self):
+        a = roulette_wheel(np.array([1.0, 2.0]), 10, 7)
+        b = roulette_wheel(np.array([1.0, 2.0]), 10, 7)
+        assert np.array_equal(a, b)
+
+
+class TestTournament:
+    def test_prefers_better(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        idx = tournament(scores, 1000, RNG, size=3)
+        assert (idx == 1).mean() > 0.6
+
+    def test_size_one_is_uniform(self):
+        idx = tournament(np.array([0.0, 100.0]), 3000, RNG, size=1)
+        assert abs((idx == 0).mean() - 0.5) < 0.05
+
+    def test_bad_size_raises(self):
+        with pytest.raises(EvolutionError):
+            tournament(np.ones(3), 2, RNG, size=0)
+
+
+class TestRankSelection:
+    def test_monotone_in_rank(self):
+        scores = np.array([0.0, 0.5, 1.0])
+        idx = rank_selection(scores, 6000, RNG)
+        counts = np.bincount(idx, minlength=3)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_insensitive_to_scale(self):
+        a = rank_selection(np.array([1.0, 2.0, 3.0]), 100, 5)
+        b = rank_selection(np.array([10.0, 200.0, 30000.0]), 100, 5)
+        assert np.array_equal(a, b)
+
+
+class TestCrossovers:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.a = rng.random((20, 9))
+        self.b = rng.random((20, 9))
+
+    @pytest.mark.parametrize(
+        "op", [one_point_crossover, two_point_crossover, uniform_crossover]
+    )
+    def test_children_mix_parent_genes(self, op):
+        child = op(self.a, self.b, RNG)
+        assert child.shape == self.a.shape
+        from_a = np.isclose(child, self.a)
+        from_b = np.isclose(child, self.b)
+        assert (from_a | from_b).all()
+
+    def test_one_point_is_prefix_suffix(self):
+        child = one_point_crossover(self.a, self.b, RNG)
+        for row in range(child.shape[0]):
+            from_a = np.isclose(child[row], self.a[row])
+            # prefix from a, suffix from b: once it switches it stays
+            switched = False
+            for g in range(9):
+                if not from_a[g]:
+                    switched = True
+                if switched:
+                    assert np.isclose(child[row, g], self.b[row, g])
+
+    def test_blx_extends_interval(self):
+        child = blx_alpha_crossover(self.a, self.b, RNG, alpha=0.5)
+        lo = np.minimum(self.a, self.b)
+        hi = np.maximum(self.a, self.b)
+        spread = hi - lo
+        assert (child >= lo - 0.5 * spread - 1e-12).all()
+        assert (child <= hi + 0.5 * spread + 1e-12).all()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvolutionError):
+            one_point_crossover(self.a, self.b[:5], RNG)
+
+    def test_bad_p_swap_raises(self):
+        with pytest.raises(EvolutionError):
+            uniform_crossover(self.a, self.b, RNG, p_swap=1.5)
+
+    def test_bad_alpha_raises(self):
+        with pytest.raises(EvolutionError):
+            blx_alpha_crossover(self.a, self.b, RNG, alpha=-0.1)
+
+
+class TestMutations:
+    def setup_method(self):
+        self.space = ParameterSpace()
+        self.genomes = self.space.sample(50, 3)
+
+    def test_uniform_reset_rate_zero_identity(self):
+        out = uniform_reset_mutation(
+            self.genomes, 0.0, self.space.lower_bounds, self.space.upper_bounds, RNG
+        )
+        assert np.array_equal(out, self.genomes)
+
+    def test_uniform_reset_rate_one_changes_most(self):
+        out = uniform_reset_mutation(
+            self.genomes, 1.0, self.space.lower_bounds, self.space.upper_bounds, RNG
+        )
+        changed = ~np.isclose(out, self.genomes)
+        assert changed.mean() > 0.9
+
+    def test_uniform_reset_within_bounds(self):
+        out = uniform_reset_mutation(
+            self.genomes, 1.0, self.space.lower_bounds, self.space.upper_bounds, RNG
+        )
+        assert (out >= self.space.lower_bounds - 1e-12).all()
+        assert (out <= self.space.upper_bounds + 1e-12).all()
+
+    def test_gaussian_perturbs_locally(self):
+        out = gaussian_mutation(
+            self.genomes,
+            1.0,
+            self.space.lower_bounds,
+            self.space.upper_bounds,
+            RNG,
+            sigma_fraction=0.01,
+        )
+        # small sigma: changes are small relative to the spans
+        delta = np.abs(out - self.genomes) / (
+            self.space.upper_bounds - self.space.lower_bounds
+        )
+        assert delta.max() < 0.1
+
+    def test_does_not_mutate_input(self):
+        snapshot = self.genomes.copy()
+        uniform_reset_mutation(
+            self.genomes, 0.5, self.space.lower_bounds, self.space.upper_bounds, RNG
+        )
+        assert np.array_equal(self.genomes, snapshot)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_bad_rate_raises(self, rate):
+        with pytest.raises(EvolutionError):
+            uniform_reset_mutation(
+                self.genomes,
+                rate,
+                self.space.lower_bounds,
+                self.space.upper_bounds,
+                RNG,
+            )
+        with pytest.raises(EvolutionError):
+            gaussian_mutation(
+                self.genomes,
+                rate,
+                self.space.lower_bounds,
+                self.space.upper_bounds,
+                RNG,
+            )
+
+    def test_bad_sigma_raises(self):
+        with pytest.raises(EvolutionError):
+            gaussian_mutation(
+                self.genomes,
+                0.5,
+                self.space.lower_bounds,
+                self.space.upper_bounds,
+                RNG,
+                sigma_fraction=0.0,
+            )

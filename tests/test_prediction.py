@@ -1,0 +1,66 @@
+"""Tests for the Prediction Stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.grid.firemap import fire_line
+from repro.stages.prediction import predict
+from repro.stages.statistical import ProbabilityMap
+
+
+def _pm(arr, n=4):
+    return ProbabilityMap(np.asarray(arr, dtype=np.float64), n_maps=n)
+
+
+class TestPredict:
+    def test_threshold_applied(self):
+        pm = _pm([[0.2, 0.6], [0.9, 0.1]])
+        out = predict(pm, kign=0.5)
+        assert np.array_equal(out.burned, [[False, True], [True, False]])
+        assert out.kign == 0.5
+
+    def test_quality_perfect(self):
+        pm = _pm([[1.0, 1.0], [0.0, 0.0]])
+        real = np.array([[True, True], [False, False]])
+        out = predict(pm, 0.5, real_burned=real)
+        assert out.quality == 1.0
+
+    def test_quality_nan_without_reality(self):
+        out = predict(_pm([[0.5]]), 0.5)
+        assert np.isnan(out.quality)
+
+    def test_pre_burned_always_predicted(self):
+        # The region burned before the step is burned in the prediction
+        # even when the probability matrix missed it.
+        pm = _pm([[0.0, 1.0], [0.0, 0.0]])
+        pre = np.array([[True, False], [False, False]])
+        out = predict(pm, 0.5, pre_burned=pre)
+        assert out.burned[0, 0]
+
+    def test_quality_excludes_pre_burned(self):
+        pm = _pm([[0.0, 1.0], [0.0, 0.0]])
+        pre = np.array([[True, False], [False, False]])
+        real = np.array([[True, True], [False, False]])
+        out = predict(pm, 0.5, real_burned=real, pre_burned=pre)
+        # only the new cell counts and it is correctly predicted
+        assert out.quality == 1.0
+
+    def test_fire_line_consistent(self):
+        pm = _pm(np.pad(np.ones((3, 3)), 1))
+        out = predict(pm, 0.5)
+        assert np.array_equal(out.fire_line, fire_line(out.burned))
+
+    @pytest.mark.parametrize("kign", [-0.1, float("nan"), float("inf")])
+    def test_invalid_kign_raises(self, kign):
+        with pytest.raises(CalibrationError):
+            predict(_pm([[0.5]]), kign)
+
+    def test_higher_kign_predicts_subset(self):
+        rng = np.random.default_rng(1)
+        pm = _pm(rng.random((6, 6)))
+        low = predict(pm, 0.3).burned
+        high = predict(pm, 0.7).burned
+        assert not (high & ~low).any()

@@ -1,0 +1,190 @@
+"""Tests for minimum-travel-time propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.firelib.propagation import (
+    NEIGHBORS_8,
+    NEIGHBORS_16,
+    directional_travel_times,
+    propagate,
+    stencil,
+)
+
+
+def _uniform_travel(n=7, ros=10.0, cell_ft=100.0, n_neighbors=8):
+    shape = (n, n)
+    return directional_travel_times(
+        np.full(shape, ros),
+        np.zeros(shape),
+        np.zeros(shape),
+        cell_ft,
+        n_neighbors=n_neighbors,
+    )
+
+
+class TestStencil:
+    def test_sizes(self):
+        assert len(NEIGHBORS_8) == 8
+        assert len(NEIGHBORS_16) == 16
+        assert stencil(8) == NEIGHBORS_8
+        assert stencil(16) == NEIGHBORS_16
+
+    def test_invalid_raises(self):
+        with pytest.raises(SimulationError):
+            stencil(4)
+
+    def test_offsets_unique(self):
+        assert len(set(NEIGHBORS_16)) == 16
+
+
+class TestDirectionalTravelTimes:
+    def test_shape(self):
+        tt = _uniform_travel(5)
+        assert tt.shape == (8, 5, 5)
+
+    def test_uniform_circle_times(self):
+        # eccentricity 0: cardinal neighbours take cell/ros, diagonals √2×
+        tt = _uniform_travel(3, ros=10.0, cell_ft=100.0)
+        assert tt[0, 1, 1] == pytest.approx(10.0)  # N
+        assert tt[1, 1, 1] == pytest.approx(10.0 * np.sqrt(2))  # NE
+
+    def test_heading_direction_fastest(self):
+        shape = (3, 3)
+        tt = directional_travel_times(
+            np.full(shape, 10.0),
+            np.full(shape, 90.0),  # heading East
+            np.full(shape, 0.9),
+            100.0,
+        )
+        east, west = tt[2, 1, 1], tt[6, 1, 1]
+        assert east < west
+
+    def test_zero_ros_infinite(self):
+        tt = directional_travel_times(
+            np.zeros((3, 3)), np.zeros((3, 3)), np.zeros((3, 3)), 100.0
+        )
+        assert np.isinf(tt).all()
+
+    def test_blocked_source_emits_nothing(self):
+        blocked = np.zeros((3, 3), dtype=bool)
+        blocked[1, 1] = True
+        tt = directional_travel_times(
+            np.full((3, 3), 5.0),
+            np.zeros((3, 3)),
+            np.zeros((3, 3)),
+            100.0,
+            blocked=blocked,
+        )
+        assert np.isinf(tt[:, 1, 1]).all()
+        assert np.isfinite(tt[:, 0, 0]).all()
+
+    def test_bad_cell_size_raises(self):
+        with pytest.raises(SimulationError):
+            _uniform_travel(cell_ft=0.0)
+
+
+class TestPropagate:
+    def test_center_ignition_symmetric(self):
+        tt = _uniform_travel(7)
+        times = propagate(tt, [(3, 3)])
+        assert times[3, 3] == 0.0
+        assert times[3, 0] == times[3, 6] == times[0, 3] == times[6, 3]
+        assert np.isfinite(times).all()
+
+    def test_times_grow_with_distance(self):
+        tt = _uniform_travel(9)
+        times = propagate(tt, [(4, 4)])
+        assert times[4, 5] < times[4, 6] < times[4, 7] < times[4, 8]
+
+    def test_horizon_clips(self):
+        tt = _uniform_travel(9, ros=10.0, cell_ft=100.0)  # 10 min/cell
+        times = propagate(tt, [(4, 4)], horizon=25.0)
+        assert np.isfinite(times[4, 6])  # 2 cells = 20 min
+        assert np.isinf(times[4, 7])  # 3 cells = 30 min > horizon
+
+    def test_multiple_ignitions_take_min(self):
+        tt = _uniform_travel(9)
+        t_one = propagate(tt, [(0, 0)])
+        t_two = propagate(tt, [(0, 0), (8, 8)])
+        assert (t_two <= t_one + 1e-12).all()
+
+    def test_delayed_ignition_mapping(self):
+        tt = _uniform_travel(5, ros=10.0, cell_ft=100.0)
+        times = propagate(tt, {(2, 2): 7.0})
+        assert times[2, 2] == 7.0
+        assert times[2, 3] == pytest.approx(17.0)
+
+    def test_blocked_cells_never_burn(self):
+        blocked = np.zeros((7, 7), dtype=bool)
+        blocked[:, 3] = True  # wall
+        tt = directional_travel_times(
+            np.full((7, 7), 10.0),
+            np.zeros((7, 7)),
+            np.zeros((7, 7)),
+            100.0,
+            blocked=blocked,
+        )
+        times = propagate(tt, [(3, 0)], blocked=blocked)
+        assert np.isinf(times[:, 3]).all()
+        assert np.isinf(times[:, 4:]).all()  # wall separates the halves
+
+    def test_wall_with_gap_leaks(self):
+        blocked = np.zeros((7, 7), dtype=bool)
+        blocked[:, 3] = True
+        blocked[3, 3] = False  # ford
+        tt = directional_travel_times(
+            np.full((7, 7), 10.0),
+            np.zeros((7, 7)),
+            np.zeros((7, 7)),
+            100.0,
+            blocked=blocked,
+        )
+        times = propagate(tt, [(3, 0)], blocked=blocked)
+        assert np.isfinite(times[3, 6])
+
+    def test_igniting_blocked_cell_is_noop(self):
+        blocked = np.zeros((3, 3), dtype=bool)
+        blocked[1, 1] = True
+        tt = _uniform_travel(3)
+        times = propagate(tt, [(1, 1)], blocked=blocked)
+        assert np.isinf(times).all()
+
+    def test_no_ignitions_raises(self):
+        with pytest.raises(SimulationError):
+            propagate(_uniform_travel(3), [])
+
+    def test_out_of_bounds_ignition_raises(self):
+        with pytest.raises(SimulationError):
+            propagate(_uniform_travel(3), [(5, 5)])
+
+    def test_negative_start_time_raises(self):
+        with pytest.raises(SimulationError):
+            propagate(_uniform_travel(3), {(0, 0): -1.0})
+
+    def test_16_neighbor_rounder_fire(self):
+        # The 16-stencil reduces octagonal distortion: the burned disc at
+        # a fixed horizon is closer to a true circle (smaller max/min
+        # radius ratio along lattice directions).
+        def roundness(n_neighbors):
+            tt = _uniform_travel(41, ros=10.0, cell_ft=10.0, n_neighbors=n_neighbors)
+            times = propagate(tt, [(20, 20)], horizon=15.0)
+            b = np.isfinite(times)
+            rows, cols = np.nonzero(b)
+            r = np.hypot(rows - 20, cols - 20)
+            return r.max() / max(r[r > 0].min(), 1)
+
+        assert roundness(16) <= roundness(8) + 1e-9
+
+    def test_dimension_checks(self):
+        with pytest.raises(SimulationError):
+            propagate(np.zeros((8, 4)), [(0, 0)])
+        with pytest.raises(SimulationError):
+            propagate(np.zeros((5, 4, 4)), [(0, 0)])  # 5 directions
+        with pytest.raises(SimulationError):
+            propagate(
+                _uniform_travel(4), [(0, 0)], blocked=np.zeros((3, 3), dtype=bool)
+            )

@@ -1,0 +1,318 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the mathematical contracts the paper's pipeline relies on:
+Eq. 3 metric properties, Eq. 1/2 novelty invariants, parameter-space
+closure, accumulator bounds, ellipse geometry and propagation causality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.archive import BestSet, NoveltyArchive
+from repro.core.fitness import jaccard_fitness
+from repro.core.individual import Individual
+from repro.core.novelty import novelty_scores
+from repro.core.scenario import ParameterSpace
+from repro.firelib.ellipse import (
+    backing_ros,
+    eccentricity_from_effective_wind,
+    ros_at_azimuth,
+)
+from repro.firelib.propagation import directional_travel_times, propagate
+from repro.stages.statistical import aggregate_burned_maps
+
+SPACE = ParameterSpace()
+
+bool_masks = arrays(np.bool_, (6, 6))
+fitness_arrays = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=12),
+    elements=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+# ----------------------------------------------------------------------
+# Eq. 3 — Jaccard fitness
+# ----------------------------------------------------------------------
+class TestJaccardProperties:
+    @given(a=bool_masks, b=bool_masks)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaccard_fitness(a, b) <= 1.0
+
+    @given(a=bool_masks, b=bool_masks)
+    def test_symmetry(self, a, b):
+        assert jaccard_fitness(a, b) == pytest.approx(jaccard_fitness(b, a))
+
+    @given(a=bool_masks)
+    def test_identity(self, a):
+        assert jaccard_fitness(a, a) == 1.0
+
+    @given(a=bool_masks, b=bool_masks, pre=bool_masks)
+    def test_pre_burned_bounds(self, a, b, pre):
+        assert 0.0 <= jaccard_fitness(a, b, pre_burned=pre) <= 1.0
+
+    @given(a=bool_masks, b=bool_masks)
+    def test_pre_equal_to_everything_is_perfect(self, a, b):
+        # excluding every cell leaves two empty sets → fitness 1
+        pre = np.ones((6, 6), dtype=bool)
+        assert jaccard_fitness(a, b, pre_burned=pre) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Eqs. 1–2 — novelty
+# ----------------------------------------------------------------------
+class TestNoveltyProperties:
+    @given(f=fitness_arrays, k=st.integers(min_value=1, max_value=20))
+    def test_non_negative(self, f, k):
+        rho = novelty_scores(f, f, k=k)
+        assert (rho >= 0).all()
+
+    @given(f=fitness_arrays)
+    def test_clones_have_zero_novelty(self, f):
+        clones = np.full_like(f, float(f[0]))
+        rho = novelty_scores(clones, clones, k=3)
+        assert np.allclose(rho, 0.0)
+
+    @given(f=fitness_arrays)
+    def test_shift_invariance(self, f):
+        # Eq. 2 distances depend only on fitness differences.
+        rho_a = novelty_scores(f, f, k=2)
+        rho_b = novelty_scores(f * 0.5, f * 0.5, k=2)
+        assert np.allclose(rho_a * 0.5, rho_b)
+
+    @given(f=fitness_arrays)
+    def test_monotone_in_k(self, f):
+        # ρ averages the k *smallest* distances, so it is non-decreasing
+        # in k for any fixed individual.
+        rho1 = novelty_scores(f, f, k=1)
+        rho_all = novelty_scores(f, f, k=len(f))
+        assert (rho_all >= rho1 - 1e-12).all()
+
+
+# ----------------------------------------------------------------------
+# Table I parameter space
+# ----------------------------------------------------------------------
+class TestSpaceProperties:
+    @given(
+        g=arrays(
+            np.float64,
+            9,
+            elements=st.floats(
+                min_value=-1e4, max_value=1e4, allow_nan=False
+            ),
+        )
+    )
+    def test_clip_closes_into_box(self, g):
+        clipped = SPACE.clip(g)
+        SPACE.validate(clipped)
+
+    @given(
+        g=arrays(
+            np.float64,
+            9,
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        )
+    )
+    def test_clip_idempotent(self, g):
+        once = SPACE.clip(g)
+        twice = SPACE.clip(once)
+        assert np.allclose(once, twice)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_decode_encode_roundtrip(self, seed):
+        genome = SPACE.sample(1, seed)[0]
+        assert np.allclose(SPACE.encode(SPACE.decode(genome)), genome)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_distance_metric_axioms(self, seed):
+        a, b, c = SPACE.sample(3, seed)
+        dab = SPACE.distance(a, b)
+        assert dab >= 0
+        assert SPACE.distance(a, a) == 0
+        assert dab == pytest.approx(SPACE.distance(b, a))
+        # triangle inequality (holds per coordinate, hence for the mean)
+        assert dab <= SPACE.distance(a, c) + SPACE.distance(c, b) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Accumulators
+# ----------------------------------------------------------------------
+class TestAccumulatorProperties:
+    @given(
+        fits=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+        ),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    def test_best_set_invariants(self, fits, capacity):
+        bs = BestSet(capacity, dedupe=False)
+        for i, f in enumerate(fits):
+            rng = np.random.default_rng(i)
+            bs.update([Individual(genome=rng.random(4), fitness=f)])
+        assert len(bs) <= capacity
+        assert bs.max_fitness() == pytest.approx(max(fits))
+        members = [ind.fitness for ind in bs]
+        assert members == sorted(members, reverse=True)
+
+    @given(
+        novs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_archive_keeps_top_novelty(self, novs, capacity):
+        arch = NoveltyArchive(capacity)
+        for i, nv in enumerate(novs):
+            rng = np.random.default_rng(i)
+            arch.update(
+                [Individual(genome=rng.random(4), fitness=0.5, novelty=nv)]
+            )
+        assert len(arch) == min(len(novs), capacity)
+        kept = sorted((ind.novelty for ind in arch), reverse=True)
+        expected = sorted(novs, reverse=True)[: len(kept)]
+        assert np.allclose(kept, expected)
+
+
+# ----------------------------------------------------------------------
+# Ellipse geometry
+# ----------------------------------------------------------------------
+class TestEllipseProperties:
+    @given(
+        wind=st.floats(min_value=0.0, max_value=1e5),
+        az=st.floats(min_value=0.0, max_value=360.0),
+        heading=st.floats(min_value=0.0, max_value=360.0),
+        ros=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_directional_ros_bounded(self, wind, az, heading, ros):
+        ecc = eccentricity_from_effective_wind(wind)
+        r = ros_at_azimuth(ros, heading, ecc, az)
+        assert 0.0 <= r <= ros + 1e-9
+        assert r >= backing_ros(ros, ecc) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Propagation causality
+# ----------------------------------------------------------------------
+class TestPropagationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        horizon=st.floats(min_value=5.0, max_value=60.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_causality_and_monotonicity(self, seed, horizon):
+        rng = np.random.default_rng(seed)
+        shape = (9, 9)
+        ros = rng.uniform(1.0, 30.0, shape)
+        heading = rng.uniform(0, 360, shape)
+        ecc = rng.uniform(0, 0.9, shape)
+        tt = directional_travel_times(ros, heading, ecc, 50.0)
+        times = propagate(tt, [(4, 4)], horizon=horizon)
+        finite = times[np.isfinite(times)]
+        assert (finite >= 0).all()
+        assert times[4, 4] == 0.0
+        assert (finite <= horizon).all()
+        # shrinking the horizon never adds burned cells
+        times_small = propagate(tt, [(4, 4)], horizon=horizon / 2)
+        assert not (np.isfinite(times_small) & ~np.isfinite(times)).any()
+
+
+# ----------------------------------------------------------------------
+# Derived fire behaviour (Byram / Van Wagner)
+# ----------------------------------------------------------------------
+class TestBehaviorProperties:
+    @given(
+        hpa=st.floats(min_value=0.0, max_value=1e5),
+        ros=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_intensity_flame_scorch_non_negative(self, hpa, ros):
+        from repro.firelib.behavior import (
+            fireline_intensity,
+            flame_length,
+            scorch_height,
+        )
+
+        ib = fireline_intensity(hpa, ros)
+        assert ib >= 0
+        assert flame_length(ib) >= 0
+        assert scorch_height(ib) >= 0
+
+    @given(
+        i1=st.floats(min_value=0.0, max_value=1e4),
+        i2=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_flame_length_monotone(self, i1, i2):
+        from repro.firelib.behavior import flame_length
+
+        lo, hi = sorted((i1, i2))
+        assert flame_length(lo) <= flame_length(hi) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Run-result serialization
+# ----------------------------------------------------------------------
+class TestSerializationProperties:
+    @given(
+        qualities=st.lists(
+            st.one_of(
+                st.none(), st.floats(min_value=0.0, max_value=1.0)
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_roundtrip_preserves_everything(self, qualities):
+        from repro.parallel.timing import StageTimings
+        from repro.systems.results import RunResult, StepResult
+
+        run = RunResult(system="X")
+        for i, q in enumerate(qualities, start=1):
+            run.steps.append(
+                StepResult(
+                    step=i,
+                    kign=0.25,
+                    calibration_fitness=0.5,
+                    prediction_quality=float("nan") if q is None else q,
+                    best_scenario_fitness=0.4,
+                    n_solutions=5,
+                    evaluations=10 * i,
+                    timings=StageTimings(seconds={"os": 0.5 * i}),
+                )
+            )
+        back = RunResult.from_dict(run.to_dict())
+        assert np.array_equal(back.qualities(), run.qualities(), equal_nan=True)
+        assert back.total_evaluations() == run.total_evaluations()
+        assert back.total_time() == pytest.approx(run.total_time())
+
+
+# ----------------------------------------------------------------------
+# Statistical stage
+# ----------------------------------------------------------------------
+class TestStatisticalProperties:
+    @given(
+        stack=arrays(
+            np.bool_,
+            st.tuples(
+                st.integers(min_value=1, max_value=6),
+                st.just(5),
+                st.just(5),
+            ),
+        )
+    )
+    def test_probabilities_bounded_and_consistent(self, stack):
+        pm = aggregate_burned_maps(stack)
+        p = pm.probabilities
+        assert (p >= 0).all() and (p <= 1).all()
+        # a cell burned in every map has probability exactly 1
+        always = stack.all(axis=0)
+        assert (p[always] == 1.0).all()
+        never = ~stack.any(axis=0)
+        assert (p[never] == 0.0).all()
+        # thresholding at any level keeps monotonicity
+        assert not (pm.threshold(0.8) & ~pm.threshold(0.2)).any()

@@ -1,0 +1,74 @@
+"""Tests for StepResult / RunResult records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.timing import StageTimings
+from repro.systems.results import RunResult, StepResult
+
+
+def _step(step, quality=0.5, evals=100, kign=0.25):
+    t = StageTimings()
+    t.add("os", 1.0)
+    t.add("ss", 0.5)
+    return StepResult(
+        step=step,
+        kign=kign,
+        calibration_fitness=0.8,
+        prediction_quality=quality,
+        best_scenario_fitness=0.7,
+        n_solutions=10,
+        evaluations=evals,
+        timings=t,
+    )
+
+
+class TestStepResult:
+    def test_has_prediction(self):
+        assert _step(2).has_prediction
+        assert not _step(1, quality=float("nan")).has_prediction
+
+
+class TestRunResult:
+    def test_qualities_with_nan(self):
+        run = RunResult(system="X")
+        run.steps = [_step(1, quality=float("nan")), _step(2, 0.4), _step(3, 0.6)]
+        q = run.qualities()
+        assert np.isnan(q[0])
+        assert run.mean_quality() == pytest.approx(0.5)
+
+    def test_mean_quality_all_nan(self):
+        run = RunResult(system="X")
+        run.steps = [_step(1, quality=float("nan"))]
+        assert np.isnan(run.mean_quality())
+
+    def test_totals(self):
+        run = RunResult(system="X")
+        run.steps = [_step(1, evals=100), _step(2, evals=150)]
+        assert run.total_evaluations() == 250
+        assert run.total_time() == pytest.approx(3.0)
+
+    def test_stage_timings_aggregated(self):
+        run = RunResult(system="X")
+        run.steps = [_step(1), _step(2)]
+        agg = run.stage_timings()
+        assert agg.seconds["os"] == pytest.approx(2.0)
+        assert agg.seconds["ss"] == pytest.approx(1.0)
+
+    def test_summary_rows_schema(self):
+        run = RunResult(system="X")
+        run.steps = [_step(1, quality=float("nan")), _step(2, 0.4)]
+        rows = run.summary_rows()
+        assert rows[0]["quality"] is None
+        assert rows[1]["quality"] == 0.4
+        assert set(rows[0]) == {
+            "step",
+            "kign",
+            "cal_fitness",
+            "quality",
+            "best_fitness",
+            "evaluations",
+            "seconds",
+        }

@@ -1,0 +1,84 @@
+"""Tests for repro.rng: determinism, stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, make_rng, spawn, spawn_seeds, stream_for
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(10)
+        b = make_rng(42).random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(10)
+        b = make_rng(2).random(10)
+        assert not np.array_equal(a, b)
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        gen = make_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_int_seed(self):
+        assert np.array_equal(ensure_rng(7).random(3), make_rng(7).random(3))
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(make_rng(5), 3)
+        draws = [c.random(100) for c in children]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_children_deterministic(self):
+        a = [c.random(5) for c in spawn(make_rng(5), 2)]
+        b = [c.random(5) for c in spawn(make_rng(5), 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        a = spawn_seeds(make_rng(9), 4)
+        b = spawn_seeds(make_rng(9), 4)
+        assert len(a) == 4
+        assert a == b
+        assert all(isinstance(s, int) and s >= 0 for s in a)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(make_rng(0), -2)
+
+
+class TestStreamFor:
+    def test_same_tags_same_stream(self):
+        a = stream_for(1, 2, 3).random(5)
+        b = stream_for(1, 2, 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        a = stream_for(1, 2, 3).random(5)
+        b = stream_for(1, 2, 4).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_tuple_tags(self):
+        a = stream_for(1, (2, 3)).random(5)
+        b = stream_for(1, 2, 3).random(5)
+        assert np.array_equal(a, b)

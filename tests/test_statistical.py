@@ -1,0 +1,97 @@
+"""Tests for the Statistical Stage (probability matrix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.stages.statistical import ProbabilityMap, aggregate_burned_maps
+
+
+def _stack(*masks):
+    return np.asarray(masks, dtype=bool)
+
+
+class TestAggregate:
+    def test_uniform_fractions(self):
+        a = np.zeros((2, 2), dtype=bool)
+        b = np.ones((2, 2), dtype=bool)
+        c = np.array([[True, False], [False, False]])
+        pm = aggregate_burned_maps(_stack(a, b, c))
+        assert pm.n_maps == 3
+        assert pm.probabilities[0, 0] == pytest.approx(2 / 3)
+        assert pm.probabilities[1, 1] == pytest.approx(1 / 3)
+
+    def test_unanimous_cell_is_one(self):
+        b = np.ones((3, 3), dtype=bool)
+        pm = aggregate_burned_maps(_stack(b, b))
+        assert (pm.probabilities == 1.0).all()
+
+    def test_weighted_aggregation(self):
+        a = np.array([[True, False]])
+        b = np.array([[False, True]])
+        pm = aggregate_burned_maps(_stack(a, b), weights=np.array([3.0, 1.0]))
+        assert pm.probabilities[0, 0] == pytest.approx(0.75)
+        assert pm.probabilities[0, 1] == pytest.approx(0.25)
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        a = np.array([[True, False]])
+        b = np.array([[False, True]])
+        pm = aggregate_burned_maps(_stack(a, b), weights=np.zeros(2))
+        assert pm.probabilities[0, 0] == pytest.approx(0.5)
+
+    def test_negative_weights_raise(self):
+        a = np.ones((2, 2), dtype=bool)
+        with pytest.raises(CalibrationError):
+            aggregate_burned_maps(_stack(a), weights=np.array([-1.0]))
+
+    def test_weight_count_mismatch_raises(self):
+        a = np.ones((2, 2), dtype=bool)
+        with pytest.raises(CalibrationError):
+            aggregate_burned_maps(_stack(a, a), weights=np.ones(3))
+
+    def test_empty_stack_raises(self):
+        with pytest.raises(CalibrationError):
+            aggregate_burned_maps(np.zeros((0, 2, 2), dtype=bool))
+
+    def test_non_3d_raises(self):
+        with pytest.raises(CalibrationError):
+            aggregate_burned_maps(np.ones((2, 2), dtype=bool))
+
+
+class TestProbabilityMap:
+    def test_threshold_semantics(self):
+        pm = ProbabilityMap(np.array([[0.2, 0.5], [0.8, 1.0]]), n_maps=5)
+        assert np.array_equal(
+            pm.threshold(0.5), np.array([[False, True], [True, True]])
+        )
+        assert pm.threshold(0.0).all()  # everything reaches probability 0
+        assert not pm.threshold(1.01).any()
+
+    def test_threshold_monotone_in_kign(self):
+        rng = np.random.default_rng(0)
+        pm = ProbabilityMap(rng.random((6, 6)), n_maps=4)
+        prev = pm.threshold(0.1)
+        for k in (0.3, 0.6, 0.9):
+            cur = pm.threshold(k)
+            assert not (cur & ~prev).any()  # higher kign predicts less
+            prev = cur
+
+    def test_levels_sorted_unique(self):
+        pm = ProbabilityMap(np.array([[0.5, 0.25], [0.25, 1.0]]), n_maps=4)
+        assert np.array_equal(pm.levels(), [0.25, 0.5, 1.0])
+
+    def test_invalid_probabilities_raise(self):
+        with pytest.raises(CalibrationError):
+            ProbabilityMap(np.array([[1.5]]), n_maps=1)
+        with pytest.raises(CalibrationError):
+            ProbabilityMap(np.array([[-0.1]]), n_maps=1)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(CalibrationError):
+            ProbabilityMap(np.zeros(4), n_maps=1)
+
+    def test_invalid_n_maps_raises(self):
+        with pytest.raises(CalibrationError):
+            ProbabilityMap(np.zeros((2, 2)), n_maps=0)

@@ -1,0 +1,102 @@
+"""Tests for the sweep harness and the ESSIM-DE solution policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import SweepResult, run_sweep
+from repro.ea.de import DEConfig
+from repro.ea.ga import GAConfig
+from repro.errors import ReproError
+from repro.parallel.islands import IslandModelConfig
+from repro.systems import ESS, ESSIMDE, ESSConfig, ESSIMDEConfig
+
+
+def _factories():
+    return {
+        "ESS": lambda: ESS(
+            ESSConfig(ga=GAConfig(population_size=8), max_generations=2)
+        ),
+    }
+
+
+class TestRunSweep:
+    def test_cells_cover_grid(self, small_fire):
+        sweep = run_sweep(
+            _factories(), {"small": small_fire}, seeds=[0, 1]
+        )
+        assert len(sweep.cells) == 1
+        cell = sweep.cell("ESS", "small")
+        assert len(cell.qualities) == 2
+        assert 0.0 <= cell.mean <= 1.0
+        assert cell.std >= 0.0
+        assert cell.evaluations > 0
+
+    def test_labels(self, small_fire):
+        sweep = run_sweep(_factories(), {"small": small_fire}, seeds=[0])
+        assert sweep.systems() == ["ESS"]
+        assert sweep.cases() == ["small"]
+        assert sweep.winner("small") == "ESS"
+
+    def test_missing_cell_raises(self, small_fire):
+        sweep = run_sweep(_factories(), {"small": small_fire}, seeds=[0])
+        with pytest.raises(ReproError):
+            sweep.cell("ESS", "other")
+        with pytest.raises(ReproError):
+            sweep.winner("other")
+
+    @pytest.mark.parametrize(
+        "factories,cases,seeds",
+        [({}, {"x": None}, [0]), ({"a": None}, {}, [0]), ({"a": None}, {"x": None}, [])],
+    )
+    def test_empty_inputs_raise(self, factories, cases, seeds):
+        with pytest.raises(ReproError):
+            run_sweep(factories, cases, seeds)
+
+    def test_table_rows_schema(self, small_fire):
+        sweep = run_sweep(_factories(), {"small": small_fire}, seeds=[0])
+        rows = sweep.table_rows()
+        assert rows[0][0] == "ESS"
+        assert "±" in rows[0][2]
+
+    def test_json_roundtrip(self, small_fire, tmp_path):
+        sweep = run_sweep(_factories(), {"small": small_fire}, seeds=[0, 1])
+        path = tmp_path / "sweep.json"
+        sweep.save_json(path)
+        back = SweepResult.load_json(path)
+        assert back.cell("ESS", "small").qualities == sweep.cell(
+            "ESS", "small"
+        ).qualities
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ReproError):
+            SweepResult.from_dict({"cells": [{"system": "x"}]})
+
+
+class TestESSIMDESolutionPolicy:
+    def _system(self, policy):
+        return ESSIMDE(
+            ESSIMDEConfig(
+                de=DEConfig(population_size=8),
+                islands=IslandModelConfig(n_islands=2, migration_interval=2),
+                max_generations=2,
+                solution_policy=policy,
+            )
+        )
+
+    def test_best_only_halves_solution_set(self, small_fire):
+        full = self._system("population").run(small_fire, rng=3)
+        half = self._system("best_only").run(small_fire, rng=3)
+        for f, h in zip(full.steps, half.steps):
+            assert h.n_solutions == f.n_solutions // 2
+
+    def test_bad_policy_raises(self):
+        with pytest.raises(ValueError):
+            ESSIMDEConfig(solution_policy="bogus")
+
+    def test_both_policies_produce_predictions(self, small_fire):
+        for policy in ("population", "best_only"):
+            run = self._system(policy).run(small_fire, rng=1)
+            q = run.qualities()
+            assert np.isfinite(q[1:]).all()

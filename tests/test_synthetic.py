@@ -1,0 +1,120 @@
+"""Tests for synthetic reference fires."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import Scenario
+from repro.errors import WorkloadError
+from repro.grid.terrain import Terrain
+from repro.workloads.synthetic import ReferenceFire, make_reference_fire
+
+
+class TestMakeReferenceFire:
+    def test_static_fire(self, terrain, scenario):
+        fire = make_reference_fire(
+            terrain, scenario, [(12, 6)], n_steps=3, step_minutes=15.0
+        )
+        assert fire.n_steps == 3
+        assert len(fire.burned_masks) == 4
+        assert fire.instants == (0.0, 15.0, 30.0, 45.0)
+        assert all(s == scenario for s in fire.true_scenarios)
+
+    def test_masks_monotone(self, small_fire):
+        for i in range(1, len(small_fire.burned_masks)):
+            prev, cur = small_fire.burned_masks[i - 1], small_fire.burned_masks[i]
+            assert not (prev & ~cur).any()
+
+    def test_growth_positive_each_step(self, small_fire):
+        for step in range(1, small_fire.n_steps + 1):
+            assert small_fire.growth_cells(step) > 0
+
+    def test_dynamic_schedule(self, terrain, scenario):
+        shifted = scenario.replace(wind_dir=180.0)
+        fire = make_reference_fire(
+            terrain, [scenario, shifted], [(12, 6)], n_steps=2, step_minutes=15.0
+        )
+        assert fire.true_scenarios == (scenario, shifted)
+
+    def test_schedule_length_mismatch_raises(self, terrain, scenario):
+        with pytest.raises(WorkloadError):
+            make_reference_fire(
+                terrain, [scenario], [(12, 6)], n_steps=3, step_minutes=15.0
+            )
+
+    def test_wet_scenario_raises_no_growth(self, terrain, wet_scenario):
+        with pytest.raises(WorkloadError, match="did not grow"):
+            make_reference_fire(
+                terrain, wet_scenario, [(12, 6)], n_steps=2, step_minutes=15.0
+            )
+
+    def test_saturation_raises(self, scenario):
+        tiny = Terrain.uniform(6, 6, cell_size=10.0)
+        with pytest.raises(WorkloadError, match="saturated"):
+            make_reference_fire(
+                tiny,
+                scenario.replace(wind_speed=40.0),
+                [(3, 3)],
+                n_steps=3,
+                step_minutes=60.0,
+            )
+
+    def test_bad_ignition_raises(self, terrain, scenario):
+        with pytest.raises(WorkloadError):
+            make_reference_fire(
+                terrain, scenario, [(99, 99)], n_steps=2, step_minutes=15.0
+            )
+
+    def test_unburnable_ignition_raises(self, scenario):
+        t = Terrain.with_river(20, 20, river_col=10)
+        with pytest.raises(WorkloadError):
+            make_reference_fire(
+                t, scenario, [(5, 10)], n_steps=2, step_minutes=15.0
+            )
+
+    @pytest.mark.parametrize("n_steps", [0, 1])
+    def test_too_few_steps_raises(self, terrain, scenario, n_steps):
+        with pytest.raises(WorkloadError):
+            make_reference_fire(
+                terrain, scenario, [(12, 6)], n_steps=n_steps, step_minutes=15.0
+            )
+
+
+class TestReferenceFireAccessors:
+    def test_step_masks(self, small_fire):
+        assert np.array_equal(small_fire.start_mask(1), small_fire.burned_masks[0])
+        assert np.array_equal(small_fire.real_mask(1), small_fire.burned_masks[1])
+        assert np.array_equal(
+            small_fire.start_mask(2), small_fire.real_mask(1)
+        )
+
+    def test_step_horizon(self, small_fire):
+        assert small_fire.step_horizon(1) == 15.0
+
+    @pytest.mark.parametrize("step", [0, 4])
+    def test_invalid_step_raises(self, small_fire, step):
+        with pytest.raises(WorkloadError):
+            small_fire.start_mask(step)
+
+    def test_validation_instants_increase(self, terrain, scenario):
+        masks = (np.zeros(terrain.shape, bool),) * 3
+        with pytest.raises(WorkloadError):
+            ReferenceFire(
+                terrain=terrain,
+                instants=(0.0, 10.0, 5.0),
+                burned_masks=masks,
+                true_scenarios=(scenario, scenario),
+            )
+
+    def test_validation_shrinking_masks(self, terrain, scenario):
+        a = np.zeros(terrain.shape, bool)
+        a[0, 0] = True
+        b = np.zeros(terrain.shape, bool)  # shrank
+        with pytest.raises(WorkloadError):
+            ReferenceFire(
+                terrain=terrain,
+                instants=(0.0, 10.0),
+                burned_masks=(a, b),
+                true_scenarios=(scenario,),
+            )

@@ -1,0 +1,160 @@
+"""Integration tests: the four prediction systems end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ea.de import DEConfig
+from repro.ea.ga import GAConfig
+from repro.ea.nsga import NoveltyGAConfig
+from repro.parallel.islands import IslandModelConfig
+from repro.systems import (
+    ESS,
+    ESSIMDE,
+    ESSIMEA,
+    ESSNS,
+    ESSConfig,
+    ESSIMDEConfig,
+    ESSIMEAConfig,
+    ESSNSConfig,
+)
+
+
+def _small_ess(n_workers=1):
+    return ESS(
+        ESSConfig(ga=GAConfig(population_size=10), max_generations=3),
+        n_workers=n_workers,
+    )
+
+
+def _small_essns(n_workers=1):
+    return ESSNS(
+        ESSNSConfig(
+            nsga=NoveltyGAConfig(
+                population_size=10, k_neighbors=4, best_set_capacity=8
+            ),
+            max_generations=3,
+        ),
+        n_workers=n_workers,
+    )
+
+
+def _small_islands():
+    return IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=1)
+
+
+class TestESS:
+    def test_run_structure(self, small_fire):
+        run = _small_ess().run(small_fire, rng=0)
+        assert run.system == "ESS"
+        assert len(run.steps) == small_fire.n_steps
+        assert not run.steps[0].has_prediction  # paper: no PS at step 1
+        assert all(s.has_prediction for s in run.steps[1:])
+
+    def test_kign_chained(self, small_fire):
+        run = _small_ess().run(small_fire, rng=0)
+        for s in run.steps:
+            assert s.kign > 0
+            assert 0 <= s.calibration_fitness <= 1
+
+    def test_deterministic(self, small_fire):
+        a = _small_ess().run(small_fire, rng=3)
+        b = _small_ess().run(small_fire, rng=3)
+        assert np.array_equal(a.qualities(), b.qualities(), equal_nan=True)
+
+    def test_timings_recorded(self, small_fire):
+        run = _small_ess().run(small_fire, rng=0)
+        for s in run.steps:
+            assert s.timings.seconds["os"] > 0
+            assert s.timings.seconds["ss"] > 0
+            assert s.timings.seconds["cs"] > 0
+        # PS exists from step 2 on
+        assert "ps" in run.steps[1].timings.seconds
+
+    def test_solution_set_is_population(self, small_fire):
+        run = _small_ess().run(small_fire, rng=0)
+        assert all(s.n_solutions == 10 for s in run.steps)
+
+
+class TestESSNS:
+    def test_run_structure(self, small_fire):
+        run = _small_essns().run(small_fire, rng=0)
+        assert run.system == "ESS-NS"
+        assert len(run.steps) == small_fire.n_steps
+        assert run.mean_quality() > 0
+
+    def test_solution_set_is_best_set(self, small_fire):
+        run = _small_essns().run(small_fire, rng=0)
+        # bestSet capacity 8 with dedupe: at most 8 solutions per step
+        assert all(1 <= s.n_solutions <= 8 for s in run.steps)
+
+    def test_deterministic(self, small_fire):
+        a = _small_essns().run(small_fire, rng=5)
+        b = _small_essns().run(small_fire, rng=5)
+        assert np.array_equal(a.qualities(), b.qualities(), equal_nan=True)
+
+    def test_parallel_matches_serial(self, small_fire):
+        serial = _small_essns(n_workers=1).run(small_fire, rng=7)
+        parallel = _small_essns(n_workers=2).run(small_fire, rng=7)
+        assert np.array_equal(
+            serial.qualities(), parallel.qualities(), equal_nan=True
+        )
+
+
+class TestESSIMEA:
+    def test_run_structure(self, small_fire):
+        system = ESSIMEA(
+            ESSIMEAConfig(
+                ga=GAConfig(population_size=8),
+                islands=_small_islands(),
+                max_generations=4,
+            )
+        )
+        run = system.run(small_fire, rng=0)
+        assert run.system == "ESSIM-EA"
+        # two islands of 8 each feed the Monitor
+        assert all(s.n_solutions == 16 for s in run.steps)
+        assert run.mean_quality() >= 0
+
+
+class TestESSIMDE:
+    @pytest.mark.parametrize("tuning", ["none", "restart", "iqr", "both"])
+    def test_all_tuning_modes_run(self, small_fire, tuning):
+        system = ESSIMDE(
+            ESSIMDEConfig(
+                de=DEConfig(population_size=8),
+                islands=_small_islands(),
+                max_generations=4,
+                tuning=tuning,
+            )
+        )
+        run = system.run(small_fire, rng=1)
+        assert len(run.steps) == small_fire.n_steps
+        expected_name = "ESSIM-DE" if tuning == "none" else f"ESSIM-DE+{tuning}"
+        assert run.system == expected_name
+
+    def test_bad_tuning_mode_raises(self):
+        with pytest.raises(ValueError):
+            ESSIMDEConfig(tuning="bogus")
+
+
+class TestCrossSystem:
+    def test_all_systems_comparable(self, small_fire):
+        """The E1 harness shape: same fire, same step count, aligned rows."""
+        from repro.analysis import compare_runs
+
+        runs = [
+            _small_ess().run(small_fire, rng=2),
+            _small_essns().run(small_fire, rng=2),
+        ]
+        cmp = compare_runs(runs)
+        assert cmp.systems == ("ESS", "ESS-NS")
+        assert cmp.quality.shape == (2, small_fire.n_steps - 1)
+        assert cmp.winner() in cmp.systems
+
+    def test_invalid_worker_count_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ESS(n_workers=0)

@@ -1,0 +1,59 @@
+"""Tests for the Algorithm 1 line 6 stopping conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ea.termination import Termination
+from repro.errors import EvolutionError
+
+
+class TestShouldContinue:
+    def test_runs_until_generation_budget(self):
+        t = Termination(max_generations=5)
+        assert t.should_continue(0, 0.0)
+        assert t.should_continue(4, 0.5)
+        assert not t.should_continue(5, 0.5)
+        assert not t.should_continue(6, 0.5)
+
+    def test_stops_at_fitness_threshold(self):
+        t = Termination(max_generations=100, fitness_threshold=0.8)
+        assert t.should_continue(1, 0.79)
+        assert not t.should_continue(1, 0.8)
+        assert not t.should_continue(1, 0.95)
+
+    def test_line6_is_conjunction(self):
+        # "while generations < maxGen AND maxFitness < fThreshold"
+        t = Termination(max_generations=3, fitness_threshold=0.5)
+        assert not t.should_continue(3, 0.1)  # budget
+        assert not t.should_continue(1, 0.9)  # threshold
+        assert t.should_continue(2, 0.4)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("gens", [0, -1])
+    def test_bad_generations_raise(self, gens):
+        with pytest.raises(EvolutionError):
+            Termination(max_generations=gens)
+
+    @pytest.mark.parametrize("thr", [0.0, -0.5, 1.5])
+    def test_bad_threshold_raises(self, thr):
+        with pytest.raises(EvolutionError):
+            Termination(max_generations=5, fitness_threshold=thr)
+
+    def test_threshold_one_allowed(self):
+        Termination(max_generations=5, fitness_threshold=1.0)
+
+
+class TestReason:
+    def test_budget_reason(self):
+        t = Termination(max_generations=3)
+        assert "budget" in t.reason(3, 0.2)
+
+    def test_threshold_reason(self):
+        t = Termination(max_generations=10, fitness_threshold=0.5)
+        assert "threshold" in t.reason(2, 0.6)
+
+    def test_running_reason(self):
+        t = Termination(max_generations=10)
+        assert t.reason(2, 0.2) == "still running"

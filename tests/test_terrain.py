@@ -1,0 +1,119 @@
+"""Tests for repro.grid.terrain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TerrainError
+from repro.grid.terrain import Terrain
+
+
+class TestConstruction:
+    def test_uniform(self):
+        t = Terrain.uniform(10, 12, cell_size=25.0)
+        assert t.shape == (10, 12)
+        assert t.n_cells == 120
+        assert t.cell_size == 25.0
+        assert t.fuel is None and t.slope is None and t.aspect is None
+
+    def test_extent(self):
+        t = Terrain.uniform(10, 20, cell_size=30.0)
+        assert t.extent_m == (300.0, 600.0)
+
+    def test_center_and_contains(self):
+        t = Terrain.uniform(9, 9)
+        assert t.center() == (4, 4)
+        assert t.contains(0, 0) and t.contains(8, 8)
+        assert not t.contains(9, 0) and not t.contains(0, -1)
+
+    @pytest.mark.parametrize("rows,cols", [(1, 5), (5, 1), (0, 0)])
+    def test_too_small_raises(self, rows, cols):
+        with pytest.raises(TerrainError):
+            Terrain(rows=rows, cols=cols)
+
+    @pytest.mark.parametrize("cell", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_cell_size_raises(self, cell):
+        with pytest.raises(TerrainError):
+            Terrain(rows=4, cols=4, cell_size=cell)
+
+    def test_raster_shape_mismatch_raises(self):
+        with pytest.raises(TerrainError):
+            Terrain(rows=4, cols=4, fuel=np.ones((3, 4), dtype=int))
+
+    def test_invalid_fuel_codes_raise(self):
+        fuel = np.full((4, 4), 14)
+        with pytest.raises(TerrainError):
+            Terrain(rows=4, cols=4, fuel=fuel)
+
+    def test_fuel_zero_is_allowed_and_blocked(self):
+        fuel = np.ones((4, 4), dtype=int)
+        fuel[1, 1] = 0
+        t = Terrain(rows=4, cols=4, fuel=fuel)
+        assert t.blocked_mask()[1, 1]
+        assert not t.blocked_mask()[0, 0]
+
+    def test_slope_out_of_range_raises(self):
+        slope = np.full((4, 4), 95.0)
+        with pytest.raises(TerrainError):
+            Terrain(rows=4, cols=4, slope=slope)
+
+    def test_aspect_wraps(self):
+        aspect = np.full((4, 4), 450.0)
+        t = Terrain(rows=4, cols=4, aspect=aspect)
+        assert np.allclose(t.aspect, 90.0)
+
+
+class TestBlockedMask:
+    def test_unburnable_mask_combined_with_fuel(self):
+        fuel = np.ones((4, 4), dtype=int)
+        fuel[0, 0] = 0
+        unb = np.zeros((4, 4), dtype=bool)
+        unb[3, 3] = True
+        t = Terrain(rows=4, cols=4, fuel=fuel, unburnable=unb)
+        blocked = t.blocked_mask()
+        assert blocked[0, 0] and blocked[3, 3]
+        assert blocked.sum() == 2
+
+    def test_default_nothing_blocked(self):
+        assert Terrain.uniform(5, 5).blocked_mask().sum() == 0
+
+
+class TestBuilders:
+    def test_with_fuel_patches(self):
+        t = Terrain.with_fuel_patches(
+            8, 8, base_model=1, patches=[(slice(0, 4), slice(0, 4), 5)]
+        )
+        assert t.fuel[0, 0] == 5
+        assert t.fuel[7, 7] == 1
+
+    def test_patches_overwrite_in_order(self):
+        t = Terrain.with_fuel_patches(
+            6,
+            6,
+            base_model=1,
+            patches=[
+                (slice(0, 6), slice(0, 6), 5),
+                (slice(2, 4), slice(2, 4), 8),
+            ],
+        )
+        assert t.fuel[3, 3] == 8
+        assert t.fuel[0, 0] == 5
+
+    def test_with_ridge_slope_peaks_at_center(self):
+        t = Terrain.with_ridge(6, 11, max_slope=30.0)
+        assert t.slope[0, 5] == pytest.approx(30.0)
+        assert t.slope[0, 0] == pytest.approx(0.0)
+        assert t.aspect[0, 2] == 270.0
+        assert t.aspect[0, 8] == 90.0
+
+    def test_with_river_blocks_column(self):
+        t = Terrain.with_river(8, 8, river_col=4, width=1)
+        assert t.blocked_mask()[:, 4].all()
+        assert not t.blocked_mask()[:, 3].any()
+
+    def test_with_river_gap(self):
+        t = Terrain.with_river(8, 8, river_col=4, width=1, gap_row=2)
+        blocked = t.blocked_mask()
+        assert not blocked[2, 4]
+        assert blocked[3, 4]

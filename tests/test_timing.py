@@ -1,0 +1,77 @@
+"""Tests for timing utilities and speedup metrics."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.timing import StageTimings, Timer, efficiency, speedup
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestStageTimings:
+    def test_add_accumulates(self):
+        st = StageTimings()
+        st.add("os", 1.0)
+        st.add("os", 0.5)
+        assert st.seconds["os"] == 1.5
+
+    def test_measure_context(self):
+        st = StageTimings()
+        with st.measure("ss"):
+            time.sleep(0.005)
+        assert st.seconds["ss"] > 0
+
+    def test_total_and_fractions(self):
+        st = StageTimings()
+        st.add("a", 3.0)
+        st.add("b", 1.0)
+        assert st.total() == 4.0
+        fr = st.fractions()
+        assert fr["a"] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert StageTimings().fractions() == {}
+
+    def test_merge(self):
+        a = StageTimings()
+        a.add("x", 1.0)
+        b = StageTimings()
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.seconds == {"x": 3.0, "y": 1.0}
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_efficiency(self):
+        assert efficiency(10.0, 5.0, 4) == 0.5
+
+    @pytest.mark.parametrize("s,p", [(-1.0, 1.0), (1.0, 0.0)])
+    def test_invalid_raises(self, s, p):
+        with pytest.raises(ParallelError):
+            speedup(s, p)
+
+    def test_bad_workers_raises(self):
+        with pytest.raises(ParallelError):
+            efficiency(1.0, 1.0, 0)

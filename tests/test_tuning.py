@@ -1,0 +1,139 @@
+"""Tests for the ESSIM-DE dynamic tuning metrics (restart, IQR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.individual import Individual
+from repro.core.scenario import ParameterSpace
+from repro.errors import EvolutionError
+from repro.tuning.iqr import IQRTuning
+from repro.tuning.restart import PopulationRestart
+
+
+def _pop(space, fits, seed=0):
+    genomes = space.sample(len(fits), seed)
+    return [Individual(genome=g, fitness=f) for g, f in zip(genomes, fits)]
+
+
+class TestPopulationRestart:
+    def test_no_restart_while_improving(self, space):
+        restart = PopulationRestart(space, patience=2, rng=0)
+        pops = [_pop(space, [0.1, 0.2])]
+        restart(0, pops)
+        pops2 = [_pop(space, [0.3, 0.4])]  # improved
+        out = restart(1, pops2)
+        assert restart.restarts_fired == 0
+        assert out[0] is pops2[0]
+
+    def test_restart_after_patience_exhausted(self, space):
+        restart = PopulationRestart(space, patience=2, elite_keep=1, rng=0)
+        stagnant = [_pop(space, [0.5, 0.4, 0.3])]
+        restart(0, stagnant)  # records best 0.5
+        restart(1, stagnant)  # stale 1
+        out = restart(2, stagnant)  # stale 2 → fires
+        assert restart.restarts_fired == 1
+        new_pop = out[0]
+        assert len(new_pop) == 3
+        # elite preserved
+        assert new_pop[0].fitness == 0.5
+        # fresh individuals unevaluated
+        assert all(ind.fitness is None for ind in new_pop[1:])
+
+    def test_stale_counter_resets_after_restart(self, space):
+        restart = PopulationRestart(space, patience=1, rng=0)
+        stagnant = [_pop(space, [0.5, 0.4])]
+        restart(0, stagnant)
+        restart(1, stagnant)  # fires
+        fired = restart.restarts_fired
+        restart(2, stagnant)  # fires again after fresh patience window
+        assert restart.restarts_fired == fired + 1
+
+    def test_per_island_tracking(self, space):
+        restart = PopulationRestart(space, patience=1, rng=0)
+        improving = _pop(space, [0.1, 0.2])
+        stagnant = _pop(space, [0.5, 0.4])
+        restart(0, [improving, stagnant])
+        out = restart(
+            1, [_pop(space, [0.3, 0.4]), stagnant]
+        )  # island 0 improves, island 1 stalls → restart island 1 only
+        assert restart.restarts_fired == 1
+        assert all(ind.fitness is not None for ind in out[0])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"patience": 0}, {"elite_keep": 0}, {"min_improvement": -1.0}],
+    )
+    def test_invalid_params_raise(self, space, kwargs):
+        with pytest.raises(EvolutionError):
+            PopulationRestart(space, **kwargs)
+
+
+class TestIQRTuning:
+    def test_fitness_iqr(self, space):
+        pop = _pop(space, [0.0, 0.25, 0.75, 1.0])
+        assert IQRTuning.fitness_iqr(pop) == pytest.approx(0.625)
+
+    def test_no_action_above_threshold(self, space):
+        tuning = IQRTuning(space, iqr_threshold=0.01, rng=0)
+        pop = _pop(space, [0.1, 0.5, 0.9, 1.0])
+        out = tuning(0, [pop])
+        assert tuning.interventions_fired == 0
+        assert out[0] is pop
+
+    def test_regenerates_collapsed_population(self, space):
+        tuning = IQRTuning(space, iqr_threshold=0.05, replace_fraction=0.5, rng=0)
+        collapsed = _pop(space, [0.5, 0.5, 0.5, 0.5])
+        out = tuning(0, [collapsed])
+        assert tuning.interventions_fired == 1
+        new_pop = out[0]
+        assert len(new_pop) == 4
+        kept = [ind for ind in new_pop if ind.fitness is not None]
+        fresh = [ind for ind in new_pop if ind.fitness is None]
+        assert len(kept) == 2 and len(fresh) == 2
+
+    def test_replace_fraction_full(self, space):
+        tuning = IQRTuning(space, iqr_threshold=0.05, replace_fraction=1.0, rng=0)
+        out = tuning(0, [_pop(space, [0.5, 0.5])])
+        assert all(ind.fitness is None for ind in out[0])
+
+    def test_keeps_the_best(self, space):
+        tuning = IQRTuning(space, iqr_threshold=1.0, replace_fraction=0.5, rng=0)
+        pop = _pop(space, [0.9, 0.5, 0.5, 0.5])
+        out = tuning(0, [pop])
+        kept_fits = {ind.fitness for ind in out[0] if ind.fitness is not None}
+        assert 0.9 in kept_fits
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"iqr_threshold": -0.1}, {"replace_fraction": 0.0}, {"replace_fraction": 1.5}]
+    )
+    def test_invalid_params_raise(self, space, kwargs):
+        with pytest.raises(EvolutionError):
+            IQRTuning(space, **kwargs)
+
+
+class TestTuningInIslandModel:
+    def test_restart_recovers_diversity(self, space, toy_problem):
+        """E2 in miniature: stagnation triggers the operator inside the
+        island loop and the populations regain spread."""
+        from repro.ea.de import DEConfig, DifferentialEvolution
+        from repro.ea.termination import Termination
+        from repro.parallel.executor import SerialEvaluator
+        from repro.parallel.islands import IslandModel, IslandModelConfig
+
+        model = IslandModel(
+            lambda: DifferentialEvolution(DEConfig(population_size=10)),
+            IslandModelConfig(n_islands=2, migration_interval=2),
+        )
+        restart = PopulationRestart(space, patience=1, rng=0)
+        model.run(
+            SerialEvaluator(toy_problem),
+            space,
+            Termination(max_generations=10),
+            rng=0,
+            intervention=restart,
+        )
+        # With patience 1 on a rapidly converging DE, at least one
+        # restart must have fired over 5 epochs.
+        assert restart.restarts_fired >= 1
