@@ -1,0 +1,249 @@
+"""Engine backends — throughput of the batched simulation engine.
+
+Compares the ``reference``, ``vectorized`` and ``process`` backends on
+the synthetic (homogeneous grassland) and mosaic (random fuel patches)
+workloads at GA-realistic population sizes, and measures what the
+scenario-result cache adds under an elitist duplicate pattern.
+
+Acceptance bar (asserted here): on the synthetic workload at
+population ≥ 64 the vectorized backend is ≥ 3× faster than the
+reference backend, with bitwise-identical fitness values.
+
+``smoke_*`` functions run the same comparisons at tiny sizes with no
+timing assertions; ``tests/test_bench_engine_smoke.py`` wires them into
+the tier-1 pytest run so backend regressions fail fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.scenario import ParameterSpace, Scenario
+from repro.engine import SimulationEngine
+from repro.systems.problem import PredictionStepProblem
+from repro.workloads.cases import grassland_case
+from repro.workloads.mosaic import random_fuel_mosaic
+from repro.workloads.synthetic import ReferenceFire, make_reference_fire
+
+SPACE = ParameterSpace()
+
+#: Duplicate fraction injected into cache batches (elitism-like reuse).
+_DUP_FRACTION = 0.25
+
+
+def _mosaic_fire(size: int, n_steps: int = 2, seed: int = 3) -> ReferenceFire:
+    terrain = random_fuel_mosaic(size, size, rng=seed)
+    scenario = Scenario(
+        model=1, wind_speed=8.0, wind_dir=90.0, m1=6.0, m10=8.0,
+        m100=10.0, mherb=60.0, slope=5.0, aspect=270.0,
+    )
+    return make_reference_fire(
+        terrain,
+        scenario,
+        ignition=[(size // 2, size // 4)],
+        n_steps=n_steps,
+        step_minutes=25.0,
+        description=f"mosaic {size}x{size}",
+    )
+
+
+def _step_problem(fire: ReferenceFire) -> PredictionStepProblem:
+    return PredictionStepProblem(
+        terrain=fire.terrain,
+        start_burned=fire.start_mask(1),
+        real_burned=fire.real_mask(1),
+        horizon=fire.step_horizon(1),
+    )
+
+
+def _time_backend(
+    problem: PredictionStepProblem,
+    backend: str,
+    genomes: np.ndarray,
+    repeats: int,
+    cache_size: int = 0,
+) -> tuple[float, np.ndarray]:
+    """Best-of-``repeats`` wall-clock and the fitness vector."""
+    best = float("inf")
+    values = None
+    for _ in range(repeats):
+        with SimulationEngine.from_problem(
+            problem, backend=backend, cache_size=cache_size
+        ) as engine:
+            start = time.perf_counter()
+            values = engine(genomes)
+            best = min(best, time.perf_counter() - start)
+    assert values is not None
+    return best, values
+
+
+def compare_backends(
+    fire: ReferenceFire,
+    population: int,
+    seed: int = 7,
+    repeats: int = 1,
+    backends: tuple[str, ...] = ("reference", "vectorized", "process"),
+) -> list[dict]:
+    """Time each backend on one batch; assert bitwise-equal fitness."""
+    problem = _step_problem(fire)
+    genomes = SPACE.sample(population, seed)
+    rows: list[dict] = []
+    baseline = None
+    for backend in backends:
+        seconds, values = _time_backend(problem, backend, genomes, repeats)
+        if baseline is None:
+            baseline = (seconds, values)
+        else:
+            assert np.array_equal(values, baseline[1]), (
+                f"{backend} fitness differs from {backends[0]}"
+            )
+        rows.append(
+            {
+                "workload": fire.description,
+                "backend": backend,
+                "population": population,
+                "seconds": seconds,
+                "speedup": baseline[0] / seconds,
+                "evals_per_sec": population / seconds,
+            }
+        )
+    return rows
+
+
+def cache_rows(fire: ReferenceFire, population: int, seed: int = 11) -> list[dict]:
+    """Vectorized backend with/without the cache on a duplicate-heavy batch."""
+    problem = _step_problem(fire)
+    rng = np.random.default_rng(seed)
+    genomes = SPACE.sample(population, seed)
+    n_dup = max(1, int(population * _DUP_FRACTION))
+    genomes[rng.choice(population, n_dup, replace=False)] = genomes[0]
+    rows = []
+    for cache_size in (0, 4 * population):
+        with SimulationEngine.from_problem(
+            problem, backend="vectorized", cache_size=cache_size
+        ) as engine:
+            start = time.perf_counter()
+            engine(genomes)
+            engine(genomes)  # the next generation resubmits survivors
+            seconds = time.perf_counter() - start
+            stats = engine.stats
+        rows.append(
+            {
+                "workload": fire.description,
+                "cache": cache_size,
+                "evaluations": stats.evaluations,
+                "simulations": stats.simulations,
+                "hit_rate": stats.cache.hit_rate(),
+                "seconds": seconds,
+            }
+        )
+    return rows
+
+
+def backend_table(rows: list[dict]) -> str:
+    return format_table(
+        ["workload", "backend", "pop", "sec", "speedup", "evals/s"],
+        [
+            [
+                r["workload"],
+                r["backend"],
+                r["population"],
+                round(r["seconds"], 4),
+                round(r["speedup"], 2),
+                round(r["evals_per_sec"], 1),
+            ]
+            for r in rows
+        ],
+    )
+
+
+def cache_table(rows: list[dict]) -> str:
+    return format_table(
+        ["workload", "cache", "evals", "sims", "hit rate", "sec"],
+        [
+            [
+                r["workload"],
+                r["cache"],
+                r["evaluations"],
+                r["simulations"],
+                round(r["hit_rate"], 3),
+                round(r["seconds"], 4),
+            ]
+            for r in rows
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Smoke mode — tiny grids, 2 generations; wired into tier-1 pytest.
+# ----------------------------------------------------------------------
+def smoke_backends() -> list[dict]:
+    """All backends agree bitwise on tiny synthetic + mosaic workloads."""
+    rows = []
+    rows += compare_backends(
+        grassland_case(size=24, n_steps=2), population=12, repeats=1
+    )
+    rows += compare_backends(_mosaic_fire(20), population=12, repeats=1)
+    return rows
+
+
+def smoke_pipeline() -> None:
+    """A 2-generation ESS run is backend-invariant end to end."""
+    from repro.ea.ga import GAConfig
+    from repro.systems import ESS, ESSConfig
+
+    fire = grassland_case(size=24, n_steps=2)
+
+    def run(backend: str, cache_size: int = 0):
+        return ESS(
+            ESSConfig(ga=GAConfig(population_size=8), max_generations=2),
+            backend=backend,
+            cache_size=cache_size,
+        ).run(fire, rng=1)
+
+    ref = run("reference")
+    vec = run("vectorized")
+    assert np.array_equal(ref.qualities(), vec.qualities(), equal_nan=True)
+    assert [s.kign for s in ref.steps] == [s.kign for s in vec.steps]
+    cached = run("vectorized", cache_size=256)
+    assert cached.engine_totals()["simulations"] <= cached.engine_totals()[
+        "evaluations"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Full benchmark (pytest-benchmark harness)
+# ----------------------------------------------------------------------
+def test_engine_backend_comparison_report(benchmark):
+    from _report import report, run_once
+
+    def _body():
+        rows = []
+        synthetic = grassland_case(size=64, n_steps=2)
+        for population in (64, 128):
+            rows += compare_backends(synthetic, population, repeats=3)
+        mosaic = _mosaic_fire(48)
+        rows += compare_backends(mosaic, 64, repeats=3)
+
+        crows = cache_rows(synthetic, 64) + cache_rows(mosaic, 64)
+        text = (
+            backend_table(rows)
+            + "\n\nscenario-result cache (25% duplicates, 2 generations):\n"
+            + cache_table(crows)
+        )
+        report("engine_backends", text)
+
+        # Acceptance bar: ≥ 3× on the synthetic workload at pop ≥ 64.
+        synth = [
+            r
+            for r in rows
+            if r["backend"] == "vectorized" and "grassland" in r["workload"]
+        ]
+        worst = min(r["speedup"] for r in synth)
+        assert worst >= 3.0, f"vectorized speedup {worst:.2f}x < 3x"
+        return rows
+
+    run_once(benchmark, _body)

@@ -9,7 +9,7 @@ import numpy as np
 from repro.analysis.metrics import QualityComparison
 from repro.systems.results import RunResult
 
-__all__ = ["format_table", "format_run", "format_comparison"]
+__all__ = ["format_table", "format_run", "format_comparison", "format_engine_totals"]
 
 
 def _cell(value: Any) -> str:
@@ -47,6 +47,32 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_engine_totals(run: RunResult) -> str:
+    """One-line engine summary: backend, simulations saved, cache rate.
+
+    Empty string when the run carries no engine accounting (results
+    recorded before the engine subsystem landed).
+    """
+    totals = run.engine_totals()
+    if not totals:
+        return ""
+    cache = totals["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    line = (
+        f"engine: backend={totals['backend']} workers={totals['n_workers']} "
+        f"evaluations={totals['evaluations']} simulations={totals['simulations']}"
+    )
+    if totals.get("map_simulations"):
+        line += f" map-sims={totals['map_simulations']}"
+    if lookups:
+        rate = cache["hits"] / lookups
+        line += (
+            f" cache-hits={cache['hits']}/{lookups} ({rate:.1%})"
+            f" evictions={cache['evictions']}"
+        )
+    return line
+
+
 def format_run(run: RunResult, markdown: bool = False) -> str:
     """Per-step table of one system run (the Fig. 1/3 pipeline log)."""
     headers = ["step", "Kign", "cal. fitness", "quality", "best fitness", "evals", "sec"]
@@ -64,7 +90,9 @@ def format_run(run: RunResult, markdown: bool = False) -> str:
     ]
     title = f"{run.system}: mean quality {run.mean_quality():.4f}, " \
             f"{run.total_evaluations()} simulations, {run.total_time():.2f}s"
-    return title + "\n" + format_table(headers, rows, markdown=markdown)
+    out = title + "\n" + format_table(headers, rows, markdown=markdown)
+    engine_line = format_engine_totals(run)
+    return out + ("\n" + engine_line if engine_line else "")
 
 
 def format_comparison(cmp: QualityComparison, markdown: bool = False) -> str:

@@ -22,6 +22,7 @@ from repro.analysis.metrics import compare_runs
 from repro.analysis.reporting import format_comparison, format_run
 from repro.core.scenario import Scenario
 from repro.ea.de import DEConfig
+from repro.engine import backend_names
 from repro.ea.ga import GAConfig
 from repro.ea.nsga import NoveltyGAConfig
 from repro.firelib.simulator import FireSimulator
@@ -51,15 +52,20 @@ def build_system(
     generations: int = 6,
     n_workers: int = 1,
     tuning: str = "both",
+    backend: str = "reference",
+    cache_size: int = 0,
 ):
     """Construct a prediction system by CLI name with matched budgets."""
     islands = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
     half = max(4, population // 2)
+    engine_opts = dict(
+        n_workers=n_workers, backend=backend, cache_size=cache_size
+    )
     if name == "ess":
         return ESS(
             ESSConfig(ga=GAConfig(population_size=population),
                       max_generations=generations),
-            n_workers=n_workers,
+            **engine_opts,
         )
     if name == "ess-ns":
         return ESSNS(
@@ -71,7 +77,7 @@ def build_system(
                 ),
                 max_generations=generations,
             ),
-            n_workers=n_workers,
+            **engine_opts,
         )
     if name == "essim-ea":
         return ESSIMEA(
@@ -80,7 +86,7 @@ def build_system(
                 islands=islands,
                 max_generations=generations,
             ),
-            n_workers=n_workers,
+            **engine_opts,
         )
     if name == "essim-de":
         return ESSIMDE(
@@ -90,7 +96,7 @@ def build_system(
                 max_generations=generations,
                 tuning=tuning,
             ),
-            n_workers=n_workers,
+            **engine_opts,
         )
     if name == "essns-im":
         return ESSNSIM(
@@ -103,7 +109,7 @@ def build_system(
                 islands=islands,
                 max_generations=generations,
             ),
-            n_workers=n_workers,
+            **engine_opts,
         )
     raise SystemExit(f"unknown system {name!r}; choose from {_SYSTEM_NAMES}")
 
@@ -116,6 +122,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--population", type=int, default=16)
     parser.add_argument("--generations", type=int, default=6)
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="reference",
+        help="simulation-engine backend for fitness evaluation "
+        "(pair 'process' with --workers for a real pool size)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU scenario-result cache capacity (0 = off)",
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -147,7 +166,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     fire = CASE_BUILDERS[args.case](size=args.size, n_steps=args.steps)
     system = build_system(
-        args.system, args.population, args.generations, args.workers
+        args.system,
+        args.population,
+        args.generations,
+        args.workers,
+        backend=args.backend,
+        cache_size=args.cache_size,
     )
     run = system.run(fire, rng=args.seed)
     print(f"case: {fire.description}")
@@ -164,7 +188,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     runs = []
     for name in names:
         system = build_system(
-            name.strip(), args.population, args.generations, args.workers
+            name.strip(),
+            args.population,
+            args.generations,
+            args.workers,
+            backend=args.backend,
+            cache_size=args.cache_size,
         )
         runs.append(system.run(fire, rng=args.seed))
     print(f"case: {fire.description}")

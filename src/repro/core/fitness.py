@@ -87,7 +87,12 @@ def batch_jaccard(
             f"stack shape {stack.shape} incompatible with map shape {a.shape}"
         )
     if pre_burned is not None:
-        keep = ~np.asarray(pre_burned, dtype=bool)
+        pre = np.asarray(pre_burned, dtype=bool)
+        if pre.shape != a.shape:
+            raise FitnessError(
+                f"pre-burned shape {pre.shape} != map shape {a.shape}"
+            )
+        keep = ~pre
         a = a & keep
         stack = stack & keep  # broadcasts over the leading axis
     inter = np.count_nonzero(stack & a, axis=(1, 2)).astype(np.float64)

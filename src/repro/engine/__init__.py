@@ -1,0 +1,38 @@
+"""Batched simulation engine with pluggable backends and a result cache.
+
+The engine layer sits between the evolutionary systems and the fire
+simulator: a :class:`SimulationEngine` evaluates an entire ``(n, 9)``
+genome batch in one call through a registered backend (``reference``,
+``vectorized`` or ``process``), with an LRU scenario-result cache in
+front. See :mod:`repro.engine.core` for the facade,
+:mod:`repro.engine.backends` for the registry and
+:mod:`repro.engine.cache` for the cache semantics.
+"""
+
+from repro.engine.backends import (
+    EngineBackend,
+    ProcessBackend,
+    ReferenceBackend,
+    StepSpec,
+    VectorizedBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.engine.cache import CacheStats, ScenarioResultCache
+from repro.engine.core import EngineStats, SimulationEngine
+
+__all__ = [
+    "SimulationEngine",
+    "EngineStats",
+    "StepSpec",
+    "EngineBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "ProcessBackend",
+    "register_backend",
+    "backend_names",
+    "create_backend",
+    "ScenarioResultCache",
+    "CacheStats",
+]

@@ -1,0 +1,130 @@
+"""LRU scenario-result cache keyed on quantized genomes.
+
+GA elitism and DE restarts re-submit identical (or near-identical)
+individuals across generations; each re-submission would otherwise
+re-run a full fire simulation. The cache maps a *quantized* genome —
+every coordinate rounded to ``decimals`` decimal places — to its Eq. 3
+fitness, so exact repeats and sub-resolution perturbations both skip
+the simulator.
+
+Quantization semantics: two genomes that round to the same key share
+one fitness value. At the default ``decimals=8`` the merged genomes
+differ by less than 5·10⁻⁹ in every Table I coordinate — far below any
+physically meaningful resolution — but a cached run is *not* guaranteed
+bitwise-equal to an uncached one. Backends are only bitwise-verified
+against each other with the cache disabled (``capacity=0``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["CacheStats", "ScenarioResultCache", "DEFAULT_CACHE_DECIMALS"]
+
+#: Default quantization, decimal places per genome coordinate.
+DEFAULT_CACHE_DECIMALS = 8
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (all counters monotonic)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats record into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ScenarioResultCache:
+    """Bounded LRU map from quantized genomes to fitness values.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; 0 disables the cache (every lookup
+        misses, nothing is stored).
+    decimals:
+        Quantization applied to every genome coordinate before keying.
+    """
+
+    capacity: int = 0
+    decimals: int = DEFAULT_CACHE_DECIMALS
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ReproError(f"cache capacity must be >= 0, got {self.capacity}")
+        if self.decimals < 0:
+            raise ReproError(f"cache decimals must be >= 0, got {self.decimals}")
+        self._data: OrderedDict[bytes, float] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache can store anything."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def key(self, genome: np.ndarray) -> bytes:
+        """Quantized byte key of one genome.
+
+        Adding ``0.0`` after rounding folds ``-0.0`` into ``+0.0`` so
+        the two byte patterns of zero share one cache entry.
+        """
+        q = np.round(np.asarray(genome, dtype=np.float64), self.decimals) + 0.0
+        return q.tobytes()
+
+    def get(self, key: bytes) -> float | None:
+        """Cached fitness for ``key``, or ``None`` on a miss."""
+        value = self._data.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: bytes, fitness: float) -> None:
+        """Insert (or refresh) one entry, evicting the LRU tail if full."""
+        if not self.enabled:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = float(fitness)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._data.clear()

@@ -1,0 +1,244 @@
+"""The :class:`SimulationEngine` facade — one call per genome batch.
+
+The engine is the single entry point the prediction systems use on the
+hot path. It composes three layers:
+
+1. an LRU :class:`~repro.engine.cache.ScenarioResultCache` keyed on
+   quantized genomes, so repeated individuals (GA elitism, DE
+   restarts) skip simulation entirely;
+2. a pluggable :class:`~repro.engine.backends.EngineBackend` selected
+   by name (``reference`` / ``vectorized`` / ``process``);
+3. evaluation accounting (requests vs. actual simulations) surfaced to
+   the per-step results and the reporting layer.
+
+The engine satisfies the ``FitnessFunction`` contract of the
+evolutionary algorithms (callable ``(n, d) → (n,)`` with
+``evaluations`` and ``close()``), so it drops in wherever a
+:class:`~repro.parallel.executor.SerialEvaluator` was used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.backends import StepSpec, backend_names, create_backend
+from repro.engine.cache import (
+    DEFAULT_CACHE_DECIMALS,
+    CacheStats,
+    ScenarioResultCache,
+)
+from repro.errors import ParallelError, ReproError
+
+__all__ = ["EngineStats", "SimulationEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Per-engine accounting, embedded in each step's result record.
+
+    ``evaluations`` counts genomes requested through the engine;
+    ``simulations`` counts genomes actually handed to the backend — the
+    difference is work the cache (and backend-level deduplication)
+    saved. ``map_simulations`` counts genomes simulated for burned-map
+    batches (the Statistical Stage), which never touch the cache.
+    """
+
+    backend: str = "reference"
+    n_workers: int = 1
+    evaluations: int = 0
+    simulations: int = 0
+    map_simulations: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "evaluations": self.evaluations,
+            "simulations": self.simulations,
+            "map_simulations": self.map_simulations,
+            "cache": self.cache.to_dict(),
+        }
+
+
+class SimulationEngine:
+    """Evaluates whole genome batches for one prediction step.
+
+    Parameters
+    ----------
+    spec:
+        The step description (terrain, start/real burned regions,
+        horizon, parameter space, stencil).
+    backend:
+        Registered backend name. ``process`` fans out to a pool of
+        exactly ``n_workers`` processes with the vectorized kernel
+        inside each worker (pair it with a real worker count); any
+        other backend combined with ``n_workers > 1`` is likewise
+        wrapped in the pool with itself as the worker-side kernel.
+    n_workers:
+        Worker processes (1 = in-process for the serial backends, a
+        single-worker pool for ``process``).
+    cache_size:
+        LRU capacity of the scenario-result cache; 0 disables caching
+        (the default — cached runs are not bitwise-reproducible, see
+        :mod:`repro.engine.cache`).
+    cache_decimals:
+        Genome quantization used for cache keys.
+    """
+
+    def __init__(
+        self,
+        spec: StepSpec,
+        backend: str = "reference",
+        n_workers: int = 1,
+        cache_size: int = 0,
+        cache_decimals: int = DEFAULT_CACHE_DECIMALS,
+    ) -> None:
+        if n_workers < 1:
+            raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in backend_names():
+            raise ReproError(
+                f"unknown engine backend {backend!r}; choose from {backend_names()}"
+            )
+        self.spec = spec
+        if backend == "process":
+            self._backend = create_backend("process", spec, n_workers=n_workers)
+        elif n_workers > 1:
+            self._backend = create_backend(
+                "process", spec, inner=backend, n_workers=n_workers
+            )
+        else:
+            self._backend = create_backend(backend, spec)
+        self._cache = ScenarioResultCache(
+            capacity=cache_size, decimals=cache_decimals
+        )
+        self.stats = EngineStats(
+            backend=backend,
+            n_workers=getattr(self._backend, "n_workers", 1),
+            cache=self._cache.stats,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_problem(
+        cls,
+        problem,
+        backend: str = "reference",
+        n_workers: int = 1,
+        cache_size: int = 0,
+        cache_decimals: int = DEFAULT_CACHE_DECIMALS,
+    ) -> "SimulationEngine":
+        """Build an engine from anything shaped like a step problem.
+
+        ``problem`` must expose ``terrain``, ``start_burned``,
+        ``real_burned``, ``horizon``, ``space`` and ``n_neighbors`` —
+        :class:`repro.systems.problem.PredictionStepProblem` does.
+        """
+        spec = StepSpec(
+            terrain=problem.terrain,
+            start_burned=problem.start_burned,
+            real_burned=problem.real_burned,
+            horizon=problem.horizon,
+            space=problem.space,
+            n_neighbors=problem.n_neighbors,
+        )
+        return cls(
+            spec,
+            backend=backend,
+            n_workers=n_workers,
+            cache_size=cache_size,
+            cache_decimals=cache_decimals,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """The selected backend's registry name."""
+        return self.stats.backend
+
+    @property
+    def evaluations(self) -> int:
+        """Genomes requested through the engine (evaluator contract)."""
+        return self.stats.evaluations
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the scenario-result cache."""
+        return self._cache.stats
+
+    # ------------------------------------------------------------------
+    def __call__(self, genomes: np.ndarray) -> np.ndarray:
+        return self.evaluate_batch(genomes)
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Fitness vector of a genome matrix, cache-first."""
+        if self._closed:
+            raise ParallelError("engine already closed")
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        n = genomes.shape[0]
+        self.stats.evaluations += n
+        if n == 0:
+            return np.zeros(0)
+
+        if not self._cache.enabled:
+            values = self._fitness(genomes, n)
+            self.stats.simulations += n
+            return values
+
+        out = np.empty(n, dtype=np.float64)
+        pending: dict[bytes, list[int]] = {}
+        for i, g in enumerate(genomes):
+            key = self._cache.key(g)
+            hit = self._cache.get(key)
+            if hit is None:
+                pending.setdefault(key, []).append(i)
+            else:
+                out[i] = hit
+        if pending:
+            rows = [indices[0] for indices in pending.values()]
+            values = self._fitness(genomes[rows], len(rows))
+            self.stats.simulations += len(rows)
+            for (key, indices), value in zip(pending.items(), values):
+                self._cache.put(key, float(value))
+                out[indices] = value
+        return out
+
+    def burned_maps(self, genomes: np.ndarray) -> np.ndarray:
+        """Simulated burned masks (the Statistical Stage input).
+
+        Maps bypass the cache — only fitness values are cached — so the
+        SS always aggregates freshly simulated maps.
+        """
+        if self._closed:
+            raise ParallelError("engine already closed")
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+        self.stats.map_simulations += genomes.shape[0]
+        return self._backend.burned_map_batch(genomes)
+
+    def _fitness(self, genomes: np.ndarray, expected: int) -> np.ndarray:
+        values = np.asarray(
+            self._backend.fitness_batch(genomes), dtype=np.float64
+        ).reshape(-1)
+        if values.shape != (expected,):
+            raise ParallelError(
+                f"backend {self.backend_name!r} returned {values.shape[0]} "
+                f"fitness values for {expected} genomes"
+            )
+        return values
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        if not self._closed:
+            self._backend.close()
+            self._closed = True
+
+    def __enter__(self) -> "SimulationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

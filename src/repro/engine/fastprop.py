@@ -1,0 +1,314 @@
+"""Flat-index Dijkstra kernels for the batched simulation engine.
+
+:func:`repro.firelib.propagation.propagate` spends nearly all of its
+time in the heap loop, where every relaxation performs two NumPy scalar
+index operations (``tt[d, r, c]`` and ``times[nr, nc]``) — each an
+order of magnitude slower than a plain ``list`` access. The kernels
+here run the *same* algorithm over flattened Python lists:
+
+* the grid is padded with a border so neighbour offsets become a single
+  flat-index addition (no bounds checks in the hot loop);
+* blocked and border cells hold a ``-inf`` arrival-time sentinel, so
+  "can the fire enter this cell" collapses into the ordinary
+  ``nt < times[ni]`` relaxation test (always false against ``-inf``);
+* travel times are plain Python floats (``np.float64 → float`` is an
+  exact conversion, so every addition and comparison produces the same
+  IEEE-754 double bit pattern as the reference loop);
+* for spatially-uniform scenarios the ``(D, H, W)`` travel-time array
+  collapses to ``D`` scalars, skipping the array assembly entirely;
+* a :class:`FlatGrid` amortises the padded-grid and ignition-seed setup
+  across a whole genome batch (the geometry and the step-start burned
+  region never change within a batch).
+
+Dijkstra settles each cell at its unique minimum arrival time
+regardless of heap tie order, and every candidate arrival is the same
+left-to-right float sum along its path, so the returned ignition-time
+maps are **bitwise identical** to the reference propagation — the
+property-test suite asserts this for all 13 NFFL fuel models.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["FlatGrid", "propagate_uniform", "propagate_raster"]
+
+_INF = float("inf")
+_BLOCKED = float("-inf")
+
+
+class FlatGrid:
+    """Padded flat-index view of a grid, reusable across a batch.
+
+    Parameters
+    ----------
+    shape:
+        Grid shape ``(rows, cols)``.
+    offsets:
+        Stencil offsets ``(drow, dcol)``; padding is sized to the
+        largest offset so neighbour arithmetic never leaves the array.
+    blocked:
+        Optional boolean mask of cells fire can never enter.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        offsets: Sequence[tuple[int, int]],
+        blocked: np.ndarray | None = None,
+    ) -> None:
+        rows, cols = shape
+        self.rows, self.cols = rows, cols
+        self.offsets = tuple(offsets)
+        self.pad = max(max(abs(dr), abs(dc)) for dr, dc in self.offsets)
+        self.width = cols + 2 * self.pad
+        self.flat_offsets = [dr * self.width + dc for dr, dc in self.offsets]
+
+        mask = np.ones((rows + 2 * self.pad, self.width), dtype=bool)
+        inner = (
+            np.zeros((rows, cols), dtype=bool)
+            if blocked is None
+            else np.asarray(blocked, dtype=bool)
+        )
+        if inner.shape != (rows, cols):
+            raise SimulationError(
+                f"blocked mask shape {inner.shape} != grid {(rows, cols)}"
+            )
+        mask[self.pad : self.pad + rows, self.pad : self.pad + cols] = inner
+        # -inf sentinel: the relaxation test nt < times[ni] is always
+        # false against it, so blocked cells need no dedicated branch.
+        self._template = np.where(mask, _BLOCKED, _INF).reshape(-1).tolist()
+
+    # ------------------------------------------------------------------
+    def flat_index(self, row: int, col: int) -> int:
+        """Flat padded index of cell ``(row, col)``."""
+        return (row + self.pad) * self.width + (col + self.pad)
+
+    def seed(
+        self,
+        ignitions: Iterable[tuple[int, int]] | Mapping[tuple[int, int], float],
+    ) -> tuple[list[float], list[tuple[float, int]]]:
+        """Initial ``(times, heap)`` state for one propagation run.
+
+        Validation matches :func:`repro.firelib.propagation.propagate`:
+        out-of-grid cells and negative start times raise, igniting a
+        blocked cell is a no-op. The returned lists are templates —
+        copy them (:meth:`prepared`) when running many propagations
+        from the same ignition set.
+        """
+        if isinstance(ignitions, Mapping):
+            seeds = {(int(r), int(c)): float(t) for (r, c), t in ignitions.items()}
+        else:
+            seeds = {(int(r), int(c)): 0.0 for (r, c) in ignitions}
+        if not seeds:
+            raise SimulationError("at least one ignition cell is required")
+        times = self._template.copy()
+        heap: list[tuple[float, int]] = []
+        for (r, c), t0 in seeds.items():
+            if not (0 <= r < self.rows and 0 <= c < self.cols):
+                raise SimulationError(
+                    f"ignition cell {(r, c)} outside {self.rows}x{self.cols} grid"
+                )
+            if t0 < 0:
+                raise SimulationError(
+                    f"ignition time must be non-negative, got {t0}"
+                )
+            i = self.flat_index(r, c)
+            if t0 < times[i]:  # false for blocked cells (-inf sentinel)
+                times[i] = t0
+                heapq.heappush(heap, (t0, i))
+        return times, heap
+
+    # ------------------------------------------------------------------
+    def run_uniform(
+        self,
+        weights: Sequence[float],
+        seeded: tuple[list[float], list[tuple[float, int]]],
+        horizon: float | None = None,
+    ) -> np.ndarray:
+        """Propagate with one travel time per direction (uniform terrain).
+
+        ``seeded`` is a ``(times, heap)`` template from :meth:`seed`;
+        it is copied, not consumed.
+        """
+        if len(weights) != len(self.flat_offsets):
+            raise SimulationError(
+                f"{len(weights)} weights for {len(self.flat_offsets)} "
+                "stencil directions"
+            )
+        times, heap = seeded[0].copy(), seeded[1].copy()
+        edges = [
+            (off, float(w))
+            for off, w in zip(self.flat_offsets, weights)
+            if w < _INF
+        ]
+        limit = _INF if horizon is None else float(horizon)
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            t, i = pop(heap)
+            if t > times[i]:
+                continue  # stale entry
+            if t > limit:
+                break  # all remaining arrivals exceed the horizon
+            for off, w in edges:
+                ni = i + off
+                nt = t + w
+                if nt < times[ni]:
+                    times[ni] = nt
+                    push(heap, (nt, ni))
+        return self._finish(times, horizon)
+
+    def run_table(
+        self,
+        weight_table: Sequence[Sequence[float]],
+        class_flat: Sequence[int],
+        seeded: tuple[list[float], list[tuple[float, int]]],
+        horizon: float | None = None,
+    ) -> np.ndarray:
+        """Propagate with per-cell-class travel times.
+
+        ``class_flat[i]`` indexes ``weight_table`` for the padded flat
+        cell ``i``; ``weight_table[k]`` holds the ``D`` per-direction
+        travel times of class ``k``. This is the fuel-raster case: at
+        most 13 distinct Rothermel ellipses exist per scenario, so the
+        ``(D, H, W)`` travel array collapses to a ``K × D`` table.
+        """
+        for row in weight_table:
+            if len(row) != len(self.flat_offsets):
+                raise SimulationError(
+                    f"weight row has {len(row)} entries for "
+                    f"{len(self.flat_offsets)} stencil directions"
+                )
+        times, heap = seeded[0].copy(), seeded[1].copy()
+        class_edges = [
+            list(zip(self.flat_offsets, (float(w) for w in row)))
+            for row in weight_table
+        ]
+        limit = _INF if horizon is None else float(horizon)
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            t, i = pop(heap)
+            if t > times[i]:
+                continue  # stale entry
+            if t > limit:
+                break
+            for off, w in class_edges[class_flat[i]]:
+                ni = i + off
+                nt = t + w
+                if nt < times[ni]:
+                    times[ni] = nt
+                    push(heap, (nt, ni))
+        return self._finish(times, horizon)
+
+    def run_raster(
+        self,
+        travel_time: np.ndarray,
+        seeded: tuple[list[float], list[tuple[float, int]]],
+        horizon: float | None = None,
+    ) -> np.ndarray:
+        """Propagate with per-cell ``(D, H, W)`` travel times."""
+        travel_time = np.asarray(travel_time, dtype=np.float64)
+        if travel_time.shape != (
+            len(self.flat_offsets),
+            self.rows,
+            self.cols,
+        ):
+            raise SimulationError(
+                f"travel_time shape {travel_time.shape} != "
+                f"({len(self.flat_offsets)}, {self.rows}, {self.cols})"
+            )
+        # Embed each direction's plane into the padded flat grid
+        # (padding value is irrelevant: padded cells stay blocked).
+        padded = np.full(
+            (travel_time.shape[0], self.rows + 2 * self.pad, self.width),
+            np.inf,
+            dtype=np.float64,
+        )
+        padded[
+            :, self.pad : self.pad + self.rows, self.pad : self.pad + self.cols
+        ] = travel_time
+        edges = [
+            (off, plane.reshape(-1).tolist())
+            for off, plane in zip(self.flat_offsets, padded)
+        ]
+
+        times, heap = seeded[0].copy(), seeded[1].copy()
+        limit = _INF if horizon is None else float(horizon)
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            t, i = pop(heap)
+            if t > times[i]:
+                continue  # stale entry
+            if t > limit:
+                break
+            for off, plane in edges:
+                ni = i + off
+                nt = t + plane[i]
+                if nt < times[ni]:
+                    times[ni] = nt
+                    push(heap, (nt, ni))
+        return self._finish(times, horizon)
+
+    # ------------------------------------------------------------------
+    def _finish(self, times: list[float], horizon: float | None) -> np.ndarray:
+        out = np.asarray(times, dtype=np.float64).reshape(
+            self.rows + 2 * self.pad, self.width
+        )[self.pad : self.pad + self.rows, self.pad : self.pad + self.cols].copy()
+        out[np.isneginf(out)] = np.inf  # blocked cells: never ignited
+        if horizon is not None:
+            out[out > horizon] = np.inf
+        return out
+
+
+# ----------------------------------------------------------------------
+# One-shot functional wrappers (tests, ad-hoc use)
+# ----------------------------------------------------------------------
+def propagate_uniform(
+    weights: Sequence[float],
+    shape: tuple[int, int],
+    offsets: Sequence[tuple[int, int]],
+    ignitions: Iterable[tuple[int, int]] | Mapping[tuple[int, int], float],
+    horizon: float | None = None,
+    blocked: np.ndarray | None = None,
+) -> np.ndarray:
+    """Earliest-arrival times when travel cost is uniform per direction.
+
+    ``weights[d]`` is the travel time (minutes) along ``offsets[d]``
+    from *any* cell — the homogeneous-terrain case where the Rothermel
+    ellipse is the same everywhere. Semantics (including the horizon
+    clip to ``inf``) match :func:`repro.firelib.propagation.propagate`.
+    """
+    grid = FlatGrid(shape, offsets, blocked)
+    return grid.run_uniform(weights, grid.seed(ignitions), horizon)
+
+
+def propagate_raster(
+    travel_time: np.ndarray,
+    offsets: Sequence[tuple[int, int]],
+    ignitions: Iterable[tuple[int, int]] | Mapping[tuple[int, int], float],
+    horizon: float | None = None,
+    blocked: np.ndarray | None = None,
+) -> np.ndarray:
+    """Earliest-arrival times from a ``(D, H, W)`` travel-time array.
+
+    The heterogeneous-terrain case: same inputs and semantics as
+    :func:`repro.firelib.propagation.propagate`, with the heap loop run
+    over flattened Python lists.
+    """
+    travel_time = np.asarray(travel_time, dtype=np.float64)
+    if travel_time.ndim != 3:
+        raise SimulationError(
+            f"travel_time must be (D, H, W), got shape {travel_time.shape}"
+        )
+    if travel_time.shape[0] != len(offsets):
+        raise SimulationError(
+            f"stencil size {len(offsets)} != travel_time directions "
+            f"{travel_time.shape[0]}"
+        )
+    grid = FlatGrid(travel_time.shape[1:], offsets, blocked)
+    return grid.run_raster(travel_time, grid.seed(ignitions), horizon)

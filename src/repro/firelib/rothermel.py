@@ -40,11 +40,9 @@ from repro.firelib.fuel_models import (
     get_model,
 )
 from repro.firelib.moisture import Moisture
+from repro.units import MPH_TO_FTMIN
 
 __all__ = ["FuelBed", "SpreadResult", "spread", "MPH_TO_FTMIN"]
-
-#: Miles/hour → feet/minute (Table I wind speed → Rothermel wind speed).
-MPH_TO_FTMIN = 88.0
 
 #: Smallest spread rate treated as nonzero, ft/min. Below this the fire
 #: is considered unable to propagate (matches fireLib's ros smoothing).

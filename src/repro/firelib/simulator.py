@@ -22,11 +22,9 @@ from repro.firelib.propagation import directional_travel_times, propagate
 from repro.firelib.rothermel import spread
 from repro.grid.firemap import IgnitionMap
 from repro.grid.terrain import Terrain
+from repro.units import METERS_TO_FEET
 
 __all__ = ["ScenarioInputs", "FireSimulator", "SimulationResult", "METERS_TO_FEET"]
-
-#: Metres → feet (terrain cell size → Rothermel distance units).
-METERS_TO_FEET = 3.280839895
 
 
 @runtime_checkable
@@ -123,31 +121,17 @@ class FireSimulator:
         return self._n_neighbors
 
     # ------------------------------------------------------------------
-    def simulate(
-        self,
-        scenario: ScenarioInputs,
-        ignitions: Iterable[tuple[int, int]] | Mapping[tuple[int, int], float],
-        horizon: float,
-    ) -> SimulationResult:
-        """Run one fire simulation.
+    def spread_fields(
+        self, scenario: ScenarioInputs
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cell ellipse description for one scenario.
 
-        Parameters
-        ----------
-        scenario:
-            Table I parameter bundle (see :class:`ScenarioInputs`).
-        ignitions:
-            Ignition cells — either ``(row, col)`` pairs igniting at
-            t=0 or a mapping to start times (used to continue a fire
-            from a previous real fire line, as the OS Workers do).
-        horizon:
-            Simulation length, minutes.
-
-        Returns
-        -------
-        SimulationResult
+        Returns ``(ros_max, dir_max_deg, eccentricity)`` arrays of the
+        terrain shape (ft/min, degrees, unitless). This is the
+        Rothermel half of :meth:`simulate`; the batched engine backends
+        reuse it so every backend assembles fields through the exact
+        same float operations.
         """
-        if horizon <= 0 or not np.isfinite(horizon):
-            raise SimulationError(f"horizon must be a positive finite time: {horizon}")
         moisture = Moisture.from_percent(
             scenario.m1, scenario.m10, scenario.m100, scenario.mherb
         )
@@ -193,7 +177,35 @@ class FireSimulator:
                 ros_max[mask] = result.ros_max
                 dir_max[mask] = result.dir_max_deg
                 ecc[mask] = result.eccentricity
+        return ros_max, dir_max, ecc
 
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        scenario: ScenarioInputs,
+        ignitions: Iterable[tuple[int, int]] | Mapping[tuple[int, int], float],
+        horizon: float,
+    ) -> SimulationResult:
+        """Run one fire simulation.
+
+        Parameters
+        ----------
+        scenario:
+            Table I parameter bundle (see :class:`ScenarioInputs`).
+        ignitions:
+            Ignition cells — either ``(row, col)`` pairs igniting at
+            t=0 or a mapping to start times (used to continue a fire
+            from a previous real fire line, as the OS Workers do).
+        horizon:
+            Simulation length, minutes.
+
+        Returns
+        -------
+        SimulationResult
+        """
+        if horizon <= 0 or not np.isfinite(horizon):
+            raise SimulationError(f"horizon must be a positive finite time: {horizon}")
+        ros_max, dir_max, ecc = self.spread_fields(scenario)
         travel = directional_travel_times(
             ros_max,
             dir_max,

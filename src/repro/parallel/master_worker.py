@@ -86,6 +86,13 @@ class MasterWorkerEngine:
         Genomes per task message. Smaller chunks → better load balance,
         more messages; the default 1 matches the paper's granularity
         (one scenario simulation per worker task).
+    backend:
+        Optional simulation-engine backend for the Workers. When set
+        and the problem supports re-targeting (exposes
+        ``with_backend``, as :class:`repro.systems.problem.
+        PredictionStepProblem` does), every worker evaluates its chunks
+        through that engine backend — e.g. ``"vectorized"`` gives each
+        Worker the batched kernel. ``None`` keeps the problem as-is.
     """
 
     def __init__(
@@ -93,13 +100,23 @@ class MasterWorkerEngine:
         problem: BatchProblem,
         n_workers: int,
         chunk_size: int = 1,
+        backend: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_size < 1:
             raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
+        if backend is not None:
+            retarget = getattr(problem, "with_backend", None)
+            if retarget is None:
+                raise ParallelError(
+                    f"problem {type(problem).__name__} cannot re-target to "
+                    f"engine backend {backend!r} (no with_backend method)"
+                )
+            problem = retarget(backend)
         self.n_workers = n_workers
         self.chunk_size = chunk_size
+        self.backend = backend
         self.stats: list[WorkerStats] = [WorkerStats(i) for i in range(n_workers)]
         self.evaluations = 0
 

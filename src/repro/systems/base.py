@@ -31,8 +31,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.scenario import ParameterSpace
+from repro.engine import SimulationEngine, backend_names
 from repro.errors import ReproError
-from repro.parallel.executor import make_evaluator
 from repro.parallel.timing import StageTimings
 from repro.rng import ensure_rng, spawn
 from repro.stages.calibration import search_kign
@@ -78,6 +78,11 @@ class PredictionSystem(ABC):
         paper's Master/Worker parallelism kicks in above 1).
     space:
         Scenario space (defaults to Table I).
+    backend:
+        Simulation-engine backend evaluating the genome batches
+        (``reference`` / ``vectorized`` / ``process``).
+    cache_size:
+        LRU capacity of the engine's scenario-result cache (0 = off).
     """
 
     #: Subclass display name (used in result records and reports).
@@ -87,11 +92,21 @@ class PredictionSystem(ABC):
         self,
         n_workers: int = 1,
         space: ParameterSpace | None = None,
+        backend: str = "reference",
+        cache_size: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in backend_names():
+            raise ReproError(
+                f"unknown engine backend {backend!r}; choose from {backend_names()}"
+            )
+        if cache_size < 0:
+            raise ReproError(f"cache_size must be >= 0, got {cache_size}")
         self.n_workers = n_workers
         self.space = space or ParameterSpace()
+        self.backend = backend
+        self.cache_size = cache_size
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -126,26 +141,35 @@ class PredictionSystem(ABC):
                 real_burned=real,
                 horizon=fire.step_horizon(step),
                 space=self.space,
+                backend=self.backend,
+                cache_size=self.cache_size,
             )
-            evaluator = make_evaluator(problem, self.n_workers)
+            engine = SimulationEngine.from_problem(
+                problem,
+                backend=self.backend,
+                n_workers=self.n_workers,
+                cache_size=self.cache_size,
+            )
             try:
                 with timings.measure("os"):
                     os_out = self._optimize(
-                        evaluator, self.space, step_rngs[step - 1], step
+                        engine, self.space, step_rngs[step - 1], step
                     )
-            finally:
-                evaluator.close()
 
-            # SS: one probability matrix per island (Master-side).
-            with timings.measure("ss"):
-                matrices = []
-                for genomes in os_out.solution_sets:
-                    if genomes.size == 0:
-                        raise ReproError(
-                            f"{self.name}: empty solution set at step {step}"
-                        )
-                    maps = problem.burned_maps(genomes)
-                    matrices.append(aggregate_burned_maps(maps))
+                # SS: one probability matrix per island (Master-side),
+                # simulated through the same engine so the step's
+                # accounting covers the solution-set maps too.
+                with timings.measure("ss"):
+                    matrices = []
+                    for genomes in os_out.solution_sets:
+                        if genomes.size == 0:
+                            raise ReproError(
+                                f"{self.name}: empty solution set at step {step}"
+                            )
+                        maps = engine.burned_maps(genomes)
+                        matrices.append(aggregate_burned_maps(maps))
+            finally:
+                engine.close()
 
             # CS per island; the Monitor keeps the best candidate.
             with timings.measure("cs"):
@@ -180,6 +204,7 @@ class PredictionSystem(ABC):
                     ),
                     evaluations=os_out.evaluations,
                     timings=timings,
+                    engine=engine.stats.to_dict(),
                 )
             )
         return result

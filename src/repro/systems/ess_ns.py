@@ -91,8 +91,12 @@ class ESSNS(PredictionSystem):
         config: ESSNSConfig | None = None,
         n_workers: int = 1,
         space: ParameterSpace | None = None,
+        backend: str = "reference",
+        cache_size: int = 0,
     ) -> None:
-        super().__init__(n_workers=n_workers, space=space)
+        super().__init__(
+            n_workers=n_workers, space=space, backend=backend, cache_size=cache_size
+        )
         self.config = config or ESSNSConfig()
 
     def _optimize(

@@ -88,8 +88,12 @@ class ESSIMDE(PredictionSystem):
         config: ESSIMDEConfig | None = None,
         n_workers: int = 1,
         space: ParameterSpace | None = None,
+        backend: str = "reference",
+        cache_size: int = 0,
     ) -> None:
-        super().__init__(n_workers=n_workers, space=space)
+        super().__init__(
+            n_workers=n_workers, space=space, backend=backend, cache_size=cache_size
+        )
         self.config = config or ESSIMDEConfig()
         if self.config.tuning != "none":
             self.name = f"ESSIM-DE+{self.config.tuning}"

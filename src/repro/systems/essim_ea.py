@@ -55,8 +55,12 @@ class ESSIMEA(PredictionSystem):
         config: ESSIMEAConfig | None = None,
         n_workers: int = 1,
         space: ParameterSpace | None = None,
+        backend: str = "reference",
+        cache_size: int = 0,
     ) -> None:
-        super().__init__(n_workers=n_workers, space=space)
+        super().__init__(
+            n_workers=n_workers, space=space, backend=backend, cache_size=cache_size
+        )
         self.config = config or ESSIMEAConfig()
 
     def _optimize(

@@ -70,8 +70,12 @@ class ESSNSIM(PredictionSystem):
         config: ESSNSIMConfig | None = None,
         n_workers: int = 1,
         space: ParameterSpace | None = None,
+        backend: str = "reference",
+        cache_size: int = 0,
     ) -> None:
-        super().__init__(n_workers=n_workers, space=space)
+        super().__init__(
+            n_workers=n_workers, space=space, backend=backend, cache_size=cache_size
+        )
         self.config = config or ESSNSIMConfig()
         if self.config.nsga.fitness_weight > 0:
             self.name = f"ESSNS-IM(w={self.config.nsga.fitness_weight:g})"

@@ -7,17 +7,21 @@ the real burned region at the step end (RFL_i) and the step duration.
 simulator from the start region and returns the Jaccard fitness of each
 simulated map — exactly the ``FS`` + ``FF`` box of Figs. 1/3.
 
-The embedded :class:`~repro.firelib.simulator.FireSimulator` is rebuilt
-lazily after unpickling, so only rasters cross process boundaries once
-per worker; per-call traffic is genomes and floats.
+Since the engine subsystem landed, the problem no longer loops over the
+simulator itself: every batch goes through a process-local
+:class:`~repro.engine.SimulationEngine` holding the configured backend
+(``reference`` by default) and scenario-result cache. The engine — like
+the embedded :class:`~repro.firelib.simulator.FireSimulator` before it —
+is rebuilt lazily after unpickling, so only rasters cross process
+boundaries once per worker; per-call traffic is genomes and floats.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.fitness import jaccard_fitness
 from repro.core.scenario import ParameterSpace
+from repro.engine import SimulationEngine
 from repro.errors import SimulationError
 from repro.firelib.simulator import FireSimulator
 from repro.grid.terrain import Terrain
@@ -45,6 +49,15 @@ class PredictionStepProblem:
         Genome ↔ scenario codec (defaults to the Table I space).
     n_neighbors:
         Propagation stencil for the simulator.
+    backend:
+        Engine backend evaluating this problem's batches. ``process``
+        is mapped to ``vectorized`` here — the problem's own engine is
+        always in-process (pool fan-out happens one level up, in
+        :class:`~repro.engine.SimulationEngine` or the Master/Worker
+        engine), so workers never nest pools.
+    cache_size:
+        LRU capacity of the scenario-result cache (0 = off). Each
+        process holds its own cache.
     """
 
     def __init__(
@@ -55,6 +68,8 @@ class PredictionStepProblem:
         horizon: float,
         space: ParameterSpace | None = None,
         n_neighbors: int = 8,
+        backend: str = "reference",
+        cache_size: int = 0,
     ) -> None:
         self.terrain = terrain
         self.start_burned = np.asarray(start_burned, dtype=bool)
@@ -71,19 +86,25 @@ class PredictionStepProblem:
             )
         if not self.start_burned.any():
             raise SimulationError("start_burned must contain at least one cell")
-        if horizon <= 0:
-            raise SimulationError(f"horizon must be positive, got {horizon}")
+        if horizon <= 0 or not np.isfinite(horizon):
+            raise SimulationError(
+                f"horizon must be a positive finite time: {horizon}"
+            )
         self.horizon = float(horizon)
         self.space = space or ParameterSpace()
         self.n_neighbors = n_neighbors
+        self.backend = backend
+        self.cache_size = cache_size
         self._simulator: FireSimulator | None = None
+        self._engine: SimulationEngine | None = None
 
     # ------------------------------------------------------------------
-    # Pickling: drop the simulator; workers rebuild it lazily.
+    # Pickling: drop the simulator and engine; workers rebuild lazily.
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_simulator"] = None
+        state["_engine"] = None
         return state
 
     @property
@@ -95,35 +116,46 @@ class PredictionStepProblem:
             )
         return self._simulator
 
+    @property
+    def engine(self) -> SimulationEngine:
+        """Process-local simulation engine (built on first use)."""
+        if self._engine is None:
+            backend = "vectorized" if self.backend == "process" else self.backend
+            self._engine = SimulationEngine.from_problem(
+                self, backend=backend, cache_size=self.cache_size
+            )
+        return self._engine
+
+    def with_backend(
+        self, backend: str, cache_size: int | None = None
+    ) -> "PredictionStepProblem":
+        """Copy of this problem evaluating through another backend."""
+        return PredictionStepProblem(
+            terrain=self.terrain,
+            start_burned=self.start_burned,
+            real_burned=self.real_burned,
+            horizon=self.horizon,
+            space=self.space,
+            n_neighbors=self.n_neighbors,
+            backend=backend,
+            cache_size=self.cache_size if cache_size is None else cache_size,
+        )
+
     # ------------------------------------------------------------------
     def burned_map(self, genome: np.ndarray) -> np.ndarray:
         """Simulated burned region at the step end for one genome."""
-        scenario = self.space.decode(genome)
-        result = self.simulator.simulate_from_burned(
-            scenario, self.start_burned, self.horizon
-        )
-        # Cells burned at start stay burned: the simulation seeds them
-        # at t=0 so they are always within the horizon.
-        return result.burned()
+        return self.engine.burned_maps(np.asarray(genome, dtype=np.float64))[0]
 
     def burned_maps(self, genomes: np.ndarray) -> np.ndarray:
         """Stack of burned maps for a genome matrix — the SS input."""
-        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
-        maps = np.empty((genomes.shape[0], *self.terrain.shape), dtype=bool)
-        for i, g in enumerate(genomes):
-            maps[i] = self.burned_map(g)
-        return maps
+        return self.engine.burned_maps(genomes)
 
     def evaluate_one(self, genome: np.ndarray) -> float:
-        """Eq. 3 fitness of a single genome."""
-        return jaccard_fitness(
-            self.real_burned, self.burned_map(genome), self.start_burned
+        """Eq. 3 fitness of a single genome (cache-aware, like batches)."""
+        return float(
+            self.engine.evaluate_batch(np.asarray(genome, dtype=np.float64))[0]
         )
 
     def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
         """Fitness vector of a genome matrix (the Worker loop)."""
-        genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
-        out = np.empty(genomes.shape[0], dtype=np.float64)
-        for i, g in enumerate(genomes):
-            out[i] = self.evaluate_one(g)
-        return out
+        return self.engine.evaluate_batch(genomes)

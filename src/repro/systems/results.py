@@ -47,6 +47,11 @@ class StepResult:
     timings:
         Wall-clock per stage (keys: ``"os"``, ``"ss"``, ``"cs"``,
         ``"ps"``).
+    engine:
+        Simulation-engine accounting for the step (the
+        :meth:`repro.engine.EngineStats.to_dict` payload: backend,
+        workers, evaluations vs. actual simulations, cache hit/miss
+        counters). Empty for runs predating the engine subsystem.
     """
 
     step: int
@@ -57,6 +62,7 @@ class StepResult:
     n_solutions: int
     evaluations: int
     timings: StageTimings = field(default_factory=StageTimings)
+    engine: dict = field(default_factory=dict)
 
     @property
     def has_prediction(self) -> bool:
@@ -78,6 +84,7 @@ class StepResult:
             "n_solutions": self.n_solutions,
             "evaluations": self.evaluations,
             "timings": dict(self.timings.seconds),
+            "engine": dict(self.engine),
         }
 
     @classmethod
@@ -93,6 +100,7 @@ class StepResult:
             n_solutions=int(data["n_solutions"]),
             evaluations=int(data["evaluations"]),
             timings=StageTimings(seconds=dict(data.get("timings", {}))),
+            engine=dict(data.get("engine", {})),
         )
 
 
@@ -129,6 +137,34 @@ class RunResult:
         for s in self.steps:
             agg.merge(s.timings)
         return agg
+
+    def engine_totals(self) -> dict:
+        """Aggregate engine accounting across steps.
+
+        Returns an empty dict when no step carries engine stats (runs
+        recorded before the engine subsystem). Otherwise: the backend
+        name of the first step, summed evaluations/simulations and
+        summed cache hit/miss/eviction counters.
+        """
+        steps = [s.engine for s in self.steps if s.engine]
+        if not steps:
+            return {}
+        totals = {
+            "backend": steps[0].get("backend", "reference"),
+            "n_workers": steps[0].get("n_workers", 1),
+            "evaluations": 0,
+            "simulations": 0,
+            "map_simulations": 0,
+            "cache": {"hits": 0, "misses": 0, "evictions": 0},
+        }
+        for payload in steps:
+            totals["evaluations"] += int(payload.get("evaluations", 0))
+            totals["simulations"] += int(payload.get("simulations", 0))
+            totals["map_simulations"] += int(payload.get("map_simulations", 0))
+            cache = payload.get("cache", {})
+            for key in totals["cache"]:
+                totals["cache"][key] += int(cache.get(key, 0))
+        return totals
 
     def to_dict(self) -> dict:
         """JSON-safe representation of the whole run."""

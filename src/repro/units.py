@@ -1,0 +1,18 @@
+"""Unit-conversion constants shared across the package.
+
+The paper's Table I uses field units (metres, miles/hour, percent); the
+Rothermel kernel underneath runs in the customary fireLib unit system
+(feet, minutes, fractions). Every conversion constant lives here so the
+firelib, grid and engine layers agree on the exact float values —
+bitwise identity between simulation backends depends on it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METERS_TO_FEET", "MPH_TO_FTMIN"]
+
+#: Metres → feet (terrain cell size → Rothermel distance units).
+METERS_TO_FEET = 3.280839895
+
+#: Miles/hour → feet/minute (Table I wind speed → Rothermel wind speed).
+MPH_TO_FTMIN = 88.0

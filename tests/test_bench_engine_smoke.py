@@ -1,0 +1,43 @@
+"""Tier-1 smoke wiring for the engine-backend benchmark.
+
+The full ``benchmarks/bench_engine_backends.py`` harness runs at
+realistic sizes under pytest-benchmark; these tests import its smoke
+mode (tiny grids, 2 generations, no timing assertions) so a backend
+regression — a bitwise divergence or a broken pipeline rewire — fails
+the ordinary test run fast.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
+
+bench = pytest.importorskip("bench_engine_backends")
+
+
+class TestEngineBenchSmoke:
+    def test_backends_agree_on_tiny_workloads(self):
+        rows = bench.smoke_backends()
+        # one row per backend per workload, all with sane timings
+        assert len(rows) == 6
+        assert all(r["seconds"] > 0 for r in rows)
+        workloads = {r["workload"] for r in rows}
+        assert len(workloads) == 2  # synthetic + mosaic
+
+    def test_pipeline_backend_invariant(self):
+        bench.smoke_pipeline()
+
+    def test_tables_render(self):
+        rows = bench.smoke_backends()
+        table = bench.backend_table(rows)
+        assert "vectorized" in table and "process" in table
+        crows = bench.cache_rows(
+            bench.grassland_case(size=24, n_steps=2), population=12
+        )
+        assert "hit rate" in bench.cache_table(crows)

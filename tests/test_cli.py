@@ -32,6 +32,16 @@ class TestBuildSystem:
     def test_workers_forwarded(self):
         assert build_system("ess", n_workers=3).n_workers == 3
 
+    def test_engine_options_forwarded(self):
+        system = build_system("ess", backend="vectorized", cache_size=64)
+        assert system.backend == "vectorized"
+        assert system.cache_size == 64
+
+    def test_engine_defaults_preserve_behavior(self):
+        system = build_system("ess-ns")
+        assert system.backend == "reference"
+        assert system.cache_size == 0
+
 
 class TestSimulateCommand:
     def test_prints_stats(self, capsys):
@@ -60,6 +70,21 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "ESS-NS" in out
         assert "Kign" in out
+
+    def test_run_with_backend_and_cache(self, capsys):
+        rc = main(
+            ["run", "ess", "--size", "28", "--steps", "2",
+             "--population", "8", "--generations", "2",
+             "--backend", "vectorized", "--cache-size", "128"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=vectorized" in out
+        assert "cache-hits=" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "ess", "--backend", "quantum"])
 
     def test_run_saves_json(self, capsys, tmp_path):
         path = tmp_path / "run.json"

@@ -1,0 +1,168 @@
+"""Property tests: the vectorized backend is bitwise-exact.
+
+The acceptance bar for the engine subsystem is that the ``vectorized``
+backend matches ``SerialEvaluator`` + :class:`FireSimulator` **bit for
+bit** — not approximately — across random scenarios on all 13 NFFL
+fuel models, on homogeneous and heterogeneous terrains, under both
+stencils. The flat-index Dijkstra kernels are additionally checked
+against the reference propagation on random travel-time rasters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import ParameterSpace
+from repro.engine import SimulationEngine
+from repro.engine.fastprop import propagate_raster, propagate_uniform
+from repro.firelib.propagation import (
+    _offset_azimuth_deg,
+    propagate,
+    stencil,
+)
+from repro.grid.terrain import Terrain
+from repro.parallel.executor import SerialEvaluator
+from repro.systems.problem import PredictionStepProblem
+
+SPACE = ParameterSpace()
+
+
+def _problem(terrain: Terrain, n_neighbors: int = 8, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    start = np.zeros(terrain.shape, dtype=bool)
+    r0, c0 = terrain.rows // 2, terrain.cols // 2
+    start[r0 - 1 : r0 + 2, c0 - 1 : c0 + 2] = True
+    real = start | (rng.random(terrain.shape) < 0.2)
+    return PredictionStepProblem(
+        terrain=terrain,
+        start_burned=start,
+        real_burned=real,
+        horizon=30.0,
+        n_neighbors=n_neighbors,
+    )
+
+
+def _model_genomes(model: int, n: int, seed: int) -> np.ndarray:
+    genomes = SPACE.sample(n, seed)
+    genomes[:, 0] = model
+    return genomes
+
+
+class TestVectorizedBitwise:
+    @pytest.mark.parametrize("model", range(1, 14))
+    def test_all_nffl_models_uniform_terrain(self, model):
+        problem = _problem(Terrain.uniform(16, 16), seed=model)
+        genomes = _model_genomes(model, 5, 100 + model)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    @pytest.mark.parametrize("model", range(1, 14))
+    def test_all_nffl_models_fuel_raster(self, model):
+        terrain = Terrain.with_fuel_patches(
+            16,
+            16,
+            base_model=model,
+            patches=[
+                (slice(0, 8), slice(10, 14), (model % 13) + 1),
+                (slice(12, 16), slice(0, 4), 0),  # unburnable pocket
+            ],
+        )
+        problem = _problem(terrain, seed=200 + model)
+        genomes = _model_genomes(model, 4, 300 + model)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_slope_aspect_rasters(self):
+        problem = _problem(Terrain.with_ridge(16, 16), seed=7)
+        genomes = SPACE.sample(6, 41)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_unburnable_river(self):
+        problem = _problem(Terrain.with_river(16, 16, gap_row=8), seed=9)
+        genomes = SPACE.sample(6, 42)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_16_neighbor_stencil(self):
+        problem = _problem(Terrain.uniform(14, 14), n_neighbors=16, seed=11)
+        genomes = SPACE.sample(6, 43)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_burned_maps_bitwise(self):
+        problem = _problem(Terrain.uniform(14, 14), seed=13)
+        genomes = SPACE.sample(4, 44)
+        ref = SimulationEngine.from_problem(problem, backend="reference")
+        vec = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(
+            ref.burned_maps(genomes), vec.burned_maps(genomes)
+        )
+
+
+class TestFlatKernelsMatchReference:
+    @pytest.mark.parametrize("n_neighbors", [8, 16])
+    def test_raster_kernel_random_travel(self, n_neighbors):
+        rng = np.random.default_rng(n_neighbors)
+        offsets = stencil(n_neighbors)
+        travel = rng.uniform(0.5, 5.0, size=(len(offsets), 12, 12))
+        travel[rng.random(travel.shape) < 0.1] = np.inf
+        blocked = rng.random((12, 12)) < 0.15
+        seeds = [(6, 6), (2, 3)]
+        blocked[6, 6] = blocked[2, 3] = False
+        expected = propagate(travel, seeds, horizon=20.0, blocked=blocked)
+        got = propagate_raster(
+            travel, offsets, seeds, horizon=20.0, blocked=blocked
+        )
+        assert np.array_equal(expected, got)
+
+    def test_uniform_kernel_matches_constant_raster(self):
+        offsets = stencil(8)
+        weights = [1.0, 1.5, 2.0, np.inf, 1.0, 3.0, 0.5, 2.5]
+        travel = np.broadcast_to(
+            np.asarray(weights)[:, None, None], (8, 10, 10)
+        ).copy()
+        seeds = {(5, 5): 0.0, (0, 0): 2.0}
+        expected = propagate(travel, seeds, horizon=12.0)
+        got = propagate_uniform(weights, (10, 10), offsets, seeds, horizon=12.0)
+        assert np.array_equal(expected, got)
+
+    def test_no_horizon_propagates_to_exhaustion(self):
+        offsets = stencil(8)
+        weights = [2.0] * 8
+        expected = propagate(
+            np.full((8, 6, 6), 2.0), [(0, 0)], horizon=None
+        )
+        got = propagate_uniform(weights, (6, 6), offsets, [(0, 0)], horizon=None)
+        assert np.array_equal(expected, got)
+
+    def test_seed_validation_matches_reference(self):
+        from repro.errors import SimulationError
+
+        offsets = stencil(8)
+        with pytest.raises(SimulationError):
+            propagate_uniform([1.0] * 8, (6, 6), offsets, [])
+        with pytest.raises(SimulationError):
+            propagate_uniform([1.0] * 8, (6, 6), offsets, [(9, 9)])
+        with pytest.raises(SimulationError):
+            propagate_uniform([1.0] * 8, (6, 6), offsets, {(1, 1): -1.0})
+
+    def test_blocked_seed_is_noop(self):
+        offsets = stencil(8)
+        blocked = np.zeros((6, 6), dtype=bool)
+        blocked[1, 1] = True
+        out = propagate_uniform(
+            [1.0] * 8, (6, 6), offsets, [(1, 1), (3, 3)], blocked=blocked
+        )
+        assert np.isinf(out[1, 1])
+        assert out[3, 3] == 0.0
+
+    def test_offset_azimuths_cover_compass(self):
+        azimuths = [_offset_azimuth_deg(dr, dc) for dr, dc in stencil(8)]
+        assert azimuths == pytest.approx([0, 45, 90, 135, 180, 225, 270, 315])

@@ -108,3 +108,45 @@ class TestBatchJaccard:
     def test_bad_stack_shape_raises(self):
         with pytest.raises(FitnessError):
             batch_jaccard(np.zeros((3, 3), bool), np.zeros((3, 3), bool))
+
+    def test_stack_grid_mismatch_raises(self):
+        with pytest.raises(FitnessError):
+            batch_jaccard(np.zeros((3, 3), bool), np.zeros((2, 4, 4), bool))
+
+    def test_pre_shape_mismatch_raises(self):
+        with pytest.raises(FitnessError):
+            batch_jaccard(
+                np.zeros((3, 3), bool),
+                np.zeros((2, 3, 3), bool),
+                pre_burned=np.zeros((4, 4), bool),
+            )
+
+    def test_empty_union_rows_are_perfect(self):
+        # No real growth and no predicted growth → vacuously perfect
+        # (matches jaccard_from_counts(0, 0) == 1.0), while rows that
+        # do predict growth score 0 against the empty reality.
+        real = np.zeros((4, 4), dtype=bool)
+        stack = np.zeros((3, 4, 4), dtype=bool)
+        stack[1, 2, 2] = True
+        assert batch_jaccard(real, stack).tolist() == [1.0, 0.0, 1.0]
+
+    def test_pre_burned_covering_whole_real_fire(self):
+        # The fire did not grow beyond the pre-burned region: every
+        # simulation that also stays inside it is perfect, any
+        # predicted growth outside it scores 0.
+        pre = _mask((4, 4), [(0, 0), (0, 1), (1, 0)])
+        real = pre.copy()
+        stack = np.stack([pre, pre | _mask((4, 4), [(3, 3)])])
+        assert batch_jaccard(real, stack, pre_burned=pre).tolist() == [1.0, 0.0]
+
+    def test_pre_burned_covering_everything(self):
+        pre = np.ones((3, 3), dtype=bool)
+        stack = np.stack([np.ones((3, 3), bool), np.zeros((3, 3), bool)])
+        assert batch_jaccard(np.ones((3, 3), bool), stack, pre_burned=pre).tolist() == [
+            1.0,
+            1.0,
+        ]
+
+    def test_empty_stack(self):
+        out = batch_jaccard(np.zeros((3, 3), bool), np.zeros((0, 3, 3), bool))
+        assert out.shape == (0,)

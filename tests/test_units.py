@@ -1,0 +1,21 @@
+"""Tests for the shared unit-conversion constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import METERS_TO_FEET, MPH_TO_FTMIN
+
+
+class TestUnits:
+    def test_values(self):
+        assert METERS_TO_FEET == pytest.approx(3.280839895)
+        assert MPH_TO_FTMIN == 88.0
+
+    def test_firelib_reexports_are_the_same_object(self):
+        # The firelib modules must not keep private copies of the
+        # constants — bitwise backend identity depends on one value.
+        from repro.firelib import rothermel, simulator
+
+        assert simulator.METERS_TO_FEET is METERS_TO_FEET
+        assert rothermel.MPH_TO_FTMIN is MPH_TO_FTMIN
