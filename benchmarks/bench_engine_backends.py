@@ -1,13 +1,17 @@
 """Engine backends — throughput of the batched simulation engine.
 
 Compares the ``reference``, ``vectorized`` and ``process`` backends on
-the synthetic (homogeneous grassland) and mosaic (random fuel patches)
-workloads at GA-realistic population sizes, and measures what the
-scenario-result cache adds under an elitist duplicate pattern.
+the synthetic (homogeneous grassland), mosaic (random fuel patches) and
+ridge (heterogeneous slope/aspect rasters) workloads at GA-realistic
+population sizes, measures what the scenario-result cache adds under an
+elitist duplicate pattern, and times per-step engines against one
+persistent run-scoped :class:`~repro.engine.EngineSession`.
 
-Acceptance bar (asserted here): on the synthetic workload at
+Acceptance bars (asserted here): on the synthetic workload at
 population ≥ 64 the vectorized backend is ≥ 3× faster than the
-reference backend, with bitwise-identical fitness values.
+reference backend; on the heterogeneous-raster workload it is ≥ 2×;
+both with bitwise-identical fitness values. The persistent session is
+strictly faster than per-step engines on the process backend.
 
 ``smoke_*`` functions run the same comparisons at tiny sizes with no
 timing assertions; ``tests/test_bench_engine_smoke.py`` wires them into
@@ -22,7 +26,8 @@ import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.core.scenario import ParameterSpace, Scenario
-from repro.engine import SimulationEngine
+from repro.engine import EngineSession, SimulationEngine
+from repro.grid.terrain import Terrain
 from repro.systems.problem import PredictionStepProblem
 from repro.workloads.cases import grassland_case
 from repro.workloads.mosaic import random_fuel_mosaic
@@ -47,6 +52,23 @@ def _mosaic_fire(size: int, n_steps: int = 2, seed: int = 3) -> ReferenceFire:
         n_steps=n_steps,
         step_minutes=25.0,
         description=f"mosaic {size}x{size}",
+    )
+
+
+def _ridge_fire(size: int, n_steps: int = 2) -> ReferenceFire:
+    """Heterogeneous slope/aspect rasters (the batched raster path)."""
+    terrain = Terrain.with_ridge(size, size, max_slope=35.0)
+    scenario = Scenario(
+        model=1, wind_speed=8.0, wind_dir=90.0, m1=6.0, m10=8.0,
+        m100=10.0, mherb=60.0, slope=5.0, aspect=270.0,
+    )
+    return make_reference_fire(
+        terrain,
+        scenario,
+        ignition=[(size // 2, size // 4)],
+        n_steps=n_steps,
+        step_minutes=25.0,
+        description=f"ridge {size}x{size}",
     )
 
 
@@ -108,6 +130,81 @@ def compare_backends(
                 "seconds": seconds,
                 "speedup": baseline[0] / seconds,
                 "evals_per_sec": population / seconds,
+            }
+        )
+    return rows
+
+
+def session_rows(
+    fire: ReferenceFire,
+    population: int,
+    n_steps: int = 3,
+    seed: int = 13,
+    backend: str = "process",
+    n_workers: int = 2,
+    repeats: int = 1,
+) -> list[dict]:
+    """Per-step engines vs one persistent session over a step loop.
+
+    Both modes evaluate the identical genome batch at every step; the
+    per-step mode pays an engine (and pool) construction per step, the
+    session mode forks once and ships each step's terrain to the
+    standing workers as an update message.
+    """
+    problems = [
+        PredictionStepProblem(
+            terrain=fire.terrain,
+            start_burned=fire.start_mask(s),
+            real_burned=fire.real_mask(s),
+            horizon=fire.step_horizon(s),
+        )
+        for s in range(1, min(n_steps, fire.n_steps) + 1)
+    ]
+    genomes = SPACE.sample(population, seed)
+
+    def run_per_step() -> np.ndarray:
+        values = []
+        for problem in problems:
+            with SimulationEngine.from_problem(
+                problem, backend=backend, n_workers=n_workers
+            ) as engine:
+                values.append(engine(genomes))
+        return np.concatenate(values)
+
+    def run_session() -> np.ndarray:
+        values = []
+        with EngineSession(backend=backend, n_workers=n_workers) as session:
+            for problem in problems:
+                engine = session.for_step(problem)
+                values.append(engine(genomes))
+                engine.close()
+        return np.concatenate(values)
+
+    rows = []
+    baseline = None
+    for mode, fn in (("per-step engines", run_per_step), ("session", run_session)):
+        best = float("inf")
+        values = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            values = fn()
+            best = min(best, time.perf_counter() - start)
+        assert values is not None
+        if baseline is None:
+            baseline = (best, values)
+        else:
+            assert np.array_equal(values, baseline[1]), (
+                f"{mode} fitness differs from per-step engines"
+            )
+        rows.append(
+            {
+                "workload": fire.description,
+                "mode": mode,
+                "backend": backend,
+                "steps": len(problems),
+                "population": population,
+                "seconds": best,
+                "speedup": baseline[0] / best,
             }
         )
     return rows
@@ -177,31 +274,58 @@ def cache_table(rows: list[dict]) -> str:
     )
 
 
+def session_table(rows: list[dict]) -> str:
+    return format_table(
+        ["workload", "mode", "backend", "steps", "pop", "sec", "speedup"],
+        [
+            [
+                r["workload"],
+                r["mode"],
+                r["backend"],
+                r["steps"],
+                r["population"],
+                round(r["seconds"], 4),
+                round(r["speedup"], 2),
+            ]
+            for r in rows
+        ],
+    )
+
+
 # ----------------------------------------------------------------------
 # Smoke mode — tiny grids, 2 generations; wired into tier-1 pytest.
 # ----------------------------------------------------------------------
 def smoke_backends() -> list[dict]:
-    """All backends agree bitwise on tiny synthetic + mosaic workloads."""
+    """All backends agree bitwise on tiny synthetic/mosaic/ridge workloads."""
     rows = []
     rows += compare_backends(
         grassland_case(size=24, n_steps=2), population=12, repeats=1
     )
     rows += compare_backends(_mosaic_fire(20), population=12, repeats=1)
+    rows += compare_backends(_ridge_fire(20), population=12, repeats=1)
     return rows
 
 
+def smoke_session() -> list[dict]:
+    """Persistent session agrees bitwise with per-step engines."""
+    return session_rows(
+        grassland_case(size=20, n_steps=2), population=8, n_steps=2
+    )
+
+
 def smoke_pipeline() -> None:
-    """A 2-generation ESS run is backend-invariant end to end."""
+    """A 2-generation ESS run is backend- and session-invariant end to end."""
     from repro.ea.ga import GAConfig
     from repro.systems import ESS, ESSConfig
 
     fire = grassland_case(size=24, n_steps=2)
 
-    def run(backend: str, cache_size: int = 0):
+    def run(backend: str, cache_size: int = 0, session_cache_size: int = 0):
         return ESS(
             ESSConfig(ga=GAConfig(population_size=8), max_generations=2),
             backend=backend,
             cache_size=cache_size,
+            session_cache_size=session_cache_size,
         ).run(fire, rng=1)
 
     ref = run("reference")
@@ -212,6 +336,9 @@ def smoke_pipeline() -> None:
     assert cached.engine_totals()["simulations"] <= cached.engine_totals()[
         "evaluations"
     ]
+    session = run("vectorized", session_cache_size=1024)
+    assert np.array_equal(ref.qualities(), session.qualities(), equal_nan=True)
+    assert session.session["steps"] == fire.n_steps
 
 
 # ----------------------------------------------------------------------
@@ -227,16 +354,27 @@ def test_engine_backend_comparison_report(benchmark):
             rows += compare_backends(synthetic, population, repeats=3)
         mosaic = _mosaic_fire(48)
         rows += compare_backends(mosaic, 64, repeats=3)
+        ridge = _ridge_fire(48)
+        for population in (64, 128):
+            rows += compare_backends(ridge, population, repeats=3)
 
         crows = cache_rows(synthetic, 64) + cache_rows(mosaic, 64)
+        srows = session_rows(
+            grassland_case(size=48, n_steps=3), population=64, n_steps=3,
+            repeats=3,
+        )
         text = (
             backend_table(rows)
             + "\n\nscenario-result cache (25% duplicates, 2 generations):\n"
             + cache_table(crows)
+            + "\n\nper-step engines vs persistent EngineSession "
+            + "(process backend, 2 workers):\n"
+            + session_table(srows)
         )
         report("engine_backends", text)
 
-        # Acceptance bar: ≥ 3× on the synthetic workload at pop ≥ 64.
+        # Acceptance bars: ≥ 3× on the synthetic workload at pop ≥ 64,
+        # ≥ 2× on the heterogeneous-raster workload at pop ≥ 64.
         synth = [
             r
             for r in rows
@@ -244,6 +382,21 @@ def test_engine_backend_comparison_report(benchmark):
         ]
         worst = min(r["speedup"] for r in synth)
         assert worst >= 3.0, f"vectorized speedup {worst:.2f}x < 3x"
+        hetero = [
+            r
+            for r in rows
+            if r["backend"] == "vectorized" and "ridge" in r["workload"]
+        ]
+        worst_h = min(r["speedup"] for r in hetero)
+        assert worst_h >= 2.0, (
+            f"heterogeneous-raster vectorized speedup {worst_h:.2f}x < 2x"
+        )
+        # Acceptance bar: the persistent session beats per-step engines.
+        by_mode = {r["mode"]: r["seconds"] for r in srows}
+        assert by_mode["session"] < by_mode["per-step engines"], (
+            f"session {by_mode['session']:.4f}s not faster than "
+            f"per-step engines {by_mode['per-step engines']:.4f}s"
+        )
         return rows
 
     run_once(benchmark, _body)

@@ -9,7 +9,13 @@ import numpy as np
 from repro.analysis.metrics import QualityComparison
 from repro.systems.results import RunResult
 
-__all__ = ["format_table", "format_run", "format_comparison", "format_engine_totals"]
+__all__ = [
+    "format_table",
+    "format_run",
+    "format_comparison",
+    "format_engine_totals",
+    "format_session_totals",
+]
 
 
 def _cell(value: Any) -> str:
@@ -73,6 +79,32 @@ def format_engine_totals(run: RunResult) -> str:
     return line
 
 
+def format_session_totals(run: RunResult) -> str:
+    """One-line run-scoped session summary: pool reuse, cross-step cache.
+
+    Empty string when the run carries no session accounting (results
+    recorded before the engine-session subsystem landed).
+    """
+    session = run.session
+    if not session:
+        return ""
+    line = (
+        f"session: steps={session.get('steps', 0)} "
+        f"pool-reuses={session.get('pool_reuses', 0)}"
+    )
+    cache = session.get("cache", {})
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    if lookups:
+        rate = cache.get("hits", 0) / lookups
+        line += (
+            f" contexts={session.get('contexts', 0)}"
+            f" cache-hits={cache.get('hits', 0)}/{lookups} ({rate:.1%})"
+            f" cross-step-hits={session.get('cross_step_hits', 0)}"
+            f" evictions={cache.get('evictions', 0)}"
+        )
+    return line
+
+
 def format_run(run: RunResult, markdown: bool = False) -> str:
     """Per-step table of one system run (the Fig. 1/3 pipeline log)."""
     headers = ["step", "Kign", "cal. fitness", "quality", "best fitness", "evals", "sec"]
@@ -91,8 +123,10 @@ def format_run(run: RunResult, markdown: bool = False) -> str:
     title = f"{run.system}: mean quality {run.mean_quality():.4f}, " \
             f"{run.total_evaluations()} simulations, {run.total_time():.2f}s"
     out = title + "\n" + format_table(headers, rows, markdown=markdown)
-    engine_line = format_engine_totals(run)
-    return out + ("\n" + engine_line if engine_line else "")
+    for line in (format_engine_totals(run), format_session_totals(run)):
+        if line:
+            out += "\n" + line
+    return out
 
 
 def format_comparison(cmp: QualityComparison, markdown: bool = False) -> str:

@@ -54,12 +54,16 @@ def build_system(
     tuning: str = "both",
     backend: str = "reference",
     cache_size: int = 0,
+    session_cache_size: int = 0,
 ):
     """Construct a prediction system by CLI name with matched budgets."""
     islands = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
     half = max(4, population // 2)
     engine_opts = dict(
-        n_workers=n_workers, backend=backend, cache_size=cache_size
+        n_workers=n_workers,
+        backend=backend,
+        cache_size=cache_size,
+        session_cache_size=session_cache_size,
     )
     if name == "ess":
         return ESS(
@@ -133,7 +137,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache-size",
         type=int,
         default=0,
-        help="LRU scenario-result cache capacity (0 = off)",
+        help="per-step LRU scenario-result cache capacity (0 = off)",
+    )
+    parser.add_argument(
+        "--session-cache-size",
+        type=int,
+        default=0,
+        help="run-scoped cross-step result cache capacity, shared by "
+        "all prediction steps of a run (0 = off; replaces --cache-size "
+        "when set)",
     )
 
 
@@ -172,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.workers,
         backend=args.backend,
         cache_size=args.cache_size,
+        session_cache_size=args.session_cache_size,
     )
     run = system.run(fire, rng=args.seed)
     print(f"case: {fire.description}")
@@ -194,6 +207,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             args.workers,
             backend=args.backend,
             cache_size=args.cache_size,
+            session_cache_size=args.session_cache_size,
         )
         runs.append(system.run(fire, rng=args.seed))
     print(f"case: {fire.description}")

@@ -4,9 +4,12 @@ The engine layer sits between the evolutionary systems and the fire
 simulator: a :class:`SimulationEngine` evaluates an entire ``(n, 9)``
 genome batch in one call through a registered backend (``reference``,
 ``vectorized`` or ``process``), with an LRU scenario-result cache in
-front. See :mod:`repro.engine.core` for the facade,
-:mod:`repro.engine.backends` for the registry and
-:mod:`repro.engine.cache` for the cache semantics.
+front. An :class:`EngineSession` scopes the expensive parts — worker
+pool, cross-step result cache — to a whole multi-step run, handing out
+per-step engine views. See :mod:`repro.engine.core` for the facade,
+:mod:`repro.engine.backends` for the registry,
+:mod:`repro.engine.cache` for the cache semantics and
+:mod:`repro.engine.session` for the run-scoped lifetime.
 """
 
 from repro.engine.backends import (
@@ -19,12 +22,21 @@ from repro.engine.backends import (
     create_backend,
     register_backend,
 )
-from repro.engine.cache import CacheStats, ScenarioResultCache
+from repro.engine.cache import (
+    CacheStats,
+    ScenarioResultCache,
+    SessionCacheView,
+    SessionResultCache,
+)
 from repro.engine.core import EngineStats, SimulationEngine
+from repro.engine.session import EngineSession, SessionStats, step_context_digest
 
 __all__ = [
     "SimulationEngine",
     "EngineStats",
+    "EngineSession",
+    "SessionStats",
+    "step_context_digest",
     "StepSpec",
     "EngineBackend",
     "ReferenceBackend",
@@ -34,5 +46,7 @@ __all__ = [
     "backend_names",
     "create_backend",
     "ScenarioResultCache",
+    "SessionResultCache",
+    "SessionCacheView",
     "CacheStats",
 ]

@@ -35,18 +35,18 @@ from repro.core.fitness import batch_jaccard, jaccard_fitness
 from repro.core.scenario import ParameterSpace
 from repro.engine.fastprop import FlatGrid
 from repro.errors import ReproError, SimulationError
-from repro.firelib.ellipse import ros_at_azimuth
+from repro.firelib.ellipse import eccentricity_from_effective_wind, ros_at_azimuth
 from repro.firelib.moisture import Moisture
-from repro.firelib.propagation import (
-    _offset_azimuth_deg,
-    directional_travel_times,
-    propagate,
-    stencil,
-)
-from repro.firelib.rothermel import ROS_EPSILON, spread
+from repro.firelib.propagation import _offset_azimuth_deg, stencil
+from repro.firelib.rothermel import ROS_EPSILON, FuelBed, spread
 from repro.firelib.simulator import FireSimulator
 from repro.grid.terrain import Terrain
-from repro.units import METERS_TO_FEET
+from repro.units import METERS_TO_FEET, MPH_TO_FTMIN
+
+#: Element budget for the three batched ``(chunk, n_classes)`` field
+#: arrays of the heterogeneous-raster path (float64: ~32 MB per chunk);
+#: the per-genome ``(D, bh, bw)`` travel block is not chunked.
+_RASTER_BLOCK_ELEMENTS = 4_000_000
 
 __all__ = [
     "StepSpec",
@@ -77,6 +77,28 @@ class StepSpec:
     horizon: float
     space: ParameterSpace
     n_neighbors: int = 8
+
+    @classmethod
+    def from_problem(cls, problem) -> "StepSpec":
+        """Build a spec from anything shaped like a step problem.
+
+        ``problem`` must expose ``terrain``, ``start_burned``,
+        ``real_burned``, ``horizon``, ``space`` and ``n_neighbors`` —
+        :class:`repro.systems.problem.PredictionStepProblem` does. The
+        single construction point shared by the engine facade and the
+        run-scoped session, so a new spec field cannot silently go
+        missing on one path.
+        """
+        if isinstance(problem, cls):
+            return problem
+        return cls(
+            terrain=problem.terrain,
+            start_burned=problem.start_burned,
+            real_burned=problem.real_burned,
+            horizon=problem.horizon,
+            space=problem.space,
+            n_neighbors=problem.n_neighbors,
+        )
 
     def __post_init__(self) -> None:
         start = np.asarray(self.start_burned, dtype=bool)
@@ -204,18 +226,21 @@ class VectorizedBackend(EngineBackend):
     For spatially-uniform scenarios (no fuel/slope/aspect rasters) the
     per-cell spread fields collapse to per-genome scalars, so the
     directional travel times of the **whole batch** are produced in one
-    ``(n, D)`` NumPy pass; heterogeneous terrains reuse the simulator's
-    field assembly per genome and gain from the faster propagation.
-    Bitwise-identical rows are simulated once and broadcast back.
+    ``(n, D)`` NumPy pass. Heterogeneous slope/aspect rasters keep
+    per-cell fields, but the Rothermel/ellipse math is vectorized over
+    the **genome axis** with the rasters broadcast — one NumPy pass per
+    fuel-bed group instead of one per genome — and the propagation runs
+    through the flat-index Dijkstra kernels. Bitwise-identical rows are
+    simulated once and broadcast back.
     """
 
     def __init__(self, spec: StepSpec) -> None:
         super().__init__(spec)
         terrain = spec.terrain
-        self._simulator = FireSimulator(terrain, n_neighbors=spec.n_neighbors)
         self._offsets = stencil(spec.n_neighbors)
         self._blocked = terrain.blocked_mask()
         cell_ft = terrain.cell_size * METERS_TO_FEET
+        self._cell_ft = cell_ft
         self._azimuths = np.array(
             [_offset_azimuth_deg(dr, dc) for dr, dc in self._offsets]
         )
@@ -233,11 +258,19 @@ class VectorizedBackend(EngineBackend):
         # Padded flat grid + seeded-state template, shared by the whole
         # batch: geometry and the step-start burned region are fixed.
         # Seed cells in row-major order, simulate_from_burned's ordering.
+        seed_rows, seed_cols = np.nonzero(spec.start_burned)
         self._seed_cells = [
-            (int(r), int(c)) for r, c in zip(*np.nonzero(spec.start_burned))
+            (int(r), int(c)) for r, c in zip(seed_rows, seed_cols)
         ]
         self._grid = FlatGrid(terrain.shape, self._offsets, self._blocked)
         self._seeded = self._grid.seed(self._seed_cells)
+        self._seed_bbox = (
+            (int(seed_rows.min()), int(seed_rows.max())),
+            (int(seed_cols.min()), int(seed_cols.max())),
+        )
+        # Reachability-clipped FlatGrids of the heterogeneous path,
+        # keyed by box bounds (reused across genomes and batches).
+        self._box_grids: dict[tuple[int, int, int, int], tuple] = {}
         if self._mode == "fuel_table":
             self._codes = [int(c) for c in np.unique(terrain.fuel)]
             pad, width = self._grid.pad, self._grid.width
@@ -248,6 +281,36 @@ class VectorizedBackend(EngineBackend):
                 np.searchsorted(self._codes, terrain.fuel)
             )
             self._class_flat = classes.reshape(-1).tolist()
+        elif self._mode == "raster":
+            # Deduplicate cells into terrain classes: every per-cell
+            # quantity of the Rothermel/ellipse math depends only on
+            # the (fuel, slope, aspect) tuple, so fields and travel
+            # times are computed once per distinct tuple and gathered
+            # back — typically tens of classes for thousands of cells
+            # on DEM-derived (quantized) rasters.
+            columns = []
+            for raster in (terrain.fuel, terrain.slope, terrain.aspect):
+                if raster is not None:
+                    columns.append(
+                        np.asarray(raster, dtype=np.float64).reshape(-1)
+                    )
+            uniq, inverse = np.unique(
+                np.stack(columns, axis=1), axis=0, return_inverse=True
+            )
+            self._class_of_cell = inverse.reshape(terrain.shape)
+            col = 0
+            if terrain.fuel is not None:
+                self._class_fuel = uniq[:, col].astype(np.int64)
+                col += 1
+            else:
+                self._class_fuel = None
+            if terrain.slope is not None:
+                self._class_slope = uniq[:, col]
+                col += 1
+            else:
+                self._class_slope = None
+            self._class_aspect = uniq[:, col] if terrain.aspect is not None else None
+            self._n_classes = uniq.shape[0]
 
     # ------------------------------------------------------------------
     def _uniform_weight_matrix(self, scenarios: Sequence) -> np.ndarray:
@@ -319,33 +382,288 @@ class VectorizedBackend(EngineBackend):
             return self._grid.run_uniform(
                 weights.tolist(), self._seeded, horizon=spec.horizon
             )
-        if self._mode == "fuel_table":
-            return self._grid.run_table(
-                self._fuel_weight_table(scenario),
-                self._class_flat,
-                self._seeded,
-                horizon=spec.horizon,
+        return self._grid.run_table(
+            self._fuel_weight_table(scenario),
+            self._class_flat,
+            self._seeded,
+            horizon=spec.horizon,
+        )
+
+    # ------------------------------------------------------------------
+    # Heterogeneous slope/aspect rasters: genome-axis batched fields
+    # ------------------------------------------------------------------
+    def _raster_fields(
+        self, scenarios: Sequence
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-class ellipse fields for a whole batch, each ``(n, u)``.
+
+        The genome-axis vectorization of
+        :meth:`repro.firelib.simulator.FireSimulator.spread_fields`:
+        scenarios are grouped by fuel bed (the scenario ``Model`` on
+        fuel-free terrains, each raster fuel code otherwise) and the
+        wind–slope vector combination of every group is computed in one
+        broadcast NumPy pass over ``(genomes × terrain classes)`` — the
+        same elementwise float operations the reference path performs
+        per genome per cell, deduplicated to the ``u`` distinct
+        (fuel, slope, aspect) tuples, so the gathered per-cell values
+        are bitwise identical.
+        """
+        n = len(scenarios)
+        ros = np.zeros((n, self._n_classes), dtype=np.float64)
+        dir_ = np.zeros((n, self._n_classes), dtype=np.float64)
+        ecc = np.zeros((n, self._n_classes), dtype=np.float64)
+        if self._class_fuel is None:
+            by_model: dict[int, list[int]] = {}
+            for i, sc in enumerate(scenarios):
+                by_model.setdefault(int(sc.model), []).append(i)
+            for code, rows in by_model.items():
+                self._fill_raster_group(
+                    code, rows, scenarios, self._class_slope,
+                    self._class_aspect, None, ros, dir_, ecc,
+                )
+        else:
+            all_rows = list(range(n))
+            for code in np.unique(self._class_fuel):
+                if code == 0:
+                    continue  # unburnable: fields stay zero, cells blocked
+                classes = np.flatnonzero(self._class_fuel == code)
+                self._fill_raster_group(
+                    int(code),
+                    all_rows,
+                    scenarios,
+                    (
+                        self._class_slope[classes]
+                        if self._class_slope is not None
+                        else None
+                    ),
+                    (
+                        self._class_aspect[classes]
+                        if self._class_aspect is not None
+                        else None
+                    ),
+                    classes,
+                    ros,
+                    dir_,
+                    ecc,
+                )
+        return ros, dir_, ecc
+
+    def _fill_raster_group(
+        self,
+        code: int,
+        rows: list[int],
+        scenarios: Sequence,
+        slope_cells: np.ndarray | None,
+        aspect_cells: np.ndarray | None,
+        cells: np.ndarray | None,
+        out_ros: np.ndarray,
+        out_dir: np.ndarray,
+        out_ecc: np.ndarray,
+    ) -> None:
+        """One fuel bed × all its genomes, broadcast over the cells.
+
+        ``slope_cells``/``aspect_cells`` are the raster values gathered
+        at ``cells`` (``None`` = the scenario scalar applies, varying
+        per genome); ``cells`` are the flat indices to scatter into
+        (``None`` = the whole grid).
+        """
+        bed = FuelBed.for_model(code)
+        r0 = np.empty(len(rows), dtype=np.float64)
+        phi_w = np.empty_like(r0)
+        wind_dir = np.empty_like(r0)
+        for j, i in enumerate(rows):
+            sc = scenarios[i]
+            moisture = Moisture.from_percent(sc.m1, sc.m10, sc.m100, sc.mherb)
+            r0[j] = bed.no_wind_rate(moisture)
+            phi_w[j] = bed.phi_wind(
+                max(0.0, float(sc.wind_speed)) * MPH_TO_FTMIN
             )
-        # Full per-cell rasters (slope/aspect fields): assembling the
-        # flat-list planes costs more than it saves on typical burns,
-        # so propagate with the reference kernel — the batch still
-        # gains from genome deduplication.
-        fields = self._simulator.spread_fields(scenario)
-        travel = directional_travel_times(
-            *fields,
-            spec.terrain.cell_size * METERS_TO_FEET,
-            blocked=self._blocked,
-            n_neighbors=spec.n_neighbors,
+            wind_dir[j] = float(sc.wind_dir)
+        # Non-spreading beds short-circuit to all-zero fields in the
+        # reference path; keep those rows at the zero initialisation.
+        alive = r0 > ROS_EPSILON
+        if not alive.any():
+            return
+        live_rows = np.asarray(rows, dtype=np.intp)[alive]
+        r0 = r0[alive, None]
+        wnd_rate = (r0[:, 0] * phi_w[alive])[:, None]
+        wind_dir = wind_dir[alive, None]
+        if slope_cells is not None:
+            slope = slope_cells[None, :]
+        else:
+            slope = np.array(
+                [float(scenarios[i].slope) for i in live_rows], dtype=np.float64
+            )[:, None]
+        if aspect_cells is not None:
+            aspect = aspect_cells[None, :]
+        else:
+            aspect = np.array(
+                [float(scenarios[i].aspect) for i in live_rows], dtype=np.float64
+            )[:, None]
+
+        # The fireLib wind–slope vector combination, exactly as in
+        # repro.firelib.rothermel.spread, with genomes down the rows.
+        phi_s = bed.phi_slope(slope)
+        upslope = np.mod(aspect + 180.0, 360.0)
+        split = np.radians(np.mod(wind_dir - upslope, 360.0))
+        slp_rate = r0 * phi_s
+        x = slp_rate + wnd_rate * np.cos(split)
+        y = wnd_rate * np.sin(split)
+        rv = np.hypot(x, y)
+        ros_max = r0 + rv
+        phi_ew = rv / r0
+        dir_max = np.mod(upslope + np.degrees(np.arctan2(y, x)), 360.0)
+        dir_max = np.where(rv > ROS_EPSILON, dir_max, 0.0)
+        ecc = eccentricity_from_effective_wind(bed.effective_wind(phi_ew))
+        ecc = np.where(rv > ROS_EPSILON, ecc, 0.0)
+
+        m = out_ros.shape[1] if cells is None else len(cells)
+        target = (len(live_rows), m)
+        if cells is None:
+            out_ros[live_rows] = np.broadcast_to(ros_max, target)
+            out_dir[live_rows] = np.broadcast_to(dir_max, target)
+            out_ecc[live_rows] = np.broadcast_to(ecc, target)
+        else:
+            scatter = np.ix_(live_rows, cells)
+            out_ros[scatter] = np.broadcast_to(ros_max, target)
+            out_dir[scatter] = np.broadcast_to(dir_max, target)
+            out_ecc[scatter] = np.broadcast_to(ecc, target)
+
+    def _reach_box(self, ros_peak: float) -> tuple[slice, slice]:
+        """Subgrid that provably contains everything the fire can reach.
+
+        Every stencil move advances the Chebyshev distance by at most
+        ``max(|dr|, |dc|) ≤ hypot(dr, dc)`` cells while costing at least
+        ``cell_ft·hypot(dr, dc) / ros_peak`` minutes, so reaching a cell
+        ``L`` Chebyshev-cells away from the seed set takes at least
+        ``L·cell_ft / ros_peak`` minutes. Cells beyond
+        ``horizon·ros_peak / cell_ft`` therefore stay unburned in the
+        reference propagation too — restricting travel-time assembly
+        and Dijkstra to this box cannot change the output.
+        """
+        rows, cols = self.spec.terrain.shape
+        if ros_peak > ROS_EPSILON:
+            radius = int(math.ceil(self.spec.horizon * ros_peak / self._cell_ft)) + 2
+        else:
+            radius = 0
+        (r0, r1), (c0, c1) = self._seed_bbox
+        return (
+            slice(max(0, r0 - radius), min(rows, r1 + 1 + radius)),
+            slice(max(0, c0 - radius), min(cols, c1 + 1 + radius)),
         )
-        return propagate(
-            travel, self._seed_cells, horizon=spec.horizon, blocked=self._blocked
+
+    def _box_grid(self, box: tuple[slice, slice]) -> tuple:
+        """Per-box propagation state, cached by box bounds.
+
+        Returns ``(grid, seeded, class_flat, class_of_cell)``: the
+        :class:`FlatGrid` of the box, its seeded state, the padded flat
+        class indices (``run_table`` input) and the unpadded class map
+        of the box.
+        """
+        key = (box[0].start, box[0].stop, box[1].start, box[1].stop)
+        cached = self._box_grids.get(key)
+        if cached is None:
+            rows, cols = key[1] - key[0], key[3] - key[2]
+            grid = FlatGrid((rows, cols), self._offsets, self._blocked[box])
+            seeded = grid.seed(
+                [(r - key[0], c - key[2]) for r, c in self._seed_cells]
+            )
+            pad = grid.pad
+            classes = np.zeros(
+                (rows + 2 * pad, grid.width), dtype=np.int64
+            )
+            box_classes = self._class_of_cell[box]
+            classes[pad : pad + rows, pad : pad + cols] = box_classes
+            cached = self._box_grids[key] = (
+                grid,
+                seeded,
+                classes.reshape(-1).tolist(),
+                box_classes,
+            )
+        return cached
+
+    def _raster_burned(self, scenarios: Sequence) -> np.ndarray:
+        """Burned masks of a deduplicated heterogeneous-raster batch.
+
+        Fields come from the genome-axis, class-deduplicated batched
+        kernel; per genome, the ``(u, D)`` travel-time table follows in
+        one broadcast pass and the Dijkstra run is clipped to the
+        reachability box of :meth:`_reach_box`, so slow/wet scenarios
+        (the bulk of a Table I sample) cost a handful of cells instead
+        of the whole grid. Propagation runs through ``run_table`` when
+        the class table is smaller than the box (quantized DEM rasters)
+        and through ``run_raster`` otherwise (continuous rasters).
+        """
+        spec = self.spec
+        maps = np.zeros((len(scenarios), *spec.terrain.shape), dtype=bool)
+        chunk = max(
+            1, _RASTER_BLOCK_ELEMENTS // max(1, 3 * self._n_classes)
         )
+        for lo in range(0, len(scenarios), chunk):
+            sub = scenarios[lo : lo + chunk]
+            ros, dir_, ecc = self._raster_fields(sub)
+            for k in range(len(sub)):
+                # Class max == cell max: every class occurs on ≥1 cell.
+                box = self._reach_box(float(ros[k].max()))
+                grid, seeded, class_flat, box_classes = self._box_grid(box)
+                # One broadcast pass for all D directions — over the
+                # class axis when the table is smaller than the box
+                # (quantized DEM rasters), over the box's gathered
+                # per-cell fields otherwise (continuous rasters). Both
+                # run the identical elementwise ops of the
+                # per-direction, per-cell reference loop.
+                # run_table pays O(u·D) per call to build its edge
+                # lists, run_raster O(box·D) to flatten its planes —
+                # take the table only when it is clearly the smaller.
+                if 4 * self._n_classes <= box_classes.size:
+                    rates = ros_at_azimuth(
+                        ros[k][None, :],
+                        dir_[k][None, :],
+                        ecc[k][None, :],
+                        self._azimuths[:, None],
+                    )
+                    with np.errstate(divide="ignore"):
+                        table = np.where(
+                            rates > ROS_EPSILON,
+                            self._distances[:, None] / rates,
+                            np.inf,
+                        )  # (D, u)
+                    # Blocked cells never enter the heap, so sharing a
+                    # table row with open cells cannot leak fire out of
+                    # them — no per-cell blocked override needed.
+                    times = grid.run_table(
+                        table.T.tolist(),
+                        class_flat,
+                        seeded,
+                        horizon=spec.horizon,
+                    )
+                else:
+                    rates = ros_at_azimuth(
+                        ros[k][box_classes][None],
+                        dir_[k][box_classes][None],
+                        ecc[k][box_classes][None],
+                        self._azimuths[:, None, None],
+                    )
+                    with np.errstate(divide="ignore"):
+                        travel = np.where(
+                            rates > ROS_EPSILON,
+                            self._distances[:, None, None] / rates,
+                            np.inf,
+                        )  # (D, bh, bw)
+                    travel[:, self._blocked[box]] = np.inf
+                    times = grid.run_raster(
+                        travel, seeded, horizon=spec.horizon
+                    )
+                maps[lo + k][box] = times <= spec.horizon
+        return maps
 
     def _unique_burned(self, genomes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Burned masks of the deduplicated batch + inverse index map."""
         genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
         uniq, inverse = np.unique(genomes, axis=0, return_inverse=True)
         scenarios = [self.spec.space.decode(g) for g in uniq]
+        if self._mode == "raster":
+            return self._raster_burned(scenarios), inverse.reshape(-1)
         weight_rows = (
             self._uniform_weight_matrix(scenarios)
             if self._mode == "uniform"
@@ -413,6 +731,12 @@ class ProcessBackend(EngineBackend):
     batches — the small per-step Statistical Stage calls — run on a
     local inner backend to avoid shipping ``(n, H, W)`` masks back
     through the pipe.
+
+    When ``pool`` is given (a run-scoped session's persistent pool),
+    the backend broadcasts this step's spec to the standing workers
+    via :meth:`~repro.parallel.executor.ProcessPoolEvaluator.
+    update_problem` instead of forking a fresh pool, and :meth:`close`
+    leaves the pool running for the next step.
     """
 
     def __init__(
@@ -421,21 +745,28 @@ class ProcessBackend(EngineBackend):
         inner: str = "vectorized",
         n_workers: int | None = None,
         chunks_per_worker: int = 4,
+        pool=None,
     ) -> None:
         super().__init__(spec)
         if inner == self.name:
             raise ReproError("process backend cannot nest itself")
-        # imported here: executor pulls in multiprocessing, keep the
-        # serial backends importable without it
-        from repro.parallel.executor import ProcessPoolEvaluator
-
         self.inner = inner
         self._local: EngineBackend | None = None  # built on first map batch
-        self._pool = ProcessPoolEvaluator(
-            _SpecProblem(spec, inner),
-            n_workers=n_workers,
-            chunks_per_worker=chunks_per_worker,
-        )
+        if pool is not None:
+            self._owns_pool = False
+            self._pool = pool
+            pool.update_problem(_SpecProblem(spec, inner))
+        else:
+            # imported here: executor pulls in multiprocessing, keep the
+            # serial backends importable without it
+            from repro.parallel.executor import ProcessPoolEvaluator
+
+            self._owns_pool = True
+            self._pool = ProcessPoolEvaluator(
+                _SpecProblem(spec, inner),
+                n_workers=n_workers,
+                chunks_per_worker=chunks_per_worker,
+            )
         self.n_workers = self._pool.n_workers
 
     def fitness_batch(self, genomes: np.ndarray) -> np.ndarray:
@@ -447,4 +778,5 @@ class ProcessBackend(EngineBackend):
         return self._local.burned_map_batch(genomes)
 
     def close(self) -> None:
-        self._pool.close()
+        if self._owns_pool:
+            self._pool.close()

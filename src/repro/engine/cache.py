@@ -24,10 +24,33 @@ import numpy as np
 
 from repro.errors import ReproError
 
-__all__ = ["CacheStats", "ScenarioResultCache", "DEFAULT_CACHE_DECIMALS"]
+__all__ = [
+    "CacheStats",
+    "ScenarioResultCache",
+    "SessionResultCache",
+    "SessionCacheView",
+    "DEFAULT_CACHE_DECIMALS",
+]
 
 #: Default quantization, decimal places per genome coordinate.
 DEFAULT_CACHE_DECIMALS = 8
+
+
+def _validate_cache_params(capacity: int, decimals: int) -> None:
+    if capacity < 0:
+        raise ReproError(f"cache capacity must be >= 0, got {capacity}")
+    if decimals < 0:
+        raise ReproError(f"cache decimals must be >= 0, got {decimals}")
+
+
+def _quantized_key(genome: np.ndarray, decimals: int) -> bytes:
+    """Quantized byte key of one genome — shared by both cache tiers.
+
+    Adding ``0.0`` after rounding folds ``-0.0`` into ``+0.0`` so the
+    two byte patterns of zero share one cache entry.
+    """
+    q = np.round(np.asarray(genome, dtype=np.float64), decimals) + 0.0
+    return q.tobytes()
 
 
 @dataclass
@@ -80,10 +103,7 @@ class ScenarioResultCache:
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
-        if self.capacity < 0:
-            raise ReproError(f"cache capacity must be >= 0, got {self.capacity}")
-        if self.decimals < 0:
-            raise ReproError(f"cache decimals must be >= 0, got {self.decimals}")
+        _validate_cache_params(self.capacity, self.decimals)
         self._data: OrderedDict[bytes, float] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -96,13 +116,8 @@ class ScenarioResultCache:
         return len(self._data)
 
     def key(self, genome: np.ndarray) -> bytes:
-        """Quantized byte key of one genome.
-
-        Adding ``0.0`` after rounding folds ``-0.0`` into ``+0.0`` so
-        the two byte patterns of zero share one cache entry.
-        """
-        q = np.round(np.asarray(genome, dtype=np.float64), self.decimals) + 0.0
-        return q.tobytes()
+        """Quantized byte key of one genome."""
+        return _quantized_key(genome, self.decimals)
 
     def get(self, key: bytes) -> float | None:
         """Cached fitness for ``key``, or ``None`` on a miss."""
@@ -128,3 +143,141 @@ class ScenarioResultCache:
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""
         self._data.clear()
+
+
+# ----------------------------------------------------------------------
+# Cross-step (session) tier
+# ----------------------------------------------------------------------
+@dataclass
+class SessionResultCache:
+    """Run-scoped LRU keyed on ``(step-context digest, quantized genome)``.
+
+    One instance lives for a whole :class:`~repro.engine.session.
+    EngineSession`; every step engine reads it through a
+    :class:`SessionCacheView` that bakes in the step's context digest.
+    Entries inserted by one step survive into later steps, so repeated
+    evaluations of the same step context (re-calibration, system
+    comparison on the same fire, sweep repeats) skip the simulator
+    across step boundaries — the cross-step reuse the per-step
+    :class:`ScenarioResultCache` could never provide.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries across *all* contexts; 0 disables.
+    decimals:
+        Genome quantization, identical semantics to the per-step cache.
+    """
+
+    capacity: int = 0
+    decimals: int = DEFAULT_CACHE_DECIMALS
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        _validate_cache_params(self.capacity, self.decimals)
+        # (context digest, genome key) -> (fitness, inserting step serial)
+        self._data: OrderedDict[tuple[bytes, bytes], tuple[float, int]] = (
+            OrderedDict()
+        )
+        self._contexts: set[bytes] = set()
+        self.cross_step_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache can store anything."""
+        return self.capacity > 0
+
+    @property
+    def n_contexts(self) -> int:
+        """Distinct step-context digests seen so far."""
+        return len(self._contexts)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def key(self, genome: np.ndarray) -> bytes:
+        """Quantized byte key of one genome (same folding as per-step)."""
+        return _quantized_key(genome, self.decimals)
+
+    def view(self, context: bytes, step: int) -> "SessionCacheView":
+        """Per-step facade bound to one context digest."""
+        self._contexts.add(context)
+        return SessionCacheView(self, context, step)
+
+    # ------------------------------------------------------------------
+    def lookup(self, context: bytes, key: bytes, step: int) -> float | None:
+        """Cached fitness for ``(context, key)``; counts cross-step hits."""
+        entry = self._data.get((context, key))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end((context, key))
+        self.stats.hits += 1
+        if entry[1] != step:
+            self.cross_step_hits += 1
+        return entry[0]
+
+    def insert(self, context: bytes, key: bytes, fitness: float, step: int) -> int:
+        """Insert one entry; returns how many entries were evicted."""
+        if not self.enabled:
+            return 0
+        full_key = (context, key)
+        if full_key in self._data:
+            self._data.move_to_end(full_key)
+        self._data[full_key] = (float(fitness), step)
+        evicted = 0
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._data.clear()
+
+
+class SessionCacheView:
+    """One step's window onto a :class:`SessionResultCache`.
+
+    Exposes the :class:`ScenarioResultCache` interface the engine
+    consumes (``enabled`` / ``key`` / ``get`` / ``put`` / ``stats``);
+    ``stats`` counts this step's traffic only, while the shared store
+    accumulates the run totals.
+    """
+
+    def __init__(self, store: SessionResultCache, context: bytes, step: int) -> None:
+        self._store = store
+        self._context = context
+        self._step = step
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the underlying session store can hold entries."""
+        return self._store.enabled
+
+    @property
+    def context(self) -> bytes:
+        """The step-context digest this view is bound to."""
+        return self._context
+
+    def key(self, genome: np.ndarray) -> bytes:
+        """Quantized byte key of one genome."""
+        return self._store.key(genome)
+
+    def get(self, key: bytes) -> float | None:
+        """Cached fitness for ``key`` in this step's context."""
+        value = self._store.lookup(self._context, key, self._step)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: bytes, fitness: float) -> None:
+        """Insert one entry under this step's context."""
+        self.stats.evictions += self._store.insert(
+            self._context, key, float(fitness), self._step
+        )

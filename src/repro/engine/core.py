@@ -87,6 +87,16 @@ class SimulationEngine:
         :mod:`repro.engine.cache`).
     cache_decimals:
         Genome quantization used for cache keys.
+    cache:
+        Optional externally-owned cache (a
+        :class:`~repro.engine.cache.SessionCacheView` from an
+        :class:`~repro.engine.session.EngineSession`); overrides
+        ``cache_size``/``cache_decimals`` when given.
+    pool:
+        Optional externally-owned
+        :class:`~repro.parallel.executor.ProcessPoolEvaluator` reused
+        for the pooled backends; the engine then never forks its own
+        workers and ``close()`` leaves the pool running.
     """
 
     def __init__(
@@ -96,6 +106,8 @@ class SimulationEngine:
         n_workers: int = 1,
         cache_size: int = 0,
         cache_decimals: int = DEFAULT_CACHE_DECIMALS,
+        cache=None,
+        pool=None,
     ) -> None:
         if n_workers < 1:
             raise ReproError(f"n_workers must be >= 1, got {n_workers}")
@@ -105,15 +117,19 @@ class SimulationEngine:
             )
         self.spec = spec
         if backend == "process":
-            self._backend = create_backend("process", spec, n_workers=n_workers)
+            self._backend = create_backend(
+                "process", spec, n_workers=n_workers, pool=pool
+            )
         elif n_workers > 1:
             self._backend = create_backend(
-                "process", spec, inner=backend, n_workers=n_workers
+                "process", spec, inner=backend, n_workers=n_workers, pool=pool
             )
         else:
             self._backend = create_backend(backend, spec)
-        self._cache = ScenarioResultCache(
-            capacity=cache_size, decimals=cache_decimals
+        self._cache = (
+            cache
+            if cache is not None
+            else ScenarioResultCache(capacity=cache_size, decimals=cache_decimals)
         )
         self.stats = EngineStats(
             backend=backend,
@@ -138,14 +154,7 @@ class SimulationEngine:
         ``real_burned``, ``horizon``, ``space`` and ``n_neighbors`` —
         :class:`repro.systems.problem.PredictionStepProblem` does.
         """
-        spec = StepSpec(
-            terrain=problem.terrain,
-            start_burned=problem.start_burned,
-            real_burned=problem.real_burned,
-            horizon=problem.horizon,
-            space=problem.space,
-            n_neighbors=problem.n_neighbors,
-        )
+        spec = StepSpec.from_problem(problem)
         return cls(
             spec,
             backend=backend,
@@ -232,9 +241,23 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release backend resources (idempotent)."""
+        """Release backend resources and freeze the stats (idempotent).
+
+        After closing, :attr:`stats` is a detached snapshot: later
+        mutation of the (possibly shared, session-owned) cache counters
+        can no longer alter what this engine reports. Externally-owned
+        pools are left running.
+        """
         if not self._closed:
             self._backend.close()
+            self.stats = EngineStats(
+                backend=self.stats.backend,
+                n_workers=self.stats.n_workers,
+                evaluations=self.stats.evaluations,
+                simulations=self.stats.simulations,
+                map_simulations=self.stats.map_simulations,
+                cache=CacheStats(**self.stats.cache.to_dict()),
+            )
             self._closed = True
 
     def __enter__(self) -> "SimulationEngine":

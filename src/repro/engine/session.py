@@ -1,0 +1,256 @@
+"""Run-scoped engine session: persistent backends across prediction steps.
+
+The predictive loop (OS → SS → PS → CS per step) used to rebuild the
+whole :class:`~repro.engine.core.SimulationEngine` — process pool, LRU
+cache, precomputed tables — inside the hot loop, once per step. An
+:class:`EngineSession` owns everything whose lifetime is really the
+*run*:
+
+* the **worker pool** (``process`` backend, or any backend wrapped by
+  ``n_workers > 1``): forked once, then each step's terrain reaches the
+  standing workers as a lightweight update message
+  (:meth:`~repro.parallel.executor.ProcessPoolEvaluator.update_problem`)
+  instead of a re-fork;
+* the **cross-step result cache**
+  (:class:`~repro.engine.cache.SessionResultCache`), keyed on
+  ``(step-context digest, quantized genome)`` so results survive step
+  boundaries and repeated step contexts — re-calibration, comparing
+  systems on the same fire, sweep repeats — skip the simulator
+  entirely;
+* run-level accounting (:class:`SessionStats`) threaded into
+  :class:`~repro.systems.results.RunResult` and the reporting layer.
+
+Per step, :meth:`EngineSession.for_step` hands out an ordinary
+:class:`~repro.engine.core.SimulationEngine` view wired to the shared
+pool and cache; closing the view is cheap and never tears down the
+session-owned resources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.backends import StepSpec, backend_names
+from repro.engine.cache import (
+    DEFAULT_CACHE_DECIMALS,
+    CacheStats,
+    SessionResultCache,
+)
+from repro.engine.core import SimulationEngine
+from repro.errors import ReproError
+
+__all__ = ["EngineSession", "SessionStats", "step_context_digest"]
+
+
+def step_context_digest(spec: StepSpec) -> bytes:
+    """Stable digest of everything that determines a step's fitness.
+
+    Two specs share a digest exactly when a genome's Eq. 3 fitness is
+    guaranteed identical under both: terrain geometry and rasters, the
+    start/real burned regions, the horizon, the stencil and the
+    parameter space all feed the hash.
+    """
+    h = hashlib.sha256()
+    terrain = spec.terrain
+    h.update(np.asarray([terrain.rows, terrain.cols], dtype=np.int64).tobytes())
+    h.update(np.float64(terrain.cell_size).tobytes())
+    for name in ("fuel", "slope", "aspect", "unburnable"):
+        arr = getattr(terrain, name)
+        if arr is None:
+            h.update(b"\x00")
+        else:
+            h.update(b"\x01")
+            h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(np.packbits(spec.start_burned).tobytes())
+    h.update(np.packbits(spec.real_burned).tobytes())
+    h.update(np.float64(spec.horizon).tobytes())
+    h.update(np.int64(spec.n_neighbors).tobytes())
+    for p in spec.space.specs:
+        h.update(
+            f"{p.name}:{p.low}:{p.high}:{int(p.integer)}:{int(p.circular)}".encode()
+        )
+    return h.digest()
+
+
+@dataclass
+class SessionStats:
+    """Run-level engine accounting (the ``session`` block of a run).
+
+    ``cache`` aggregates the cross-step store's hit/miss/eviction
+    counters over the whole run; ``cross_step_hits`` is the subset of
+    hits served from an entry inserted by an *earlier* step view — the
+    reuse a per-step engine could never provide. ``pool_reuses`` counts
+    steps that reused the standing worker pool instead of forking one.
+    """
+
+    backend: str = "reference"
+    n_workers: int = 1
+    steps: int = 0
+    contexts: int = 0
+    pool_reuses: int = 0
+    cross_step_hits: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "steps": self.steps,
+            "contexts": self.contexts,
+            "pool_reuses": self.pool_reuses,
+            "cross_step_hits": self.cross_step_hits,
+            "cache": self.cache.to_dict(),
+        }
+
+
+class EngineSession:
+    """Owns engine resources for one full multi-step run.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name, applied to every step view.
+    n_workers:
+        Worker processes; above 1 (or with ``backend="process"``) one
+        pool is forked lazily and reused by every step.
+    cache_size:
+        Per-step LRU capacity used only when the session cache is off
+        (``session_cache_size == 0``); each step view then gets its own
+        throwaway :class:`~repro.engine.cache.ScenarioResultCache`.
+    session_cache_size:
+        Capacity of the run-scoped cross-step cache; when positive it
+        replaces the per-step cache entirely (one lookup path).
+    cache_decimals:
+        Genome quantization for either cache tier.
+    """
+
+    def __init__(
+        self,
+        backend: str = "reference",
+        n_workers: int = 1,
+        cache_size: int = 0,
+        session_cache_size: int = 0,
+        cache_decimals: int = DEFAULT_CACHE_DECIMALS,
+    ) -> None:
+        if backend not in backend_names():
+            raise ReproError(
+                f"unknown engine backend {backend!r}; choose from {backend_names()}"
+            )
+        if n_workers < 1:
+            raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+        if cache_size < 0:
+            raise ReproError(f"cache_size must be >= 0, got {cache_size}")
+        if session_cache_size < 0:
+            raise ReproError(
+                f"session_cache_size must be >= 0, got {session_cache_size}"
+            )
+        self.backend = backend
+        self.n_workers = n_workers
+        self.cache_size = cache_size
+        self.cache_decimals = cache_decimals
+        self._store = (
+            SessionResultCache(
+                capacity=session_cache_size, decimals=cache_decimals
+            )
+            if session_cache_size > 0
+            else None
+        )
+        self._pool = None
+        self._steps = 0
+        self._pool_reuses = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> SessionResultCache | None:
+        """The cross-step store (``None`` when disabled)."""
+        return self._store
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def stats(self) -> SessionStats:
+        """Current run-level accounting snapshot."""
+        return SessionStats(
+            backend=self.backend,
+            n_workers=(
+                self._pool.n_workers if self._pool is not None else self.n_workers
+            ),
+            steps=self._steps,
+            contexts=self._store.n_contexts if self._store is not None else 0,
+            pool_reuses=self._pool_reuses,
+            cross_step_hits=(
+                self._store.cross_step_hits if self._store is not None else 0
+            ),
+            cache=(
+                CacheStats(**self._store.stats.to_dict())
+                if self._store is not None
+                else CacheStats()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The session's persistent worker pool (forked on first use)."""
+        if self._pool is None:
+            # imported here: keep pool-less sessions import-light
+            from repro.parallel.executor import ProcessPoolEvaluator
+
+            self._pool = ProcessPoolEvaluator(None, n_workers=self.n_workers)
+        else:
+            self._pool_reuses += 1
+        return self._pool
+
+    def for_step(self, problem) -> SimulationEngine:
+        """A per-step engine view wired to the session's resources.
+
+        ``problem`` is anything shaped like a step problem (``terrain``,
+        ``start_burned``, ``real_burned``, ``horizon``, ``space``,
+        ``n_neighbors`` — or an actual :class:`StepSpec`). The returned
+        engine is a full :class:`SimulationEngine`; its ``close()``
+        releases only per-step state, never the pool or the cross-step
+        cache.
+        """
+        if self._closed:
+            raise ReproError(
+                "engine session already closed; create a new session per run"
+            )
+        spec = StepSpec.from_problem(problem)
+        self._steps += 1
+        cache = None
+        if self._store is not None:
+            cache = self._store.view(step_context_digest(spec), self._steps)
+        pool = None
+        if self.backend == "process" or self.n_workers > 1:
+            pool = self._ensure_pool()
+        return SimulationEngine(
+            spec,
+            backend=self.backend,
+            n_workers=self.n_workers,
+            cache_size=self.cache_size,
+            cache_decimals=self.cache_decimals,
+            cache=cache,
+            pool=pool,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent); stats stay readable."""
+        if self._closed:
+            return
+        if self._pool is not None:
+            self._pool.close()
+        self._closed = True
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

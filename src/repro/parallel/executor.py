@@ -93,17 +93,38 @@ class SerialEvaluator:
 # Process-pool backend
 # ----------------------------------------------------------------------
 _WORKER_PROBLEM: BatchProblem | None = None
+_WORKER_BARRIER = None
+
+#: Safety timeout for the problem-update rendezvous, seconds.
+_UPDATE_TIMEOUT = 120.0
 
 
-def _init_worker(problem: BatchProblem) -> None:
+def _init_worker(problem: BatchProblem | None, barrier=None) -> None:
     """Pool initialiser: stash the problem in process-local state."""
+    global _WORKER_PROBLEM, _WORKER_BARRIER
+    _WORKER_PROBLEM = problem
+    _WORKER_BARRIER = barrier
+
+
+def _install_problem(problem: BatchProblem) -> int:
+    """Pool task: swap in a new problem, then rendezvous.
+
+    The barrier holds every worker inside its install task until all
+    ``n_workers`` tasks have been picked up, which forces the pool to
+    hand exactly one install to each worker — the broadcast primitive
+    ``Pool.map`` alone cannot guarantee. Returns the worker's PID so
+    the caller can verify the distribution.
+    """
     global _WORKER_PROBLEM
     _WORKER_PROBLEM = problem
+    if _WORKER_BARRIER is not None:
+        _WORKER_BARRIER.wait(timeout=_UPDATE_TIMEOUT)
+    return os.getpid()
 
 
 def _eval_chunk(chunk: np.ndarray) -> np.ndarray:
     """Evaluate one chunk inside a worker process."""
-    if _WORKER_PROBLEM is None:  # pragma: no cover - defensive
+    if _WORKER_PROBLEM is None:
         raise ParallelError("worker process was not initialised with a problem")
     return np.asarray(_WORKER_PROBLEM.evaluate_batch(chunk), dtype=np.float64)
 
@@ -114,7 +135,9 @@ class ProcessPoolEvaluator:
     Parameters
     ----------
     problem:
-        Picklable batch problem, shipped once per worker.
+        Picklable batch problem, shipped once per worker. ``None``
+        starts an idle pool — call :meth:`update_problem` before the
+        first evaluation (the run-scoped engine session does this).
     n_workers:
         Pool size (default: CPU count).
     chunks_per_worker:
@@ -124,12 +147,16 @@ class ProcessPoolEvaluator:
         almost instantly, windy ones burn the whole grid).
 
     Results are reassembled **by index**, so the output is identical to
-    :class:`SerialEvaluator` regardless of completion order.
+    :class:`SerialEvaluator` regardless of completion order. The pool
+    outlives any single problem: :meth:`update_problem` swaps the
+    worker-side problem in place (one small message per worker), so a
+    run-scoped session keeps one pool across all prediction steps
+    instead of re-forking per step.
     """
 
     def __init__(
         self,
-        problem: BatchProblem,
+        problem: BatchProblem | None,
         n_workers: int | None = None,
         chunks_per_worker: int = 4,
     ) -> None:
@@ -142,15 +169,37 @@ class ProcessPoolEvaluator:
         self.n_workers = n_workers or default_worker_count()
         self._chunks_per_worker = chunks_per_worker
         self.evaluations = 0
+        self.problem_updates = 0
         # fork is fine here (no threads at pool-creation time) and avoids
         # re-importing the package in every worker on every run.
         ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._barrier = ctx.Barrier(self.n_workers)
         self._pool = ctx.Pool(
             processes=self.n_workers,
             initializer=_init_worker,
-            initargs=(problem,),
+            initargs=(problem, self._barrier),
         )
         self._closed = False
+
+    def update_problem(self, problem: BatchProblem) -> None:
+        """Swap the worker-side problem without restarting the pool.
+
+        Broadcasts one install task to every live worker (barrier-
+        synchronised so no worker is skipped); per-step state such as
+        terrain rasters crosses the pipe once per worker per update,
+        and the processes themselves are never re-forked.
+        """
+        if self._closed:
+            raise ParallelError("evaluator already closed")
+        pids = self._pool.map(
+            _install_problem, [problem] * self.n_workers, chunksize=1
+        )
+        if len(set(pids)) != self.n_workers:  # pragma: no cover - defensive
+            raise ParallelError(
+                f"problem update reached {len(set(pids))} of "
+                f"{self.n_workers} workers"
+            )
+        self.problem_updates += 1
 
     def __call__(self, genomes: np.ndarray) -> np.ndarray:
         if self._closed:

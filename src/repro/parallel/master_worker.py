@@ -11,10 +11,16 @@ be studied (experiment E3) and later swapped for real MPI.
 
 Protocol
 --------
-* Master → worker queue: ``(TAG_TASK, task_id, genome_chunk)`` or
-  ``(TAG_STOP, None, None)``.
+* Master → worker queue: ``(TAG_TASK, task_id, genome_chunk)``,
+  ``(TAG_UPDATE, None, problem)`` or ``(TAG_STOP, None, None)``.
 * Worker → master queue: ``(worker_id, task_id, fitness_chunk,
   busy_seconds)``.
+
+``TAG_UPDATE`` swaps the worker-side problem in place (run-scoped
+reuse: the same worker processes serve every prediction step, receiving
+each step's terrain as a message instead of being re-forked). Updates
+are barrier-synchronised among the workers so the shared queue cannot
+hand two updates to one worker and none to another.
 
 Workers pull tasks as they finish (a shared queue is the
 ``multiprocessing`` analogue of MPI self-scheduling: any idle worker
@@ -37,9 +43,13 @@ __all__ = ["MasterWorkerEngine", "WorkerStats"]
 
 TAG_TASK = 0
 TAG_STOP = 1
+TAG_UPDATE = 2
 
 #: Safety timeout for collecting a single result message, seconds.
 _RESULT_TIMEOUT = 300.0
+
+#: Safety timeout for the problem-update rendezvous, seconds.
+_UPDATE_TIMEOUT = 120.0
 
 
 @dataclass
@@ -57,14 +67,20 @@ def _worker_main(
     problem: BatchProblem,
     task_queue: mp.Queue,
     result_queue: mp.Queue,
+    barrier=None,
 ) -> None:
     """Worker loop: receive tasks, simulate + evaluate, send results."""
     while True:
-        tag, task_id, chunk = task_queue.get()
+        tag, task_id, payload = task_queue.get()
         if tag == TAG_STOP:
             break
+        if tag == TAG_UPDATE:
+            problem = payload
+            if barrier is not None:
+                barrier.wait(timeout=_UPDATE_TIMEOUT)
+            continue
         start = time.perf_counter()
-        values = np.asarray(problem.evaluate_batch(chunk), dtype=np.float64)
+        values = np.asarray(problem.evaluate_batch(payload), dtype=np.float64)
         busy = time.perf_counter() - start
         result_queue.put((worker_id, task_id, values, busy))
 
@@ -106,29 +122,24 @@ class MasterWorkerEngine:
             raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_size < 1:
             raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
-        if backend is not None:
-            retarget = getattr(problem, "with_backend", None)
-            if retarget is None:
-                raise ParallelError(
-                    f"problem {type(problem).__name__} cannot re-target to "
-                    f"engine backend {backend!r} (no with_backend method)"
-                )
-            problem = retarget(backend)
         self.n_workers = n_workers
         self.chunk_size = chunk_size
         self.backend = backend
+        problem = self._retarget(problem)
         self.stats: list[WorkerStats] = [WorkerStats(i) for i in range(n_workers)]
         self.evaluations = 0
+        self.problem_updates = 0
 
         ctx = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         self._tasks: mp.Queue = ctx.Queue()
         self._results: mp.Queue = ctx.Queue()
+        self._barrier = ctx.Barrier(n_workers)
         self._workers = [
             ctx.Process(
                 target=_worker_main,
-                args=(i, problem, self._tasks, self._results),
+                args=(i, problem, self._tasks, self._results, self._barrier),
                 daemon=True,
             )
             for i in range(n_workers)
@@ -136,6 +147,34 @@ class MasterWorkerEngine:
         for w in self._workers:
             w.start()
         self._closed = False
+
+    def _retarget(self, problem: BatchProblem) -> BatchProblem:
+        """Apply the configured engine backend to a problem, if any."""
+        if self.backend is None:
+            return problem
+        retarget = getattr(problem, "with_backend", None)
+        if retarget is None:
+            raise ParallelError(
+                f"problem {type(problem).__name__} cannot re-target to "
+                f"engine backend {self.backend!r} (no with_backend method)"
+            )
+        return retarget(self.backend)
+
+    def update_problem(self, problem: BatchProblem) -> None:
+        """Swap every worker's problem without restarting the processes.
+
+        Sends one ``TAG_UPDATE`` message per worker; the workers
+        rendezvous on a barrier inside the update handler, so each of
+        them consumes exactly one message before any later task. This
+        is the run-scoped reuse path: per-step terrain reaches the
+        standing workers as a message instead of a re-fork.
+        """
+        if self._closed:
+            raise ParallelError("engine already closed")
+        problem = self._retarget(problem)
+        for _ in self._workers:
+            self._tasks.put((TAG_UPDATE, None, problem))
+        self.problem_updates += 1
 
     # ------------------------------------------------------------------
     def __call__(self, genomes: np.ndarray) -> np.ndarray:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import CalibrationError
 
-__all__ = ["ProbabilityMap", "aggregate_burned_maps"]
+__all__ = ["ProbabilityMap", "aggregate_burned_maps", "aggregate_scenarios"]
 
 
 @dataclass(frozen=True)
@@ -105,3 +105,23 @@ def aggregate_burned_maps(
         else:
             probs = np.tensordot(w / total, stack.astype(np.float64), axes=1)
     return ProbabilityMap(probabilities=probs, n_maps=n)
+
+
+def aggregate_scenarios(
+    engine,
+    genomes: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> ProbabilityMap:
+    """Run one solution set through an engine and aggregate — the whole SS.
+
+    ``engine`` is anything exposing ``burned_maps`` (a
+    :class:`~repro.engine.SimulationEngine`, typically a run-scoped
+    session's step view); simulation accounting lands in the engine's
+    stats like every other batch.
+    """
+    genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
+    if genomes.shape[0] == 0:
+        raise CalibrationError(
+            "cannot aggregate an empty solution set into a probability map"
+        )
+    return aggregate_burned_maps(engine.burned_maps(genomes), weights=weights)

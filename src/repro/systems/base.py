@@ -31,13 +31,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.scenario import ParameterSpace
-from repro.engine import SimulationEngine, backend_names
+from repro.engine import EngineSession, backend_names
 from repro.errors import ReproError
 from repro.parallel.timing import StageTimings
 from repro.rng import ensure_rng, spawn
 from repro.stages.calibration import search_kign
 from repro.stages.prediction import predict
-from repro.stages.statistical import aggregate_burned_maps
+from repro.stages.statistical import aggregate_scenarios
 from repro.systems.problem import PredictionStepProblem
 from repro.systems.results import RunResult, StepResult
 from repro.workloads.synthetic import ReferenceFire
@@ -82,7 +82,11 @@ class PredictionSystem(ABC):
         Simulation-engine backend evaluating the genome batches
         (``reference`` / ``vectorized`` / ``process``).
     cache_size:
-        LRU capacity of the engine's scenario-result cache (0 = off).
+        LRU capacity of the per-step scenario-result cache (0 = off;
+        ignored while the session cache is on).
+    session_cache_size:
+        Capacity of the run-scoped cross-step result cache shared by
+        every step of a run (0 = off).
     """
 
     #: Subclass display name (used in result records and reports).
@@ -94,6 +98,7 @@ class PredictionSystem(ABC):
         space: ParameterSpace | None = None,
         backend: str = "reference",
         cache_size: int = 0,
+        session_cache_size: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ReproError(f"n_workers must be >= 1, got {n_workers}")
@@ -103,10 +108,15 @@ class PredictionSystem(ABC):
             )
         if cache_size < 0:
             raise ReproError(f"cache_size must be >= 0, got {cache_size}")
+        if session_cache_size < 0:
+            raise ReproError(
+                f"session_cache_size must be >= 0, got {session_cache_size}"
+            )
         self.n_workers = n_workers
         self.space = space or ParameterSpace()
         self.backend = backend
         self.cache_size = cache_size
+        self.session_cache_size = session_cache_size
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -125,86 +135,102 @@ class PredictionSystem(ABC):
         fire: ReferenceFire,
         rng: np.random.Generator | int | None = None,
     ) -> RunResult:
-        """Execute the full predictive process over a reference fire."""
+        """Execute the full predictive process over a reference fire.
+
+        Engine state whose lifetime is the run — the worker pool, the
+        cross-step result cache — lives in one
+        :class:`~repro.engine.EngineSession`; each step only borrows a
+        view, so nothing expensive is rebuilt inside the hot loop.
+        """
         root = ensure_rng(rng)
         step_rngs = spawn(root, fire.n_steps)
         result = RunResult(system=self.name)
         kign_prev: float | None = None
+        session = EngineSession(
+            backend=self.backend,
+            n_workers=self.n_workers,
+            cache_size=self.cache_size,
+            session_cache_size=self.session_cache_size,
+        )
 
-        for step in range(1, fire.n_steps + 1):
-            timings = StageTimings()
-            start = fire.start_mask(step)
-            real = fire.real_mask(step)
-            problem = PredictionStepProblem(
-                terrain=fire.terrain,
-                start_burned=start,
-                real_burned=real,
-                horizon=fire.step_horizon(step),
-                space=self.space,
-                backend=self.backend,
-                cache_size=self.cache_size,
-            )
-            engine = SimulationEngine.from_problem(
-                problem,
-                backend=self.backend,
-                n_workers=self.n_workers,
-                cache_size=self.cache_size,
-            )
-            try:
-                with timings.measure("os"):
-                    os_out = self._optimize(
-                        engine, self.space, step_rngs[step - 1], step
-                    )
-
-                # SS: one probability matrix per island (Master-side),
-                # simulated through the same engine so the step's
-                # accounting covers the solution-set maps too.
-                with timings.measure("ss"):
-                    matrices = []
-                    for genomes in os_out.solution_sets:
-                        if genomes.size == 0:
-                            raise ReproError(
-                                f"{self.name}: empty solution set at step {step}"
-                            )
-                        maps = engine.burned_maps(genomes)
-                        matrices.append(aggregate_burned_maps(maps))
-            finally:
-                engine.close()
-
-            # CS per island; the Monitor keeps the best candidate.
-            with timings.measure("cs"):
-                calibrations = [
-                    search_kign(m, real, pre_burned=start) for m in matrices
-                ]
-                chosen = int(
-                    np.argmax([c.fitness for c in calibrations])
+        try:
+            for step in range(1, fire.n_steps + 1):
+                timings = StageTimings()
+                start = fire.start_mask(step)
+                real = fire.real_mask(step)
+                problem = PredictionStepProblem(
+                    terrain=fire.terrain,
+                    start_burned=start,
+                    real_burned=real,
+                    horizon=fire.step_horizon(step),
+                    space=self.space,
+                    backend=self.backend,
+                    cache_size=self.cache_size,
+                    session=session,
                 )
-                calibration = calibrations[chosen]
-                matrix = matrices[chosen]
+                engine = problem.engine  # session.for_step(...) view
+                try:
+                    with timings.measure("os"):
+                        os_out = self._optimize(
+                            engine, self.space, step_rngs[step - 1], step
+                        )
 
-            # PS with the previous step's Kign on the chosen matrix.
-            quality = float("nan")
-            if kign_prev is not None:
-                with timings.measure("ps"):
-                    prediction = predict(
-                        matrix, kign_prev, real_burned=real, pre_burned=start
+                    # SS: one probability matrix per island (Master-side),
+                    # simulated through the same engine so the step's
+                    # accounting covers the solution-set maps too.
+                    with timings.measure("ss"):
+                        matrices = []
+                        for genomes in os_out.solution_sets:
+                            if genomes.size == 0:
+                                raise ReproError(
+                                    f"{self.name}: empty solution set at "
+                                    f"step {step}"
+                                )
+                            matrices.append(aggregate_scenarios(engine, genomes))
+                finally:
+                    # Snapshot *before* close: closing freezes the engine
+                    # stats, and the shared session cache keeps mutating
+                    # in later steps.
+                    engine_stats = engine.stats.to_dict()
+                    engine.close()
+
+                # CS per island; the Monitor keeps the best candidate.
+                with timings.measure("cs"):
+                    calibrations = [
+                        search_kign(m, real, pre_burned=start) for m in matrices
+                    ]
+                    chosen = int(
+                        np.argmax([c.fitness for c in calibrations])
                     )
-                    quality = prediction.quality
+                    calibration = calibrations[chosen]
+                    matrix = matrices[chosen]
 
-            kign_prev = calibration.kign
-            result.steps.append(
-                StepResult(
-                    step=step,
-                    kign=calibration.kign,
-                    calibration_fitness=calibration.fitness,
-                    prediction_quality=quality,
-                    best_scenario_fitness=os_out.best_fitness,
-                    n_solutions=int(
-                        sum(g.shape[0] for g in os_out.solution_sets)
-                    ),
-                    evaluations=os_out.evaluations,
-                    timings=timings,
-                    engine=engine.stats.to_dict(),
+                # PS with the previous step's Kign on the chosen matrix.
+                quality = float("nan")
+                if kign_prev is not None:
+                    with timings.measure("ps"):
+                        prediction = predict(
+                            matrix, kign_prev, real_burned=real, pre_burned=start
+                        )
+                        quality = prediction.quality
+
+                kign_prev = calibration.kign
+                result.steps.append(
+                    StepResult(
+                        step=step,
+                        kign=calibration.kign,
+                        calibration_fitness=calibration.fitness,
+                        prediction_quality=quality,
+                        best_scenario_fitness=os_out.best_fitness,
+                        n_solutions=int(
+                            sum(g.shape[0] for g in os_out.solution_sets)
+                        ),
+                        evaluations=os_out.evaluations,
+                        timings=timings,
+                        engine=engine_stats,
+                    )
                 )
-            )
+        finally:
+            session.close()
+        result.session = session.stats.to_dict()
         return result

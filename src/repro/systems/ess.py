@@ -49,9 +49,14 @@ class ESS(PredictionSystem):
         space: ParameterSpace | None = None,
         backend: str = "reference",
         cache_size: int = 0,
+        session_cache_size: int = 0,
     ) -> None:
         super().__init__(
-            n_workers=n_workers, space=space, backend=backend, cache_size=cache_size
+            n_workers=n_workers,
+            space=space,
+            backend=backend,
+            cache_size=cache_size,
+            session_cache_size=session_cache_size,
         )
         self.config = config or ESSConfig()
 

@@ -14,6 +14,13 @@ simulator itself: every batch goes through a process-local
 the embedded :class:`~repro.firelib.simulator.FireSimulator` before it —
 is rebuilt lazily after unpickling, so only rasters cross process
 boundaries once per worker; per-call traffic is genomes and floats.
+
+With a run-scoped :class:`~repro.engine.EngineSession` attached, the
+problem stops constructing engines altogether: its engine is a
+``session.for_step(...)`` view sharing the run's worker pool and
+cross-step cache. The session never crosses process boundaries —
+pickling drops it, and unpickled worker-side copies fall back to the
+per-step engine above.
 """
 
 from __future__ import annotations
@@ -58,6 +65,10 @@ class PredictionStepProblem:
     cache_size:
         LRU capacity of the scenario-result cache (0 = off). Each
         process holds its own cache.
+    session:
+        Optional run-scoped :class:`~repro.engine.EngineSession`; when
+        given, :attr:`engine` is a ``session.for_step(self)`` view
+        instead of a privately constructed engine. Dropped on pickling.
     """
 
     def __init__(
@@ -70,6 +81,7 @@ class PredictionStepProblem:
         n_neighbors: int = 8,
         backend: str = "reference",
         cache_size: int = 0,
+        session=None,
     ) -> None:
         self.terrain = terrain
         self.start_burned = np.asarray(start_burned, dtype=bool)
@@ -95,16 +107,19 @@ class PredictionStepProblem:
         self.n_neighbors = n_neighbors
         self.backend = backend
         self.cache_size = cache_size
+        self._session = session
         self._simulator: FireSimulator | None = None
         self._engine: SimulationEngine | None = None
 
     # ------------------------------------------------------------------
-    # Pickling: drop the simulator and engine; workers rebuild lazily.
+    # Pickling: drop the simulator, engine and session; workers rebuild
+    # lazily (sessions are strictly master-side — they own the pool).
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_simulator"] = None
         state["_engine"] = None
+        state["_session"] = None
         return state
 
     @property
@@ -116,14 +131,24 @@ class PredictionStepProblem:
             )
         return self._simulator
 
+    def attach_session(self, session) -> None:
+        """Route this problem's engine through a run-scoped session."""
+        self._session = session
+        self._engine = None
+
     @property
     def engine(self) -> SimulationEngine:
         """Process-local simulation engine (built on first use)."""
         if self._engine is None:
-            backend = "vectorized" if self.backend == "process" else self.backend
-            self._engine = SimulationEngine.from_problem(
-                self, backend=backend, cache_size=self.cache_size
-            )
+            if self._session is not None:
+                self._engine = self._session.for_step(self)
+            else:
+                backend = (
+                    "vectorized" if self.backend == "process" else self.backend
+                )
+                self._engine = SimulationEngine.from_problem(
+                    self, backend=backend, cache_size=self.cache_size
+                )
         return self._engine
 
     def with_backend(

@@ -106,10 +106,18 @@ class StepResult:
 
 @dataclass
 class RunResult:
-    """A full multi-step run of one prediction system."""
+    """A full multi-step run of one prediction system.
+
+    ``session`` carries the run-scoped engine accounting (the
+    :meth:`repro.engine.SessionStats.to_dict` payload: steps served,
+    distinct step contexts, worker-pool reuses, cross-step cache
+    hit/miss/eviction counters). Empty for runs predating the
+    engine-session subsystem.
+    """
 
     system: str
     steps: list[StepResult] = field(default_factory=list)
+    session: dict = field(default_factory=dict)
 
     def qualities(self) -> np.ndarray:
         """Prediction quality per step (nan where no prediction)."""
@@ -171,6 +179,7 @@ class RunResult:
         return {
             "system": self.system,
             "steps": [s.to_dict() for s in self.steps],
+            "session": dict(self.session),
         }
 
     @classmethod
@@ -179,6 +188,7 @@ class RunResult:
         try:
             run = cls(system=str(data["system"]))
             run.steps = [StepResult.from_dict(s) for s in data["steps"]]
+            run.session = dict(data.get("session", {}))
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed RunResult payload: {exc}") from exc
         return run

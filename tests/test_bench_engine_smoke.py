@@ -25,13 +25,18 @@ class TestEngineBenchSmoke:
     def test_backends_agree_on_tiny_workloads(self):
         rows = bench.smoke_backends()
         # one row per backend per workload, all with sane timings
-        assert len(rows) == 6
+        assert len(rows) == 9
         assert all(r["seconds"] > 0 for r in rows)
         workloads = {r["workload"] for r in rows}
-        assert len(workloads) == 2  # synthetic + mosaic
+        assert len(workloads) == 3  # synthetic + mosaic + ridge
 
     def test_pipeline_backend_invariant(self):
         bench.smoke_pipeline()
+
+    def test_session_agrees_with_per_step_engines(self):
+        rows = bench.smoke_session()
+        assert {r["mode"] for r in rows} == {"per-step engines", "session"}
+        assert all(r["seconds"] > 0 for r in rows)
 
     def test_tables_render(self):
         rows = bench.smoke_backends()
@@ -41,3 +46,4 @@ class TestEngineBenchSmoke:
             bench.grassland_case(size=24, n_steps=2), population=12
         )
         assert "hit rate" in bench.cache_table(crows)
+        assert "session" in bench.session_table(bench.smoke_session())

@@ -82,6 +82,115 @@ class TestVectorizedBitwise:
         engine = SimulationEngine.from_problem(problem, backend="vectorized")
         assert np.array_equal(reference(genomes), engine(genomes))
 
+    @pytest.mark.parametrize("model", range(1, 14))
+    def test_all_nffl_models_heterogeneous_rasters(self, model):
+        """Batched raster path: non-uniform slope/aspect, bitwise-exact."""
+        rng = np.random.default_rng(500 + model)
+        terrain = Terrain(
+            16,
+            16,
+            slope=rng.uniform(0.0, 45.0, (16, 16)),
+            aspect=rng.uniform(0.0, 360.0, (16, 16)),
+        )
+        problem = _problem(terrain, seed=600 + model)
+        genomes = _model_genomes(model, 5, 700 + model)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_heterogeneous_rasters_mixed_models(self):
+        """One batch spanning several fuel beds over shared rasters."""
+        rng = np.random.default_rng(81)
+        terrain = Terrain(
+            14,
+            14,
+            slope=rng.uniform(0.0, 60.0, (14, 14)),
+            aspect=rng.uniform(0.0, 360.0, (14, 14)),
+        )
+        problem = _problem(terrain, seed=82)
+        genomes = SPACE.sample(13, 83)
+        genomes[:, 0] = np.arange(1, 14)  # every NFFL model in one batch
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_fuel_raster_with_slope_aspect_rasters(self):
+        rng = np.random.default_rng(84)
+        fuel = rng.integers(1, 14, (16, 16))
+        fuel[2:5, 2:5] = 0  # unburnable pocket
+        terrain = Terrain(
+            16,
+            16,
+            fuel=fuel,
+            slope=rng.uniform(0.0, 45.0, (16, 16)),
+            aspect=rng.uniform(0.0, 360.0, (16, 16)),
+        )
+        problem = _problem(terrain, seed=85)
+        genomes = SPACE.sample(8, 86)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    @pytest.mark.parametrize("raster", ["slope", "aspect"])
+    def test_single_raster_with_scenario_scalar(self, raster):
+        """Only one raster present: the other comes from each genome."""
+        rng = np.random.default_rng(87)
+        kwargs = (
+            {"slope": rng.uniform(0.0, 45.0, (14, 14))}
+            if raster == "slope"
+            else {"aspect": rng.uniform(0.0, 360.0, (14, 14))}
+        )
+        problem = _problem(Terrain(14, 14, **kwargs), seed=88)
+        genomes = SPACE.sample(7, 89)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_heterogeneous_rasters_16_neighbors(self):
+        rng = np.random.default_rng(90)
+        terrain = Terrain(
+            12,
+            12,
+            slope=rng.uniform(0.0, 45.0, (12, 12)),
+            aspect=rng.uniform(0.0, 360.0, (12, 12)),
+        )
+        problem = _problem(terrain, n_neighbors=16, seed=91)
+        genomes = SPACE.sample(5, 92)
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(genomes), engine(genomes))
+
+    def test_heterogeneous_burned_maps_bitwise(self):
+        rng = np.random.default_rng(93)
+        terrain = Terrain(
+            12,
+            12,
+            slope=rng.uniform(0.0, 45.0, (12, 12)),
+            aspect=rng.uniform(0.0, 360.0, (12, 12)),
+        )
+        problem = _problem(terrain, seed=94)
+        genomes = SPACE.sample(4, 95)
+        ref = SimulationEngine.from_problem(problem, backend="reference")
+        vec = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(
+            ref.burned_maps(genomes), vec.burned_maps(genomes)
+        )
+
+    def test_heterogeneous_dedupes_repeated_genomes(self):
+        rng = np.random.default_rng(96)
+        terrain = Terrain(
+            12,
+            12,
+            slope=rng.uniform(0.0, 45.0, (12, 12)),
+            aspect=rng.uniform(0.0, 360.0, (12, 12)),
+        )
+        problem = _problem(terrain, seed=97)
+        g = SPACE.sample(3, 98)
+        batch = np.vstack([g, g, g[:1]])
+        reference = SerialEvaluator(problem.with_backend("reference"))
+        engine = SimulationEngine.from_problem(problem, backend="vectorized")
+        assert np.array_equal(reference(batch), engine(batch))
+
     def test_unburnable_river(self):
         problem = _problem(Terrain.with_river(16, 16, gap_row=8), seed=9)
         genomes = SPACE.sample(6, 42)
