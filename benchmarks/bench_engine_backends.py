@@ -210,6 +210,106 @@ def session_rows(
     return rows
 
 
+def sweep_session_rows(
+    size: int = 32,
+    steps: int = 2,
+    population: int = 16,
+    generations: int = 3,
+    seeds: tuple[int, ...] = (0, 1),
+    backend: str = "vectorized",
+    n_workers: int = 1,
+    session_cache: int = 4096,
+    repeats: int = 1,
+) -> list[dict]:
+    """Shared-session sweep vs per-system sessions over a 2-system grid.
+
+    Both modes execute the identical ESS + ESS-NS × seeds grid through
+    the experiment runner; the per-system mode gives every run its own
+    :class:`~repro.engine.EngineSession`, the shared mode one session
+    per (case, backend) group — cross-system repeats of the same step
+    context skip the simulator, and on the pooled backends the group
+    forks **one** worker pool where per-system sessions fork one per
+    run. Fitness trajectories are asserted bitwise-identical between
+    the modes.
+    """
+    from repro.experiments import (
+        BudgetSpec,
+        CaseSpec,
+        ExperimentPlan,
+        ExperimentRunner,
+    )
+
+    plan = ExperimentPlan(
+        name="bench-sweep",
+        systems=("ess", "ess-ns"),
+        cases=(CaseSpec("grassland", size=size, steps=steps),),
+        seeds=tuple(seeds),
+        backends=(backend,),
+        budget=BudgetSpec(
+            population=population,
+            generations=generations,
+            n_workers=n_workers,
+            session_cache_size=session_cache,
+        ),
+    )
+    modes = (("per-system sessions", False), ("shared session", True))
+    best = {mode: float("inf") for mode, _ in modes}
+    results = {}
+    # repeats are interleaved so clock drift and machine warm-up hit
+    # both modes equally
+    for _ in range(repeats):
+        for mode, shared in modes:
+            runner = ExperimentRunner(share_sessions=shared)
+            start = time.perf_counter()
+            results[mode] = runner.run(plan)
+            best[mode] = min(best[mode], time.perf_counter() - start)
+    baseline_mode = modes[0][0]
+    baseline_qualities = [run.qualities() for run in results[baseline_mode].runs()]
+    rows = []
+    for mode, _ in modes:
+        result = results[mode]
+        for ours, theirs in zip(
+            [run.qualities() for run in result.runs()], baseline_qualities
+        ):
+            assert np.array_equal(ours, theirs, equal_nan=True), (
+                f"{mode} qualities differ from {baseline_mode}"
+            )
+        totals = result.per_system_totals()
+        rows.append(
+            {
+                "workload": f"grassland {size}x{size}",
+                "mode": mode,
+                "backend": backend,
+                "runs": len(result.records),
+                "population": population,
+                "seconds": best[mode],
+                "speedup": best[baseline_mode] / best[mode],
+                "simulations": sum(t["simulations"] for t in totals.values()),
+                "cross_system_hits": result.cross_system_hits(),
+            }
+        )
+    return rows
+
+
+def sweep_session_table(rows: list[dict]) -> str:
+    return format_table(
+        ["workload", "mode", "runs", "pop", "sims", "x-sys hits", "sec", "speedup"],
+        [
+            [
+                r["workload"],
+                r["mode"],
+                r["runs"],
+                r["population"],
+                r["simulations"],
+                r["cross_system_hits"],
+                round(r["seconds"], 4),
+                round(r["speedup"], 2),
+            ]
+            for r in rows
+        ],
+    )
+
+
 def cache_rows(fire: ReferenceFire, population: int, seed: int = 11) -> list[dict]:
     """Vectorized backend with/without the cache on a duplicate-heavy batch."""
     problem = _step_problem(fire)
@@ -313,6 +413,22 @@ def smoke_session() -> list[dict]:
     )
 
 
+def smoke_shared_sweep() -> list[dict]:
+    """Shared-session sweeps agree bitwise and actually reuse across
+    systems (no timing assertions at smoke sizes)."""
+    rows = sweep_session_rows(
+        size=20, steps=2, population=8, generations=2, seeds=(0,)
+    )
+    by_mode = {r["mode"]: r for r in rows}
+    assert by_mode["shared session"]["cross_system_hits"] > 0
+    assert by_mode["per-system sessions"]["cross_system_hits"] == 0
+    assert (
+        by_mode["shared session"]["simulations"]
+        < by_mode["per-system sessions"]["simulations"]
+    )
+    return rows
+
+
 def smoke_pipeline() -> None:
     """A 2-generation ESS run is backend- and session-invariant end to end."""
     from repro.ea.ga import GAConfig
@@ -363,6 +479,10 @@ def test_engine_backend_comparison_report(benchmark):
             grassland_case(size=48, n_steps=3), population=64, n_steps=3,
             repeats=3,
         )
+        swrows = sweep_session_rows(
+            size=40, steps=3, population=32, generations=4, seeds=(0, 1),
+            backend="process", n_workers=2, repeats=3,
+        )
         text = (
             backend_table(rows)
             + "\n\nscenario-result cache (25% duplicates, 2 generations):\n"
@@ -370,6 +490,10 @@ def test_engine_backend_comparison_report(benchmark):
             + "\n\nper-step engines vs persistent EngineSession "
             + "(process backend, 2 workers):\n"
             + session_table(srows)
+            + "\n\nexperiment sweeps: per-system sessions vs one shared "
+            + "session per (case, backend) group (process backend, 2 "
+            + "workers):\n"
+            + sweep_session_table(swrows)
         )
         report("engine_backends", text)
 
@@ -397,6 +521,18 @@ def test_engine_backend_comparison_report(benchmark):
             f"session {by_mode['session']:.4f}s not faster than "
             f"per-step engines {by_mode['per-step engines']:.4f}s"
         )
+        # Acceptance bar: a shared-session sweep costs no more wall time
+        # than per-system sessions (it strictly skips simulations).
+        by_sweep = {r["mode"]: r["seconds"] for r in swrows}
+        assert (
+            by_sweep["shared session"] <= by_sweep["per-system sessions"]
+        ), (
+            f"shared-session sweep {by_sweep['shared session']:.4f}s slower "
+            f"than per-system sessions "
+            f"{by_sweep['per-system sessions']:.4f}s"
+        )
+        cross = {r["mode"]: r["cross_system_hits"] for r in swrows}
+        assert cross["shared session"] > 0
         return rows
 
     run_once(benchmark, _body)

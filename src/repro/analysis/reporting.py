@@ -15,6 +15,8 @@ __all__ = [
     "format_comparison",
     "format_engine_totals",
     "format_session_totals",
+    "format_experiment",
+    "format_sweep",
 ]
 
 
@@ -102,7 +104,82 @@ def format_session_totals(run: RunResult) -> str:
             f" cross-step-hits={session.get('cross_step_hits', 0)}"
             f" evictions={cache.get('evictions', 0)}"
         )
+        if session.get("cross_system_hits"):
+            line += f" cross-system-hits={session['cross_system_hits']}"
     return line
+
+
+def format_experiment(result, markdown: bool = False) -> str:
+    """Experiment-level report: per-system cache-reuse totals.
+
+    ``result`` is an
+    :class:`~repro.experiments.runner.ExperimentResult` (duck-typed:
+    ``plan_name``, ``records``, ``n_resumed``, ``per_system_totals()``).
+    One row per system aggregates that system's scope deltas over the
+    shared group sessions: evaluations requested vs. simulations paid,
+    session-cache hits and the cross-step / cross-system subsets — the
+    reuse the shared-session experiment layer provides.
+    """
+    totals = result.per_system_totals()
+    headers = [
+        "system",
+        "runs",
+        "steps",
+        "evals",
+        "sims",
+        "cache hits",
+        "cross-step",
+        "cross-system",
+        "sec",
+    ]
+    rows = [
+        [
+            system,
+            t["runs"],
+            t["steps"],
+            t["evaluations"],
+            t["simulations"],
+            t["cache_hits"],
+            t["cross_step_hits"],
+            t["cross_system_hits"],
+            round(t["seconds"], 2),
+        ]
+        for system, t in totals.items()
+    ]
+    n_records = len(result.records)
+    saved = sum(
+        t["evaluations"] - t["simulations"] for t in totals.values()
+    )
+    cross_system = sum(t["cross_system_hits"] for t in totals.values())
+    head = (
+        f"experiment: plan={result.plan_name} runs={n_records} "
+        f"(resumed {result.n_resumed}) simulations-saved={saved} "
+        f"cross-system-hits={cross_system}"
+    )
+    return head + "\n" + format_table(headers, rows, markdown=markdown)
+
+
+def format_sweep(sweep, markdown: bool = False) -> str:
+    """The sweep table (mean ± std per cell) plus per-case winners.
+
+    ``sweep`` is a :class:`~repro.analysis.sweeps.SweepResult`
+    (duck-typed: ``table_rows()``, ``cases()``, ``winner()``).
+    """
+    headers = ["system", "case", "quality", "evals", "sec"]
+    out = format_table(headers, sweep.table_rows(), markdown=markdown)
+
+    def winner_of(case: str) -> str:
+        from repro.errors import ReproError
+
+        try:
+            return sweep.winner(case)
+        except ReproError:  # no cell with a valid mean: no winner
+            return "—"
+
+    winners = ", ".join(
+        f"{case}: {winner_of(case)}" for case in sweep.cases()
+    )
+    return out + ("\nwinners — " + winners if winners else "")
 
 
 def format_run(run: RunResult, markdown: bool = False) -> str:

@@ -1,9 +1,15 @@
 """Seed/case sweeps: run systems repeatedly and aggregate statistics.
 
 The lineage papers report means over repeated runs; this module is the
-harness for that: run every (system, case) pair over a set of seeds,
-collect per-run mean qualities, and aggregate to mean ± std. Results
-serialise to JSON so long sweeps can be archived.
+aggregation layer for that: one :class:`SweepCell` per (system, case)
+pair, mean ± std over seeds, JSON archival. Execution is delegated to
+the experiment layer — :func:`run_sweep` builds the grid and hands it
+to an :class:`~repro.experiments.runner.ExperimentRunner`, which shares
+one :class:`~repro.engine.EngineSession` per (case, engine-config)
+group and can stream records into a resumable
+:class:`~repro.experiments.store.ResultsStore`. A
+:class:`SweepResult` can equally be rebuilt from such a store
+(:meth:`SweepResult.from_store`) without re-running anything.
 """
 
 from __future__ import annotations
@@ -86,15 +92,33 @@ class SweepResult:
         ]
 
     def winner(self, case: str) -> str:
-        """System with the best mean quality on ``case``."""
-        candidates = [c for c in self.cells if c.case == case]
+        """System with the best mean quality on ``case``.
+
+        Cells whose mean is NaN (no valid prediction quality) never
+        win — ``max`` over raw floats would keep a NaN candidate, since
+        every comparison against NaN is false — and a case where *no*
+        cell has a valid mean has no winner at all (raises).
+        """
+        candidates = [
+            c for c in self.cells if c.case == case and not np.isnan(c.mean)
+        ]
         if not candidates:
+            if any(c.case == case for c in self.cells):
+                raise ReproError(
+                    f"no cell for case {case!r} has a valid mean quality"
+                )
             raise ReproError(f"no cells for case {case!r}")
         return max(candidates, key=lambda c: c.mean).system
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-safe representation."""
+        """JSON-safe representation.
+
+        Cells are emitted sorted by ``(system, case)`` so the payload —
+        and everything derived from a round-trip, like
+        :meth:`systems`/:meth:`cases` first-seen order — is identical
+        across Python versions and construction orders.
+        """
         return {
             "cells": [
                 {
@@ -104,9 +128,121 @@ class SweepResult:
                     "evaluations": c.evaluations,
                     "seconds": c.seconds,
                 }
-                for c in self.cells
+                for c in sorted(self.cells, key=lambda c: (c.system, c.case))
             ]
         }
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[dict],
+        systems: Sequence[str] | None = None,
+        cases: Sequence[str] | None = None,
+    ) -> "SweepResult":
+        """Aggregate experiment-layer result records into sweep cells.
+
+        ``records`` are :class:`~repro.experiments.store.ResultsStore`
+        payloads (one per completed run). Cell order follows
+        ``systems`` × ``cases`` when given, first-seen record order
+        otherwise; per-cell quality order follows record order, so a
+        resumed store reproduces the original cell contents. Cell
+        seconds sum the runs' stage timings (``run_seconds``, the
+        pre-experiment-layer sweep metric), falling back to runner
+        wall-clock for hand-made records.
+
+        When one system's records span several engine backends (a
+        multi-backend plan), that system keeps one cell per backend —
+        its label is decorated as ``system[backend]`` so backends are
+        never silently merged into one mean. Systems pinned to a
+        single backend keep their plain labels.
+        """
+        from repro.experiments.store import (
+            backends_by_system,
+            record_key,
+            system_label,
+        )
+
+        # concatenated or racing stores can hold one key twice; keep the
+        # last record per key so duplicates never double-count a seed
+        records = list(
+            {record_key(r): r for r in records}.values()
+        )
+        backends_of = backends_by_system(records)
+
+        def decorated(system: str) -> bool:
+            return len(backends_of.get(system, {})) > 1
+
+        grouped: dict[tuple[str, str], dict] = {}
+        for record in records:
+            key = (system_label(record, backends_of), str(record["case"]))
+            cell = grouped.setdefault(
+                key,
+                {"qualities": [], "evaluations": 0, "seconds": 0.0,
+                 "config": None},
+            )
+            # records carry the runner's config digest; one cell must
+            # never average runs recorded under different budgets or
+            # case shapes (disjoint seeds slip past the store's
+            # per-key resume check)
+            config = record.get("config")
+            if config is not None:
+                if cell["config"] is None:
+                    cell["config"] = config
+                elif cell["config"] != config:
+                    raise ReproError(
+                        f"records for ({key[0]!r}, {key[1]!r}) mix "
+                        "different configurations (budget or case shape "
+                        "changed between recordings); aggregate them "
+                        "separately instead of into one cell"
+                    )
+            quality = record.get("quality")
+            cell["qualities"].append(
+                float("nan") if quality is None else float(quality)
+            )
+            cell["evaluations"] += int(record.get("evaluations", 0))
+            cell["seconds"] += float(
+                record.get("run_seconds", record.get("seconds", 0.0))
+            )
+        if systems is None:
+            systems = list(dict.fromkeys(k[0] for k in grouped))
+        else:
+            systems = [
+                name
+                for system in systems
+                for name in (
+                    [f"{system}[{b}]" for b in backends_of[system]]
+                    if decorated(system)
+                    else [system]
+                )
+            ]
+        if cases is None:
+            cases = list(dict.fromkeys(k[1] for k in grouped))
+        result = cls()
+        for system in systems:
+            for case in cases:
+                cell = grouped.get((system, case))
+                if cell is None:
+                    continue
+                result.cells.append(
+                    SweepCell(
+                        system=system,
+                        case=case,
+                        qualities=tuple(cell["qualities"]),
+                        evaluations=cell["evaluations"],
+                        seconds=cell["seconds"],
+                    )
+                )
+        return result
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        systems: Sequence[str] | None = None,
+        cases: Sequence[str] | None = None,
+    ) -> "SweepResult":
+        """Rebuild a sweep from a streaming results store, no re-runs."""
+        return cls.from_records(store.records(), systems=systems, cases=cases)
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepResult":
@@ -127,9 +263,9 @@ class SweepResult:
         return cls(cells=cells)
 
     def save_json(self, path: str | os.PathLike) -> None:
-        """Write the sweep to ``path`` as JSON."""
+        """Write the sweep to ``path`` as JSON (sorted keys, byte-stable)."""
         with open(path, "w") as fh:
-            json.dump(self.to_dict(), fh, indent=2)
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
 
     @classmethod
     def load_json(cls, path: str | os.PathLike) -> "SweepResult":
@@ -143,8 +279,16 @@ def run_sweep(
     cases: dict[str, ReferenceFire],
     seeds: Sequence[int],
     seed_offset: int = 0,
+    store=None,
+    share_sessions: bool = True,
 ) -> SweepResult:
     """Run every (system, case) pair over all seeds.
+
+    Execution is delegated to the experiment layer's
+    :class:`~repro.experiments.runner.ExperimentRunner`: systems with
+    identical engine configuration share one
+    :class:`~repro.engine.EngineSession` per case, so cross-system
+    repeats of the same step context hit the shared session cache.
 
     Parameters
     ----------
@@ -156,6 +300,13 @@ def run_sweep(
         identical ground truth).
     seeds:
         The RNG seeds; each run uses ``seed_offset + seed``.
+    store:
+        Optional :class:`~repro.experiments.store.ResultsStore`; when
+        given, completed runs stream into it and re-invoking the same
+        sweep resumes, computing only the missing cells.
+    share_sessions:
+        Share one engine session per (case, engine-config) group
+        (default); pass ``False`` for fully isolated per-run sessions.
 
     Returns
     -------
@@ -163,30 +314,16 @@ def run_sweep(
         One cell per (system, case), aggregating the per-seed mean
         prediction qualities and total cost.
     """
-    if not system_factories:
-        raise ReproError("need at least one system")
-    if not cases:
-        raise ReproError("need at least one case")
-    if not seeds:
-        raise ReproError("need at least one seed")
-    result = SweepResult()
-    for sys_label, factory in system_factories.items():
-        for case_label, fire in cases.items():
-            qualities: list[float] = []
-            evaluations = 0
-            seconds = 0.0
-            for seed in seeds:
-                run = factory().run(fire, rng=seed_offset + seed)
-                qualities.append(run.mean_quality())
-                evaluations += run.total_evaluations()
-                seconds += run.total_time()
-            result.cells.append(
-                SweepCell(
-                    system=sys_label,
-                    case=case_label,
-                    qualities=tuple(qualities),
-                    evaluations=evaluations,
-                    seconds=seconds,
-                )
-            )
-    return result
+    # imported here: analysis aggregates what experiments execute, and
+    # the experiment layer imports analysis-free modules only
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(store=store, share_sessions=share_sessions)
+    result = runner.run_grid(
+        system_factories, cases, seeds, seed_offset=seed_offset
+    )
+    return SweepResult.from_records(
+        result.records,
+        systems=list(system_factories),
+        cases=list(cases),
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing a script:
+Four commands cover the common workflows without writing a script:
 
 * ``simulate`` — run one fire simulation on a canonical case terrain
   and print burned-area statistics (the fireLib-style use).
@@ -8,6 +8,14 @@ Three commands cover the common workflows without writing a script:
   table; optionally save the result as JSON.
 * ``compare`` — run several systems on the same case and print the E1
   quality-per-step comparison.
+* ``sweep`` — run a full systems × cases × seeds grid and print the
+  aggregated table.
+
+``compare`` and ``sweep`` are thin *plan builders*: they assemble a
+declarative :class:`~repro.experiments.plan.ExperimentPlan` from the
+flags (or load one from ``--plan``) and hand execution to the
+experiment layer, which shares one engine session per (case, backend)
+group and can stream results into a resumable ``--results`` store.
 """
 
 from __future__ import annotations
@@ -19,31 +27,30 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.metrics import compare_runs
-from repro.analysis.reporting import format_comparison, format_run
-from repro.core.scenario import Scenario
-from repro.ea.de import DEConfig
-from repro.engine import backend_names
-from repro.ea.ga import GAConfig
-from repro.ea.nsga import NoveltyGAConfig
-from repro.firelib.simulator import FireSimulator
-from repro.parallel.islands import IslandModelConfig
-from repro.systems import (
-    ESS,
-    ESSIMDE,
-    ESSIMEA,
-    ESSNS,
-    ESSNSIM,
-    ESSConfig,
-    ESSIMDEConfig,
-    ESSIMEAConfig,
-    ESSNSConfig,
-    ESSNSIMConfig,
+from repro.analysis.reporting import (
+    format_comparison,
+    format_experiment,
+    format_run,
+    format_sweep,
 )
+from repro.analysis.sweeps import SweepResult
+from repro.core.scenario import Scenario
+from repro.engine import backend_names
+from repro.errors import ReproError
+from repro.experiments import (
+    BudgetSpec,
+    CaseSpec,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultsStore,
+)
+from repro.firelib.simulator import FireSimulator
+from repro.rng import make_rng
+from repro.systems.factory import SYSTEM_NAMES as _SYSTEM_NAMES
+from repro.systems.factory import build_system as _build_system
 from repro.workloads.cases import CASE_BUILDERS
 
 __all__ = ["main", "build_system"]
-
-_SYSTEM_NAMES = ("ess", "ess-ns", "essim-ea", "essim-de", "essns-im")
 
 
 def build_system(
@@ -56,73 +63,28 @@ def build_system(
     cache_size: int = 0,
     session_cache_size: int = 0,
 ):
-    """Construct a prediction system by CLI name with matched budgets."""
-    islands = IslandModelConfig(n_islands=2, migration_interval=2, n_migrants=2)
-    half = max(4, population // 2)
-    engine_opts = dict(
-        n_workers=n_workers,
-        backend=backend,
-        cache_size=cache_size,
-        session_cache_size=session_cache_size,
-    )
-    if name == "ess":
-        return ESS(
-            ESSConfig(ga=GAConfig(population_size=population),
-                      max_generations=generations),
-            **engine_opts,
+    """Construct a prediction system by CLI name with matched budgets.
+
+    Thin wrapper over :func:`repro.systems.factory.build_system` that
+    turns unknown names into a clean CLI exit instead of a traceback.
+    """
+    try:
+        return _build_system(
+            name,
+            population=population,
+            generations=generations,
+            n_workers=n_workers,
+            tuning=tuning,
+            backend=backend,
+            cache_size=cache_size,
+            session_cache_size=session_cache_size,
         )
-    if name == "ess-ns":
-        return ESSNS(
-            ESSNSConfig(
-                nsga=NoveltyGAConfig(
-                    population_size=population,
-                    k_neighbors=max(2, population // 2),
-                    best_set_capacity=max(4, (3 * population) // 4),
-                ),
-                max_generations=generations,
-            ),
-            **engine_opts,
-        )
-    if name == "essim-ea":
-        return ESSIMEA(
-            ESSIMEAConfig(
-                ga=GAConfig(population_size=half),
-                islands=islands,
-                max_generations=generations,
-            ),
-            **engine_opts,
-        )
-    if name == "essim-de":
-        return ESSIMDE(
-            ESSIMDEConfig(
-                de=DEConfig(population_size=half),
-                islands=islands,
-                max_generations=generations,
-                tuning=tuning,
-            ),
-            **engine_opts,
-        )
-    if name == "essns-im":
-        return ESSNSIM(
-            ESSNSIMConfig(
-                nsga=NoveltyGAConfig(
-                    population_size=half,
-                    k_neighbors=max(2, half // 2),
-                    best_set_capacity=max(4, (3 * half) // 4),
-                ),
-                islands=islands,
-                max_generations=generations,
-            ),
-            **engine_opts,
-        )
-    raise SystemExit(f"unknown system {name!r}; choose from {_SYSTEM_NAMES}")
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--case", choices=sorted(CASE_BUILDERS), default="grassland")
-    parser.add_argument("--size", type=int, default=44, help="grid side, cells")
-    parser.add_argument("--steps", type=int, default=3, help="prediction steps")
-    parser.add_argument("--seed", type=int, default=42)
+def _add_budget(parser: argparse.ArgumentParser) -> None:
+    """Search/engine budget flags shared by run, compare and sweep."""
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--population", type=int, default=16)
     parser.add_argument("--generations", type=int, default=6)
@@ -144,9 +106,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="run-scoped cross-step result cache capacity, shared by "
-        "all prediction steps of a run (0 = off; replaces --cache-size "
-        "when set)",
+        "all prediction steps of a run — and, under a shared experiment "
+        "session, by every system of a (case, backend) group (0 = off; "
+        "replaces --cache-size when set)",
     )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--case", choices=sorted(CASE_BUILDERS), default="grassland")
+    parser.add_argument("--size", type=int, default=44, help="grid side, cells")
+    parser.add_argument("--steps", type=int, default=3, help="prediction steps")
+    parser.add_argument("--seed", type=int, default=42)
+    _add_budget(parser)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -186,7 +157,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         session_cache_size=args.session_cache_size,
     )
-    run = system.run(fire, rng=args.seed)
+    # the whole run is reproducible from this one seeded repro.rng stream
+    run = system.run(fire, rng=make_rng(args.seed))
     print(f"case: {fire.description}")
     print(format_run(run))
     if args.output:
@@ -195,23 +167,121 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _budget(args: argparse.Namespace) -> BudgetSpec:
+    """The plan budget encoded by the common CLI flags."""
+    return BudgetSpec(
+        population=args.population,
+        generations=args.generations,
+        n_workers=args.workers,
+        cache_size=args.cache_size,
+        session_cache_size=args.session_cache_size,
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    fire = CASE_BUILDERS[args.case](size=args.size, n_steps=args.steps)
-    names = args.systems.split(",")
-    runs = []
-    for name in names:
-        system = build_system(
-            name.strip(),
-            args.population,
-            args.generations,
-            args.workers,
-            backend=args.backend,
-            cache_size=args.cache_size,
-            session_cache_size=args.session_cache_size,
+    names = tuple(n.strip() for n in args.systems.split(","))
+    try:
+        plan = ExperimentPlan(
+            name="compare",
+            systems=names,
+            cases=(CaseSpec(args.case, size=args.size, steps=args.steps),),
+            seeds=(args.seed,),
+            backends=(args.backend,),
+            budget=_budget(args),
         )
-        runs.append(system.run(fire, rng=args.seed))
-    print(f"case: {fire.description}")
-    print(format_comparison(compare_runs(runs)))
+        runner = ExperimentRunner(share_sessions=not args.isolated_sessions)
+        result = runner.run(plan)
+    except ReproError as exc:
+        _exit_on_user_error(exc)
+        raise
+    case = plan.cases[0]
+    print(f"case: {case.name} {case.size}x{case.size}, {case.steps} steps")
+    print(format_comparison(compare_runs(result.runs())))
+    print(format_experiment(result))
+    return 0
+
+
+#: User-input failures worth a clean one-line exit: bad plan payloads,
+#: non-numeric seeds, unreadable/unwritable artifact paths. Runtime
+#: failures inside the experiment itself keep their tracebacks.
+_USER_ERRORS = (ReproError, OSError, ValueError)
+
+
+def _exit_on_user_error(exc: ReproError) -> None:
+    """Convert exactly :class:`ReproError` into a clean one-line exit.
+
+    Its runtime subclasses (``SimulationError``, ``EvolutionError``,
+    ``ParallelError``) are failures *inside* the experiment and keep
+    their tracebacks — a cell dying hours into a sweep must stay
+    diagnosable.
+    """
+    if type(exc) is ReproError:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        if args.plan:
+            plan = ExperimentPlan.load_json(args.plan)
+            print(
+                f"plan loaded: {args.plan} (the plan file governs "
+                "systems/cases/seeds/backend/budget; the corresponding "
+                "grid flags are ignored)"
+            )
+        else:
+            seeds = tuple(
+                args.seed + int(s) for s in args.seeds.split(",") if s.strip()
+            )
+            plan = ExperimentPlan(
+                name=args.name,
+                systems=tuple(s.strip() for s in args.systems.split(",")),
+                cases=tuple(
+                    CaseSpec(c.strip(), size=args.size, steps=args.steps)
+                    for c in args.cases.split(",")
+                ),
+                seeds=seeds,
+                backends=(args.backend,),
+                budget=_budget(args),
+            )
+        if args.save_plan:
+            plan.save_json(args.save_plan)
+            print(f"plan saved: {args.save_plan}")
+        store = None
+        if args.results:
+            store = ResultsStore(args.results)
+            # surface an unwritable results path now, as a clean exit,
+            # rather than as a traceback after the first completed run
+            store.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(store.path, "a"):
+                pass
+        if args.output:
+            # same eager check for --output: without a --results store
+            # an unwritable path here would discard the whole sweep
+            with open(args.output, "a"):
+                pass
+    except _USER_ERRORS as exc:
+        raise SystemExit(str(exc)) from exc
+    runner = ExperimentRunner(
+        store=store, share_sessions=not args.isolated_sessions
+    )
+    try:
+        result = runner.run(plan, shards=args.shards)
+    except ReproError as exc:
+        _exit_on_user_error(exc)
+        raise
+    sweep = SweepResult.from_records(
+        result.records,
+        systems=list(plan.systems),
+        cases=[c.name for c in plan.cases],
+    )
+    print(format_sweep(sweep))
+    print(format_experiment(result))
+    if args.output:
+        try:
+            sweep.save_json(args.output)
+        except OSError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(f"saved: {args.output}")
     return 0
 
 
@@ -249,7 +319,74 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated list from: " + ", ".join(_SYSTEM_NAMES),
     )
     _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--isolated-sessions",
+        action="store_true",
+        help="give every system its own engine session instead of "
+        "sharing one across the compared systems",
+    )
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_swp = sub.add_parser(
+        "sweep", help="run a systems × cases × seeds experiment grid"
+    )
+    p_swp.add_argument(
+        "--systems",
+        default="ess,ess-ns",
+        help="comma-separated list from: " + ", ".join(_SYSTEM_NAMES),
+    )
+    p_swp.add_argument(
+        "--cases",
+        default="grassland",
+        help="comma-separated list from: " + ", ".join(sorted(CASE_BUILDERS)),
+    )
+    p_swp.add_argument("--size", type=int, default=44, help="grid side, cells")
+    p_swp.add_argument("--steps", type=int, default=3, help="prediction steps")
+    p_swp.add_argument(
+        "--seeds",
+        default="0,1",
+        help="comma-separated repeat seeds (each offset by --seed)",
+    )
+    p_swp.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed added to every --seeds entry; together with the "
+        "plan it makes every recorded run reproducible",
+    )
+    _add_budget(p_swp)
+    p_swp.add_argument("--name", default="sweep", help="plan label")
+    p_swp.add_argument(
+        "--plan",
+        help="load the experiment plan from this JSON file; the file "
+        "then governs systems, cases, seeds, backend AND the whole "
+        "budget (population/generations/workers/caches) — the "
+        "corresponding flags are ignored",
+    )
+    p_swp.add_argument(
+        "--save-plan", help="write the executed plan to this JSON file"
+    )
+    p_swp.add_argument(
+        "--results",
+        help="stream one JSONL record per completed run into this file; "
+        "re-invoking with the same path resumes, computing only the "
+        "missing (system, case, seed) cells",
+    )
+    p_swp.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run independent (case, backend) groups in this many "
+        "processes (requires --results)",
+    )
+    p_swp.add_argument(
+        "--isolated-sessions",
+        action="store_true",
+        help="give every run its own engine session instead of sharing "
+        "one per (case, backend) group",
+    )
+    p_swp.add_argument("--output", help="save the aggregated sweep as JSON")
+    p_swp.set_defaults(func=_cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.func(args)

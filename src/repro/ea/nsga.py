@@ -223,11 +223,17 @@ class NoveltyGA:
         cfg = self.config
         ga_cfg = cfg.as_ga_config()
         gen_rng = ensure_rng(rng)
-        archive_rng, loop_rng = spawn(gen_rng, 2)
 
-        # Lines 1-5.
+        # Lines 1-5. The initial population is the *first* draw from the
+        # caller's stream — the common-random-numbers alignment shared
+        # by every EA core (GA and DE sample the same way), so matched-
+        # budget systems compared under one seed start from the
+        # identical sample and a shared experiment session can serve
+        # their overlapping evaluations from its cross-system cache.
+        # (spawn() derives children from the seed sequence, not the
+        # generator state, so the auxiliary streams are unaffected.)
         if initial_population is None:
-            genomes = space.sample(cfg.population_size, loop_rng)
+            genomes = space.sample(cfg.population_size, gen_rng)
             population = [Individual(genome=g) for g in genomes]
         else:
             if len(initial_population) != cfg.population_size:
@@ -236,6 +242,7 @@ class NoveltyGA:
                     f"configured {cfg.population_size}"
                 )
             population = [ind.copy() for ind in initial_population]
+        archive_rng, loop_rng = spawn(gen_rng, 2)
         if archive is None:
             archive = NoveltyArchive(
                 cfg.archive_capacity, policy=cfg.archive_policy, rng=archive_rng

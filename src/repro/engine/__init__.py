@@ -29,12 +29,18 @@ from repro.engine.cache import (
     SessionResultCache,
 )
 from repro.engine.core import EngineStats, SimulationEngine
-from repro.engine.session import EngineSession, SessionStats, step_context_digest
+from repro.engine.session import (
+    EngineSession,
+    SessionScope,
+    SessionStats,
+    step_context_digest,
+)
 
 __all__ = [
     "SimulationEngine",
     "EngineStats",
     "EngineSession",
+    "SessionScope",
     "SessionStats",
     "step_context_digest",
     "StepSpec",

@@ -25,6 +25,8 @@ touching the engine facade.
 from __future__ import annotations
 
 import math
+import os
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
@@ -51,13 +53,119 @@ _RASTER_BLOCK_ELEMENTS = 4_000_000
 __all__ = [
     "StepSpec",
     "EngineBackend",
+    "KernelCostModel",
     "ReferenceBackend",
     "VectorizedBackend",
     "ProcessBackend",
     "register_backend",
     "backend_names",
     "create_backend",
+    "reset_kernel_costs",
 ]
+
+#: Environment escape hatch pinning the heterogeneous-raster propagation
+#: kernel: ``table`` forces ``run_table``, ``raster`` forces
+#: ``run_raster``, anything else (or unset) leaves the adaptive model in
+#: charge. Both kernels are bitwise-equivalent, so forcing is safe — the
+#: hatch exists for tests and for debugging cost-model regressions.
+FORCE_KERNEL_ENV = "repro_engine_force_kernel"
+
+
+class KernelCostModel:
+    """Measured per-unit kernel costs, EMA-smoothed over prior calls.
+
+    The heterogeneous-raster path can propagate one genome through
+    either ``run_table`` (edge lists over the ``u`` terrain classes:
+    setup ~ ``u·D`` plus the Dijkstra sweep) or ``run_raster``
+    (flattened per-cell planes: setup ~ ``box·D``). Which is faster
+    depends on the machine, the box size and the class count — a fixed
+    class/box ratio guesses it, this model *measures* it: every call
+    updates an exponential moving average of that kernel's seconds per
+    work unit, and the next choice takes the cheaper prediction.
+
+    Until a kernel has a sample the model first defers to the static
+    ratio rule, then measures the still-unsampled kernel once. Every
+    ``probe_interval``-th adaptive choice deliberately takes the
+    *other* kernel, so one outlier measurement (a GC pause inflating
+    an EMA) cannot exclude a kernel for the rest of the process — its
+    rate keeps refreshing at a bounded ~1/``probe_interval`` cost.
+    Both kernels produce bitwise-identical times, so exploration never
+    changes results.
+    """
+
+    def __init__(self, alpha: float = 0.2, probe_interval: int = 64) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError(f"EMA alpha must be in (0, 1], got {alpha}")
+        if probe_interval < 0:
+            raise ReproError(
+                f"probe_interval must be >= 0, got {probe_interval}"
+            )
+        self.alpha = alpha
+        self.probe_interval = probe_interval
+        self.rates: dict[str, float] = {}
+        self._choices = 0
+
+    @staticmethod
+    def work(kernel: str, n_classes: int, box_cells: int, n_dirs: int) -> int:
+        """The cost-driving unit count of one kernel invocation."""
+        if kernel == "table":
+            return n_classes * n_dirs + box_cells
+        return box_cells * n_dirs
+
+    def observe(
+        self,
+        kernel: str,
+        n_classes: int,
+        box_cells: int,
+        n_dirs: int,
+        seconds: float,
+    ) -> None:
+        """Fold one measured invocation into the kernel's EMA rate."""
+        work = self.work(kernel, n_classes, box_cells, n_dirs)
+        if work <= 0 or seconds <= 0.0:
+            return
+        rate = seconds / work
+        prev = self.rates.get(kernel)
+        self.rates[kernel] = (
+            rate if prev is None else prev + self.alpha * (rate - prev)
+        )
+
+    def choose(self, n_classes: int, box_cells: int, n_dirs: int) -> str:
+        """Pick the predicted-cheaper kernel for the given shape."""
+        forced = os.environ.get(FORCE_KERNEL_ENV, "").strip().lower()
+        if forced in ("table", "raster"):
+            return forced
+        table_rate = self.rates.get("table")
+        raster_rate = self.rates.get("raster")
+        if table_rate is None and raster_rate is None:
+            # un-primed: the static ratio rule (run_table pays O(u·D)
+            # setup, run_raster O(box·D) — take the table only when it
+            # is clearly the smaller)
+            return "table" if 4 * n_classes <= box_cells else "raster"
+        if table_rate is None:
+            return "table"
+        if raster_rate is None:
+            return "raster"
+        table_cost = table_rate * self.work("table", n_classes, box_cells, n_dirs)
+        raster_cost = raster_rate * self.work(
+            "raster", n_classes, box_cells, n_dirs
+        )
+        best = "table" if table_cost <= raster_cost else "raster"
+        self._choices += 1
+        if self.probe_interval and self._choices % self.probe_interval == 0:
+            return "raster" if best == "table" else "table"
+        return best
+
+
+#: Process-wide cost model: measurements survive step and session
+#: boundaries, so later steps start from calibrated rates.
+_KERNEL_COSTS = KernelCostModel()
+
+
+def reset_kernel_costs() -> None:
+    """Drop all measured kernel rates (tests and benchmarks)."""
+    _KERNEL_COSTS.rates.clear()
+    _KERNEL_COSTS._choices = 0
 
 
 @dataclass(frozen=True)
@@ -271,6 +379,8 @@ class VectorizedBackend(EngineBackend):
         # Reachability-clipped FlatGrids of the heterogeneous path,
         # keyed by box bounds (reused across genomes and batches).
         self._box_grids: dict[tuple[int, int, int, int], tuple] = {}
+        #: Heterogeneous-path propagation calls by chosen kernel.
+        self.kernel_calls: dict[str, int] = {"table": 0, "raster": 0}
         if self._mode == "fuel_table":
             self._codes = [int(c) for c in np.unique(terrain.fuel)]
             pad, width = self._grid.pad, self._grid.width
@@ -540,10 +650,16 @@ class VectorizedBackend(EngineBackend):
         ``horizon·ros_peak / cell_ft`` therefore stay unburned in the
         reference propagation too — restricting travel-time assembly
         and Dijkstra to this box cannot change the output.
+
+        The radius is rounded up to a multiple of 8 cells: enlarging
+        the box never changes the output, and quantizing collapses the
+        near-equal radii of a batch's many ros_max values onto a few
+        shared, cached box grids instead of one per distinct radius.
         """
         rows, cols = self.spec.terrain.shape
         if ros_peak > ROS_EPSILON:
             radius = int(math.ceil(self.spec.horizon * ros_peak / self._cell_ft)) + 2
+            radius = -(-radius // 8) * 8
         else:
             radius = 0
         (r0, r1), (c0, c1) = self._seed_bbox
@@ -590,12 +706,18 @@ class VectorizedBackend(EngineBackend):
         one broadcast pass and the Dijkstra run is clipped to the
         reachability box of :meth:`_reach_box`, so slow/wet scenarios
         (the bulk of a Table I sample) cost a handful of cells instead
-        of the whole grid. Propagation runs through ``run_table`` when
-        the class table is smaller than the box (quantized DEM rasters)
-        and through ``run_raster`` otherwise (continuous rasters).
+        of the whole grid. Per genome, the propagation kernel —
+        ``run_table`` (class-axis tables, cheap for quantized DEM
+        rasters) vs ``run_raster`` (per-cell planes, cheap for
+        continuous rasters) — is chosen by the process-wide
+        :class:`KernelCostModel` from measured per-unit costs; the
+        ``repro_engine_force_kernel`` environment variable pins one
+        kernel for tests. Both kernels are bitwise-equivalent, so the
+        choice only ever moves time, never results.
         """
         spec = self.spec
         maps = np.zeros((len(scenarios), *spec.terrain.shape), dtype=bool)
+        n_dirs = len(self._offsets)
         chunk = max(
             1, _RASTER_BLOCK_ELEMENTS // max(1, 3 * self._n_classes)
         )
@@ -607,15 +729,16 @@ class VectorizedBackend(EngineBackend):
                 box = self._reach_box(float(ros[k].max()))
                 grid, seeded, class_flat, box_classes = self._box_grid(box)
                 # One broadcast pass for all D directions — over the
-                # class axis when the table is smaller than the box
-                # (quantized DEM rasters), over the box's gathered
-                # per-cell fields otherwise (continuous rasters). Both
-                # run the identical elementwise ops of the
-                # per-direction, per-cell reference loop.
-                # run_table pays O(u·D) per call to build its edge
-                # lists, run_raster O(box·D) to flatten its planes —
-                # take the table only when it is clearly the smaller.
-                if 4 * self._n_classes <= box_classes.size:
+                # class axis (run_table) or the box's gathered per-cell
+                # fields (run_raster). Both run the identical
+                # elementwise ops of the per-direction, per-cell
+                # reference loop; the assembly cost is part of what the
+                # cost model measures.
+                kernel = _KERNEL_COSTS.choose(
+                    self._n_classes, box_classes.size, n_dirs
+                )
+                start = time.perf_counter()
+                if kernel == "table":
                     rates = ros_at_azimuth(
                         ros[k][None, :],
                         dir_[k][None, :],
@@ -654,6 +777,14 @@ class VectorizedBackend(EngineBackend):
                     times = grid.run_raster(
                         travel, seeded, horizon=spec.horizon
                     )
+                _KERNEL_COSTS.observe(
+                    kernel,
+                    self._n_classes,
+                    box_classes.size,
+                    n_dirs,
+                    time.perf_counter() - start,
+                )
+                self.kernel_calls[kernel] += 1
                 maps[lo + k][box] = times <= spec.horizon
         return maps
 

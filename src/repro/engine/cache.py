@@ -175,12 +175,14 @@ class SessionResultCache:
 
     def __post_init__(self) -> None:
         _validate_cache_params(self.capacity, self.decimals)
-        # (context digest, genome key) -> (fitness, inserting step serial)
-        self._data: OrderedDict[tuple[bytes, bytes], tuple[float, int]] = (
-            OrderedDict()
-        )
+        # (context digest, genome key)
+        #   -> (fitness, inserting step serial, inserting scope serial)
+        self._data: OrderedDict[
+            tuple[bytes, bytes], tuple[float, int, int]
+        ] = OrderedDict()
         self._contexts: set[bytes] = set()
         self.cross_step_hits = 0
+        self.cross_scope_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -200,14 +202,22 @@ class SessionResultCache:
         """Quantized byte key of one genome (same folding as per-step)."""
         return _quantized_key(genome, self.decimals)
 
-    def view(self, context: bytes, step: int) -> "SessionCacheView":
-        """Per-step facade bound to one context digest."""
+    def view(self, context: bytes, step: int, scope: int = 0) -> "SessionCacheView":
+        """Per-step facade bound to one context digest.
+
+        ``scope`` identifies the consumer sharing the store — one scope
+        per system when several systems share a session — so hits served
+        from an entry another scope inserted are counted separately
+        (``cross_scope_hits``, the cross-system reuse).
+        """
         self._contexts.add(context)
-        return SessionCacheView(self, context, step)
+        return SessionCacheView(self, context, step, scope)
 
     # ------------------------------------------------------------------
-    def lookup(self, context: bytes, key: bytes, step: int) -> float | None:
-        """Cached fitness for ``(context, key)``; counts cross-step hits."""
+    def lookup(
+        self, context: bytes, key: bytes, step: int, scope: int = 0
+    ) -> float | None:
+        """Cached fitness for ``(context, key)``; counts cross-step/scope hits."""
         entry = self._data.get((context, key))
         if entry is None:
             self.stats.misses += 1
@@ -216,16 +226,20 @@ class SessionResultCache:
         self.stats.hits += 1
         if entry[1] != step:
             self.cross_step_hits += 1
+        if entry[2] != scope:
+            self.cross_scope_hits += 1
         return entry[0]
 
-    def insert(self, context: bytes, key: bytes, fitness: float, step: int) -> int:
+    def insert(
+        self, context: bytes, key: bytes, fitness: float, step: int, scope: int = 0
+    ) -> int:
         """Insert one entry; returns how many entries were evicted."""
         if not self.enabled:
             return 0
         full_key = (context, key)
         if full_key in self._data:
             self._data.move_to_end(full_key)
-        self._data[full_key] = (float(fitness), step)
+        self._data[full_key] = (float(fitness), step, scope)
         evicted = 0
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
@@ -247,10 +261,17 @@ class SessionCacheView:
     accumulates the run totals.
     """
 
-    def __init__(self, store: SessionResultCache, context: bytes, step: int) -> None:
+    def __init__(
+        self,
+        store: SessionResultCache,
+        context: bytes,
+        step: int,
+        scope: int = 0,
+    ) -> None:
         self._store = store
         self._context = context
         self._step = step
+        self._scope = scope
         self.stats = CacheStats()
 
     @property
@@ -269,7 +290,7 @@ class SessionCacheView:
 
     def get(self, key: bytes) -> float | None:
         """Cached fitness for ``key`` in this step's context."""
-        value = self._store.lookup(self._context, key, self._step)
+        value = self._store.lookup(self._context, key, self._step, self._scope)
         if value is None:
             self.stats.misses += 1
         else:
@@ -279,5 +300,5 @@ class SessionCacheView:
     def put(self, key: bytes, fitness: float) -> None:
         """Insert one entry under this step's context."""
         self.stats.evictions += self._store.insert(
-            self._context, key, float(fitness), self._step
+            self._context, key, float(fitness), self._step, self._scope
         )

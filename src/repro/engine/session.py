@@ -24,6 +24,16 @@ Per step, :meth:`EngineSession.for_step` hands out an ordinary
 :class:`~repro.engine.core.SimulationEngine` view wired to the shared
 pool and cache; closing the view is cheap and never tears down the
 session-owned resources.
+
+Sessions can also be shared *across systems* (the experiment layer's
+``compare``/sweep groups): each
+:meth:`~repro.systems.base.PredictionSystem.run` borrowing the session
+enters a :class:`SessionScope`, whose ``stats`` are the counter deltas
+of that system alone — per-system views over the one shared cache.
+Hits served from entries another scope inserted are counted as
+``cross_system_hits``: the reuse only session sharing can provide.
+Ownership stays with whoever constructed the session — borrowing a
+session through ``run(..., session=...)`` never closes it.
 """
 
 from __future__ import annotations
@@ -42,7 +52,12 @@ from repro.engine.cache import (
 from repro.engine.core import SimulationEngine
 from repro.errors import ReproError
 
-__all__ = ["EngineSession", "SessionStats", "step_context_digest"]
+__all__ = [
+    "EngineSession",
+    "SessionScope",
+    "SessionStats",
+    "step_context_digest",
+]
 
 
 def step_context_digest(spec: StepSpec) -> bytes:
@@ -82,17 +97,49 @@ class SessionStats:
     ``cache`` aggregates the cross-step store's hit/miss/eviction
     counters over the whole run; ``cross_step_hits`` is the subset of
     hits served from an entry inserted by an *earlier* step view — the
-    reuse a per-step engine could never provide. ``pool_reuses`` counts
-    steps that reused the standing worker pool instead of forking one.
+    reuse a per-step engine could never provide. ``cross_system_hits``
+    is the subset served from an entry a *different scope* (another
+    system sharing the session; repeat runs of one system share a
+    scope) inserted — the reuse only session sharing provides.
+    ``systems`` counts the distinct scope labels entered;
+    ``pool_reuses`` counts steps that reused the standing worker pool
+    instead of forking one.
     """
 
     backend: str = "reference"
     n_workers: int = 1
     steps: int = 0
     contexts: int = 0
+    systems: int = 0
     pool_reuses: int = 0
     cross_step_hits: int = 0
+    cross_system_hits: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+
+    def minus(self, earlier: "SessionStats") -> "SessionStats":
+        """Counter-wise difference against an earlier snapshot.
+
+        The per-scope stat view over a shared session: everything that
+        happened between two snapshots of one monotonically growing
+        stats stream.
+        """
+        return SessionStats(
+            backend=self.backend,
+            n_workers=self.n_workers,
+            steps=self.steps - earlier.steps,
+            contexts=self.contexts - earlier.contexts,
+            systems=self.systems - earlier.systems,
+            pool_reuses=self.pool_reuses - earlier.pool_reuses,
+            cross_step_hits=self.cross_step_hits - earlier.cross_step_hits,
+            cross_system_hits=(
+                self.cross_system_hits - earlier.cross_system_hits
+            ),
+            cache=CacheStats(
+                hits=self.cache.hits - earlier.cache.hits,
+                misses=self.cache.misses - earlier.cache.misses,
+                evictions=self.cache.evictions - earlier.cache.evictions,
+            ),
+        )
 
     def to_dict(self) -> dict:
         """JSON-safe representation."""
@@ -101,10 +148,58 @@ class SessionStats:
             "n_workers": self.n_workers,
             "steps": self.steps,
             "contexts": self.contexts,
+            "systems": self.systems,
             "pool_reuses": self.pool_reuses,
             "cross_step_hits": self.cross_step_hits,
+            "cross_system_hits": self.cross_system_hits,
             "cache": self.cache.to_dict(),
         }
+
+
+class SessionScope:
+    """One consumer's window onto a shared :class:`EngineSession`.
+
+    A scope is entered per system run borrowing the session
+    (:meth:`EngineSession.scoped`); its :attr:`stats` are the session's
+    counter deltas between scope entry and exit — what *this* system
+    contributed and reused, even though the cache and pool are shared.
+    Exiting the scope freezes the delta; reading :attr:`stats` while
+    the scope is active returns a live delta.
+
+    Scopes are sequential by design (one active scope per session);
+    they never own session resources — closing/exiting a scope never
+    touches the pool or the cache.
+    """
+
+    def __init__(self, session: "EngineSession", label: str, serial: int) -> None:
+        self._session = session
+        self.label = label
+        self.serial = serial
+        self._entry = session.stats
+        self._frozen: SessionStats | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the scope is still accumulating (not yet exited)."""
+        return self._frozen is None
+
+    @property
+    def stats(self) -> SessionStats:
+        """This scope's counter deltas (frozen once the scope exits)."""
+        current = self._frozen if self._frozen is not None else self._session.stats
+        return current.minus(self._entry)
+
+    def close(self) -> None:
+        """Freeze the delta and release the session's active-scope slot."""
+        if self._frozen is None:
+            self._frozen = self._session.stats
+            self._session._scope_exited(self)
+
+    def __enter__(self) -> "SessionScope":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class EngineSession:
@@ -162,6 +257,8 @@ class EngineSession:
         self._pool = None
         self._steps = 0
         self._pool_reuses = 0
+        self._scope: SessionScope | None = None
+        self._scope_labels: dict[str, int] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -185,9 +282,13 @@ class EngineSession:
             ),
             steps=self._steps,
             contexts=self._store.n_contexts if self._store is not None else 0,
+            systems=len(self._scope_labels),
             pool_reuses=self._pool_reuses,
             cross_step_hits=(
                 self._store.cross_step_hits if self._store is not None else 0
+            ),
+            cross_system_hits=(
+                self._store.cross_scope_hits if self._store is not None else 0
             ),
             cache=(
                 CacheStats(**self._store.stats.to_dict())
@@ -195,6 +296,39 @@ class EngineSession:
                 else CacheStats()
             ),
         )
+
+    # ------------------------------------------------------------------
+    def scoped(self, label: str) -> SessionScope:
+        """Enter a per-consumer stat scope (one system of a shared run).
+
+        Scopes are keyed by ``label``: two runs of the *same* system
+        (repeat seeds of one sweep cell) share a scope identity, so
+        cache hits between them count as cross-step reuse but not as
+        ``cross_system_hits`` — that counter is reserved for hits
+        served across genuinely different systems.
+
+        Scopes are sequential: entering a new scope while another is
+        active raises, because interleaved consumers would make the
+        per-scope deltas meaningless.
+        """
+        if self._closed:
+            raise ReproError(
+                "engine session already closed; create a new session per run"
+            )
+        if self._scope is not None and self._scope.active:
+            raise ReproError(
+                f"session scope {self._scope.label!r} is still active; "
+                "scopes must be sequential"
+            )
+        serial = self._scope_labels.get(label, len(self._scope_labels) + 1)
+        scope = SessionScope(self, label, serial)  # snapshot before register
+        self._scope_labels[label] = serial
+        self._scope = scope
+        return scope
+
+    def _scope_exited(self, scope: SessionScope) -> None:
+        if self._scope is scope:
+            self._scope = None
 
     # ------------------------------------------------------------------
     def _ensure_pool(self):
@@ -226,7 +360,10 @@ class EngineSession:
         self._steps += 1
         cache = None
         if self._store is not None:
-            cache = self._store.view(step_context_digest(spec), self._steps)
+            scope = self._scope.serial if self._scope is not None else 0
+            cache = self._store.view(
+                step_context_digest(spec), self._steps, scope
+            )
         pool = None
         if self.backend == "process" or self.n_workers > 1:
             pool = self._ensure_pool()

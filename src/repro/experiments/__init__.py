@@ -1,0 +1,35 @@
+"""Experiment orchestration: declarative plans, shared sessions, streams.
+
+The layer between the CLI and the prediction systems. A declarative
+:class:`ExperimentPlan` (systems × cases × seeds × backends × budget,
+JSON-shareable) is executed by an :class:`ExperimentRunner` that groups
+runs by ``(case, backend)`` and drives each group through **one shared**
+:class:`~repro.engine.EngineSession` — cross-system repeats of the same
+step context hit the shared cache — while streaming one record per
+completed run into a crash-safe :class:`ResultsStore` (JSONL; re-running
+the same plan resumes by skipping recorded cells). Independent groups
+can execute in separate shard processes.
+
+See :mod:`repro.experiments.plan`, :mod:`repro.experiments.runner` and
+:mod:`repro.experiments.store` for the three pieces.
+"""
+
+from repro.experiments.plan import (
+    BudgetSpec,
+    CaseSpec,
+    ExperimentPlan,
+    RunKey,
+)
+from repro.experiments.runner import ExperimentResult, ExperimentRunner
+from repro.experiments.store import ResultsStore, record_key
+
+__all__ = [
+    "BudgetSpec",
+    "CaseSpec",
+    "ExperimentPlan",
+    "RunKey",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ResultsStore",
+    "record_key",
+]

@@ -1,0 +1,536 @@
+"""Experiment execution: shared engine sessions, streaming results, shards.
+
+The :class:`ExperimentRunner` turns a declarative
+:class:`~repro.experiments.plan.ExperimentPlan` into recorded runs:
+
+* runs are executed **group by group** (one group per ``(case,
+  backend)``, see :meth:`ExperimentPlan.groups`), and every group runs
+  against **one shared** :class:`~repro.engine.EngineSession` — so when
+  ESSIM-EA asks for a fitness value ESS already computed for the same
+  step context, the shared cross-system cache answers instead of the
+  simulator, and the standing worker pool is forked once per group
+  instead of once per run;
+* every completed run streams one record into a
+  :class:`~repro.experiments.store.ResultsStore`; re-running the same
+  plan against the same store resumes, computing only the missing
+  ``(system, case, seed, backend)`` cells;
+* independent groups can execute in separate **shard processes**
+  (``shards=N``) appending to the same store — process-level
+  parallelism over the grid on top of each run's own worker pool.
+
+The runner owns every session it creates: a crash mid-group (a raising
+system, a dying callback) still closes the shared session before the
+exception propagates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.engine import EngineSession
+from repro.errors import ReproError
+from repro.experiments.plan import ExperimentPlan, RunKey
+from repro.experiments.store import (
+    ResultsStore,
+    backends_by_system,
+    record_key,
+    system_label,
+)
+from repro.systems.base import PredictionSystem
+from repro.systems.results import RunResult
+from repro.workloads.synthetic import ReferenceFire
+
+__all__ = ["ExperimentResult", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentResult:
+    """All records of one experiment execution (fresh + resumed).
+
+    ``records`` follow the plan's grid order regardless of execution
+    or resume order; ``n_resumed`` counts cells served from the store
+    instead of being re-run.
+    """
+
+    plan_name: str
+    records: list[dict] = field(default_factory=list)
+    n_resumed: int = 0
+
+    def __post_init__(self) -> None:
+        self._totals: dict[str, dict] | None = None
+
+    def runs(self) -> list[RunResult]:
+        """Rehydrated :class:`RunResult` per record, in record order."""
+        return [RunResult.from_dict(r["run"]) for r in self.records]
+
+    def record(self, system: str, case: str, seed: int, backend: str) -> dict:
+        """Look up one record by its run key."""
+        for r in self.records:
+            if record_key(r) == (system, case, seed, backend):
+                return r
+        raise ReproError(
+            f"no record for ({system!r}, {case!r}, {seed}, {backend!r})"
+        )
+
+    # ------------------------------------------------------------------
+    def per_system_totals(self) -> dict[str, dict]:
+        """Aggregate engine/session accounting per system.
+
+        The per-system cache-reuse view of the whole experiment: each
+        run's ``session`` payload is that run's scope delta over the
+        (possibly shared) session, so summing them per system never
+        double-counts shared totals. A system whose records span
+        several backends gets one row per backend (``system[backend]``,
+        matching the sweep layer) — backends are never merged into one
+        total. Computed once and memoised — ``records`` is
+        append-complete by construction.
+        """
+        if self._totals is not None:
+            return self._totals
+        backends_of = backends_by_system(self.records)
+        out: dict[str, dict] = {}
+        for record in self.records:
+            payload = record.get("run", {})
+            totals = out.setdefault(
+                system_label(record, backends_of),
+                {
+                    "runs": 0,
+                    "steps": 0,
+                    "evaluations": 0,
+                    "simulations": 0,
+                    "cache_hits": 0,
+                    "cross_step_hits": 0,
+                    "cross_system_hits": 0,
+                    "seconds": 0.0,
+                },
+            )
+            totals["runs"] += 1
+            totals["seconds"] += float(record.get("seconds", 0.0))
+            # read the step/session payloads directly — no need to
+            # rehydrate a full RunResult per record just to sum counters
+            for step in payload.get("steps", []):
+                engine = step.get("engine") or {}
+                totals["evaluations"] += int(engine.get("evaluations", 0))
+                totals["simulations"] += int(engine.get("simulations", 0))
+            session = payload.get("session") or {}
+            totals["steps"] += int(session.get("steps", 0))
+            totals["cache_hits"] += int(session.get("cache", {}).get("hits", 0))
+            totals["cross_step_hits"] += int(session.get("cross_step_hits", 0))
+            totals["cross_system_hits"] += int(
+                session.get("cross_system_hits", 0)
+            )
+        self._totals = out
+        return out
+
+    def cross_system_hits(self) -> int:
+        """Total cache hits served across system boundaries."""
+        return sum(
+            t["cross_system_hits"] for t in self.per_system_totals().values()
+        )
+
+
+class ExperimentRunner:
+    """Executes experiment grids against shared engine sessions.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultsStore`; when given, every completed run
+        is streamed into it and already-recorded cells are skipped on
+        re-execution (crash-safe resume).
+    share_sessions:
+        When true (the default), each ``(case, backend)`` group runs
+        against one shared :class:`EngineSession`; when false every run
+        builds its own session (the pre-experiment-layer behaviour,
+        kept for A/B comparisons and bitwise-equivalence tests).
+    session_factory:
+        Constructor for group sessions (an :class:`EngineSession`
+        subclass or an instrumented test double); receives the same
+        keyword arguments as :class:`EngineSession`.
+    progress:
+        Optional callback invoked with each freshly recorded run
+        record. Exceptions it raises abort the experiment (after the
+        record is persisted) but never leak the group session.
+    """
+
+    def __init__(
+        self,
+        store: ResultsStore | None = None,
+        share_sessions: bool = True,
+        session_factory: Callable[..., EngineSession] | None = None,
+        progress: Callable[[dict], None] | None = None,
+    ) -> None:
+        self.store = store
+        self.share_sessions = share_sessions
+        self.session_factory = session_factory or EngineSession
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, plan: ExperimentPlan, shards: int = 1) -> ExperimentResult:
+        """Execute (or resume) a plan; returns the full grid's records."""
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        recorded = self._recorded_by_key()
+        for (case, _), keys in plan.groups():
+            self._check_recorded_config(recorded, keys, plan.config_digest(case))
+        done = set(recorded)
+        all_keys = [key.as_tuple() for key in plan.runs()]
+        n_resumed = sum(1 for key in all_keys if key in done)
+        if shards == 1:
+            fresh = self._run_groups(plan, range(len(plan.groups())), done)
+            by_key = {**recorded, **{record_key(r): r for r in fresh}}
+        else:
+            # shard processes wrote through the store; re-read once
+            self._run_sharded(plan, shards, done)
+            by_key = self._recorded_by_key()
+        records = [by_key[key] for key in all_keys if key in by_key]
+        return ExperimentResult(
+            plan_name=plan.name, records=records, n_resumed=n_resumed
+        )
+
+    def _recorded_by_key(self) -> dict[tuple, dict]:
+        """One parse of the store's records, keyed for resume lookups."""
+        if self.store is None:
+            return {}
+        return {record_key(r): r for r in self.store.records()}
+
+    def _check_recorded_config(
+        self,
+        recorded: dict[tuple, dict],
+        keys: Sequence[RunKey],
+        digest: str,
+    ) -> None:
+        """Refuse to resume cells recorded under another configuration.
+
+        The run key names a cell but not its shape: without this check,
+        re-running a grid with a changed case size/steps or budget
+        against an old store would silently serve the stale results.
+        """
+        for key in keys:
+            stored = (recorded.get(key.as_tuple()) or {}).get("config")
+            if stored is not None and stored != digest:
+                raise ReproError(
+                    f"results store {self.store.path} already records "
+                    f"{key.as_tuple()} under a different configuration "
+                    "(case size/steps or budget changed since it was "
+                    "written — note plan-based and run_grid invocations "
+                    "use different digest schemes, so a store is resumable "
+                    "by the entry point that wrote it); use a fresh store "
+                    "path or the original invocation"
+                )
+
+    def _run_groups(
+        self,
+        plan: ExperimentPlan,
+        group_indices: Sequence[int],
+        done: set[tuple[str, str, int, str]],
+    ) -> list[dict]:
+        groups = plan.groups()
+        records: list[dict] = []
+        for index in group_indices:
+            (case, backend), keys = groups[index]
+            pending = [k for k in keys if k.as_tuple() not in done]
+            if not pending:
+                continue
+            fire = case.build()
+            budget = plan.budget
+            records += self._execute_group(
+                fire=fire,
+                keys=pending,
+                make_system=lambda key, b=backend: plan.build_system(
+                    key.system, b
+                ),
+                session_kwargs=dict(
+                    backend=backend,
+                    n_workers=budget.n_workers,
+                    cache_size=budget.cache_size,
+                    session_cache_size=budget.session_cache_size,
+                ),
+                plan_name=plan.name,
+                config=plan.config_digest(case),
+            )
+        return records
+
+    def _run_sharded(
+        self,
+        plan: ExperimentPlan,
+        shards: int,
+        done: set[tuple[str, str, int, str]],
+    ) -> None:
+        """Fan independent ``(case, backend)`` groups out to processes."""
+        if self.store is None:
+            raise ReproError(
+                "sharded execution needs a ResultsStore — shard processes "
+                "meet only through the store file"
+            )
+        if self.progress is not None or self.session_factory is not EngineSession:
+            raise ReproError(
+                "progress callbacks and custom session factories do not "
+                "cross shard-process boundaries; use shards=1"
+            )
+        from repro.experiments.store import HAS_APPEND_LOCK
+
+        if not HAS_APPEND_LOCK:
+            raise ReproError(
+                "sharded execution needs lock-serialised store appends, "
+                "unavailable on this platform; use shards=1"
+            )
+        groups = plan.groups()
+        pending = [
+            i
+            for i, (_, keys) in enumerate(groups)
+            if any(k.as_tuple() not in done for k in keys)
+        ]
+        if not pending:
+            return
+        shards = min(shards, len(pending))
+        assignments = [pending[s::shards] for s in range(shards)]
+        workers = [
+            multiprocessing.Process(
+                target=_run_shard,
+                args=(
+                    plan.to_dict(),
+                    indices,
+                    str(self.store.path),
+                    self.share_sessions,
+                ),
+            )
+            for indices in assignments
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        failed = [w.exitcode for w in workers if w.exitcode != 0]
+        if failed:
+            raise ReproError(
+                f"{len(failed)} of {len(workers)} experiment shards failed "
+                f"(exit codes {failed}); re-run to resume the missing cells"
+            )
+
+    # ------------------------------------------------------------------
+    def run_grid(
+        self,
+        system_factories: Mapping[str, Callable[[], PredictionSystem]],
+        cases: Mapping[str, ReferenceFire],
+        seeds: Sequence[int],
+        seed_offset: int = 0,
+        name: str = "sweep",
+    ) -> ExperimentResult:
+        """Execute a pre-built grid (the :func:`run_sweep` contract).
+
+        Unlike :meth:`run`, the systems arrive as opaque factories and
+        the cases as materialised fires, so grouping reads each
+        factory's engine configuration off a probe instance: factories
+        with identical ``(backend, workers, cache sizes)`` share one
+        session per case, mismatched ones get their own group. Resume
+        digests are likewise probe-derived (:func:`_grid_digest`), a
+        different scheme than :meth:`ExperimentPlan.config_digest` — a
+        store written here resumes here, not through :meth:`run`, and
+        vice versa.
+        """
+        if not system_factories:
+            raise ReproError("need at least one system")
+        if not cases:
+            raise ReproError("need at least one case")
+        if not seeds:
+            raise ReproError("need at least one seed")
+        recorded = self._recorded_by_key()
+        done = set(recorded)
+        probes = {label: factory() for label, factory in system_factories.items()}
+        configs = {
+            label: _engine_signature(probe) for label, probe in probes.items()
+        }
+        # search-config reprs (dataclass configs render deterministically)
+        # fold the EA budget into the per-label resume digest
+        search = {
+            label: repr(getattr(probe, "config", None))
+            for label, probe in probes.items()
+        }
+        by_signature: dict[tuple, list[str]] = {}
+        for label in system_factories:
+            by_signature.setdefault(configs[label], []).append(label)
+        records: list[dict] = []
+        n_resumed = 0
+        for case_label, fire in cases.items():
+            for signature, labels in by_signature.items():
+                backend, n_workers, cache_size, session_cache_size = signature
+                digests = {
+                    label: _grid_digest(fire, signature, search[label])
+                    for label in labels
+                }
+                keys = [
+                    RunKey(label, case_label, seed_offset + seed, backend)
+                    for label in labels
+                    for seed in seeds
+                ]
+                for label in labels:
+                    self._check_recorded_config(
+                        recorded,
+                        [k for k in keys if k.system == label],
+                        digests[label],
+                    )
+                pending = [k for k in keys if k.as_tuple() not in done]
+                n_resumed += len(keys) - len(pending)
+                if not pending:
+                    continue
+                records += self._execute_group(
+                    fire=fire,
+                    keys=pending,
+                    make_system=lambda key: system_factories[key.system](),
+                    session_kwargs=dict(
+                        backend=backend,
+                        n_workers=n_workers,
+                        cache_size=cache_size,
+                        session_cache_size=session_cache_size,
+                    ),
+                    plan_name=name,
+                    config=digests,
+                )
+        # grid order (system-major) regardless of execution/resume order,
+        # matching ExperimentResult's documented ordering contract
+        by_key = {**recorded, **{record_key(r): r for r in records}}
+        wanted = [
+            RunKey(label, case_label, seed_offset + seed, configs[label][0])
+            for label in system_factories
+            for case_label in cases
+            for seed in seeds
+        ]
+        records = [
+            by_key[k.as_tuple()] for k in wanted if k.as_tuple() in by_key
+        ]
+        return ExperimentResult(
+            plan_name=name, records=records, n_resumed=n_resumed
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_group(
+        self,
+        fire: ReferenceFire,
+        keys: Sequence[RunKey],
+        make_system: Callable[[RunKey], PredictionSystem],
+        session_kwargs: dict,
+        plan_name: str,
+        config: str | Mapping[str, str] | None = None,
+    ) -> list[dict]:
+        """Run one group's pending cells against one shared session.
+
+        The ``finally`` is the lifecycle guarantee: whatever dies inside
+        the loop — a system run, a store append, a progress callback —
+        the group's shared session is closed before the exception
+        escapes the runner.
+        """
+        session = (
+            self.session_factory(**session_kwargs)
+            if self.share_sessions
+            else None
+        )
+        records: list[dict] = []
+        try:
+            for key in keys:
+                system = make_system(key)
+                start = time.perf_counter()
+                run = system.run(
+                    fire,
+                    rng=key.seed,
+                    session=session,
+                    scope_label=key.system,
+                )
+                seconds = time.perf_counter() - start
+                digest = (
+                    config.get(key.system)
+                    if isinstance(config, Mapping)
+                    else config
+                )
+                record = self._record(key, run, seconds, plan_name, digest)
+                if self.store is not None:
+                    self.store.append(record)
+                records.append(record)
+                if self.progress is not None:
+                    self.progress(record)
+        finally:
+            if session is not None:
+                session.close()
+        return records
+
+    def _record(
+        self,
+        key: RunKey,
+        run: RunResult,
+        seconds: float,
+        plan_name: str,
+        config: str | None,
+    ) -> dict:
+        quality = run.mean_quality()
+        return {
+            "plan": plan_name,
+            "system": key.system,
+            "case": key.case,
+            "seed": key.seed,
+            "backend": key.backend,
+            "config": config,
+            "quality": None if quality != quality else quality,
+            "evaluations": run.total_evaluations(),
+            # wall-clock of the whole run (experiment accounting) and
+            # the summed stage timings (the sweep-table metric) are both
+            # persisted so store round-trips reproduce either view
+            "seconds": seconds,
+            "run_seconds": run.total_time(),
+            "shared_session": self.share_sessions,
+            "run": run.to_dict(),
+        }
+
+
+def _engine_signature(system: PredictionSystem) -> tuple:
+    """The session-compatibility key of one system instance."""
+    return (
+        system.backend,
+        system.n_workers,
+        system.cache_size,
+        system.session_cache_size,
+    )
+
+
+def _grid_digest(fire: ReferenceFire, signature: tuple, search: str) -> str:
+    """Configuration digest of a pre-built grid cell (``run_grid``).
+
+    Factories are opaque, so the digest covers what is observable: the
+    fire's actual shape (terrain dimensions, cell size, step count —
+    not the free-form description, which need not encode any of it),
+    the engine signature and the probe system's search-config repr
+    (the EA budget). Coarser than
+    :meth:`ExperimentPlan.config_digest` but it catches the common
+    resume foot-guns of re-pointing an old store at a differently
+    shaped grid or a re-budgeted factory.
+    """
+    terrain = fire.terrain
+    payload = json.dumps(
+        {
+            "fire": fire.description,
+            "shape": [int(terrain.rows), int(terrain.cols)],
+            "cell_size": float(terrain.cell_size),
+            "n_steps": int(fire.n_steps),
+            "engine": list(signature),
+            "search": search,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _run_shard(
+    plan_payload: dict,
+    group_indices: Sequence[int],
+    store_path: str,
+    share_sessions: bool,
+) -> None:
+    """Shard-process entry point: execute a subset of a plan's groups."""
+    plan = ExperimentPlan.from_dict(plan_payload)
+    store = ResultsStore(store_path)
+    runner = ExperimentRunner(store=store, share_sessions=share_sessions)
+    runner._run_groups(plan, group_indices, store.completed())

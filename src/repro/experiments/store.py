@@ -1,0 +1,204 @@
+"""Streaming JSONL results store with crash-safe resume.
+
+Long sweeps die — machines reboot, jobs get preempted — and a sweep
+that only writes its results at the end loses everything. The
+:class:`ResultsStore` therefore streams: **one JSON line per completed
+run**, appended and flushed the moment the run finishes. Restarting the
+same plan against the same store skips every run whose
+``(system, case, seed, backend)`` key is already recorded and computes
+only the missing cells.
+
+Durability/concurrency contract:
+
+* every record is written as a single ``write`` to a file opened in
+  append mode, under an exclusive ``flock``, then flushed and fsynced —
+  shard processes of one experiment can append to the same store
+  concurrently without interleaving lines;
+* a crash can at worst leave one unterminated *final* line (no
+  trailing newline), which :meth:`ResultsStore.records` detects and
+  ignores — even when its payload happens to parse — and which the
+  next ``append`` truncates away, so the interrupted run simply
+  re-executes on resume; malformed newline-terminated lines are real
+  corruption and raise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+
+try:  # POSIX: appends are flock-serialised across shard processes
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = [
+    "HAS_APPEND_LOCK",
+    "ResultsStore",
+    "backends_by_system",
+    "record_key",
+    "system_label",
+]
+
+#: Whether concurrent appends from several processes are safe on this
+#: platform (the sharded runner refuses multi-process fan-out without
+#: it rather than risk interleaved, store-corrupting writes).
+HAS_APPEND_LOCK = fcntl is not None
+
+
+def record_key(record: dict) -> tuple[str, str, int, str]:
+    """The resume/dedup identity of one result record."""
+    try:
+        return (
+            str(record["system"]),
+            str(record["case"]),
+            int(record["seed"]),
+            str(record["backend"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"result record without a full run key: {exc}") from exc
+
+
+def backends_by_system(records: Iterable[dict]) -> dict[str, dict[str, None]]:
+    """First-seen engine backends per system label.
+
+    The shared basis of the multi-backend row-labelling rule used by
+    both the sweep table and the experiment summary (one
+    implementation, so the two reports can never drift apart).
+    """
+    out: dict[str, dict[str, None]] = {}
+    for record in records:
+        out.setdefault(str(record["system"]), {})[
+            str(record.get("backend", ""))
+        ] = None
+    return out
+
+
+def system_label(record: dict, backends_of: dict[str, dict[str, None]]) -> str:
+    """Row label of one record: ``system[backend]`` only when that
+    system's records span several backends, the plain name otherwise —
+    backends are never silently merged into one row."""
+    system = str(record["system"])
+    if len(backends_of.get(system, {})) > 1:
+        return f"{system}[{record.get('backend', '')}]"
+    return system
+
+
+class ResultsStore:
+    """Append-only JSONL store of experiment result records.
+
+    Parameters
+    ----------
+    path:
+        The ``.jsonl`` file; created (with parent directories) on the
+        first append. The same path may be handed to several shard
+        processes of one experiment.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether any record has ever been written."""
+        return self.path.exists()
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed-run record (one JSON line).
+
+        A crash mid-append leaves a truncated final line; before
+        writing, the tail is cut back to the last complete line (under
+        the same lock) so the store always returns to the "complete
+        lines only" invariant — the interrupted run simply re-executes.
+        """
+        record_key(record)  # validate before touching the file
+        data = (json.dumps(record, sort_keys=True) + "\n").encode()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab+") as fh:
+            if fcntl is not None:  # serialise concurrent shard appends
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            self._drop_partial_tail(fh)
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    @staticmethod
+    def _drop_partial_tail(fh) -> None:
+        """Truncate a crash's unterminated final line (no-op otherwise)."""
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return
+        chunk = 1 << 20
+        pos = size
+        while pos > 0:
+            start = max(0, pos - chunk)
+            fh.seek(start)
+            data = fh.read(pos - start)
+            cut = data.rfind(b"\n")
+            if cut >= 0:
+                fh.truncate(start + cut + 1)
+                return
+            pos = start
+        fh.truncate(0)
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """All complete records, in append order.
+
+        A record counts as complete only when its line is terminated:
+        a final line without its trailing newline — even one that
+        happens to parse as JSON — is a crash-interrupted append and is
+        skipped, exactly mirroring what the next ``append`` truncates
+        away, so resume re-runs that cell instead of first counting it
+        done and then losing it. A malformed line followed by valid
+        ones is corruption and raises.
+        """
+        if not self.path.exists():
+            return []
+        with open(self.path) as fh:
+            text = fh.read()
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            lines = lines[:-1]
+        out: list[dict] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            # crash-partial tails were already dropped above, so any
+            # malformed complete line is real corruption — raising here
+            # (rather than skipping) stops the next append from burying
+            # it mid-file where it would poison every later read
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"corrupt results store {self.path}: malformed record "
+                    f"on line {i + 1}: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise ReproError(
+                    f"corrupt results store {self.path}: line {i + 1} is not "
+                    "a record object"
+                )
+            out.append(payload)
+        return out
+
+    def completed(self) -> set[tuple[str, str, int, str]]:
+        """Run keys already recorded — the resume skip-set."""
+        return {record_key(r) for r in self.records()}
+
+    def select(self, keys: Iterable[tuple[str, str, int, str]]) -> list[dict]:
+        """Records matching ``keys``, in append order."""
+        wanted = set(keys)
+        return [r for r in self.records() if record_key(r) in wanted]

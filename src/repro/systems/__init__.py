@@ -23,8 +23,11 @@ from repro.systems.ess_ns import ESSNS, ESSNSConfig
 from repro.systems.essim_ea import ESSIMEA, ESSIMEAConfig
 from repro.systems.essim_de import ESSIMDE, ESSIMDEConfig
 from repro.systems.essns_im import ESSNSIM, ESSNSIMConfig
+from repro.systems.factory import SYSTEM_NAMES, build_system
 
 __all__ = [
+    "SYSTEM_NAMES",
+    "build_system",
     "PredictionStepProblem",
     "StepResult",
     "RunResult",

@@ -134,6 +134,8 @@ class PredictionSystem(ABC):
         self,
         fire: ReferenceFire,
         rng: np.random.Generator | int | None = None,
+        session: EngineSession | None = None,
+        scope_label: str | None = None,
     ) -> RunResult:
         """Execute the full predictive process over a reference fire.
 
@@ -141,31 +143,65 @@ class PredictionSystem(ABC):
         cross-step result cache — lives in one
         :class:`~repro.engine.EngineSession`; each step only borrows a
         view, so nothing expensive is rebuilt inside the hot loop.
+
+        ``session`` optionally supplies an *externally owned* session
+        (the experiment layer shares one across all systems of a
+        ``compare``/sweep group, so repeats of the same step context
+        hit the shared cache across systems). The session then decides
+        the engine configuration: every step evaluates on the
+        *session's* backend, worker pool and caches — including
+        worker-side problem rebuilds, which mirror the session's
+        backend/cache settings — and the system's own
+        ``backend``/``n_workers``/cache settings are not consulted
+        (the step records report what actually ran — the session's
+        engine). Callers sharing a session across systems should build
+        matching systems, as the experiment runner does. A borrowed
+        session is never closed here — ownership stays with the caller
+        — and the run's ``session`` payload then carries this system's
+        counter deltas only (its :class:`~repro.engine.SessionScope`
+        view), not the whole shared session's totals. ``scope_label``
+        names that scope (default: the system's display name); the
+        experiment layer passes its own per-system label so two
+        differently-configured instances of one system class are
+        counted as distinct consumers.
         """
         root = ensure_rng(rng)
         step_rngs = spawn(root, fire.n_steps)
         result = RunResult(system=self.name)
         kign_prev: float | None = None
-        session = EngineSession(
-            backend=self.backend,
-            n_workers=self.n_workers,
-            cache_size=self.cache_size,
-            session_cache_size=self.session_cache_size,
-        )
+        owns_session = session is None
+        if owns_session:
+            session = EngineSession(
+                backend=self.backend,
+                n_workers=self.n_workers,
+                cache_size=self.cache_size,
+                session_cache_size=self.session_cache_size,
+            )
+        elif session.closed:
+            raise ReproError(
+                f"{self.name}: the provided engine session is already closed"
+            )
+        scope = session.scoped(scope_label or self.name)
 
         try:
             for step in range(1, fire.n_steps + 1):
                 timings = StageTimings()
                 start = fire.start_mask(step)
                 real = fire.real_mask(step)
+                # the session decides the engine configuration; mirroring
+                # it into the problem keeps worker-side rebuilds (island
+                # and pool processes drop the session on pickling)
+                # consistent with the master-side session views when the
+                # session was borrowed with settings differing from the
+                # system's own
                 problem = PredictionStepProblem(
                     terrain=fire.terrain,
                     start_burned=start,
                     real_burned=real,
                     horizon=fire.step_horizon(step),
                     space=self.space,
-                    backend=self.backend,
-                    cache_size=self.cache_size,
+                    backend=session.backend,
+                    cache_size=session.cache_size,
                     session=session,
                 )
                 engine = problem.engine  # session.for_step(...) view
@@ -231,6 +267,8 @@ class PredictionSystem(ABC):
                     )
                 )
         finally:
-            session.close()
-        result.session = session.stats.to_dict()
+            scope.close()
+            if owns_session:
+                session.close()
+        result.session = scope.stats.to_dict()
         return result

@@ -38,6 +38,14 @@ class TestEngineBenchSmoke:
         assert {r["mode"] for r in rows} == {"per-step engines", "session"}
         assert all(r["seconds"] > 0 for r in rows)
 
+    def test_shared_sweep_agrees_and_reuses_across_systems(self):
+        rows = bench.smoke_shared_sweep()
+        assert {r["mode"] for r in rows} == {
+            "per-system sessions",
+            "shared session",
+        }
+        assert "x-sys hits" in bench.sweep_session_table(rows)
+
     def test_tables_render(self):
         rows = bench.smoke_backends()
         table = bench.backend_table(rows)

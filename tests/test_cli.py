@@ -108,10 +108,146 @@ class TestCompareCommand:
         out = capsys.readouterr().out
         assert "winner:" in out
         assert "ESS" in out and "ESS-NS" in out
+        assert "experiment:" in out  # the shared-session summary block
+
+    def test_compare_shared_session_reports_cross_system_hits(self, capsys):
+        rc = main(
+            ["compare", "--systems", "ess,ess-ns", "--size", "24",
+             "--steps", "2", "--population", "8", "--generations", "2",
+             "--backend", "vectorized", "--session-cache-size", "2048"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        cross = [
+            line for line in out.splitlines()
+            if line.startswith("experiment:")
+        ]
+        assert cross and "cross-system-hits=" in cross[0]
+        hits = int(cross[0].split("cross-system-hits=")[1].split()[0])
+        assert hits > 0
+
+    def test_compare_isolated_sessions_flag(self, capsys):
+        rc = main(
+            ["compare", "--systems", "ess,ess-ns", "--size", "24",
+             "--steps", "2", "--population", "8", "--generations", "2",
+             "--session-cache-size", "2048", "--isolated-sessions"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cross-system-hits=0" in out
+
+    def test_compare_unknown_system_exits(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--systems", "ess,warp-drive", "--size", "24"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCommand:
+    _ARGS = [
+        "sweep", "--systems", "ess,ess-ns", "--cases", "grassland",
+        "--size", "20", "--steps", "2", "--seeds", "0,1",
+        "--population", "8", "--generations", "2",
+        "--backend", "vectorized", "--session-cache-size", "1024",
+    ]
+
+    def test_sweep_table_and_summary(self, capsys):
+        rc = main(self._ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winners —" in out
+        assert "experiment:" in out and "cross-system-hits=" in out
+
+    def test_sweep_saves_plan_results_and_output(self, capsys, tmp_path):
+        from repro.experiments import ExperimentPlan, ResultsStore
+
+        plan_path = tmp_path / "plan.json"
+        results_path = tmp_path / "results.jsonl"
+        out_path = tmp_path / "sweep.json"
+        rc = main(
+            self._ARGS
+            + ["--save-plan", str(plan_path), "--results", str(results_path),
+               "--output", str(out_path)]
+        )
+        assert rc == 0
+        plan = ExperimentPlan.load_json(plan_path)
+        assert plan.systems == ("ess", "ess-ns")
+        assert plan.seeds == (0, 1)
+        store = ResultsStore(results_path)
+        assert len(store.records()) == plan.n_runs
+        from repro.analysis.sweeps import SweepResult
+
+        sweep = SweepResult.load_json(out_path)
+        assert len(sweep.cell("ess", "grassland").qualities) == 2
+
+    def test_sweep_resumes_from_results(self, capsys, tmp_path):
+        results_path = tmp_path / "results.jsonl"
+        assert main(self._ARGS + ["--results", str(results_path)]) == 0
+        first = capsys.readouterr().out
+        assert "resumed 0" in first
+        assert main(self._ARGS + ["--results", str(results_path)]) == 0
+        second = capsys.readouterr().out
+        assert "resumed 4" in second
+        # the resumed table reports the identical grid
+        table = lambda text: [
+            line for line in text.splitlines()
+            if line.startswith(("ess", "ess-ns"))
+        ]
+        assert table(first)[:2] == table(second)[:2]
+
+    def test_sweep_seed_offset_shifts_plan_seeds(self, tmp_path):
+        from repro.experiments import ExperimentPlan
+
+        plan_path = tmp_path / "plan.json"
+        rc = main(
+            ["sweep", "--systems", "ess", "--cases", "grassland",
+             "--size", "20", "--steps", "2", "--seeds", "0,1",
+             "--seed", "100", "--population", "8", "--generations", "2",
+             "--save-plan", str(plan_path)]
+        )
+        assert rc == 0
+        assert ExperimentPlan.load_json(plan_path).seeds == (100, 101)
+
+    def test_sweep_runs_a_loaded_plan(self, capsys, tmp_path):
+        from repro.experiments import BudgetSpec, CaseSpec, ExperimentPlan
+
+        plan = ExperimentPlan(
+            name="from-file",
+            systems=("ess",),
+            cases=(CaseSpec("grassland", size=20, steps=2),),
+            seeds=(7,),
+            budget=BudgetSpec(population=8, generations=2),
+        )
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        rc = main(["sweep", "--plan", str(path)])
+        assert rc == 0
+        assert "plan=from-file" in capsys.readouterr().out
+
+    def test_sweep_unknown_case_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--systems", "ess", "--cases", "atlantis"])
+
+    def test_sweep_bad_seed_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--systems", "ess", "--seeds", "0,x"])
+
+    def test_sweep_missing_plan_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--plan", "/nonexistent/plan.json"])
+
+    def test_sweep_unwritable_results_exits_cleanly(self, tmp_path):
+        target = tmp_path / "blocker"
+        target.write_text("a file, not a directory")
+        with pytest.raises(SystemExit):
+            main(
+                ["sweep", "--systems", "ess", "--cases", "grassland",
+                 "--size", "20", "--steps", "2", "--seeds", "0",
+                 "--population", "8", "--generations", "2",
+                 "--results", str(target / "r.jsonl")]
+            )
 
 
 class TestSerializationRoundtrip:

@@ -176,8 +176,10 @@ class TestEngineSession:
             "n_workers",
             "steps",
             "contexts",
+            "systems",
             "pool_reuses",
             "cross_step_hits",
+            "cross_system_hits",
             "cache",
         }
 
@@ -393,6 +395,82 @@ class TestRunLevelSessionStats:
 
         with pytest.raises(ReproError):
             ESS(session_cache_size=-1)
+
+
+class TestSessionScopes:
+    """Per-system stat views over one shared session."""
+
+    def test_scope_stats_are_deltas(self, step1_problem):
+        genomes = SPACE.sample(6, 20)
+        with EngineSession(backend="vectorized", session_cache_size=256) as s:
+            with s.scoped("first") as first:
+                engine = s.for_step(step1_problem)
+                engine(genomes)
+                engine.close()
+            with s.scoped("second") as second:
+                engine = s.for_step(step1_problem)
+                engine(genomes)
+                engine.close()
+        assert first.stats.steps == 1 and second.stats.steps == 1
+        assert first.stats.cache.misses == 6
+        assert first.stats.cache.hits == 0
+        # the second scope was served entirely by the first's inserts
+        assert second.stats.cache.hits == 6
+        assert second.stats.cross_system_hits == 6
+        assert second.stats.cross_step_hits == 6
+        # scope deltas partition the session totals
+        total = s.stats
+        assert total.cache.hits == first.stats.cache.hits + second.stats.cache.hits
+        assert total.systems == 2
+
+    def test_scope_freezes_on_exit(self, step1_problem):
+        session = EngineSession(backend="vectorized", session_cache_size=64)
+        scope = session.scoped("a")
+        engine = session.for_step(step1_problem)
+        engine(SPACE.sample(3, 21))
+        engine.close()
+        scope.close()
+        frozen = scope.stats.to_dict()
+        later = session.scoped("b")
+        engine = session.for_step(step1_problem)
+        engine(SPACE.sample(3, 21))
+        engine.close()
+        later.close()
+        assert scope.stats.to_dict() == frozen
+        session.close()
+
+    def test_unscoped_sessions_count_no_cross_system_hits(self, step1_problem):
+        genomes = SPACE.sample(4, 22)
+        with EngineSession(backend="vectorized", session_cache_size=64) as s:
+            for _ in range(2):
+                engine = s.for_step(step1_problem)
+                engine(genomes)
+                engine.close()
+            assert s.stats.cross_step_hits == 4
+            assert s.stats.cross_system_hits == 0
+
+    def test_stats_minus_subtracts_counterwise(self):
+        a = SessionStats(
+            backend="vectorized", n_workers=2, steps=5, contexts=3,
+            systems=2, pool_reuses=4, cross_step_hits=7,
+            cross_system_hits=2, cache=CacheStats(hits=10, misses=4),
+        )
+        b = SessionStats(
+            backend="vectorized", n_workers=2, steps=2, contexts=1,
+            systems=1, pool_reuses=1, cross_step_hits=3,
+            cross_system_hits=1, cache=CacheStats(hits=6, misses=1),
+        )
+        delta = a.minus(b)
+        assert delta.steps == 3 and delta.contexts == 2
+        assert delta.systems == 1 and delta.pool_reuses == 3
+        assert delta.cross_step_hits == 4 and delta.cross_system_hits == 1
+        assert delta.cache.hits == 4 and delta.cache.misses == 3
+
+    def test_scoped_after_close_raises(self):
+        session = EngineSession()
+        session.close()
+        with pytest.raises(ReproError, match="closed"):
+            session.scoped("late")
 
 
 class TestSessionCacheStatsMerge:

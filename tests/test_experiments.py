@@ -1,0 +1,443 @@
+"""Tests for the experiment orchestration layer.
+
+Covers the declarative plan (validation, JSON artifact round-trip), the
+streaming results store (crash-tolerant parsing, resume keys), the
+runner (shared-session groups, bitwise equivalence to isolated
+sessions, cross-system cache reuse, crash-safe resume, session
+lifecycle, sharding) and the per-system stat scopes the shared sessions
+hand out.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineSession
+from repro.errors import ReproError
+from repro.experiments import (
+    BudgetSpec,
+    CaseSpec,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultsStore,
+    RunKey,
+    record_key,
+)
+
+
+def _tiny_plan(**overrides) -> ExperimentPlan:
+    values = dict(
+        name="tiny",
+        systems=("ess", "ess-ns"),
+        cases=(CaseSpec("grassland", size=20, steps=2),),
+        seeds=(0,),
+        backends=("vectorized",),
+        budget=BudgetSpec(
+            population=8, generations=2, session_cache_size=2048
+        ),
+    )
+    values.update(overrides)
+    return ExperimentPlan(**values)
+
+
+class TestExperimentPlan:
+    def test_grid_size_and_groups(self):
+        plan = _tiny_plan(
+            cases=(
+                CaseSpec("grassland", size=20, steps=2),
+                CaseSpec("river_gap", size=20, steps=2),
+            ),
+            seeds=(0, 1),
+        )
+        assert plan.n_runs == 2 * 2 * 2
+        groups = plan.groups()
+        assert len(groups) == 2  # one per (case, backend)
+        (case, backend), keys = groups[0]
+        assert case.name == "grassland" and backend == "vectorized"
+        # all runs of a group replay the same case on the same backend
+        assert {(k.case, k.backend) for k in keys} == {
+            ("grassland", "vectorized")
+        }
+        assert len(keys) == 4
+        assert [k.as_tuple() for k in plan.runs()] == [
+            k.as_tuple() for _, ks in groups for k in ks
+        ]
+
+    def test_json_roundtrip_is_lossless_and_stable(self, tmp_path):
+        plan = _tiny_plan(seeds=(3, 1, 2))
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        back = ExperimentPlan.load_json(path)
+        assert back == plan
+        back.save_json(tmp_path / "again.json")
+        assert (tmp_path / "again.json").read_text() == path.read_text()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"systems": ()},
+            {"systems": ("warp-drive",)},
+            {"systems": ("ess", "ess")},
+            {"cases": ()},
+            {"seeds": ()},
+            {"seeds": (1, 1)},
+            {"backends": ("quantum",)},
+        ],
+    )
+    def test_invalid_plans_raise(self, overrides):
+        with pytest.raises(ReproError):
+            _tiny_plan(**overrides)
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(ReproError):
+            CaseSpec("atlantis")
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ReproError):
+            ExperimentPlan.from_dict({"systems": ["ess"]})
+
+    def test_build_system_applies_budget(self):
+        plan = _tiny_plan()
+        system = plan.build_system("ess", "vectorized")
+        assert system.backend == "vectorized"
+        assert system.session_cache_size == 2048
+
+
+class TestResultsStore:
+    def _record(self, seed: int = 0, system: str = "ess") -> dict:
+        return {
+            "plan": "t",
+            "system": system,
+            "case": "grassland",
+            "seed": seed,
+            "backend": "vectorized",
+            "quality": 0.5,
+            "evaluations": 1,
+            "seconds": 0.1,
+            "run": {"system": "ESS", "steps": [], "session": {}},
+        }
+
+    def test_append_stream_and_completed(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        assert not store.exists() and store.records() == []
+        store.append(self._record(0))
+        store.append(self._record(1))
+        assert len(store) == 2
+        assert store.completed() == {
+            ("ess", "grassland", 0, "vectorized"),
+            ("ess", "grassland", 1, "vectorized"),
+        }
+
+    def test_truncated_final_line_is_ignored(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.append(self._record(0))
+        with open(store.path, "a") as fh:
+            fh.write('{"system": "ess", "case": "gr')  # crash mid-append
+        records = store.records()
+        assert len(records) == 1
+        assert record_key(records[0]) == ("ess", "grassland", 0, "vectorized")
+
+    def test_unterminated_but_parseable_tail_is_not_complete(self, tmp_path):
+        """Regression: a crash can persist a record's full JSON minus
+        the trailing newline; counting it complete and then letting the
+        next append truncate it would silently lose the cell."""
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.append(self._record(0))
+        with open(store.path, "a") as fh:
+            fh.write(json.dumps(self._record(1)))  # crash before "\n"
+        assert store.completed() == {("ess", "grassland", 0, "vectorized")}
+        store.append(self._record(2))  # repairs the tail, then appends
+        assert store.completed() == {
+            ("ess", "grassland", 0, "vectorized"),
+            ("ess", "grassland", 2, "vectorized"),
+        }
+
+    def test_interior_corruption_raises(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.append(self._record(0))
+        with open(store.path, "a") as fh:
+            fh.write("not json\n")
+        store.append(self._record(1))
+        with pytest.raises(ReproError, match="corrupt"):
+            store.records()
+
+    def test_record_without_key_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        with pytest.raises(ReproError):
+            store.append({"system": "ess"})
+        assert not store.exists()
+
+    def test_append_repairs_a_truncated_tail(self, tmp_path):
+        """Regression: a crash's partial final line must be dropped by
+        the next append, not merged into it (which would silently lose
+        one record and poison every later read)."""
+        store = ResultsStore(tmp_path / "r.jsonl")
+        store.append(self._record(0))
+        with open(store.path, "a") as fh:
+            fh.write('{"system": "ess", "case": "gr')  # crash mid-append
+        store.append(self._record(1))
+        store.append(self._record(2))
+        records = store.records()
+        assert [record_key(r)[2] for r in records] == [0, 1, 2]
+        assert store.completed() == {
+            ("ess", "grassland", s, "vectorized") for s in (0, 1, 2)
+        }
+
+
+class TestSharedSessionEquivalence:
+    """Acceptance: shared-session grids are bitwise-identical to
+    isolated sessions while reusing strictly more from the cache."""
+
+    def test_shared_equals_isolated_with_more_hits(self):
+        plan = _tiny_plan()
+        shared = ExperimentRunner(share_sessions=True).run(plan)
+        isolated = ExperimentRunner(share_sessions=False).run(plan)
+        assert len(shared.records) == len(isolated.records) == plan.n_runs
+        for a, b in zip(shared.runs(), isolated.runs()):
+            assert a.system == b.system
+            assert np.array_equal(a.qualities(), b.qualities(), equal_nan=True)
+            assert [s.kign for s in a.steps] == [s.kign for s in b.steps]
+            assert [s.best_scenario_fitness for s in a.steps] == [
+                s.best_scenario_fitness for s in b.steps
+            ]
+        shared_hits = sum(
+            r["run"]["session"]["cache"]["hits"] for r in shared.records
+        )
+        isolated_hits = sum(
+            r["run"]["session"]["cache"]["hits"] for r in isolated.records
+        )
+        assert shared_hits > isolated_hits
+        # the reuse only a shared session can provide, and the summary
+        # totals that report it
+        assert shared.cross_system_hits() > 0
+        assert isolated.cross_system_hits() == 0
+        totals = shared.per_system_totals()
+        assert totals["ess-ns"]["cross_system_hits"] > 0
+
+    def test_per_system_scope_stats_are_deltas(self):
+        plan = _tiny_plan()
+        result = ExperimentRunner(share_sessions=True).run(plan)
+        sessions = [r["run"]["session"] for r in result.records]
+        # each run reports its own scope: 2 steps each, not cumulative
+        assert [s["steps"] for s in sessions] == [2, 2]
+        assert all(s["systems"] == 1 for s in sessions)
+
+    def test_same_system_repeats_count_no_cross_system_hits(self, small_fire):
+        """Regression: repeat seeds of ONE system share a scope label,
+        so reuse between them is cross-step, never 'cross-system'."""
+        system = _tiny_plan().build_system("ess", "vectorized")
+        with EngineSession(
+            backend="vectorized", session_cache_size=4096
+        ) as session:
+            system.run(small_fire, rng=0, session=session)
+            again = _tiny_plan().build_system("ess", "vectorized").run(
+                small_fire, rng=0, session=session
+            )
+            stats = session.stats
+        # identical seed → every evaluation of the repeat hits the cache
+        assert again.session["cache"]["hits"] > 0
+        assert again.session["cross_step_hits"] > 0
+        assert again.session["cross_system_hits"] == 0
+        assert stats.systems == 1  # one distinct label entered twice
+
+
+class TestRunnerLifecycle:
+    def test_crash_mid_group_closes_shared_session(self):
+        created: list[EngineSession] = []
+
+        def factory(**kwargs):
+            session = EngineSession(**kwargs)
+            created.append(session)
+            return session
+
+        def boom(record):
+            raise RuntimeError("mid-group crash")
+
+        runner = ExperimentRunner(session_factory=factory, progress=boom)
+        with pytest.raises(RuntimeError, match="mid-group crash"):
+            runner.run(_tiny_plan())
+        assert len(created) == 1
+        assert created[0].closed
+
+    def test_sessions_closed_on_success_too(self):
+        created: list[EngineSession] = []
+
+        def factory(**kwargs):
+            session = EngineSession(**kwargs)
+            created.append(session)
+            return session
+
+        plan = _tiny_plan(
+            cases=(
+                CaseSpec("grassland", size=20, steps=2),
+                CaseSpec("river_gap", size=20, steps=2),
+            )
+        )
+        ExperimentRunner(session_factory=factory).run(plan)
+        assert len(created) == 2  # one shared session per (case, backend)
+        assert all(s.closed for s in created)
+
+    def test_invalid_shards_raise(self):
+        with pytest.raises(ReproError):
+            ExperimentRunner().run(_tiny_plan(), shards=0)
+        with pytest.raises(ReproError, match="ResultsStore"):
+            ExperimentRunner().run(_tiny_plan(), shards=2)
+
+
+class TestResume:
+    def test_killed_sweep_resumes_only_missing_cells(self, tmp_path):
+        """Acceptance: re-invoking with the same store completes only
+        the missing (system, case, seed) cells."""
+        plan = _tiny_plan(seeds=(0, 1))
+        store = ResultsStore(tmp_path / "r.jsonl")
+        seen: list[tuple] = []
+
+        def die_after_two(record):
+            seen.append(record_key(record))
+            if len(seen) == 2:
+                raise RuntimeError("killed")
+
+        with pytest.raises(RuntimeError):
+            ExperimentRunner(store=store, progress=die_after_two).run(plan)
+        assert len(store.records()) == 2
+
+        executed: list[tuple] = []
+        result = ExperimentRunner(
+            store=store, progress=lambda r: executed.append(record_key(r))
+        ).run(plan)
+        assert len(executed) == plan.n_runs - 2
+        assert set(executed).isdisjoint(seen)
+        assert result.n_resumed == 2
+        # the full grid comes back, in plan order
+        assert [record_key(r) for r in result.records] == [
+            k.as_tuple() for k in plan.runs()
+        ]
+
+    def test_resume_rejects_changed_configuration(self, tmp_path):
+        """Regression: the run key alone does not identify a result —
+        resuming with a changed case shape or budget must refuse the
+        store instead of serving the stale cells."""
+        store = ResultsStore(tmp_path / "r.jsonl")
+        ExperimentRunner(store=store).run(_tiny_plan())
+        bigger_case = _tiny_plan(
+            cases=(CaseSpec("grassland", size=28, steps=3),)
+        )
+        with pytest.raises(ReproError, match="different configuration"):
+            ExperimentRunner(store=store).run(bigger_case)
+        bigger_budget = _tiny_plan(
+            budget=BudgetSpec(
+                population=16, generations=2, session_cache_size=2048
+            )
+        )
+        with pytest.raises(ReproError, match="different configuration"):
+            ExperimentRunner(store=store).run(bigger_budget)
+        # the unchanged plan still resumes cleanly
+        assert ExperimentRunner(store=store).run(_tiny_plan()).n_resumed == 2
+
+    def test_fully_recorded_plan_runs_nothing(self, tmp_path):
+        plan = _tiny_plan()
+        store = ResultsStore(tmp_path / "r.jsonl")
+        first = ExperimentRunner(store=store).run(plan)
+        executed: list[dict] = []
+        second = ExperimentRunner(store=store, progress=executed.append).run(
+            plan
+        )
+        assert executed == []
+        assert second.n_resumed == plan.n_runs
+        assert [record_key(r) for r in second.records] == [
+            record_key(r) for r in first.records
+        ]
+        for a, b in zip(first.records, second.records):
+            assert a["run"] == b["run"]
+
+    def test_resumed_results_match_uninterrupted(self, tmp_path):
+        plan = _tiny_plan(seeds=(0, 1))
+        straight = ExperimentRunner().run(plan)
+        store = ResultsStore(tmp_path / "r.jsonl")
+        crash = [0]
+
+        def die_after_one(record):
+            crash[0] += 1
+            if crash[0] == 1:
+                raise RuntimeError("killed")
+
+        with pytest.raises(RuntimeError):
+            ExperimentRunner(store=store, progress=die_after_one).run(plan)
+        resumed = ExperimentRunner(store=store).run(plan)
+        for a, b in zip(straight.runs(), resumed.runs()):
+            assert a.system == b.system
+            assert np.array_equal(a.qualities(), b.qualities(), equal_nan=True)
+
+
+class TestSharding:
+    def test_sharded_run_covers_the_grid(self, tmp_path):
+        plan = _tiny_plan(
+            cases=(
+                CaseSpec("grassland", size=20, steps=2),
+                CaseSpec("river_gap", size=20, steps=2),
+            )
+        )
+        store = ResultsStore(tmp_path / "r.jsonl")
+        result = ExperimentRunner(store=store).run(plan, shards=2)
+        assert len(result.records) == plan.n_runs
+        assert {record_key(r) for r in result.records} == {
+            k.as_tuple() for k in plan.runs()
+        }
+        serial = ExperimentRunner().run(plan)
+        for a, b in zip(result.runs(), serial.runs()):
+            assert np.array_equal(a.qualities(), b.qualities(), equal_nan=True)
+
+
+class TestRunBorrowedSession:
+    def test_borrowed_session_is_not_closed(self, small_fire):
+        plan = _tiny_plan()
+        system = plan.build_system("ess", "vectorized")
+        with EngineSession(
+            backend="vectorized", session_cache_size=256
+        ) as session:
+            run = system.run(small_fire, rng=0, session=session)
+            assert not session.closed
+            assert run.session["systems"] == 1
+            # a second borrower reuses what the first computed
+            other = plan.build_system("ess-ns", "vectorized")
+            run2 = other.run(small_fire, rng=0, session=session)
+            assert run2.session["cross_system_hits"] > 0
+
+    def test_closed_session_rejected(self, small_fire):
+        system = _tiny_plan().build_system("ess", "vectorized")
+        session = EngineSession(backend="vectorized")
+        session.close()
+        with pytest.raises(ReproError, match="closed"):
+            system.run(small_fire, rng=0, session=session)
+
+    def test_overlapping_scopes_rejected(self):
+        session = EngineSession()
+        scope = session.scoped("a")
+        with pytest.raises(ReproError, match="still active"):
+            session.scoped("b")
+        scope.close()
+        session.scoped("b").close()
+        session.close()
+
+
+class TestExperimentResult:
+    def test_record_lookup_and_json_stream(self, tmp_path):
+        plan = _tiny_plan()
+        store = ResultsStore(tmp_path / "r.jsonl")
+        result = ExperimentRunner(store=store).run(plan)
+        record = result.record("ess", "grassland", 0, "vectorized")
+        assert record["plan"] == "tiny"
+        with pytest.raises(ReproError):
+            result.record("ess", "grassland", 99, "vectorized")
+        # every stored line is valid standalone JSON (the streaming
+        # contract external tools rely on)
+        with open(store.path) as fh:
+            for line in fh:
+                assert isinstance(json.loads(line), dict)
+
+    def test_run_key_tuple(self):
+        key = RunKey("ess", "grassland", 3, "reference")
+        assert key.as_tuple() == ("ess", "grassland", 3, "reference")

@@ -126,20 +126,25 @@ class TestBestSetDiversity:
             small_fire.step_horizon(1),
         )
         term = Termination(max_generations=6)
-        ga = GeneticAlgorithm(GAConfig(population_size=12)).run(
-            SerialEvaluator(problem), space, term, rng=21
-        )
-        ns = NoveltyGA(
-            NoveltyGAConfig(
-                population_size=12, k_neighbors=5, best_set_capacity=12
+        ga_divs, ns_divs = [], []
+        for seed in (21, 22, 23):
+            ga = GeneticAlgorithm(GAConfig(population_size=12)).run(
+                SerialEvaluator(problem), space, term, rng=seed
             )
-        ).run(SerialEvaluator(problem), space, term, rng=21)
-        ga_div = genotypic_diversity(genomes_matrix(ga.population), space)
-        ns_div = genotypic_diversity(ns.best_genomes(), space)
-        assert ns_div > 0
+            ns = NoveltyGA(
+                NoveltyGAConfig(
+                    population_size=12, k_neighbors=5, best_set_capacity=12
+                )
+            ).run(SerialEvaluator(problem), space, term, rng=seed)
+            ga_divs.append(
+                genotypic_diversity(genomes_matrix(ga.population), space)
+            )
+            ns_divs.append(genotypic_diversity(ns.best_genomes(), space))
+        assert min(ns_divs) > 0
         # On matched budgets the bestSet should not be *less* diverse
-        # than the converged population (usually far more).
-        assert ns_div > 0.5 * ga_div
+        # than the converged population (usually far more); averaged
+        # over seeds so one unlucky draw cannot flip the comparison.
+        assert np.mean(ns_divs) > 0.5 * np.mean(ga_divs)
 
 
 class TestDynamicConditions:

@@ -73,6 +73,184 @@ class TestRunSweep:
         with pytest.raises(ReproError):
             SweepResult.from_dict({"cells": [{"system": "x"}]})
 
+    def test_serialization_order_is_deterministic(self):
+        """Regression: cell order in the payload must not depend on
+        construction (dict/iteration) order — serialize sorts by
+        (system, case) so round-trips agree across Python versions."""
+        from repro.analysis.sweeps import SweepCell
+
+        cells = [
+            SweepCell("B", "y", (0.1,), 1, 0.1),
+            SweepCell("A", "z", (0.2,), 1, 0.1),
+            SweepCell("B", "x", (0.3,), 1, 0.1),
+            SweepCell("A", "x", (0.4,), 1, 0.1),
+        ]
+        forward = SweepResult(cells=list(cells))
+        shuffled = SweepResult(cells=list(reversed(cells)))
+        assert forward.to_dict() == shuffled.to_dict()
+        ordered = [
+            (c["system"], c["case"]) for c in forward.to_dict()["cells"]
+        ]
+        assert ordered == sorted(ordered)
+        back = SweepResult.from_dict(forward.to_dict())
+        assert back.to_dict() == forward.to_dict()
+        assert back.systems() == ["A", "B"]  # first-seen == sorted now
+        for cell in cells:
+            assert (
+                back.cell(cell.system, cell.case).qualities == cell.qualities
+            )
+
+    def test_save_json_bytes_stable(self, small_fire, tmp_path):
+        sweep = run_sweep(_factories(), {"small": small_fire}, seeds=[0])
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        sweep.save_json(a)
+        SweepResult.load_json(a).save_json(b)
+        assert a.read_text() == b.read_text()
+
+
+class TestSweepExperimentIntegration:
+    def test_sweep_matches_pre_experiment_layer_execution(self, small_fire):
+        """Delegating to the shared-session runner must not change the
+        aggregated numbers: same seeds → same per-run qualities."""
+        factories = _factories()
+        delegated = run_sweep(factories, {"small": small_fire}, seeds=[0, 1])
+        isolated = run_sweep(
+            factories, {"small": small_fire}, seeds=[0, 1],
+            share_sessions=False,
+        )
+        assert (
+            delegated.cell("ESS", "small").qualities
+            == isolated.cell("ESS", "small").qualities
+        )
+        expected = tuple(
+            factories["ESS"]().run(small_fire, rng=s).mean_quality()
+            for s in (0, 1)
+        )
+        assert delegated.cell("ESS", "small").qualities == expected
+
+    def test_sweep_streams_and_resumes_through_store(self, small_fire, tmp_path):
+        from repro.experiments import ResultsStore
+
+        store = ResultsStore(tmp_path / "sweep.jsonl")
+        first = run_sweep(
+            _factories(), {"small": small_fire}, seeds=[0, 1], store=store
+        )
+        assert len(store.records()) == 2
+        again = run_sweep(
+            _factories(), {"small": small_fire}, seeds=[0, 1], store=store
+        )
+        assert len(store.records()) == 2  # nothing re-ran
+        assert (
+            again.cell("ESS", "small").qualities
+            == first.cell("ESS", "small").qualities
+        )
+        rebuilt = SweepResult.from_store(store)
+        assert (
+            rebuilt.cell("ESS", "small").qualities
+            == first.cell("ESS", "small").qualities
+        )
+
+    def test_multi_backend_records_keep_separate_cells(self):
+        """Regression: records from different backends must not merge
+        into one cell (duplicated qualities, halved std)."""
+        records = [
+            {
+                "system": "ess", "case": "c", "seed": s, "backend": b,
+                "quality": q, "evaluations": 10, "run_seconds": 1.0,
+            }
+            for b, q in (("reference", 0.5), ("vectorized", 0.5))
+            for s in (0, 1)
+        ]
+        sweep = SweepResult.from_records(records, systems=["ess"], cases=["c"])
+        assert sweep.systems() == ["ess[reference]", "ess[vectorized]"]
+        for cell in sweep.cells:
+            assert len(cell.qualities) == 2  # one entry per seed, not four
+            assert cell.evaluations == 20
+        single = SweepResult.from_records(
+            [r for r in records if r["backend"] == "reference"]
+        )
+        assert single.systems() == ["ess"]  # no decoration for one backend
+
+    def test_duplicate_records_count_once(self):
+        """Regression: concatenated stores can repeat a run key; each
+        seed must contribute exactly one quality to its cell."""
+        record = {
+            "system": "ess", "case": "c", "seed": 0, "backend": "reference",
+            "quality": 0.5, "evaluations": 10, "run_seconds": 1.0,
+        }
+        sweep = SweepResult.from_records([record, dict(record)])
+        cell = sweep.cell("ess", "c")
+        assert cell.qualities == (0.5,)
+        assert cell.evaluations == 10
+
+    def test_winner_skips_nan_cells(self):
+        """Regression: a NaN-mean cell listed first must not beat a
+        cell with a real quality (max over raw floats keeps NaN)."""
+        from repro.analysis.sweeps import SweepCell
+
+        sweep = SweepResult(
+            cells=[
+                SweepCell("bad", "c", (float("nan"),), 1, 0.1),
+                SweepCell("good", "c", (0.9,), 1, 0.1),
+            ]
+        )
+        assert sweep.winner("c") == "good"
+        all_nan = SweepResult(
+            cells=[SweepCell("bad", "c", (float("nan"),), 1, 0.1)]
+        )
+        with pytest.raises(ReproError, match="valid mean"):
+            all_nan.winner("c")
+        from repro.analysis.reporting import format_sweep
+
+        assert "c: —" in format_sweep(all_nan)  # report, don't crash
+
+    def test_distinct_single_backend_labels_stay_plain(self):
+        """Labels each pinned to one backend keep their names even when
+        the record set spans several backends overall."""
+        records = [
+            {
+                "system": sys_, "case": "c", "seed": 0, "backend": b,
+                "quality": 0.5, "evaluations": 10, "run_seconds": 1.0,
+            }
+            for sys_, b in (("ESS-ref", "reference"), ("ESS-vec", "vectorized"))
+        ]
+        sweep = SweepResult.from_records(
+            records, systems=["ESS-ref", "ESS-vec"], cases=["c"]
+        )
+        assert sweep.systems() == ["ESS-ref", "ESS-vec"]
+        assert len(sweep.cell("ESS-ref", "c").qualities) == 1
+
+    def test_mixed_config_records_refuse_one_cell(self):
+        """Regression: disjoint-seed records from different budgets
+        share no resume key, so aggregation is the last line of defence
+        against silently averaging incomparable runs."""
+        records = [
+            {
+                "system": "ess", "case": "c", "seed": s, "backend": "reference",
+                "config": cfg, "quality": 0.5, "evaluations": 10,
+                "run_seconds": 1.0,
+            }
+            for cfg, s in (("aaaa", 0), ("bbbb", 1))
+        ]
+        with pytest.raises(ReproError, match="mix different configurations"):
+            SweepResult.from_records(records)
+
+    def test_sweep_store_rejects_rebudgeted_factories(self, small_fire, tmp_path):
+        """Regression: the resume digest must cover the EA budget, not
+        just the engine config — a re-budgeted factory over an old
+        store must refuse instead of serving stale cells."""
+        from repro.experiments import ResultsStore
+
+        store = ResultsStore(tmp_path / "sweep.jsonl")
+        run_sweep(_factories(), {"small": small_fire}, seeds=[0], store=store)
+        rebudgeted = {
+            "ESS": lambda: ESS(
+                ESSConfig(ga=GAConfig(population_size=8), max_generations=4)
+            ),
+        }
+        with pytest.raises(ReproError, match="different configuration"):
+            run_sweep(rebudgeted, {"small": small_fire}, seeds=[0], store=store)
+
 
 class TestESSIMDESolutionPolicy:
     def _system(self, policy):
