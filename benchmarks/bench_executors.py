@@ -1,0 +1,190 @@
+"""Executor comparison: inline vs process shards vs a loopback fleet.
+
+Measures the wall-clock of the same experiment plan under the three
+:class:`~repro.distributed.executors.GroupExecutor` policies and
+verifies their stores agree bitwise (wall-clock timing fields
+excluded). The multi-process executors parallelise over independent
+``(case, backend)`` groups, so their advantage grows with the number of
+groups and the per-group cost; the fleet additionally pays the TCP
+lease/drain round-trips, which this bench shows to be negligible
+against real simulation work.
+
+``smoke_executors`` runs the same comparison at tiny sizes with no
+timing assertions — the distributed-smoke CI job calls it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+from repro.distributed import (
+    FleetExecutor,
+    InlineExecutor,
+    ProcessShardExecutor,
+    run_worker,
+)
+from repro.experiments import (
+    BudgetSpec,
+    CaseSpec,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultsStore,
+)
+from repro.experiments.store import record_key, strip_wallclock
+
+
+def _plan(
+    size: int, steps: int, population: int, generations: int, seeds
+) -> ExperimentPlan:
+    return ExperimentPlan(
+        name="bench-executors",
+        systems=("ess", "ess-ns"),
+        cases=(
+            CaseSpec("grassland", size=size, steps=steps),
+            CaseSpec("river_gap", size=size, steps=steps),
+        ),
+        seeds=tuple(seeds),
+        backends=("vectorized",),
+        budget=BudgetSpec(
+            population=population,
+            generations=generations,
+            session_cache_size=4096,
+        ),
+    )
+
+
+def _fingerprint(store: ResultsStore) -> list[dict]:
+    """Sorted records in the shared wall-clock-free parity view."""
+    return [
+        strip_wallclock(r) for r in sorted(store.records(), key=record_key)
+    ]
+
+
+def _run_fleet(plan: ExperimentPlan, store: ResultsStore, workdir: Path):
+    """Loopback coordinator + two worker processes."""
+    ctx = multiprocessing.get_context("fork")
+    procs: list = []
+
+    def on_bound(address):
+        for i in range(2):
+            proc = ctx.Process(
+                target=run_worker,
+                args=(address,),
+                kwargs=dict(
+                    store_path=str(workdir / f"fleet-worker{i}.jsonl"),
+                    worker_id=f"bench-w{i}",
+                ),
+            )
+            proc.start()
+            procs.append(proc)
+
+    executor = FleetExecutor(
+        lease_timeout=60.0, poll_interval=0.05, timeout=3600.0,
+        on_bound=on_bound,
+    )
+    try:
+        ExperimentRunner(store=store).run(plan, executor=executor)
+    finally:
+        for proc in procs:
+            proc.join(timeout=60)
+            if proc.is_alive():  # pragma: no cover - bench hygiene
+                proc.kill()
+
+
+def executor_rows(
+    size: int = 28,
+    steps: int = 2,
+    population: int = 16,
+    generations: int = 3,
+    seeds=(0, 1),
+) -> list[dict]:
+    """Time the three executors on one plan; assert store parity."""
+    plan = _plan(size, steps, population, generations, seeds)
+    rows: list[dict] = []
+    fingerprints: list = []
+    with tempfile.TemporaryDirectory(prefix="bench-executors-") as tmp:
+        workdir = Path(tmp)
+        for label, run in (
+            (
+                "inline",
+                lambda store: ExperimentRunner(store=store).run(
+                    plan, executor=InlineExecutor()
+                ),
+            ),
+            (
+                "process x2",
+                lambda store: ExperimentRunner(store=store).run(
+                    plan, executor=ProcessShardExecutor(2)
+                ),
+            ),
+            (
+                "fleet x2 (loopback)",
+                lambda store: _run_fleet(plan, store, workdir),
+            ),
+        ):
+            store = ResultsStore(
+                workdir / f"{label.split()[0]}.jsonl"
+            )
+            start = time.perf_counter()
+            run(store)
+            elapsed = time.perf_counter() - start
+            fingerprints.append(_fingerprint(store))
+            rows.append(
+                {
+                    "executor": label,
+                    "seconds": elapsed,
+                    "records": len(store.records()),
+                }
+            )
+        reference = fingerprints[0]
+        for label_rows, fingerprint in zip(rows, fingerprints):
+            assert fingerprint == reference, (
+                f"{label_rows['executor']} diverged from inline"
+            )
+    baseline = rows[0]["seconds"]
+    for row in rows:
+        row["speedup"] = baseline / row["seconds"]
+    return rows
+
+
+def executor_table(rows: list[dict]) -> str:
+    header = f"{'executor':<22}{'records':>8}{'seconds':>10}{'speedup':>9}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['executor']:<22}{row['records']:>8}"
+            f"{row['seconds']:>10.2f}{row['speedup']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Smoke mode — tiny grid, parity only (the distributed-smoke CI job).
+# ----------------------------------------------------------------------
+def smoke_executors() -> list[dict]:
+    """All three executors agree bitwise on a tiny 2-group plan."""
+    return executor_rows(
+        size=20, steps=2, population=8, generations=2, seeds=(0,)
+    )
+
+
+# ----------------------------------------------------------------------
+# Full benchmark (pytest-benchmark harness)
+# ----------------------------------------------------------------------
+def test_executor_comparison_report(benchmark):
+    from _report import report, run_once
+
+    def _body():
+        rows = executor_rows()
+        report("bench_executors", executor_table(rows))
+        return rows
+
+    rows = run_once(benchmark, _body)
+    assert all(row["records"] == rows[0]["records"] for row in rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(executor_table(executor_rows()))

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing a script:
+Five commands cover the common workflows without writing a script:
 
 * ``simulate`` — run one fire simulation on a canonical case terrain
   and print burned-area statistics (the fireLib-style use).
@@ -9,7 +9,12 @@ Four commands cover the common workflows without writing a script:
 * ``compare`` — run several systems on the same case and print the E1
   quality-per-step comparison.
 * ``sweep`` — run a full systems × cases × seeds grid and print the
-  aggregated table.
+  aggregated table; ``--executor`` picks where the grid's groups
+  execute (inline, local shard processes, or a TCP worker fleet).
+* ``experiments`` — distributed-execution utilities:
+  ``serve-coordinator`` (lease a plan's groups to TCP workers),
+  ``worker`` (join a coordinator's fleet) and ``merge-stores``
+  (aggregate several JSONL results stores into one).
 
 ``compare`` and ``sweep`` are thin *plan builders*: they assemble a
 declarative :class:`~repro.experiments.plan.ExperimentPlan` from the
@@ -35,6 +40,12 @@ from repro.analysis.reporting import (
 )
 from repro.analysis.sweeps import SweepResult
 from repro.core.scenario import Scenario
+from repro.distributed import (
+    FleetError,
+    FleetExecutor,
+    ProcessShardExecutor,
+    run_worker,
+)
 from repro.engine import backend_names
 from repro.errors import ReproError
 from repro.experiments import (
@@ -109,6 +120,31 @@ def _add_budget(parser: argparse.ArgumentParser) -> None:
         "all prediction steps of a run — and, under a shared experiment "
         "session, by every system of a (case, backend) group (0 = off; "
         "replaces --cache-size when set)",
+    )
+
+
+def _add_fleet(parser: argparse.ArgumentParser) -> None:
+    """Coordinator address/lease flags shared by sweep and serve."""
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="coordinator listen address (0.0.0.0 to accept remote "
+        "workers)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="coordinator listen port (0 = OS-assigned; the bound "
+        "address is printed either way)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of worker silence after which its leased group "
+        "is handed to another worker (workers heartbeat at a quarter "
+        "of this)",
     )
 
 
@@ -248,12 +284,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"plan saved: {args.save_plan}")
         store = None
         if args.results:
-            store = ResultsStore(args.results)
-            # surface an unwritable results path now, as a clean exit,
-            # rather than as a traceback after the first completed run
-            store.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(store.path, "a"):
-                pass
+            store = _open_results_store(args.results)
         if args.output:
             # same eager check for --output: without a --results store
             # an unwritable path here would discard the whole sweep
@@ -265,7 +296,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store, share_sessions=not args.isolated_sessions
     )
     try:
-        result = runner.run(plan, shards=args.shards)
+        executor = None
+        if args.executor == "process":
+            executor = ProcessShardExecutor(args.shards)
+        elif args.executor == "fleet":
+            executor = FleetExecutor(
+                host=args.host,
+                port=args.port,
+                lease_timeout=args.lease_timeout,
+                on_bound=_announce_coordinator,
+            )
+        if executor is not None:
+            result = runner.run(plan, executor=executor)
+        else:
+            # --shards N stays sugar for the process executor
+            result = runner.run(plan, shards=args.shards)
     except ReproError as exc:
         _exit_on_user_error(exc)
         raise
@@ -282,6 +327,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except OSError as exc:
             raise SystemExit(str(exc)) from exc
         print(f"saved: {args.output}")
+    return 0
+
+
+def _announce_coordinator(address: tuple[str, int]) -> None:
+    """Print the bound coordinator address (workers need it to join)."""
+    print(f"coordinator listening on {address[0]}:{address[1]}", flush=True)
+
+
+def _open_results_store(path: str) -> ResultsStore:
+    """A results store whose path is verified writable *now*."""
+    store = ResultsStore(path)
+    # surface an unwritable results path immediately, as a clean exit,
+    # rather than as a traceback after the first completed run
+    store.path.parent.mkdir(parents=True, exist_ok=True)
+    with open(store.path, "a"):
+        pass
+    return store
+
+
+def _cmd_experiments_serve(args: argparse.Namespace) -> int:
+    try:
+        plan = ExperimentPlan.load_json(args.plan)
+        store = _open_results_store(args.results)
+    except _USER_ERRORS as exc:
+        raise SystemExit(str(exc)) from exc
+    executor = FleetExecutor(
+        host=args.host,
+        port=args.port,
+        lease_timeout=args.lease_timeout,
+        poll_interval=args.poll_interval,
+        timeout=args.timeout,
+        on_bound=_announce_coordinator,
+    )
+    runner = ExperimentRunner(
+        store=store, share_sessions=not args.isolated_sessions
+    )
+    try:
+        result = runner.run(plan, executor=executor)
+    except FleetError as exc:
+        raise SystemExit(str(exc)) from exc
+    except ReproError as exc:
+        _exit_on_user_error(exc)
+        raise
+    print(
+        f"fleet complete: {len(result.records)} records "
+        f"({result.n_resumed} resumed, {executor.requeues} group "
+        f"requeues) -> {store.path}"
+    )
+    print(format_experiment(result))
+    return 0
+
+
+def _cmd_experiments_worker(args: argparse.Namespace) -> int:
+    try:
+        summary = run_worker(
+            args.connect,
+            store_path=args.store,
+            poll_interval=args.poll_interval,
+            worker_id=args.id,
+        )
+    except FleetError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"worker {summary['worker']} done: {summary['groups']} groups, "
+        f"{summary['records']} records (local store: {summary['store']})"
+    )
+    return 0
+
+
+def _cmd_experiments_merge(args: argparse.Namespace) -> int:
+    sources = [ResultsStore(p) for p in args.stores]
+    missing = [str(s.path) for s in sources if not s.exists()]
+    if missing:
+        raise SystemExit(f"no such results store(s): {', '.join(missing)}")
+    try:
+        dest = _open_results_store(args.into)
+        summary = dest.merge(*sources)
+    except _USER_ERRORS as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"merged {summary['sources']} store(s) into {dest.path}: "
+        f"{summary['records']} records, {summary['duplicates']} "
+        "duplicate cells dropped (first writer wins)"
+    )
     return 0
 
 
@@ -377,8 +506,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         type=int,
         default=1,
         help="run independent (case, backend) groups in this many "
-        "processes (requires --results)",
+        "processes (requires --results; sugar for --executor process)",
     )
+    p_swp.add_argument(
+        "--executor",
+        choices=("inline", "process", "fleet"),
+        default="inline",
+        help="where the plan's (case, backend) groups execute: in this "
+        "process (inline, honouring --shards), in local shard "
+        "processes (process), or leased to TCP workers started with "
+        "'repro experiments worker' (fleet; requires --results and "
+        "honours --host/--port/--lease-timeout)",
+    )
+    _add_fleet(p_swp)
     p_swp.add_argument(
         "--isolated-sessions",
         action="store_true",
@@ -387,6 +527,95 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_swp.add_argument("--output", help="save the aggregated sweep as JSON")
     p_swp.set_defaults(func=_cmd_sweep)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="distributed experiment execution and store aggregation",
+    )
+    exp_sub = p_exp.add_subparsers(dest="experiments_command", required=True)
+
+    p_serve = exp_sub.add_parser(
+        "serve-coordinator",
+        help="lease a plan's (case, backend) groups to TCP workers and "
+        "aggregate their results",
+    )
+    p_serve.add_argument(
+        "--plan",
+        required=True,
+        help="experiment plan JSON (e.g. written by sweep --save-plan); "
+        "workers receive it over the wire and need no copy",
+    )
+    p_serve.add_argument(
+        "--results",
+        required=True,
+        help="coordinator results store; re-serving against the same "
+        "path resumes, computing only the missing cells",
+    )
+    _add_fleet(p_serve)
+    p_serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="idle re-ask cadence advertised to workers, seconds",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="abort if the plan is still incomplete after this many "
+        "seconds (default: wait forever — workers may join at any time)",
+    )
+    p_serve.add_argument(
+        "--isolated-sessions",
+        action="store_true",
+        help="workers give every run its own engine session instead of "
+        "sharing one per leased group",
+    )
+    p_serve.set_defaults(func=_cmd_experiments_serve)
+
+    p_wrk = exp_sub.add_parser(
+        "worker", help="join a coordinator's fleet and execute leased groups"
+    )
+    p_wrk.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by serve-coordinator)",
+    )
+    p_wrk.add_argument(
+        "--store",
+        help="worker-local results store; reusing a path across worker "
+        "restarts resumes interrupted groups (default: a fresh "
+        "temporary file)",
+    )
+    p_wrk.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="idle re-ask cadence, seconds (default: what the "
+        "coordinator advertises)",
+    )
+    p_wrk.add_argument(
+        "--id", help="stable worker identity (default: hostname-pid)"
+    )
+    p_wrk.set_defaults(func=_cmd_experiments_worker)
+
+    p_mrg = exp_sub.add_parser(
+        "merge-stores",
+        help="aggregate several JSONL results stores into one "
+        "(first writer wins, sorted output, partial tails compacted)",
+    )
+    p_mrg.add_argument(
+        "--into",
+        required=True,
+        help="destination store; its existing records take precedence",
+    )
+    p_mrg.add_argument(
+        "stores",
+        nargs="+",
+        help="source stores, in precedence order",
+    )
+    p_mrg.set_defaults(func=_cmd_experiments_merge)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,43 @@
+"""Distributed experiment execution: executors, fleet, aggregation.
+
+Makes "who executes a ``(case, backend)`` group" a pluggable policy
+behind the :class:`GroupExecutor` protocol — the seam PR 3 left at the
+:class:`~repro.experiments.runner.ExperimentRunner`:
+
+* :class:`InlineExecutor` — in-process, sequential (the default).
+* :class:`ProcessShardExecutor` — local ``multiprocessing`` fan-out
+  over a shared JSONL store (what ``shards=N`` always meant).
+* :class:`FleetExecutor` — a TCP coordinator
+  (``repro experiments serve-coordinator``) leasing groups to remote
+  ``repro experiments worker`` processes, with heartbeat/lease-timeout
+  requeue, worker-local stores and first-writer-wins merging.
+
+Whatever the executor, resume stays the store's ``(system, case, seed,
+backend)`` contract: a run interrupted anywhere resumes under any
+executor, and all executors produce identical store contents (modulo
+wall-clock timings) for the same plan and seeds.
+"""
+
+from repro.distributed.coordinator import FleetExecutor, GroupLedger
+from repro.distributed.executors import (
+    GroupExecutor,
+    InlineExecutor,
+    ProcessShardExecutor,
+    pending_group_indices,
+    shard_assignments,
+)
+from repro.distributed.protocol import FleetError
+from repro.distributed.worker import parse_address, run_worker
+
+__all__ = [
+    "FleetError",
+    "FleetExecutor",
+    "GroupExecutor",
+    "GroupLedger",
+    "InlineExecutor",
+    "ProcessShardExecutor",
+    "parse_address",
+    "pending_group_indices",
+    "run_worker",
+    "shard_assignments",
+]

@@ -1,0 +1,471 @@
+"""Fleet coordinator: lease groups to TCP workers, merge their stores.
+
+The :class:`FleetExecutor` is the distributed arm of the executor seam
+(:mod:`repro.distributed.executors`): it serves a plan's pending
+``(case, backend)`` groups over the length-prefixed-JSON protocol of
+:mod:`repro.distributed.protocol` to any number of
+``repro experiments worker`` processes, on this machine or others.
+
+Correctness rests on three rules, all enforced by the
+:class:`GroupLedger`:
+
+* **Leases expire.** A worker holds a group only while it heartbeats;
+  a worker that dies (or loses the network) stops renewing and its
+  group is re-leased to the next worker that asks. Requeued groups
+  re-run from the new worker's own store, so a group a worker had
+  *partially* recorded before a stale lease resumes rather than
+  recomputes.
+* **Records live on the worker until the coordinator has them.**
+  Workers stream every completed run into their own crash-safe local
+  :class:`~repro.experiments.store.ResultsStore` and upload it when the
+  coordinator asks (``drain``); the coordinator folds uploads into its
+  own store through :meth:`ResultsStore.merge` — first writer wins, so
+  a group that was executed twice (stale lease, re-run after a death)
+  never duplicates a ``(system, case, seed, backend)`` cell.
+* **Completion is verified, not assumed.** A group reported complete
+  counts only tentatively; the run finishes when the *coordinator's
+  store* records every expected cell. Cells stranded on a dead worker
+  (completed but never drained) are detected by this coverage check and
+  their groups re-leased.
+
+The coordinator never simulates anything itself: it is bookkeeping plus
+a store, which is what lets one process oversee a fleet of heavyweight
+workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import socketserver
+from typing import TYPE_CHECKING, Callable
+
+from repro.experiments.store import record_key
+
+from repro.distributed.executors import (
+    _check_process_portable,
+    pending_group_indices,
+)
+from repro.distributed.protocol import (
+    FleetError,
+    recv_message,
+    send_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.plan import ExperimentPlan
+    from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["FleetExecutor", "GroupLedger"]
+
+
+class GroupLedger:
+    """Thread-safe lease/requeue bookkeeping for one fleet run.
+
+    Parameters
+    ----------
+    plan:
+        The plan being executed; group indices refer to
+        :meth:`ExperimentPlan.groups` order (workers rebuild the same
+        plan from the ``welcome`` payload, so indices agree).
+    pending:
+        Group indices with unrecorded cells at the start of the run.
+    lease_timeout:
+        Seconds without a heartbeat (or any other contact) after which
+        a lease is revoked and its group re-leased; also the staleness
+        bound after which a silent worker is presumed dead.
+    completed_cells:
+        Callable returning the coordinator store's recorded run keys —
+        the ground truth of the end-of-run coverage check.
+    """
+
+    def __init__(
+        self,
+        plan: "ExperimentPlan",
+        pending: list[int],
+        lease_timeout: float,
+        completed_cells: Callable[[], set[tuple[str, str, int, str]]],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise FleetError(
+                f"lease timeout must be positive, got {lease_timeout}"
+            )
+        groups = plan.groups()
+        self._cells = {
+            i: {k.as_tuple() for k in groups[i][1]} for i in pending
+        }
+        self._expected = set().union(*self._cells.values())
+        self._pending: list[int] = list(pending)
+        self._leases: dict[int, dict] = {}
+        self._lease_ids = itertools.count(1)
+        self._tentative: set[int] = set()
+        self._dirty: set[str] = set()
+        self._last_seen: dict[str, float] = {}
+        self._told_done: set[str] = set()
+        self._lock = threading.Lock()
+        self.lease_timeout = float(lease_timeout)
+        self.completed_cells = completed_cells
+        self.clock = clock
+        self.finished = threading.Event()
+        self.requeues = 0
+
+    # ------------------------------------------------------------------
+    def touch(self, worker: str) -> None:
+        """Record contact from ``worker`` (liveness for drain waits)."""
+        with self._lock:
+            self._last_seen[worker] = self.clock()
+
+    def lease(self, worker: str) -> dict:
+        """Answer one work request; the heart of the scheduling policy."""
+        with self._lock:
+            now = self.clock()
+            self._last_seen[worker] = now
+            self._expire(now)
+            if self.finished.is_set():
+                self._told_done.add(worker)
+                return {"type": "done"}
+            if worker in self._dirty:
+                # collect this worker's records before handing out more
+                # work: the shorter a record's worker-only window, the
+                # less a worker death costs
+                return {"type": "drain"}
+            if self._pending:
+                return self._grant(worker, now)
+            if self._leases:
+                return {"type": "wait"}
+            if any(
+                now - self._last_seen.get(w, 0.0) <= self.lease_timeout
+                for w in self._dirty
+            ):
+                return {"type": "wait"}  # a live worker still owes records
+            # nothing pending, nothing leased, no live worker undrained:
+            # verify coverage against the store, the only ground truth
+            missing = self._expected - self.completed_cells()
+            if not missing:
+                self.finished.set()
+                self._told_done.add(worker)
+                return {"type": "done"}
+            self._requeue_missing(missing)
+            return self._grant(worker, now)
+
+    def heartbeat(self, worker: str, lease_id) -> dict:
+        """Renew a lease; ``expired`` once the group was re-leased."""
+        with self._lock:
+            now = self.clock()
+            self._last_seen[worker] = now
+            self._expire(now)
+            lease = self._leases.get(_lease_key(lease_id))
+            if lease is None or lease["worker"] != worker:
+                return {"type": "expired"}
+            lease["deadline"] = now + self.lease_timeout
+            return {"type": "ok"}
+
+    def complete(self, worker: str, lease_id) -> dict:
+        """Mark a leased group tentatively complete (worker holds records)."""
+        with self._lock:
+            now = self.clock()
+            self._last_seen[worker] = now
+            self._expire(now)
+            key = _lease_key(lease_id)
+            lease = self._leases.get(key)
+            if lease is None or lease["worker"] != worker:
+                return {"type": "stale"}
+            del self._leases[key]
+            self._tentative.add(lease["group"])
+            self._dirty.add(worker)
+            return {"type": "ok"}
+
+    def drained(self, worker: str) -> None:
+        """The worker's local records reached the coordinator store."""
+        with self._lock:
+            self._last_seen[worker] = self.clock()
+            self._dirty.discard(worker)
+
+    def poll_completion(self) -> bool:
+        """Coordinator-side completion check (needs no worker request).
+
+        ``finished`` is normally set while answering a worker's lease
+        request — but if the last worker dies right after draining, no
+        request ever arrives even though the store already records
+        every cell. The executor polls this while it waits, so a
+        complete run always terminates; cells found missing requeue
+        their groups for whichever worker asks next.
+        """
+        with self._lock:
+            now = self.clock()
+            self._expire(now)
+            if self.finished.is_set():
+                return True
+            if self._pending or self._leases:
+                return False
+            if any(
+                now - self._last_seen.get(w, 0.0) <= self.lease_timeout
+                for w in self._dirty
+            ):
+                return False
+            missing = self._expected - self.completed_cells()
+            if not missing:
+                self.finished.set()
+                return True
+            self._requeue_missing(missing)
+            return False
+
+    # ------------------------------------------------------------------
+    def _grant(self, worker: str, now: float) -> dict:
+        index = self._pending.pop(0)
+        lease_id = next(self._lease_ids)
+        self._leases[lease_id] = {
+            "group": index,
+            "worker": worker,
+            "deadline": now + self.lease_timeout,
+        }
+        return {"type": "group", "group": index, "lease": lease_id}
+
+    def _expire(self, now: float) -> None:
+        """Requeue every lease whose worker stopped heartbeating."""
+        for lease_id, lease in list(self._leases.items()):
+            if lease["deadline"] < now:
+                del self._leases[lease_id]
+                self._pending.append(lease["group"])
+                self.requeues += 1
+
+    def _requeue_missing(
+        self, missing: set[tuple[str, str, int, str]]
+    ) -> None:
+        """Re-lease groups whose records died with their worker."""
+        for index, cells in self._cells.items():
+            if cells & missing and index not in self._pending:
+                self._pending.append(index)
+                self._tentative.discard(index)
+                self.requeues += 1
+
+    def all_live_informed(self) -> bool:
+        """Whether every worker still alive has been told ``done``."""
+        with self._lock:
+            now = self.clock()
+            return all(
+                worker in self._told_done
+                or now - seen > self.lease_timeout
+                for worker, seen in self._last_seen.items()
+            )
+
+    def progress(self) -> dict:
+        """Snapshot for logs and timeout diagnostics."""
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "leased": len(self._leases),
+                "tentative": len(self._tentative),
+                "workers": len(self._last_seen),
+                "requeues": self.requeues,
+            }
+
+
+def _lease_key(lease_id) -> int:
+    try:
+        return int(lease_id)
+    except (TypeError, ValueError):
+        return -1
+
+
+class _CoordinatorServer(socketserver.ThreadingTCPServer):
+    """One-request-per-connection JSON server around a ledger + store."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        ledger: GroupLedger,
+        plan: "ExperimentPlan",
+        store,
+        store_lock: threading.Lock,
+        share_sessions: bool,
+        poll_interval: float,
+    ) -> None:
+        super().__init__(address, _CoordinatorHandler)
+        self.ledger = ledger
+        self.plan_payload = plan.to_dict()
+        self.plan_cells = {k.as_tuple() for k in plan.runs()}
+        self.store = store
+        self.store_lock = store_lock
+        self.share_sessions = share_sessions
+        self.poll_interval = poll_interval
+
+    def dispatch(self, message: dict) -> dict:
+        mtype = message.get("type")
+        worker = str(message.get("worker", ""))
+        if mtype == "hello":
+            self.ledger.touch(worker)
+            return {
+                "type": "welcome",
+                "plan": self.plan_payload,
+                "share_sessions": self.share_sessions,
+                "lease_timeout": self.ledger.lease_timeout,
+                "poll_interval": self.poll_interval,
+            }
+        if mtype == "lease":
+            return self.ledger.lease(worker)
+        if mtype == "heartbeat":
+            return self.ledger.heartbeat(worker, message.get("lease"))
+        if mtype == "complete":
+            return self.ledger.complete(worker, message.get("lease"))
+        if mtype == "records":
+            records = message.get("records")
+            if not isinstance(records, list):
+                raise FleetError("records message without a record list")
+            # a worker's reused store may hold cells from other plans;
+            # only this plan's cells enter the results artifact
+            wanted = [
+                r for r in records if record_key(r) in self.plan_cells
+            ]
+            with self.store_lock:
+                merged = self.store.merge(wanted)
+            # store first, ledger second — never both locks at once
+            # from this side (lease holds ledger and reads the store)
+            self.ledger.drained(worker)
+            return {
+                "type": "ok",
+                "merged": len(wanted),
+                "ignored": len(records) - len(wanted),
+                "total": merged["records"],
+            }
+        raise FleetError(f"unknown fleet message type {mtype!r}")
+
+
+class _CoordinatorHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        try:
+            message = recv_message(self.request)
+            if message is None:
+                return
+            try:
+                reply = self.server.dispatch(message)
+            except Exception as exc:  # report, don't kill the server
+                reply = {"type": "error", "error": str(exc)}
+            send_message(self.request, reply)
+        except OSError:
+            # a worker died mid-exchange; its lease will expire
+            pass
+
+
+class FleetExecutor:
+    """Serve a plan's groups to TCP workers; the distributed executor.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; port ``0`` lets the OS pick (read it back from
+        :attr:`address`, or via ``on_bound``).
+    lease_timeout:
+        Seconds of worker silence after which its group is re-leased.
+        Workers heartbeat at a quarter of this, so it bounds both the
+        cost of a worker death and the end-of-run linger.
+    poll_interval:
+        Advertised to workers as their idle re-ask cadence.
+    timeout:
+        Optional overall wall-clock bound; :class:`FleetError` when the
+        plan is still incomplete after this many seconds (``None``
+        waits forever — workers may join at any time).
+    on_bound:
+        Callback invoked with the bound ``(host, port)`` once the
+        coordinator accepts connections (tests and the CLI use it to
+        launch/announce workers).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 30.0,
+        poll_interval: float = 0.5,
+        timeout: float | None = None,
+        on_bound: Callable[[tuple[str, int]], None] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.lease_timeout = float(lease_timeout)
+        self.poll_interval = float(poll_interval)
+        self.timeout = timeout
+        self.on_bound = on_bound
+        self.address: tuple[str, int] | None = None
+        self.requeues = 0
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        runner: "ExperimentRunner",
+        plan: "ExperimentPlan",
+        done: set[tuple[str, str, int, str]],
+    ) -> list[dict] | None:
+        _check_process_portable(runner, "fleet execution")
+        pending = pending_group_indices(plan, done)
+        if not pending:
+            return []
+        store_lock = threading.Lock()
+
+        def completed_cells() -> set[tuple[str, str, int, str]]:
+            with store_lock:
+                return runner.store.completed()
+
+        ledger = GroupLedger(
+            plan, pending, self.lease_timeout, completed_cells
+        )
+        server = _CoordinatorServer(
+            (self.host, self.port),
+            ledger=ledger,
+            plan=plan,
+            store=runner.store,
+            store_lock=store_lock,
+            share_sessions=runner.share_sessions,
+            poll_interval=self.poll_interval,
+        )
+        self.address = (server.server_address[0], server.server_address[1])
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name="fleet-coordinator",
+        )
+        thread.start()
+        try:
+            if self.on_bound is not None:
+                self.on_bound(self.address)
+            deadline = (
+                None
+                if self.timeout is None
+                else time.monotonic() + self.timeout
+            )
+            while not ledger.finished.wait(0.25):
+                # catch runs whose last worker died after its drain —
+                # completion is then visible only from this side
+                ledger.poll_completion()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise FleetError(
+                        f"fleet run timed out after {self.timeout}s: "
+                        f"{ledger.progress()}"
+                    )
+            # linger so idle workers polling for work hear "done"
+            # instead of a connection error, bounded by the same
+            # staleness rule that presumes silent workers dead
+            deadline = time.monotonic() + self.lease_timeout
+            while (
+                not ledger.all_live_informed()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+        finally:
+            self.requeues = ledger.requeues
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FleetExecutor(host={self.host!r}, port={self.port}, "
+            f"lease_timeout={self.lease_timeout})"
+        )

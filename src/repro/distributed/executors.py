@@ -1,0 +1,200 @@
+"""Pluggable group executors: who runs a ``(case, backend)`` group.
+
+The :class:`~repro.experiments.runner.ExperimentRunner` decides *what*
+is pending (resume bookkeeping, config-digest checks, record ordering);
+an executor decides *where* the pending groups run. The three built-in
+policies cover the scaling ladder:
+
+* :class:`InlineExecutor` — every group in the calling process, one
+  after another (the default, and the only executor that works without
+  a results store).
+* :class:`ProcessShardExecutor` — independent groups fanned out to
+  local ``multiprocessing`` processes that meet only through the shared
+  JSONL store (what ``shards=N`` always did, now behind the seam).
+* :class:`~repro.distributed.coordinator.FleetExecutor` — groups leased
+  to remote worker processes over TCP, with lease-timeout requeue and
+  store merging (see :mod:`repro.distributed.coordinator`).
+
+Executors receive the runner itself: they call back into
+:meth:`ExperimentRunner.run_groups` (directly, or from a shard/worker
+process that rebuilt an equivalent runner) so resume semantics are the
+store's ``(system, case, seed, backend)`` contract under every policy.
+An executor returns the freshly produced records, or ``None`` when its
+work reached the store through other processes and the runner should
+re-read it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.plan import ExperimentPlan
+    from repro.experiments.runner import ExperimentRunner
+
+__all__ = [
+    "GroupExecutor",
+    "InlineExecutor",
+    "ProcessShardExecutor",
+    "pending_group_indices",
+    "shard_assignments",
+]
+
+
+@runtime_checkable
+class GroupExecutor(Protocol):
+    """Execution policy for a plan's pending ``(case, backend)`` groups."""
+
+    def execute(
+        self,
+        runner: "ExperimentRunner",
+        plan: "ExperimentPlan",
+        done: set[tuple[str, str, int, str]],
+    ) -> list[dict] | None:
+        """Run every group with pending cells; record through the runner.
+
+        Returns the fresh records, or ``None`` when they were appended
+        to the runner's store by other processes (the runner re-reads
+        the store in that case).
+        """
+
+
+def pending_group_indices(
+    plan: "ExperimentPlan", done: set[tuple[str, str, int, str]]
+) -> list[int]:
+    """Indices of plan groups that still have unrecorded cells."""
+    return [
+        i
+        for i, (_, keys) in enumerate(plan.groups())
+        if any(k.as_tuple() not in done for k in keys)
+    ]
+
+
+def shard_assignments(
+    pending: Sequence[int], shards: int
+) -> list[list[int]]:
+    """Round-robin split of pending group indices into shard work lists.
+
+    Never yields an empty assignment: asking for more shards than there
+    are pending groups simply produces fewer shards, instead of
+    spawning worker processes with nothing to do.
+    """
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
+    assignments = [list(pending[s::shards]) for s in range(shards)]
+    return [a for a in assignments if a]
+
+
+def _check_process_portable(runner: "ExperimentRunner", what: str) -> None:
+    """Refuse runner features that cannot cross process boundaries."""
+    from repro.engine import EngineSession
+
+    if runner.store is None:
+        raise ReproError(
+            f"{what} needs a ResultsStore — the executing processes "
+            "meet only through the store file"
+        )
+    if (
+        runner.progress is not None
+        or runner.session_factory is not EngineSession
+    ):
+        raise ReproError(
+            "progress callbacks and custom session factories do not "
+            f"cross process boundaries; use the inline executor for {what}"
+        )
+
+
+class InlineExecutor:
+    """Run every pending group in the calling process (the default)."""
+
+    def execute(
+        self,
+        runner: "ExperimentRunner",
+        plan: "ExperimentPlan",
+        done: set[tuple[str, str, int, str]],
+    ) -> list[dict] | None:
+        return runner.run_groups(plan, range(len(plan.groups())), done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "InlineExecutor()"
+
+
+class ProcessShardExecutor:
+    """Fan independent groups out to local shard processes.
+
+    Parameters
+    ----------
+    shards:
+        Upper bound on the number of worker processes; the actual count
+        never exceeds the number of pending groups (empty shards are
+        skipped, not spawned).
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+
+    def execute(
+        self,
+        runner: "ExperimentRunner",
+        plan: "ExperimentPlan",
+        done: set[tuple[str, str, int, str]],
+    ) -> list[dict] | None:
+        _check_process_portable(runner, "sharded execution")
+        from repro.experiments.store import HAS_APPEND_LOCK
+
+        if not HAS_APPEND_LOCK:
+            raise ReproError(
+                "sharded execution needs lock-serialised store appends, "
+                "unavailable on this platform; use the inline executor"
+            )
+        pending = pending_group_indices(plan, done)
+        if not pending:
+            return []
+        workers = [
+            multiprocessing.Process(
+                target=_run_shard,
+                args=(
+                    plan.to_dict(),
+                    indices,
+                    str(runner.store.path),
+                    runner.share_sessions,
+                ),
+            )
+            for indices in shard_assignments(pending, self.shards)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        failed = [w.exitcode for w in workers if w.exitcode != 0]
+        if failed:
+            raise ReproError(
+                f"{len(failed)} of {len(workers)} experiment shards failed "
+                f"(exit codes {failed}); re-run to resume the missing cells"
+            )
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProcessShardExecutor(shards={self.shards})"
+
+
+def _run_shard(
+    plan_payload: dict,
+    group_indices: Sequence[int],
+    store_path: str,
+    share_sessions: bool,
+) -> None:
+    """Shard-process entry point: execute a subset of a plan's groups."""
+    from repro.experiments.plan import ExperimentPlan
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.store import ResultsStore
+
+    plan = ExperimentPlan.from_dict(plan_payload)
+    store = ResultsStore(store_path)
+    runner = ExperimentRunner(store=store, share_sessions=share_sessions)
+    runner.run_groups(plan, group_indices, store.completed())

@@ -1,0 +1,122 @@
+"""Length-prefixed JSON messaging for the experiment fleet.
+
+The coordinator and its workers speak the simplest wire protocol that
+is still unambiguous: every message is one JSON object, preceded by a
+4-byte big-endian length. Each exchange is a fresh TCP connection
+carrying exactly one request and one reply — no connection state to
+resynchronise after a worker (or the coordinator) dies mid-run, which
+is the failure mode the fleet is built around.
+
+Message ``type`` values (worker → coordinator, reply in parentheses):
+
+``hello``
+    Join the fleet (``welcome``: the plan payload, session sharing and
+    the lease timeout — a worker needs no plan file of its own).
+``lease``
+    Ask for work (``group``: a leased group index; ``wait``: everything
+    is leased or another worker still holds undrained records;
+    ``drain``: the coordinator wants this worker's local records before
+    handing out more work; ``done``: the plan is fully recorded).
+``heartbeat``
+    Keep a lease alive while a group runs (``ok`` / ``expired``).
+``complete``
+    Report a leased group finished (``ok`` / ``stale`` when the lease
+    timed out and the group was already re-leased).
+``records``
+    Upload the worker's local store (``ok``; the coordinator merges the
+    records into its own store, first writer wins).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import ParallelError
+
+__all__ = [
+    "FleetError",
+    "MAX_MESSAGE_BYTES",
+    "recv_message",
+    "request",
+    "send_message",
+]
+
+#: Upper bound on one framed message. Record uploads are the largest
+#: payloads (a few KiB per run); anything near this limit is corruption
+#: or a port collision with an unrelated service, not fleet traffic.
+MAX_MESSAGE_BYTES = 64 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class FleetError(ParallelError):
+    """Failure in the distributed coordinator/worker runtime."""
+
+
+def send_message(sock: socket.socket, payload: dict) -> None:
+    """Frame and send one JSON message."""
+    data = json.dumps(payload, sort_keys=True).encode()
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise FleetError(
+            f"refusing to send a {len(data)}-byte message "
+            f"(limit {MAX_MESSAGE_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise FleetError(
+                f"connection closed mid-message ({n - remaining} of {n} "
+                "bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Receive one framed message; ``None`` on a clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise FleetError(
+            f"oversized message announced ({length} bytes, limit "
+            f"{MAX_MESSAGE_BYTES}) — not fleet traffic?"
+        )
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise FleetError("connection closed between header and body")
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise FleetError(f"malformed fleet message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FleetError("fleet messages must be JSON objects")
+    return payload
+
+
+def request(
+    address: tuple[str, int], payload: dict, timeout: float = 30.0
+) -> dict:
+    """One request/reply exchange on a fresh connection."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        send_message(sock, payload)
+        reply = recv_message(sock)
+    if reply is None:
+        raise FleetError(
+            f"coordinator at {address[0]}:{address[1]} closed the "
+            "connection without replying"
+        )
+    return reply

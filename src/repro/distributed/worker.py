@@ -1,0 +1,262 @@
+"""Fleet worker: lease experiment groups, run them, upload the records.
+
+``repro experiments worker --connect HOST:PORT`` runs this loop. A
+worker needs no plan file and no shared filesystem: the plan arrives in
+the coordinator's ``welcome`` payload, every leased ``(case, backend)``
+group executes through the worker's own
+:class:`~repro.experiments.runner.ExperimentRunner` (one shared
+:class:`~repro.engine.EngineSession` per group, exactly like a local
+run), and completed runs stream into a worker-local crash-safe
+:class:`~repro.experiments.store.ResultsStore` that is uploaded when
+the coordinator asks (``drain``) and merged first-writer-wins.
+
+While a group runs, a background thread heartbeats the lease at a
+quarter of the coordinator's lease timeout; if the worker dies, the
+heartbeats stop and the coordinator re-leases the group. A worker that
+*outlives* its lease (e.g. a long GC pause) keeps its records — the
+``complete`` report comes back ``stale``, the re-run elsewhere wins the
+merge, nothing is duplicated.
+
+Re-pointing a worker at the same ``--store`` after a crash resumes: the
+store's ``(system, case, seed, backend)`` contract skips the recorded
+cells of a re-leased group.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+import threading
+import time
+from typing import Callable
+
+from repro.distributed.protocol import FleetError, request
+
+__all__ = ["parse_address", "run_worker"]
+
+
+def parse_address(value: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or a ready tuple) → ``(host, port)``."""
+    if isinstance(value, tuple):
+        return (str(value[0]), int(value[1]))
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise FleetError(
+            f"worker address must be HOST:PORT, got {value!r}"
+        )
+    try:
+        return (host, int(port))
+    except ValueError as exc:
+        raise FleetError(
+            f"worker address must be HOST:PORT, got {value!r}"
+        ) from exc
+
+
+class _LeaseHeartbeat:
+    """Background lease renewal while a group runs.
+
+    Failures are deliberately swallowed: if the coordinator is gone the
+    lease expires by itself, and the worker finds out at its next
+    synchronous exchange.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        worker: str,
+        lease: int,
+        interval: float,
+        request_timeout: float,
+    ) -> None:
+        self._payload = {"type": "heartbeat", "worker": worker, "lease": lease}
+        self._address = address
+        self._interval = interval
+        self._request_timeout = request_timeout
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"lease-heartbeat-{lease}"
+        )
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._request_timeout + 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                request(
+                    self._address, self._payload, timeout=self._request_timeout
+                )
+            except (OSError, FleetError):
+                continue
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    address: str | tuple[str, int],
+    store_path: str | os.PathLike | None = None,
+    poll_interval: float | None = None,
+    worker_id: str | None = None,
+    request_timeout: float = 30.0,
+    max_failures: int = 20,
+    on_record: Callable[[dict], None] | None = None,
+    after_complete: Callable[[int], None] | None = None,
+) -> dict:
+    """Serve one coordinator until its plan is fully recorded.
+
+    Parameters
+    ----------
+    address:
+        Coordinator ``HOST:PORT`` (string or tuple).
+    store_path:
+        Worker-local results store; a fresh temporary file when omitted.
+        Reusing a path across worker restarts resumes interrupted
+        groups instead of recomputing them.
+    poll_interval:
+        Idle re-ask cadence; defaults to what the coordinator
+        advertises.
+    worker_id:
+        Stable identity in coordinator bookkeeping (default
+        ``hostname-pid``).
+    max_failures:
+        Consecutive connection failures tolerated (the coordinator may
+        start after the workers) before giving up.
+    on_record:
+        Optional callback per completed run record (test hook).
+    after_complete:
+        Optional callback after each accepted/stale ``complete``
+        exchange, with the group index (test hook — fault injection).
+
+    Returns a summary dict (groups/records executed, store path).
+    """
+    # imported here: repro.experiments lazily imports this package's
+    # executors, so the worker stays import-cycle-free at module level
+    from repro.experiments.plan import ExperimentPlan
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.store import ResultsStore, record_key
+
+    addr = parse_address(address)
+    worker = worker_id or _default_worker_id()
+    failures = 0
+
+    def rpc(payload: dict) -> dict:
+        nonlocal failures
+        while True:
+            try:
+                reply = request(addr, payload, timeout=request_timeout)
+            except (OSError, FleetError) as exc:
+                failures += 1
+                if failures >= max_failures:
+                    raise FleetError(
+                        f"worker {worker}: {failures} consecutive failed "
+                        f"exchanges with {addr[0]}:{addr[1]} — giving up "
+                        f"({exc})"
+                    ) from exc
+                time.sleep(poll_interval or 0.5)
+                continue
+            failures = 0
+            if reply.get("type") == "error":
+                raise FleetError(
+                    f"coordinator rejected {payload.get('type')!r}: "
+                    f"{reply.get('error')}"
+                )
+            return reply
+
+    welcome = rpc({"type": "hello", "worker": worker})
+    if welcome.get("type") != "welcome":
+        raise FleetError(f"expected welcome, got {welcome.get('type')!r}")
+    plan = ExperimentPlan.from_dict(welcome["plan"])
+    share_sessions = bool(welcome.get("share_sessions", True))
+    lease_timeout = float(welcome.get("lease_timeout", 30.0))
+    if poll_interval is None:
+        poll_interval = float(welcome.get("poll_interval", 0.5))
+    if store_path is None:
+        store_path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-fleet-worker-"), "store.jsonl"
+        )
+    store = ResultsStore(store_path)
+    heartbeat_interval = max(lease_timeout / 4.0, 0.05)
+    groups = plan.groups()
+    # a reused worker store may hold cells from other plans (or older
+    # budgets); only this plan's cells are ever resumed or uploaded
+    plan_cells = {k.as_tuple() for k in plan.runs()}
+    drained_cells: set[tuple[str, str, int, str]] = set()
+    groups_run = 0
+    records_run = 0
+    while True:
+        reply = rpc({"type": "lease", "worker": worker})
+        kind = reply.get("type")
+        if kind == "group":
+            lease = reply.get("lease")
+            index = int(reply.get("group", -1))
+            with _LeaseHeartbeat(
+                addr, worker, lease, heartbeat_interval, request_timeout
+            ):
+                runner = ExperimentRunner(
+                    store=store,
+                    share_sessions=share_sessions,
+                    progress=on_record,
+                )
+                # hold the local store to the same resume contract as
+                # any other store: a leased group only resumes cells
+                # recorded under this plan's per-system config digest
+                recorded = {record_key(r): r for r in store.records()}
+                (case, _), keys = groups[index]
+                for system in plan.systems:
+                    runner.check_recorded_config(
+                        recorded,
+                        [k for k in keys if k.system == system],
+                        plan.config_digest(case, system),
+                    )
+                fresh = runner.run_groups(plan, [index], set(recorded))
+            groups_run += 1
+            records_run += len(fresh)
+            # 'stale' just means the lease expired under us; the records
+            # are safe in the local store and the merge dedupes
+            rpc(
+                {
+                    "type": "complete",
+                    "worker": worker,
+                    "lease": lease,
+                    "group": index,
+                }
+            )
+            if after_complete is not None:
+                after_complete(index)
+        elif kind == "drain":
+            # incremental: only this plan's cells, minus what earlier
+            # drains already delivered (a restart resets the set and
+            # re-uploads once — the coordinator merge dedupes)
+            fresh_records = [
+                r
+                for r in store.records()
+                if record_key(r) in plan_cells
+                and record_key(r) not in drained_cells
+            ]
+            rpc(
+                {
+                    "type": "records",
+                    "worker": worker,
+                    "records": fresh_records,
+                }
+            )
+            drained_cells.update(record_key(r) for r in fresh_records)
+        elif kind == "wait":
+            time.sleep(poll_interval)
+        elif kind == "done":
+            return {
+                "worker": worker,
+                "groups": groups_run,
+                "records": records_run,
+                "store": str(store.path),
+            }
+        else:
+            raise FleetError(f"unexpected coordinator reply {kind!r}")

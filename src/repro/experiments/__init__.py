@@ -7,11 +7,14 @@ runs by ``(case, backend)`` and drives each group through **one shared**
 :class:`~repro.engine.EngineSession` — cross-system repeats of the same
 step context hit the shared cache — while streaming one record per
 completed run into a crash-safe :class:`ResultsStore` (JSONL; re-running
-the same plan resumes by skipping recorded cells). Independent groups
-can execute in separate shard processes.
+the same plan resumes by skipping recorded cells). *Where* independent
+groups execute is a pluggable :mod:`repro.distributed` executor policy:
+inline, local shard processes, or a TCP worker fleet — resume stays the
+store's run-key contract under all of them.
 
-See :mod:`repro.experiments.plan`, :mod:`repro.experiments.runner` and
-:mod:`repro.experiments.store` for the three pieces.
+See :mod:`repro.experiments.plan`, :mod:`repro.experiments.runner`,
+:mod:`repro.experiments.store` and :mod:`repro.distributed` for the
+pieces.
 """
 
 from repro.experiments.plan import (

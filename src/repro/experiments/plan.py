@@ -23,7 +23,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.engine import backend_names
 from repro.errors import ReproError
@@ -167,6 +167,17 @@ class ExperimentPlan:
         Engine backends to cross with the grid.
     budget:
         Search/engine budget shared by every run.
+    budgets:
+        Optional per-system *search budget* overrides for
+        unmatched-budget studies: ``{system: {"population": ...,
+        "generations": ..., "tuning": ...}}`` (partial dicts or full
+        :class:`BudgetSpec` values), applied on top of ``budget``.
+        Engine-session knobs (``n_workers``, ``cache_size``,
+        ``session_cache_size``) cannot be overridden per system — every
+        system of a ``(case, backend)`` group shares one engine
+        session, whose shape is the plan-level budget's. Overrides
+        participate in :meth:`config_digest`, so resuming a store under
+        a rebudgeted plan is refused.
     """
 
     name: str = "experiment"
@@ -175,6 +186,7 @@ class ExperimentPlan:
     seeds: tuple[int, ...] = (0,)
     backends: tuple[str, ...] = ("reference",)
     budget: BudgetSpec = field(default_factory=BudgetSpec)
+    budgets: Mapping[str, BudgetSpec] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "systems", tuple(self.systems))
@@ -215,6 +227,47 @@ class ExperimentPlan:
             raise ReproError("duplicate seeds in plan")
         if len(set(self.backends)) != len(self.backends):
             raise ReproError("duplicate backends in plan")
+        object.__setattr__(
+            self, "budgets", self._normalize_budgets(self.budgets)
+        )
+
+    def _normalize_budgets(self, budgets) -> dict[str, BudgetSpec]:
+        """Validate and coerce per-system overrides to full specs."""
+        out: dict[str, BudgetSpec] = {}
+        for system, override in dict(budgets or {}).items():
+            if system not in self.systems:
+                raise ReproError(
+                    f"budget override for {system!r}, which is not one of "
+                    f"the plan's systems {self.systems}"
+                )
+            if isinstance(override, BudgetSpec):
+                spec = override
+            elif isinstance(override, Mapping):
+                known = set(BudgetSpec().to_dict())
+                unknown = set(override) - known
+                if unknown:
+                    raise ReproError(
+                        f"unknown budget override keys for {system!r}: "
+                        f"{sorted(unknown)}; choose from {sorted(known)}"
+                    )
+                spec = BudgetSpec.from_dict(
+                    {**self.budget.to_dict(), **dict(override)}
+                )
+            else:
+                raise ReproError(
+                    f"budget override for {system!r} must be a mapping or "
+                    f"a BudgetSpec, got {type(override).__name__}"
+                )
+            for knob in ("n_workers", "cache_size", "session_cache_size"):
+                if getattr(spec, knob) != getattr(self.budget, knob):
+                    raise ReproError(
+                        f"budget override for {system!r} changes {knob!r} — "
+                        "engine-session knobs are shared by every system "
+                        "of a (case, backend) group and can only be set "
+                        "on the plan-level budget"
+                    )
+            out[system] = spec
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -259,9 +312,13 @@ class ExperimentPlan:
                 out.append(((case, backend), keys))
         return out
 
+    def budget_for(self, system: str) -> BudgetSpec:
+        """The effective search budget of one system (override or plan)."""
+        return self.budgets.get(system, self.budget)
+
     def build_system(self, name: str, backend: str):
-        """Construct one of the plan's systems under the plan budget."""
-        b = self.budget
+        """Construct one of the plan's systems under its effective budget."""
+        b = self.budget_for(name)
         return build_system(
             name,
             population=b.population,
@@ -277,18 +334,22 @@ class ExperimentPlan:
         """Copy of the plan over a different seed set."""
         return replace(self, seeds=tuple(int(s) for s in seeds))
 
-    def config_digest(self, case: CaseSpec) -> str:
+    def config_digest(self, case: CaseSpec, system: str | None = None) -> str:
         """Digest of everything beyond the run key that shapes a result.
 
         A :class:`RunKey` names a cell ``(system, case, seed,
         backend)``; the digest covers the rest — the case's grid
-        size/step count and the whole search budget — so a results
-        store can refuse to resume cells that were recorded under a
-        different configuration instead of silently serving stale
-        results.
+        size/step count and the system's *effective* search budget
+        (per-system overrides included, so a rebudgeted resume is
+        refused) — so a results store can refuse to resume cells that
+        were recorded under a different configuration instead of
+        silently serving stale results. Without a ``system`` the
+        plan-level budget is digested, which matches every system of a
+        plan without overrides.
         """
+        budget = self.budget if system is None else self.budget_for(system)
         payload = json.dumps(
-            {"case": case.to_dict(), "budget": self.budget.to_dict()},
+            {"case": case.to_dict(), "budget": budget.to_dict()},
             sort_keys=True,
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
@@ -296,7 +357,7 @@ class ExperimentPlan:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-safe representation (the shareable plan artifact)."""
-        return {
+        payload = {
             "name": self.name,
             "systems": list(self.systems),
             "cases": [c.to_dict() for c in self.cases],
@@ -304,6 +365,14 @@ class ExperimentPlan:
             "backends": list(self.backends),
             "budget": self.budget.to_dict(),
         }
+        if self.budgets:
+            # emitted only when present, so pre-override plan artifacts
+            # stay byte-identical
+            payload["budgets"] = {
+                system: spec.to_dict()
+                for system, spec in self.budgets.items()
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentPlan":
@@ -318,6 +387,7 @@ class ExperimentPlan:
                     str(b) for b in data.get("backends", ("reference",))
                 ),
                 budget=BudgetSpec.from_dict(data.get("budget", {})),
+                budgets=dict(data.get("budgets", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed experiment plan: {exc}") from exc

@@ -1,4 +1,4 @@
-"""Experiment execution: shared engine sessions, streaming results, shards.
+"""Experiment execution: shared engine sessions, streaming results.
 
 The :class:`ExperimentRunner` turns a declarative
 :class:`~repro.experiments.plan.ExperimentPlan` into recorded runs:
@@ -14,9 +14,12 @@ The :class:`ExperimentRunner` turns a declarative
   :class:`~repro.experiments.store.ResultsStore`; re-running the same
   plan against the same store resumes, computing only the missing
   ``(system, case, seed, backend)`` cells;
-* independent groups can execute in separate **shard processes**
-  (``shards=N``) appending to the same store — process-level
-  parallelism over the grid on top of each run's own worker pool.
+* *where* the groups execute is a pluggable
+  :class:`~repro.distributed.executors.GroupExecutor` policy — inline
+  (the default), local shard processes (``shards=N``), or a TCP worker
+  fleet (:class:`~repro.distributed.coordinator.FleetExecutor`). Every
+  executor funnels work back through :meth:`ExperimentRunner.run_groups`
+  so resume semantics stay the store's run-key contract.
 
 The runner owns every session it creates: a crash mid-group (a raising
 system, a dying callback) still closes the shared session before the
@@ -27,10 +30,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.engine import EngineSession
 from repro.errors import ReproError
@@ -44,6 +46,9 @@ from repro.experiments.store import (
 from repro.systems.base import PredictionSystem
 from repro.systems.results import RunResult
 from repro.workloads.synthetic import ReferenceFire
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.distributed.executors import GroupExecutor
 
 __all__ = ["ExperimentResult", "ExperimentRunner"]
 
@@ -171,23 +176,57 @@ class ExperimentRunner:
         self.progress = progress
 
     # ------------------------------------------------------------------
-    def run(self, plan: ExperimentPlan, shards: int = 1) -> ExperimentResult:
-        """Execute (or resume) a plan; returns the full grid's records."""
+    def run(
+        self,
+        plan: ExperimentPlan,
+        shards: int = 1,
+        executor: "GroupExecutor | None" = None,
+    ) -> ExperimentResult:
+        """Execute (or resume) a plan; returns the full grid's records.
+
+        ``executor`` chooses *where* the pending groups run (see
+        :mod:`repro.distributed`); ``shards=N`` is sugar for
+        ``executor=ProcessShardExecutor(N)`` and the two are mutually
+        exclusive. The resume bookkeeping here is executor-independent:
+        recorded cells are skipped, configuration digests are checked
+        per system, and the returned records follow plan order.
+        """
         if shards < 1:
             raise ReproError(f"shards must be >= 1, got {shards}")
+        if executor is not None and shards != 1:
+            raise ReproError(
+                "pass either shards=N or an executor, not both — "
+                "shards=N is shorthand for ProcessShardExecutor(N)"
+            )
         recorded = self._recorded_by_key()
         for (case, _), keys in plan.groups():
-            self._check_recorded_config(recorded, keys, plan.config_digest(case))
+            for system in plan.systems:
+                self.check_recorded_config(
+                    recorded,
+                    [k for k in keys if k.system == system],
+                    plan.config_digest(case, system),
+                )
         done = set(recorded)
         all_keys = [key.as_tuple() for key in plan.runs()]
         n_resumed = sum(1 for key in all_keys if key in done)
-        if shards == 1:
-            fresh = self._run_groups(plan, range(len(plan.groups())), done)
-            by_key = {**recorded, **{record_key(r): r for r in fresh}}
-        else:
-            # shard processes wrote through the store; re-read once
-            self._run_sharded(plan, shards, done)
+        if executor is None:
+            # imported lazily: repro.distributed imports this module
+            from repro.distributed.executors import (
+                InlineExecutor,
+                ProcessShardExecutor,
+            )
+
+            executor = (
+                InlineExecutor()
+                if shards == 1
+                else ProcessShardExecutor(shards)
+            )
+        fresh = executor.execute(self, plan, done)
+        if fresh is None:
+            # the executor's processes wrote through the store; re-read
             by_key = self._recorded_by_key()
+        else:
+            by_key = {**recorded, **{record_key(r): r for r in fresh}}
         records = [by_key[key] for key in all_keys if key in by_key]
         return ExperimentResult(
             plan_name=plan.name, records=records, n_resumed=n_resumed
@@ -199,7 +238,7 @@ class ExperimentRunner:
             return {}
         return {record_key(r): r for r in self.store.records()}
 
-    def _check_recorded_config(
+    def check_recorded_config(
         self,
         recorded: dict[tuple, dict],
         keys: Sequence[RunKey],
@@ -210,6 +249,10 @@ class ExperimentRunner:
         The run key names a cell but not its shape: without this check,
         re-running a grid with a changed case size/steps or budget
         against an old store would silently serve the stale results.
+        Part of the executor SPI alongside :meth:`run_groups` — fleet
+        workers apply it to their *local* store before resuming a
+        leased group, so a reused worker store is held to the same
+        contract as a coordinator store.
         """
         for key in keys:
             stored = (recorded.get(key.as_tuple()) or {}).get("config")
@@ -224,12 +267,22 @@ class ExperimentRunner:
                     "path or the original invocation"
                 )
 
-    def _run_groups(
+    def run_groups(
         self,
         plan: ExperimentPlan,
         group_indices: Sequence[int],
         done: set[tuple[str, str, int, str]],
     ) -> list[dict]:
+        """Execute the pending cells of the named plan groups, in order.
+
+        The executor SPI: every execution policy — inline, a shard
+        process, a fleet worker — ultimately calls this with the group
+        indices it is responsible for, so the grouping, shared-session
+        and store-streaming semantics are identical everywhere. Cells
+        in ``done`` are skipped; the group's session kwargs come from
+        the plan-level budget (per-system budget overrides never touch
+        the session shape, see :class:`ExperimentPlan`).
+        """
         groups = plan.groups()
         records: list[dict] = []
         for index in group_indices:
@@ -252,66 +305,12 @@ class ExperimentRunner:
                     session_cache_size=budget.session_cache_size,
                 ),
                 plan_name=plan.name,
-                config=plan.config_digest(case),
+                config={
+                    system: plan.config_digest(case, system)
+                    for system in plan.systems
+                },
             )
         return records
-
-    def _run_sharded(
-        self,
-        plan: ExperimentPlan,
-        shards: int,
-        done: set[tuple[str, str, int, str]],
-    ) -> None:
-        """Fan independent ``(case, backend)`` groups out to processes."""
-        if self.store is None:
-            raise ReproError(
-                "sharded execution needs a ResultsStore — shard processes "
-                "meet only through the store file"
-            )
-        if self.progress is not None or self.session_factory is not EngineSession:
-            raise ReproError(
-                "progress callbacks and custom session factories do not "
-                "cross shard-process boundaries; use shards=1"
-            )
-        from repro.experiments.store import HAS_APPEND_LOCK
-
-        if not HAS_APPEND_LOCK:
-            raise ReproError(
-                "sharded execution needs lock-serialised store appends, "
-                "unavailable on this platform; use shards=1"
-            )
-        groups = plan.groups()
-        pending = [
-            i
-            for i, (_, keys) in enumerate(groups)
-            if any(k.as_tuple() not in done for k in keys)
-        ]
-        if not pending:
-            return
-        shards = min(shards, len(pending))
-        assignments = [pending[s::shards] for s in range(shards)]
-        workers = [
-            multiprocessing.Process(
-                target=_run_shard,
-                args=(
-                    plan.to_dict(),
-                    indices,
-                    str(self.store.path),
-                    self.share_sessions,
-                ),
-            )
-            for indices in assignments
-        ]
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
-        failed = [w.exitcode for w in workers if w.exitcode != 0]
-        if failed:
-            raise ReproError(
-                f"{len(failed)} of {len(workers)} experiment shards failed "
-                f"(exit codes {failed}); re-run to resume the missing cells"
-            )
 
     # ------------------------------------------------------------------
     def run_grid(
@@ -370,7 +369,7 @@ class ExperimentRunner:
                     for seed in seeds
                 ]
                 for label in labels:
-                    self._check_recorded_config(
+                    self.check_recorded_config(
                         recorded,
                         [k for k in keys if k.system == label],
                         digests[label],
@@ -521,16 +520,3 @@ def _grid_digest(fire: ReferenceFire, signature: tuple, search: str) -> str:
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
-
-
-def _run_shard(
-    plan_payload: dict,
-    group_indices: Sequence[int],
-    store_path: str,
-    share_sessions: bool,
-) -> None:
-    """Shard-process entry point: execute a subset of a plan's groups."""
-    plan = ExperimentPlan.from_dict(plan_payload)
-    store = ResultsStore(store_path)
-    runner = ExperimentRunner(store=store, share_sessions=share_sessions)
-    runner._run_groups(plan, group_indices, store.completed())

@@ -41,6 +41,7 @@ __all__ = [
     "ResultsStore",
     "backends_by_system",
     "record_key",
+    "strip_wallclock",
     "system_label",
 ]
 
@@ -61,6 +62,29 @@ def record_key(record: dict) -> tuple[str, str, int, str]:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ReproError(f"result record without a full run key: {exc}") from exc
+
+
+def strip_wallclock(record: dict) -> dict:
+    """A result record minus its wall-clock fields.
+
+    The executor-parity view: every other field — qualities, kign
+    trajectories, evaluation and cache counters, config digests — is
+    deterministic from ``(plan, seed)`` and must agree bitwise across
+    execution policies; only the measured seconds (top-level
+    ``seconds``/``run_seconds`` and the per-step stage ``timings``)
+    cannot. One definition, so every parity gate (tests, benchmarks,
+    the distributed-smoke CI job) normalizes the same fields.
+    """
+    out = dict(record)
+    out.pop("seconds", None)
+    out.pop("run_seconds", None)
+    run = dict(out.get("run") or {})
+    run["steps"] = [
+        {k: v for k, v in step.items() if k != "timings"}
+        for step in run.get("steps", [])
+    ]
+    out["run"] = run
+    return out
 
 
 def backends_by_system(records: Iterable[dict]) -> dict[str, dict[str, None]]:
@@ -151,6 +175,63 @@ class ResultsStore:
                 return
             pos = start
         fh.truncate(0)
+
+    # ------------------------------------------------------------------
+    def merge(self, *sources, dedupe=record_key) -> dict:
+        """Aggregate other stores (or record iterables) into this one.
+
+        The multi-store aggregation primitive behind ``repro
+        experiments merge-stores`` and the fleet coordinator's
+        end-of-run pull of worker stores:
+
+        * **first writer wins** — this store's existing records take
+          precedence, then the sources in argument order (each in its
+          own append order); later records with an already-seen
+          ``dedupe`` key are dropped, deterministically;
+        * **sorted output** — the merged store is rewritten ordered by
+          the dedupe key, so two merges covering the same cells produce
+          byte-comparable files regardless of arrival order;
+        * **compaction** — crash-partial tails (this store's and the
+          sources') are dropped on the way through, and the rewrite is
+          atomic (temp file + rename), so a crash mid-merge leaves
+          either the old store or the new one, never a hybrid.
+
+        Sources may be :class:`ResultsStore` instances or plain
+        iterables of record dicts (e.g. records that arrived over the
+        fleet protocol). Not safe concurrently with appends to *this*
+        store. Returns a summary: total ``records`` written, duplicate
+        records dropped, and sources consumed.
+        """
+        merged: dict[tuple, dict] = {}
+        duplicates = 0
+        for source in (self, *sources):
+            records = (
+                source.records()
+                if isinstance(source, ResultsStore)
+                else list(source)
+            )
+            for record in records:
+                key = dedupe(record)
+                if key in merged:
+                    duplicates += 1
+                else:
+                    merged[key] = record
+        lines = [
+            json.dumps(merged[key], sort_keys=True) + "\n"
+            for key in sorted(merged)
+        ]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".merge-tmp")
+        with open(tmp, "w") as fh:
+            fh.writelines(lines)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        return {
+            "records": len(merged),
+            "duplicates": duplicates,
+            "sources": len(sources),
+        }
 
     # ------------------------------------------------------------------
     def records(self) -> list[dict]:

@@ -1,0 +1,590 @@
+"""Tests for the distributed execution subsystem.
+
+Covers the wire protocol (framing, EOF, oversize rejection), the shard
+assignment rule (never an empty shard), executor validation, and the
+acceptance properties of the subsystem: all three executors — inline,
+process shards, and a loopback two-worker TCP fleet — produce
+bitwise-identical sorted store records for the same plan and seeds
+(modulo wall-clock timing fields, which no two executions can share),
+and a fleet run with a worker killed mid-run completes after
+lease-timeout requeue with zero lost or duplicated cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.distributed import (
+    FleetError,
+    FleetExecutor,
+    GroupLedger,
+    InlineExecutor,
+    ProcessShardExecutor,
+    parse_address,
+    pending_group_indices,
+    run_worker,
+    shard_assignments,
+)
+from repro.distributed.protocol import (
+    MAX_MESSAGE_BYTES,
+    recv_message,
+    send_message,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    BudgetSpec,
+    CaseSpec,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultsStore,
+    record_key,
+)
+from repro.experiments.store import HAS_APPEND_LOCK, strip_wallclock
+
+needs_fork = pytest.mark.skipif(
+    not HAS_APPEND_LOCK
+    or "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs POSIX store locking and fork-start processes",
+)
+
+_FORK = (
+    multiprocessing.get_context("fork")
+    if "fork" in multiprocessing.get_all_start_methods()
+    else multiprocessing
+)
+
+
+def _plan(**overrides) -> ExperimentPlan:
+    """Two (case, backend) groups, two systems, one seed: 4 cells."""
+    values = dict(
+        name="fleet-test",
+        systems=("ess", "ess-ns"),
+        cases=(
+            CaseSpec("grassland", size=20, steps=2),
+            CaseSpec("river_gap", size=20, steps=2),
+        ),
+        seeds=(0,),
+        backends=("vectorized",),
+        budget=BudgetSpec(
+            population=8, generations=2, session_cache_size=2048
+        ),
+    )
+    values.update(overrides)
+    return ExperimentPlan(**values)
+
+
+def _sorted_normalized(store: ResultsStore) -> list[dict]:
+    """Sorted records in the shared wall-clock-free parity view."""
+    return [
+        strip_wallclock(r) for r in sorted(store.records(), key=record_key)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_message_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"type": "lease", "worker": "w1", "n": 3, "x": [1, 2]}
+            send_message(a, payload)
+            send_message(a, {"type": "wait"})
+            assert recv_message(b) == payload
+            assert recv_message(b) == {"type": "wait"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_message_raises(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"type": "lease", "worker": "w"})
+            a.close()
+            # eat two bytes so the reader sees a torn header
+            b.recv(2)
+            with pytest.raises(FleetError, match="mid-message"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_MESSAGE_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(FleetError, match="oversized"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address("localhost:7341") == ("localhost", 7341)
+        assert parse_address(("10.0.0.1", 80)) == ("10.0.0.1", 80)
+        with pytest.raises(FleetError):
+            parse_address("no-port")
+        with pytest.raises(FleetError):
+            parse_address("host:not-a-number")
+
+
+# ----------------------------------------------------------------------
+# Shard assignment (the empty-shard fix)
+# ----------------------------------------------------------------------
+class TestShardAssignments:
+    @pytest.mark.parametrize("n_pending", [1, 2, 3, 7])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5, 16])
+    def test_never_empty_covers_all_disjoint(self, n_pending, shards):
+        pending = list(range(100, 100 + n_pending))
+        assignments = shard_assignments(pending, shards)
+        assert all(assignments), "no shard may be spawned empty"
+        assert len(assignments) == min(shards, n_pending)
+        flat = [i for a in assignments for i in a]
+        assert sorted(flat) == sorted(pending)
+
+    def test_invalid_shards_raise(self):
+        with pytest.raises(ReproError):
+            shard_assignments([1], 0)
+
+    @needs_fork
+    def test_more_shards_than_groups_runs_clean(self, tmp_path):
+        """Regression: shards > pending groups must skip the surplus
+        shard processes instead of spawning idle (or failing) ones."""
+        plan = _plan()
+        store = ResultsStore(tmp_path / "r.jsonl")
+        result = ExperimentRunner(store=store).run(plan, shards=5)
+        assert len(result.records) == plan.n_runs
+        assert {record_key(r) for r in result.records} == {
+            k.as_tuple() for k in plan.runs()
+        }
+
+
+# ----------------------------------------------------------------------
+# Executor seam
+# ----------------------------------------------------------------------
+class TestExecutorSeam:
+    def test_pending_group_indices(self, tmp_path):
+        plan = _plan()
+        assert pending_group_indices(plan, set()) == [0, 1]
+        (_, keys0), _ = plan.groups()
+        done = {k.as_tuple() for k in keys0}
+        assert pending_group_indices(plan, done) == [1]
+
+    def test_shards_and_executor_are_exclusive(self):
+        with pytest.raises(ReproError, match="not both"):
+            ExperimentRunner().run(
+                _plan(), shards=2, executor=InlineExecutor()
+            )
+
+    @pytest.mark.parametrize(
+        "executor",
+        [ProcessShardExecutor(2), FleetExecutor(lease_timeout=5)],
+        ids=["process", "fleet"],
+    )
+    def test_multiprocess_executors_need_a_store(self, executor):
+        with pytest.raises(ReproError, match="ResultsStore"):
+            ExperimentRunner().run(_plan(), executor=executor)
+
+    def test_fleet_with_nothing_pending_serves_no_socket(self, tmp_path):
+        """A fully recorded plan must resume without ever binding."""
+        plan = _plan(cases=(CaseSpec("grassland", size=20, steps=2),))
+        store = ResultsStore(tmp_path / "r.jsonl")
+        ExperimentRunner(store=store).run(plan)
+        executor = FleetExecutor(timeout=5.0)
+        result = ExperimentRunner(store=store).run(plan, executor=executor)
+        assert executor.address is None  # never bound
+        assert result.n_resumed == plan.n_runs
+
+
+# ----------------------------------------------------------------------
+# Lease ledger (no sockets: fake clock, fake store coverage)
+# ----------------------------------------------------------------------
+class TestGroupLedger:
+    def _ledger(self, covered: set, clock: list):
+        return GroupLedger(
+            _plan(),
+            [0, 1],
+            lease_timeout=5.0,
+            completed_cells=lambda: set(covered),
+            clock=lambda: clock[0],
+        )
+
+    def test_poll_completion_detects_coverage_without_a_request(self):
+        """Regression: the last worker draining everything and then
+        dying must not hang the run — completion is visible from the
+        coordinator side via poll_completion."""
+        plan = _plan()
+        covered: set = set()
+        clock = [0.0]
+        ledger = self._ledger(covered, clock)
+        g1 = ledger.lease("w")
+        g2 = ledger.lease("w")
+        assert g1["type"] == g2["type"] == "group"
+        assert ledger.complete("w", g1["lease"]) == {"type": "ok"}
+        assert ledger.complete("w", g2["lease"]) == {"type": "ok"}
+        covered |= {k.as_tuple() for k in plan.runs()}
+        ledger.drained("w")  # ...then the worker dies silently
+        assert not ledger.finished.is_set()
+        assert ledger.poll_completion()
+        assert ledger.finished.is_set()
+
+    def test_poll_completion_requeues_stranded_cells(self):
+        """A worker that completed groups but died before draining
+        leaves missing cells; polling requeues their groups."""
+        covered: set = set()
+        clock = [0.0]
+        ledger = self._ledger(covered, clock)
+        g1 = ledger.lease("w")
+        g2 = ledger.lease("w")
+        ledger.complete("w", g1["lease"])
+        ledger.complete("w", g2["lease"])
+        # worker recently seen and undrained: no verdict yet
+        assert not ledger.poll_completion()
+        clock[0] = 10.0  # past the lease timeout — presumed dead
+        assert not ledger.poll_completion()
+        assert ledger.requeues == 2
+        # the requeued groups go to whoever asks next
+        assert ledger.lease("w2")["type"] == "group"
+
+    def test_expired_lease_requeues_group(self):
+        covered: set = set()
+        clock = [0.0]
+        ledger = self._ledger(covered, clock)
+        grant = ledger.lease("w")
+        assert ledger.lease("other")["type"] == "group"  # second group
+        clock[0] = 3.0
+        assert ledger.heartbeat("w", grant["lease"]) == {"type": "ok"}
+        clock[0] = 7.0  # renewed at 3.0, deadline 8.0: still alive
+        assert ledger.heartbeat("w", grant["lease"]) == {"type": "ok"}
+        clock[0] = 20.0
+        assert ledger.heartbeat("w", grant["lease"]) == {"type": "expired"}
+        assert ledger.complete("w", grant["lease"]) == {"type": "stale"}
+        assert ledger.lease("other")["type"] == "group"  # requeued
+
+
+# ----------------------------------------------------------------------
+# Fleet workers (loopback, separate processes)
+# ----------------------------------------------------------------------
+def _worker(address, store_path, worker_id):
+    run_worker(address, store_path=store_path, worker_id=worker_id)
+
+
+def _worker_dying_mid_group(address, store_path):
+    """Exits hard after its first recorded run — mid-lease death."""
+    run_worker(
+        address,
+        store_path=store_path,
+        worker_id="dier-mid-group",
+        on_record=lambda record: os._exit(17),
+    )
+
+
+def _worker_dying_after_complete(address, store_path):
+    """Exits hard after reporting a group complete but before the
+    coordinator drains its records — the stranded-records death."""
+    run_worker(
+        address,
+        store_path=store_path,
+        worker_id="dier-after-complete",
+        after_complete=lambda index: os._exit(18),
+    )
+
+
+@pytest.fixture(scope="module")
+def inline_store(tmp_path_factory):
+    """The single-process ground truth every executor must reproduce."""
+    store = ResultsStore(
+        tmp_path_factory.mktemp("inline") / "inline.jsonl"
+    )
+    ExperimentRunner(store=store).run(_plan())
+    return store
+
+
+def _run_fleet(plan, store, tmp_path, targets, lease_timeout, timeout=180.0):
+    """Run a fleet of worker processes against a loopback coordinator."""
+    procs: list = []
+
+    def on_bound(address):
+        for i, target in enumerate(targets):
+            proc = _FORK.Process(
+                target=target,
+                args=(address, str(tmp_path / f"worker{i}.jsonl")),
+            )
+            proc.start()
+            procs.append(proc)
+
+    executor = FleetExecutor(
+        lease_timeout=lease_timeout,
+        poll_interval=0.05,
+        timeout=timeout,
+        on_bound=on_bound,
+    )
+    try:
+        result = ExperimentRunner(store=store).run(plan, executor=executor)
+    finally:
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - only on test failure
+                proc.kill()
+    return result, executor, procs
+
+
+@needs_fork
+class TestExecutorParity:
+    def test_all_executors_bitwise_identical(self, inline_store, tmp_path):
+        """Acceptance: inline, process shards and a loopback two-worker
+        fleet yield bitwise-identical sorted store records (wall-clock
+        timing fields excluded — nothing else may differ)."""
+        plan = _plan()
+        expected_keys = sorted(k.as_tuple() for k in plan.runs())
+        reference = _sorted_normalized(inline_store)
+        assert [
+            record_key(r) for r in sorted(
+                inline_store.records(), key=record_key
+            )
+        ] == expected_keys
+
+        process_store = ResultsStore(tmp_path / "process.jsonl")
+        ExperimentRunner(store=process_store).run(
+            plan, executor=ProcessShardExecutor(2)
+        )
+        assert _sorted_normalized(process_store) == reference
+
+        fleet_store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, procs = _run_fleet(
+            plan,
+            fleet_store,
+            tmp_path,
+            targets=[
+                lambda addr, path: _worker(addr, path, "w0"),
+                lambda addr, path: _worker(addr, path, "w1"),
+            ],
+            lease_timeout=15.0,
+        )
+        assert [p.exitcode for p in procs] == [0, 0]
+        assert len(result.records) == plan.n_runs
+        assert _sorted_normalized(fleet_store) == reference
+        # runner-level view follows plan order, like every executor
+        assert [record_key(r) for r in result.records] == [
+            k.as_tuple() for k in plan.runs()
+        ]
+
+    def test_fleet_resumes_partial_store(self, inline_store, tmp_path):
+        """A store written by ANY executor resumes under the fleet:
+        resume is the store's key contract, not an executor feature."""
+        plan = _plan()
+        store = ResultsStore(tmp_path / "resume.jsonl")
+        (_, keys0), _ = plan.groups()
+        done_inline = {k.as_tuple() for k in keys0}
+        # seed the store with group 0 via the inline path
+        for record in inline_store.records():
+            if record_key(record) in done_inline:
+                store.append(record)
+        result, executor, procs = _run_fleet(
+            plan,
+            store,
+            tmp_path,
+            targets=[lambda addr, path: _worker(addr, path, "w0")],
+            lease_timeout=15.0,
+        )
+        assert result.n_resumed == len(done_inline)
+        assert _sorted_normalized(store) == _sorted_normalized(inline_store)
+
+
+@needs_fork
+class TestFleetFailureRecovery:
+    @pytest.mark.parametrize(
+        "dier",
+        [_worker_dying_mid_group, _worker_dying_after_complete],
+        ids=["killed-mid-group", "killed-after-complete-undrained"],
+    )
+    def test_killed_worker_requeues_and_completes(
+        self, dier, inline_store, tmp_path
+    ):
+        """Acceptance: a fleet run with one worker killed mid-run
+        completes after lease-timeout requeue with zero lost or
+        duplicated (system, case, seed, backend) cells."""
+        plan = _plan()
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, procs = _run_fleet(
+            plan,
+            store,
+            tmp_path,
+            targets=[
+                dier,
+                lambda addr, path: _worker(addr, path, "survivor"),
+            ],
+            lease_timeout=2.0,
+        )
+        assert executor.requeues >= 1
+        exit_codes = sorted(p.exitcode for p in procs)
+        assert exit_codes[0] == 0 and exit_codes[1] in (17, 18)
+        records = sorted(store.records(), key=record_key)
+        # zero lost, zero duplicated cells
+        assert [record_key(r) for r in records] == sorted(
+            k.as_tuple() for k in plan.runs()
+        )
+        # and the re-run groups match the inline ground truth bitwise
+        assert _sorted_normalized(store) == _sorted_normalized(inline_store)
+        assert len(result.records) == plan.n_runs
+
+    def test_timeout_without_workers_raises(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        executor = FleetExecutor(
+            lease_timeout=1.0, poll_interval=0.05, timeout=0.3
+        )
+        with pytest.raises(FleetError, match="timed out"):
+            ExperimentRunner(store=store).run(_plan(), executor=executor)
+
+
+# ----------------------------------------------------------------------
+# Worker against an in-thread coordinator (no subprocess): CLI-free
+# round-trip of the welcome payload, including per-system budgets.
+# ----------------------------------------------------------------------
+class TestWorkerInThread:
+    def test_worker_receives_plan_and_budgets_over_the_wire(self, tmp_path):
+        plan = _plan(
+            cases=(CaseSpec("grassland", size=20, steps=2),),
+            budgets={"ess-ns": {"generations": 3}},
+        )
+        store = ResultsStore(tmp_path / "coord.jsonl")
+        summary_box: dict = {}
+
+        def worker(address):
+            summary_box.update(
+                run_worker(
+                    address,
+                    store_path=tmp_path / "worker.jsonl",
+                    worker_id="in-thread",
+                )
+            )
+
+        threads: list[threading.Thread] = []
+
+        def on_bound(address):
+            thread = threading.Thread(target=worker, args=(address,))
+            thread.start()
+            threads.append(thread)
+
+        executor = FleetExecutor(
+            lease_timeout=10.0,
+            poll_interval=0.05,
+            timeout=120.0,
+            on_bound=on_bound,
+        )
+        result = ExperimentRunner(store=store).run(plan, executor=executor)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert summary_box["groups"] == 1
+        assert summary_box["records"] == plan.n_runs
+        assert len(result.records) == plan.n_runs
+        # the overridden budget really reached the worker: ess-ns ran
+        # one generation more than ess under the same plan
+        runs = {r["system"]: r["run"] for r in result.records}
+        assert runs["ess-ns"]["steps"][0]["engine"]["evaluations"] > (
+            runs["ess"]["steps"][0]["engine"]["evaluations"]
+        )
+
+
+class TestWorkerStoreHygiene:
+    """A reused worker-local store is held to the store contracts."""
+
+    def _run_in_thread_fleet(
+        self, plan, coord_store, worker_store, timeout, worker_errors=None
+    ):
+        worker_errors = [] if worker_errors is None else worker_errors
+        threads: list[threading.Thread] = []
+
+        def worker(address):
+            try:
+                run_worker(
+                    address, store_path=worker_store, worker_id="hygiene"
+                )
+            except Exception as exc:  # surfaced to the test thread
+                worker_errors.append(exc)
+
+        def on_bound(address):
+            thread = threading.Thread(target=worker, args=(address,))
+            thread.start()
+            threads.append(thread)
+
+        executor = FleetExecutor(
+            lease_timeout=2.0,
+            poll_interval=0.05,
+            timeout=timeout,
+            on_bound=on_bound,
+        )
+        try:
+            result = ExperimentRunner(store=coord_store).run(
+                plan, executor=executor
+            )
+        finally:
+            for thread in threads:
+                thread.join(timeout=30)
+        return result, worker_errors
+
+    def test_foreign_records_never_reach_the_coordinator(self, tmp_path):
+        """Regression: a worker store holding cells of other plans must
+        not pollute the coordinator's results artifact on drain."""
+        plan = _plan(cases=(CaseSpec("grassland", size=20, steps=2),))
+        worker_store = ResultsStore(tmp_path / "worker.jsonl")
+        foreign = {
+            "plan": "last-week",
+            "system": "ess",
+            "case": "grassland",
+            "seed": 999,  # not one of the plan's cells
+            "backend": "vectorized",
+            "quality": 0.1,
+            "evaluations": 1,
+            "seconds": 0.1,
+            "run": {"system": "ESS", "steps": [], "session": {}},
+        }
+        worker_store.append(foreign)
+        coord_store = ResultsStore(tmp_path / "coord.jsonl")
+        result, worker_errors = self._run_in_thread_fleet(
+            plan, coord_store, worker_store.path, timeout=120.0
+        )
+        assert worker_errors == []
+        assert len(result.records) == plan.n_runs
+        assert {record_key(r) for r in coord_store.records()} == {
+            k.as_tuple() for k in plan.runs()
+        }
+
+    def test_rebudgeted_worker_store_is_refused(self, tmp_path):
+        """Regression: a worker resuming its local store applies the
+        per-system config-digest check — a store recorded under another
+        budget is refused instead of silently served."""
+        plan_old = _plan(cases=(CaseSpec("grassland", size=20, steps=2),))
+        worker_store = ResultsStore(tmp_path / "worker.jsonl")
+        ExperimentRunner(store=worker_store).run(plan_old)
+        rebudgeted = _plan(
+            cases=(CaseSpec("grassland", size=20, steps=2),),
+            budget=BudgetSpec(
+                population=8, generations=3, session_cache_size=2048
+            ),
+        )
+        coord_store = ResultsStore(tmp_path / "coord.jsonl")
+        worker_errors: list[Exception] = []
+        with pytest.raises(FleetError, match="timed out"):
+            # the only worker refuses its store, so the fleet times out
+            self._run_in_thread_fleet(
+                rebudgeted,
+                coord_store,
+                worker_store.path,
+                timeout=4.0,
+                worker_errors=worker_errors,
+            )
+        assert worker_errors, "the worker must have refused its store"
+        assert "different configuration" in str(worker_errors[0])

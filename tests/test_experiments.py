@@ -187,6 +187,176 @@ class TestResultsStore:
         }
 
 
+class TestStoreMerge:
+    def _record(self, seed: int, system: str = "ess", quality: float = 0.5):
+        return {
+            "plan": "t",
+            "system": system,
+            "case": "grassland",
+            "seed": seed,
+            "backend": "vectorized",
+            "quality": quality,
+            "evaluations": 1,
+            "seconds": 0.1,
+            "run": {"system": "ESS", "steps": [], "session": {}},
+        }
+
+    def test_merge_dedupes_first_writer_wins_sorted(self, tmp_path):
+        dest = ResultsStore(tmp_path / "dest.jsonl")
+        dest.append(self._record(5, quality=0.9))
+        a = ResultsStore(tmp_path / "a.jsonl")
+        a.append(self._record(5, quality=0.1))  # duplicate of dest's cell
+        a.append(self._record(3))
+        b = ResultsStore(tmp_path / "b.jsonl")
+        b.append(self._record(3, quality=0.2))  # duplicate of a's cell
+        b.append(self._record(1))
+        summary = dest.merge(a, b)
+        assert summary == {"records": 3, "duplicates": 2, "sources": 2}
+        records = dest.records()
+        # sorted by run key, so merge output is byte-comparable
+        assert [record_key(r)[2] for r in records] == [1, 3, 5]
+        by_seed = {record_key(r)[2]: r for r in records}
+        assert by_seed[5]["quality"] == 0.9  # dest wrote first
+        assert by_seed[3]["quality"] == 0.5  # source a beat source b
+
+    def test_merge_accepts_record_iterables(self, tmp_path):
+        dest = ResultsStore(tmp_path / "dest.jsonl")
+        summary = dest.merge([self._record(2), self._record(0)])
+        assert summary["records"] == 2
+        assert [record_key(r)[2] for r in dest.records()] == [0, 2]
+
+    def test_merge_compacts_partial_tails(self, tmp_path):
+        dest = ResultsStore(tmp_path / "dest.jsonl")
+        dest.append(self._record(0))
+        src = ResultsStore(tmp_path / "src.jsonl")
+        src.append(self._record(1))
+        for store in (dest, src):
+            with open(store.path, "a") as fh:
+                fh.write('{"system": "ess", "case": "gr')  # crash tails
+        dest.merge(src)
+        with open(dest.path) as fh:
+            text = fh.read()
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == 2
+        assert {record_key(r)[2] for r in dest.records()} == {0, 1}
+
+    def test_merge_is_idempotent_and_stable(self, tmp_path):
+        dest = ResultsStore(tmp_path / "dest.jsonl")
+        dest.append(self._record(1))
+        dest.append(self._record(0))
+        src = ResultsStore(tmp_path / "src.jsonl")
+        src.append(self._record(2))
+        dest.merge(src)
+        first = dest.path.read_bytes()
+        summary = dest.merge(src)
+        assert summary["duplicates"] == 1  # src is already folded in
+        assert dest.path.read_bytes() == first
+
+    def test_merge_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = ResultsStore(tmp_path / "a.jsonl")
+        a.append(self._record(0))
+        b = ResultsStore(tmp_path / "b.jsonl")
+        b.append(self._record(0, quality=0.0))
+        b.append(self._record(1))
+        out = tmp_path / "merged.jsonl"
+        assert (
+            main(
+                [
+                    "experiments",
+                    "merge-stores",
+                    "--into",
+                    str(out),
+                    str(a.path),
+                    str(b.path),
+                ]
+            )
+            == 0
+        )
+        assert "2 records" in capsys.readouterr().out
+        assert len(ResultsStore(out).records()) == 2
+        with pytest.raises(SystemExit, match="no such results store"):
+            main(
+                [
+                    "experiments",
+                    "merge-stores",
+                    "--into",
+                    str(out),
+                    str(tmp_path / "missing.jsonl"),
+                ]
+            )
+
+
+class TestBudgetOverrides:
+    def test_budget_for_and_build_system(self):
+        plan = _tiny_plan(budgets={"ess-ns": {"population": 12}})
+        assert plan.budget_for("ess").population == 8
+        assert plan.budget_for("ess-ns").population == 12
+        assert plan.budget_for("ess-ns").generations == 2  # inherited
+        system = plan.build_system("ess-ns", "vectorized")
+        assert system.config.nsga.population_size == 12
+
+    def test_json_roundtrip_with_budgets(self, tmp_path):
+        plan = _tiny_plan(budgets={"ess": {"generations": 4}})
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        back = ExperimentPlan.load_json(path)
+        assert back == plan
+        assert back.budget_for("ess").generations == 4
+        # plans without overrides keep the pre-override artifact shape
+        assert "budgets" not in _tiny_plan().to_dict()
+
+    @pytest.mark.parametrize(
+        "budgets",
+        [
+            {"warp-drive": {"population": 12}},  # not a plan system
+            {"ess": {"n_workers": 4}},  # session knob is per-group
+            {"ess": {"session_cache_size": 1}},
+            {"ess": {"flux": 1}},  # unknown key
+            {"ess": 12},  # not a mapping
+        ],
+    )
+    def test_invalid_overrides_raise(self, budgets):
+        with pytest.raises(ReproError):
+            _tiny_plan(budgets=budgets)
+
+    def test_digest_covers_effective_budget(self):
+        base = _tiny_plan()
+        rebudgeted = _tiny_plan(budgets={"ess": {"population": 12}})
+        case = base.cases[0]
+        assert base.config_digest(case, "ess") == base.config_digest(
+            case, "ess-ns"
+        )
+        assert rebudgeted.config_digest(case, "ess") != base.config_digest(
+            case, "ess"
+        )
+        # the untouched system's digest is unchanged by the override
+        assert rebudgeted.config_digest(case, "ess-ns") == base.config_digest(
+            case, "ess-ns"
+        )
+
+    def test_rebudgeted_resume_is_refused_per_system(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.jsonl")
+        ExperimentRunner(store=store).run(_tiny_plan())
+        rebudgeted = _tiny_plan(budgets={"ess": {"generations": 3}})
+        with pytest.raises(ReproError, match="different configuration"):
+            ExperimentRunner(store=store).run(rebudgeted)
+        # an override that matches the recorded budget still resumes
+        same = _tiny_plan(
+            budgets={"ess": {"population": 8, "generations": 2}}
+        )
+        assert ExperimentRunner(store=store).run(same).n_resumed == 2
+
+    def test_overridden_budget_changes_the_run(self):
+        plan = _tiny_plan(budgets={"ess": {"generations": 3}})
+        result = ExperimentRunner().run(plan)
+        evals = {
+            r["system"]: r["evaluations"] for r in result.records
+        }
+        assert evals["ess"] > evals["ess-ns"]
+
+
 class TestSharedSessionEquivalence:
     """Acceptance: shared-session grids are bitwise-identical to
     isolated sessions while reusing strictly more from the cache."""
