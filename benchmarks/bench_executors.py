@@ -9,8 +9,17 @@ groups and the per-group cost; the fleet additionally pays the TCP
 lease/drain round-trips, which this bench shows to be negligible
 against real simulation work.
 
-``smoke_executors`` runs the same comparison at tiny sizes with no
-timing assertions — the distributed-smoke CI job calls it.
+``few_big_groups_rows`` measures the redesign this bench exists to
+justify: on a one-case/many-seeds plan (a single ``(case, backend)``
+group) it runs the same fleet twice — whole-group leases
+(``min_unit_cells=0``, the pre-WorkUnit behaviour) versus cell-level
+leases with work stealing — and reports each worker's busy time
+against the run's wall-clock, i.e. how much fleet capacity sat idle
+before and after the unit-of-work redesign.
+
+``smoke_executors`` / ``smoke_few_big_groups`` run the same
+comparisons at tiny sizes with no timing assertions — the
+distributed-smoke CI job calls them.
 """
 
 from __future__ import annotations
@@ -33,7 +42,7 @@ from repro.experiments import (
     ExperimentRunner,
     ResultsStore,
 )
-from repro.experiments.store import record_key, strip_wallclock
+from repro.experiments.store import parity_view, record_key
 
 
 def _plan(
@@ -57,9 +66,9 @@ def _plan(
 
 
 def _fingerprint(store: ResultsStore) -> list[dict]:
-    """Sorted records in the shared wall-clock-free parity view."""
+    """Sorted records in the shared scheduling-free parity view."""
     return [
-        strip_wallclock(r) for r in sorted(store.records(), key=record_key)
+        parity_view(r) for r in sorted(store.records(), key=record_key)
     ]
 
 
@@ -162,12 +171,154 @@ def executor_table(rows: list[dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Few-big-groups mode — idle-worker time before/after cell leasing.
+# ----------------------------------------------------------------------
+def _summary_worker(address, store_path, worker_id, queue) -> None:
+    queue.put(run_worker(address, store_path=store_path, worker_id=worker_id))
+
+
+def _run_fleet_collecting(
+    plan: ExperimentPlan,
+    store: ResultsStore,
+    workdir: Path,
+    workers: int,
+    min_unit_cells: int,
+    label: str,
+) -> tuple[float, list[dict], FleetExecutor]:
+    """One fleet run; returns (wall seconds, worker summaries, executor)."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    procs: list = []
+
+    def on_bound(address):
+        for i in range(workers):
+            proc = ctx.Process(
+                target=_summary_worker,
+                args=(
+                    address,
+                    str(workdir / f"{label}-w{i}.jsonl"),
+                    f"{label}-w{i}",
+                    queue,
+                ),
+            )
+            proc.start()
+            procs.append(proc)
+
+    executor = FleetExecutor(
+        lease_timeout=60.0,
+        poll_interval=0.05,
+        timeout=3600.0,
+        min_unit_cells=min_unit_cells,
+        on_bound=on_bound,
+    )
+    start = time.perf_counter()
+    try:
+        ExperimentRunner(store=store).run(plan, executor=executor)
+    finally:
+        for proc in procs:
+            proc.join(timeout=60)
+            if proc.is_alive():  # pragma: no cover - bench hygiene
+                proc.kill()
+    wall = time.perf_counter() - start
+    summaries = [queue.get(timeout=10) for _ in procs]
+    return wall, summaries, executor
+
+
+def few_big_groups_rows(
+    size: int = 28,
+    steps: int = 2,
+    population: int = 16,
+    generations: int = 3,
+    n_seeds: int = 6,
+    workers: int = 3,
+) -> list[dict]:
+    """Idle-worker time on a one-group plan, group vs unit leases.
+
+    The plan has a single ``(case, backend)`` group (one case, many
+    seeds), so whole-group leasing pins all work on one worker while
+    the rest of the fleet idles; cell-level leasing spreads it by
+    splitting the unit for every asker. Rows report per-mode wall
+    clock, summed worker busy time and the implied idle time
+    (``workers * wall - busy``); both stores must agree bitwise in the
+    parity view.
+    """
+    plan = ExperimentPlan(
+        name="bench-few-big-groups",
+        systems=("ess", "ess-ns"),
+        cases=(CaseSpec("grassland", size=size, steps=steps),),
+        seeds=tuple(range(n_seeds)),
+        backends=("vectorized",),
+        budget=BudgetSpec(
+            population=population,
+            generations=generations,
+            session_cache_size=4096,
+        ),
+    )
+    rows: list[dict] = []
+    fingerprints: list = []
+    with tempfile.TemporaryDirectory(prefix="bench-few-big-") as tmp:
+        workdir = Path(tmp)
+        for label, min_unit_cells in (
+            ("group leases", 0),
+            ("unit leases", 1),
+        ):
+            store = ResultsStore(
+                workdir / f"{label.split()[0]}.jsonl"
+            )
+            wall, summaries, executor = _run_fleet_collecting(
+                plan, store, workdir, workers, min_unit_cells, label.split()[0]
+            )
+            busy = sum(s["busy_seconds"] for s in summaries)
+            fingerprints.append(_fingerprint(store))
+            rows.append(
+                {
+                    "mode": label,
+                    "workers": workers,
+                    "seconds": wall,
+                    "busy_seconds": busy,
+                    "idle_seconds": max(workers * wall - busy, 0.0),
+                    "units_per_worker": sorted(
+                        s["units"] for s in summaries
+                    ),
+                    "steals": executor.steals,
+                    "records": len(store.records()),
+                }
+            )
+        assert fingerprints[1] == fingerprints[0], (
+            "unit leases diverged from group leases"
+        )
+    return rows
+
+
+def few_big_groups_table(rows: list[dict]) -> str:
+    header = (
+        f"{'mode':<16}{'records':>8}{'seconds':>10}{'busy':>8}"
+        f"{'idle':>8}{'steals':>8}  units/worker"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['mode']:<16}{row['records']:>8}{row['seconds']:>10.2f}"
+            f"{row['busy_seconds']:>8.2f}{row['idle_seconds']:>8.2f}"
+            f"{row['steals']:>8}  {row['units_per_worker']}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Smoke mode — tiny grid, parity only (the distributed-smoke CI job).
 # ----------------------------------------------------------------------
 def smoke_executors() -> list[dict]:
     """All three executors agree bitwise on a tiny 2-group plan."""
     return executor_rows(
         size=20, steps=2, population=8, generations=2, seeds=(0,)
+    )
+
+
+def smoke_few_big_groups() -> list[dict]:
+    """Group vs unit leases agree bitwise on a tiny one-group plan."""
+    return few_big_groups_rows(
+        size=20, steps=2, population=8, generations=2, n_seeds=4, workers=2
     )
 
 
@@ -188,3 +339,5 @@ def test_executor_comparison_report(benchmark):
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation
     print(executor_table(executor_rows()))
+    print()
+    print(few_big_groups_table(few_big_groups_rows()))

@@ -7,12 +7,14 @@ Five commands cover the common workflows without writing a script:
 * ``run`` — run one prediction system on a case and print the per-step
   table; optionally save the result as JSON.
 * ``compare`` — run several systems on the same case and print the E1
-  quality-per-step comparison.
+  quality-per-step comparison; like ``sweep`` it takes ``--executor``,
+  so a one-case grid can spread over a worker fleet cell by cell.
 * ``sweep`` — run a full systems × cases × seeds grid and print the
-  aggregated table; ``--executor`` picks where the grid's groups
-  execute (inline, local shard processes, or a TCP worker fleet).
+  aggregated table; ``--executor`` picks where the grid's pending work
+  units execute (inline, local shard processes, or a TCP worker
+  fleet).
 * ``experiments`` — distributed-execution utilities:
-  ``serve-coordinator`` (lease a plan's groups to TCP workers),
+  ``serve-coordinator`` (lease a plan's work units to TCP workers),
   ``worker`` (join a coordinator's fleet) and ``merge-stores``
   (aggregate several JSONL results stores into one).
 
@@ -26,6 +28,7 @@ group and can stream results into a resumable ``--results`` store.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -142,10 +145,50 @@ def _add_fleet(parser: argparse.ArgumentParser) -> None:
         "--lease-timeout",
         type=float,
         default=30.0,
-        help="seconds of worker silence after which its leased group "
-        "is handed to another worker (workers heartbeat at a quarter "
-        "of this)",
+        help="seconds of worker silence after which its leased work "
+        "unit is handed to another worker (workers heartbeat at a "
+        "quarter of this)",
     )
+    parser.add_argument(
+        "--min-unit-cells",
+        type=int,
+        default=1,
+        help="work-stealing floor: when a worker asks and only one "
+        "pending unit remains, it is split in half as long as both "
+        "halves keep at least this many (system, case, seed, backend) "
+        "cells; 0 disables splitting (whole-group leases)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_FLEET_TOKEN"),
+        help="shared secret for the coordinator's HMAC challenge-"
+        "response handshake; unauthenticated peers are rejected before "
+        "any plan bytes are sent (default: $REPRO_FLEET_TOKEN; unset "
+        "disables authentication)",
+    )
+
+
+def _add_executor(parser: argparse.ArgumentParser) -> None:
+    """``--shards``/``--executor`` + fleet flags (compare and sweep)."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run pending work units in this many local processes "
+        "(requires --results; sugar for --executor process)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("inline", "process", "fleet"),
+        default="inline",
+        help="where the plan's pending work units execute: in this "
+        "process (inline, honouring --shards), in local shard "
+        "processes (process), or leased cell-by-cell to TCP workers "
+        "started with 'repro experiments worker' (fleet; requires "
+        "--results and honours --host/--port/--lease-timeout/"
+        "--min-unit-cells/--auth-token)",
+    )
+    _add_fleet(parser)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -225,8 +268,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             backends=(args.backend,),
             budget=_budget(args),
         )
-        runner = ExperimentRunner(share_sessions=not args.isolated_sessions)
-        result = runner.run(plan)
+        store = _open_results_store(args.results) if args.results else None
+    except _USER_ERRORS as exc:
+        raise SystemExit(str(exc)) from exc
+    runner = ExperimentRunner(
+        store=store, share_sessions=not args.isolated_sessions
+    )
+    try:
+        executor = _make_executor(args)
+        if executor is not None:
+            result = runner.run(plan, executor=executor)
+        else:
+            result = runner.run(plan, shards=args.shards)
     except ReproError as exc:
         _exit_on_user_error(exc)
         raise
@@ -296,16 +349,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store, share_sessions=not args.isolated_sessions
     )
     try:
-        executor = None
-        if args.executor == "process":
-            executor = ProcessShardExecutor(args.shards)
-        elif args.executor == "fleet":
-            executor = FleetExecutor(
-                host=args.host,
-                port=args.port,
-                lease_timeout=args.lease_timeout,
-                on_bound=_announce_coordinator,
-            )
+        executor = _make_executor(args)
         if executor is not None:
             result = runner.run(plan, executor=executor)
         else:
@@ -328,6 +372,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc)) from exc
         print(f"saved: {args.output}")
     return 0
+
+
+def _make_executor(args: argparse.Namespace):
+    """The work executor the ``--executor`` flags describe (or ``None``
+    for the inline default, which honours ``--shards`` sugar)."""
+    if args.executor == "process":
+        return ProcessShardExecutor(
+            args.shards, min_unit_cells=args.min_unit_cells
+        )
+    if args.executor == "fleet":
+        return FleetExecutor(
+            host=args.host,
+            port=args.port,
+            lease_timeout=args.lease_timeout,
+            min_unit_cells=args.min_unit_cells,
+            auth_token=args.auth_token,
+            on_bound=_announce_coordinator,
+        )
+    return None
 
 
 def _announce_coordinator(address: tuple[str, int]) -> None:
@@ -358,6 +421,8 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
         lease_timeout=args.lease_timeout,
         poll_interval=args.poll_interval,
         timeout=args.timeout,
+        min_unit_cells=args.min_unit_cells,
+        auth_token=args.auth_token,
         on_bound=_announce_coordinator,
     )
     runner = ExperimentRunner(
@@ -372,8 +437,8 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
         raise
     print(
         f"fleet complete: {len(result.records)} records "
-        f"({result.n_resumed} resumed, {executor.requeues} group "
-        f"requeues) -> {store.path}"
+        f"({result.n_resumed} resumed, {executor.requeues} unit "
+        f"requeues, {executor.steals} unit steals) -> {store.path}"
     )
     print(format_experiment(result))
     return 0
@@ -386,11 +451,12 @@ def _cmd_experiments_worker(args: argparse.Namespace) -> int:
             store_path=args.store,
             poll_interval=args.poll_interval,
             worker_id=args.id,
+            auth_token=args.auth_token,
         )
     except FleetError as exc:
         raise SystemExit(str(exc)) from exc
     print(
-        f"worker {summary['worker']} done: {summary['groups']} groups, "
+        f"worker {summary['worker']} done: {summary['units']} units, "
         f"{summary['records']} records (local store: {summary['store']})"
     )
     return 0
@@ -454,6 +520,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="give every system its own engine session instead of "
         "sharing one across the compared systems",
     )
+    p_cmp.add_argument(
+        "--results",
+        help="stream one JSONL record per completed run into this file "
+        "(resumable; required by --executor process/fleet)",
+    )
+    _add_executor(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_swp = sub.add_parser(
@@ -501,24 +573,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "re-invoking with the same path resumes, computing only the "
         "missing (system, case, seed) cells",
     )
-    p_swp.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="run independent (case, backend) groups in this many "
-        "processes (requires --results; sugar for --executor process)",
-    )
-    p_swp.add_argument(
-        "--executor",
-        choices=("inline", "process", "fleet"),
-        default="inline",
-        help="where the plan's (case, backend) groups execute: in this "
-        "process (inline, honouring --shards), in local shard "
-        "processes (process), or leased to TCP workers started with "
-        "'repro experiments worker' (fleet; requires --results and "
-        "honours --host/--port/--lease-timeout)",
-    )
-    _add_fleet(p_swp)
+    _add_executor(p_swp)
     p_swp.add_argument(
         "--isolated-sessions",
         action="store_true",
@@ -536,8 +591,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     p_serve = exp_sub.add_parser(
         "serve-coordinator",
-        help="lease a plan's (case, backend) groups to TCP workers and "
-        "aggregate their results",
+        help="lease a plan's work units to TCP workers (cell-level, "
+        "with within-group stealing) and aggregate their results",
     )
     p_serve.add_argument(
         "--plan",
@@ -574,7 +629,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_serve.set_defaults(func=_cmd_experiments_serve)
 
     p_wrk = exp_sub.add_parser(
-        "worker", help="join a coordinator's fleet and execute leased groups"
+        "worker",
+        help="join a coordinator's fleet and execute leased work units",
     )
     p_wrk.add_argument(
         "--connect",
@@ -597,6 +653,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_wrk.add_argument(
         "--id", help="stable worker identity (default: hostname-pid)"
+    )
+    p_wrk.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_FLEET_TOKEN"),
+        help="shared secret matching the coordinator's --auth-token "
+        "(default: $REPRO_FLEET_TOKEN)",
     )
     p_wrk.set_defaults(func=_cmd_experiments_worker)
 

@@ -1,41 +1,57 @@
 """Distributed experiment execution: executors, fleet, aggregation.
 
-Makes "who executes a ``(case, backend)`` group" a pluggable policy
-behind the :class:`GroupExecutor` protocol — the seam PR 3 left at the
-:class:`~repro.experiments.runner.ExperimentRunner`:
+Makes "who executes a pending :class:`~repro.experiments.work.WorkUnit`"
+a pluggable policy behind the :class:`WorkExecutor` protocol — the seam
+at the :class:`~repro.experiments.runner.ExperimentRunner`:
 
 * :class:`InlineExecutor` — in-process, sequential (the default).
-* :class:`ProcessShardExecutor` — local ``multiprocessing`` fan-out
-  over a shared JSONL store (what ``shards=N`` always meant).
+* :class:`ProcessShardExecutor` — local ``multiprocessing`` fan-out of
+  units over a shared JSONL store (``shards=N``), splitting big units
+  so every shard gets work.
 * :class:`FleetExecutor` — a TCP coordinator
-  (``repro experiments serve-coordinator``) leasing groups to remote
-  ``repro experiments worker`` processes, with heartbeat/lease-timeout
-  requeue, worker-local stores and first-writer-wins merging.
+  (``repro experiments serve-coordinator``) leasing units to remote
+  ``repro experiments worker`` processes, with cell-level work stealing
+  (the last pending unit splits for an asking worker),
+  heartbeat/lease-timeout requeue, optional shared-secret HMAC
+  authentication, worker-local stores and first-writer-wins merging.
 
 Whatever the executor, resume stays the store's ``(system, case, seed,
 backend)`` contract: a run interrupted anywhere resumes under any
-executor, and all executors produce identical store contents (modulo
-wall-clock timings) for the same plan and seeds.
+executor *and any unit granularity*, and all executors produce
+identical store contents (modulo wall-clock timings) for the same plan
+and seeds — unit boundaries never change a cell's bytes.
+
+``GroupExecutor``/``GroupLedger`` remain as migration aliases of
+:class:`WorkExecutor`/:class:`UnitLedger` (the SPI's currency was a
+``(case, backend)`` group index before the unit-of-work redesign).
 """
 
-from repro.distributed.coordinator import FleetExecutor, GroupLedger
+from repro.distributed.coordinator import (
+    FleetExecutor,
+    GroupLedger,
+    UnitLedger,
+)
 from repro.distributed.executors import (
     GroupExecutor,
     InlineExecutor,
     ProcessShardExecutor,
+    WorkExecutor,
     pending_group_indices,
     shard_assignments,
 )
-from repro.distributed.protocol import FleetError
+from repro.distributed.protocol import FleetAuthError, FleetError
 from repro.distributed.worker import parse_address, run_worker
 
 __all__ = [
+    "FleetAuthError",
     "FleetError",
     "FleetExecutor",
     "GroupExecutor",
     "GroupLedger",
     "InlineExecutor",
     "ProcessShardExecutor",
+    "UnitLedger",
+    "WorkExecutor",
     "parse_address",
     "pending_group_indices",
     "run_worker",

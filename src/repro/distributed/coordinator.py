@@ -1,32 +1,43 @@
-"""Fleet coordinator: lease groups to TCP workers, merge their stores.
+"""Fleet coordinator: lease work units to TCP workers, merge stores.
 
 The :class:`FleetExecutor` is the distributed arm of the executor seam
 (:mod:`repro.distributed.executors`): it serves a plan's pending
-``(case, backend)`` groups over the length-prefixed-JSON protocol of
+:class:`~repro.experiments.work.WorkUnit`\\ s — cell subsets of
+``(case, backend)`` groups — over the length-prefixed-JSON protocol of
 :mod:`repro.distributed.protocol` to any number of
 ``repro experiments worker`` processes, on this machine or others.
 
-Correctness rests on three rules, all enforced by the
-:class:`GroupLedger`:
+Scheduling is **cell-level with work stealing**: the ledger starts
+from whole-group units, and when a worker asks for work while only one
+unit remains pending, that unit is *split* — half is granted, half
+stays pending for the next asker — down to the ``min_unit_cells``
+floor. A one-case/many-seeds plan (one big group, the shape that used
+to pin a whole fleet behind a single worker) therefore spreads across
+every worker that asks. Splitting moves only *where* cells execute:
+every cell is reproducible from ``(plan, seed)`` alone, so the store's
+bytes are identical at any granularity.
 
-* **Leases expire.** A worker holds a group only while it heartbeats;
-  a worker that dies (or loses the network) stops renewing and its
-  group is re-leased to the next worker that asks. Requeued groups
-  re-run from the new worker's own store, so a group a worker had
-  *partially* recorded before a stale lease resumes rather than
-  recomputes.
+Correctness rests on three rules, all enforced by the
+:class:`UnitLedger`:
+
+* **Leases expire.** A worker holds a unit only while it heartbeats; a
+  worker that dies (or loses the network) stops renewing and its unit
+  — the exact cell subset — is re-leased to the next worker that asks.
+  Requeued units re-run from the new worker's own store, so cells a
+  worker had *partially* recorded before a stale lease resume rather
+  than recompute.
 * **Records live on the worker until the coordinator has them.**
   Workers stream every completed run into their own crash-safe local
   :class:`~repro.experiments.store.ResultsStore` and upload it when the
   coordinator asks (``drain``); the coordinator folds uploads into its
   own store through :meth:`ResultsStore.merge` — first writer wins, so
-  a group that was executed twice (stale lease, re-run after a death)
-  never duplicates a ``(system, case, seed, backend)`` cell.
-* **Completion is verified, not assumed.** A group reported complete
+  a cell that was executed twice (stale lease, re-run after a death)
+  never duplicates a ``(system, case, seed, backend)`` record.
+* **Completion is verified, not assumed.** A unit reported complete
   counts only tentatively; the run finishes when the *coordinator's
   store* records every expected cell. Cells stranded on a dead worker
   (completed but never drained) are detected by this coverage check and
-  their groups re-leased.
+  requeued as fresh units covering exactly the missing cells.
 
 The coordinator never simulates anything itself: it is bookkeeping plus
 a store, which is what lets one process oversee a fleet of heavyweight
@@ -36,80 +47,95 @@ workers.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import socketserver
 from typing import TYPE_CHECKING, Callable
 
 from repro.experiments.store import record_key
+from repro.experiments.work import WorkSet, WorkUnit
 
-from repro.distributed.executors import (
-    _check_process_portable,
-    pending_group_indices,
-)
+from repro.distributed.executors import _check_process_portable
 from repro.distributed.protocol import (
     FleetError,
+    auth_mac,
+    auth_nonce,
+    check_auth_token,
     recv_message,
     send_message,
+    verify_auth,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.experiments.plan import ExperimentPlan
     from repro.experiments.runner import ExperimentRunner
 
-__all__ = ["FleetExecutor", "GroupLedger"]
+__all__ = ["FleetExecutor", "GroupLedger", "UnitLedger"]
 
 
-class GroupLedger:
-    """Thread-safe lease/requeue bookkeeping for one fleet run.
+class UnitLedger:
+    """Thread-safe lease/steal/requeue bookkeeping for one fleet run.
 
     Parameters
     ----------
-    plan:
-        The plan being executed; group indices refer to
-        :meth:`ExperimentPlan.groups` order (workers rebuild the same
-        plan from the ``welcome`` payload, so indices agree).
-    pending:
-        Group indices with unrecorded cells at the start of the run.
+    workset:
+        The pending work, compiled from the plan and the coordinator
+        store (unit cells refer to :meth:`ExperimentPlan.groups` order;
+        workers rebuild the same plan from the ``welcome`` payload, so
+        group indices agree — the cells themselves travel explicitly).
     lease_timeout:
         Seconds without a heartbeat (or any other contact) after which
-        a lease is revoked and its group re-leased; also the staleness
+        a lease is revoked and its unit re-leased; also the staleness
         bound after which a silent worker is presumed dead.
     completed_cells:
         Callable returning the coordinator store's recorded run keys —
         the ground truth of the end-of-run coverage check.
+    min_unit_cells:
+        Work-stealing floor: when a worker asks and only one pending
+        unit remains, it splits as long as both halves keep at least
+        this many cells. ``0`` disables splitting (whole-group leases,
+        the pre-WorkUnit behaviour).
     """
 
     def __init__(
         self,
-        plan: "ExperimentPlan",
-        pending: list[int],
+        workset: WorkSet,
         lease_timeout: float,
         completed_cells: Callable[[], set[tuple[str, str, int, str]]],
         clock: Callable[[], float] = time.monotonic,
+        min_unit_cells: int = 1,
     ) -> None:
         if lease_timeout <= 0:
             raise FleetError(
                 f"lease timeout must be positive, got {lease_timeout}"
             )
-        groups = plan.groups()
-        self._cells = {
-            i: {k.as_tuple() for k in groups[i][1]} for i in pending
+        if min_unit_cells < 0:
+            raise FleetError(
+                f"min_unit_cells must be >= 0, got {min_unit_cells}"
+            )
+        units = workset.pending()
+        self._group_of = {
+            cell: unit.group for unit in units for cell in unit.cells
         }
-        self._expected = set().union(*self._cells.values())
-        self._pending: list[int] = list(pending)
+        self._expected = set(self._group_of)
+        self._pending: list[WorkUnit] = list(units)
         self._leases: dict[int, dict] = {}
         self._lease_ids = itertools.count(1)
-        self._tentative: set[int] = set()
+        # cells reported complete whose records have not yet been
+        # verified in the coordinator store (a set: re-completion after
+        # a requeue never double-counts)
+        self._tentative: set[tuple[str, str, int, str]] = set()
         self._dirty: set[str] = set()
         self._last_seen: dict[str, float] = {}
         self._told_done: set[str] = set()
         self._lock = threading.Lock()
         self.lease_timeout = float(lease_timeout)
+        self.min_unit_cells = int(min_unit_cells)
         self.completed_cells = completed_cells
         self.clock = clock
         self.finished = threading.Event()
         self.requeues = 0
+        self.steals = 0
 
     # ------------------------------------------------------------------
     def touch(self, worker: str) -> None:
@@ -151,7 +177,7 @@ class GroupLedger:
             return self._grant(worker, now)
 
     def heartbeat(self, worker: str, lease_id) -> dict:
-        """Renew a lease; ``expired`` once the group was re-leased."""
+        """Renew a lease; ``expired`` once the unit was re-leased."""
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
@@ -163,7 +189,7 @@ class GroupLedger:
             return {"type": "ok"}
 
     def complete(self, worker: str, lease_id) -> dict:
-        """Mark a leased group tentatively complete (worker holds records)."""
+        """Mark a leased unit tentatively complete (worker holds records)."""
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
@@ -173,7 +199,7 @@ class GroupLedger:
             if lease is None or lease["worker"] != worker:
                 return {"type": "stale"}
             del self._leases[key]
-            self._tentative.add(lease["group"])
+            self._tentative.update(lease["unit"].cells)
             self._dirty.add(worker)
             return {"type": "ok"}
 
@@ -191,7 +217,7 @@ class GroupLedger:
         request ever arrives even though the store already records
         every cell. The executor polls this while it waits, so a
         complete run always terminates; cells found missing requeue
-        their groups for whichever worker asks next.
+        as units for whichever worker asks next.
         """
         with self._lock:
             now = self.clock()
@@ -214,32 +240,65 @@ class GroupLedger:
 
     # ------------------------------------------------------------------
     def _grant(self, worker: str, now: float) -> dict:
-        index = self._pending.pop(0)
+        """Lease one unit — stealing half of the last one if need be.
+
+        Grants the largest pending unit whole while others remain; when
+        it is the *last* pending unit (and splittable above the
+        ``min_unit_cells`` floor), it splits instead — half granted,
+        half kept pending — so every asking worker finds work until the
+        floor is reached. Each split is a steal: work that a single
+        worker would otherwise own mid-group moves to the asker.
+
+        The split deliberately does NOT check how many workers exist:
+        fleets grow at any moment and hellos race leases, so gating on
+        known peers could hand the whole group to the first asker and
+        starve everyone who arrives a heartbeat later. The price is
+        that a deliberately lone worker drains a group as O(log cells)
+        units (one engine session each, so less cross-system cache
+        reuse — never different results); single-worker fleets that
+        care should run ``min_unit_cells=0`` or a coarse floor.
+        """
+        i = max(
+            range(len(self._pending)),
+            key=lambda j: self._pending[j].n_cells,
+        )
+        unit = self._pending.pop(i)
+        if (
+            not self._pending
+            and self.min_unit_cells > 0
+            and unit.n_cells >= 2 * self.min_unit_cells
+        ):
+            unit, kept = unit.split()
+            self._pending.append(kept)
+            self.steals += 1
         lease_id = next(self._lease_ids)
         self._leases[lease_id] = {
-            "group": index,
+            "unit": unit,
             "worker": worker,
             "deadline": now + self.lease_timeout,
         }
-        return {"type": "group", "group": index, "lease": lease_id}
+        return {"type": "unit", "unit": unit.to_dict(), "lease": lease_id}
 
     def _expire(self, now: float) -> None:
         """Requeue every lease whose worker stopped heartbeating."""
         for lease_id, lease in list(self._leases.items()):
             if lease["deadline"] < now:
                 del self._leases[lease_id]
-                self._pending.append(lease["group"])
+                self._pending.append(lease["unit"])
                 self.requeues += 1
 
     def _requeue_missing(
         self, missing: set[tuple[str, str, int, str]]
     ) -> None:
-        """Re-lease groups whose records died with their worker."""
-        for index, cells in self._cells.items():
-            if cells & missing and index not in self._pending:
-                self._pending.append(index)
-                self._tentative.discard(index)
-                self.requeues += 1
+        """Requeue cells whose records died with their worker, as one
+        fresh unit per affected group."""
+        self._tentative -= missing  # their completion was never real
+        by_group: dict[int, list] = {}
+        for cell in sorted(missing & self._expected):
+            by_group.setdefault(self._group_of[cell], []).append(cell)
+        for index in sorted(by_group):
+            self._pending.append(WorkUnit(index, tuple(by_group[index])))
+            self.requeues += 1
 
     def all_live_informed(self) -> bool:
         """Whether every worker still alive has been told ``done``."""
@@ -255,12 +314,18 @@ class GroupLedger:
         """Snapshot for logs and timeout diagnostics."""
         with self._lock:
             return {
-                "pending": len(self._pending),
+                "pending_units": len(self._pending),
+                "pending_cells": sum(u.n_cells for u in self._pending),
                 "leased": len(self._leases),
-                "tentative": len(self._tentative),
+                "tentative_cells": len(self._tentative),
                 "workers": len(self._last_seen),
                 "requeues": self.requeues,
+                "steals": self.steals,
             }
+
+
+#: Migration alias — the ledger used to lease whole-group indices.
+GroupLedger = UnitLedger
 
 
 def _lease_key(lease_id) -> int:
@@ -279,14 +344,16 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        ledger: GroupLedger,
-        plan: "ExperimentPlan",
+        ledger: UnitLedger,
+        workset: WorkSet,
         store,
         store_lock: threading.Lock,
         share_sessions: bool,
         poll_interval: float,
+        auth_token: str | None = None,
     ) -> None:
         super().__init__(address, _CoordinatorHandler)
+        plan = workset.plan
         self.ledger = ledger
         self.plan_payload = plan.to_dict()
         self.plan_cells = {k.as_tuple() for k in plan.runs()}
@@ -294,6 +361,7 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
         self.store_lock = store_lock
         self.share_sessions = share_sessions
         self.poll_interval = poll_interval
+        self.auth_token = auth_token
 
     def dispatch(self, message: dict) -> dict:
         mtype = message.get("type")
@@ -342,6 +410,65 @@ class _CoordinatorHandler(socketserver.BaseRequestHandler):
             message = recv_message(self.request)
             if message is None:
                 return
+            token = self.server.auth_token
+            if token is not None:
+                # the mutual handshake runs BEFORE dispatch: an
+                # unauthenticated peer sees a random nonce (plus a
+                # proof it cannot use without the token) and an error
+                # — never a byte of the plan or its records
+                if message.get("type") != "auth-hello":
+                    # a tokenless client sent its request plainly; the
+                    # challenge tells it (and its operator) why
+                    send_message(
+                        self.request,
+                        {"type": "challenge", "nonce": auth_nonce()},
+                    )
+                    return
+                nonce = auth_nonce()
+                send_message(
+                    self.request,
+                    {
+                        "type": "challenge",
+                        "nonce": nonce,
+                        "proof": auth_mac(
+                            token,
+                            str(message.get("nonce", "")),
+                            "coordinator",
+                        ),
+                    },
+                )
+                auth = recv_message(self.request)
+                if (
+                    auth is None
+                    or auth.get("type") != "auth"
+                    or not verify_auth(
+                        token, nonce, auth.get("mac"), "worker"
+                    )
+                ):
+                    if auth is not None:
+                        # "denied": the structured marker request()
+                        # keys FleetAuthError on (never retried) —
+                        # dispatch errors cannot carry it
+                        send_message(
+                            self.request,
+                            {
+                                "type": "error",
+                                "error": "authentication failed",
+                                "denied": "auth",
+                            },
+                        )
+                    return
+                message = auth.get("request")
+                if not isinstance(message, dict):
+                    send_message(
+                        self.request,
+                        {
+                            "type": "error",
+                            "error": "authenticated exchange without "
+                            "a request payload",
+                        },
+                    )
+                    return
             try:
                 reply = self.server.dispatch(message)
             except Exception as exc:  # report, don't kill the server
@@ -353,7 +480,7 @@ class _CoordinatorHandler(socketserver.BaseRequestHandler):
 
 
 class FleetExecutor:
-    """Serve a plan's groups to TCP workers; the distributed executor.
+    """Serve a plan's work units to TCP workers; the distributed executor.
 
     Parameters
     ----------
@@ -361,7 +488,7 @@ class FleetExecutor:
         Listen address; port ``0`` lets the OS pick (read it back from
         :attr:`address`, or via ``on_bound``).
     lease_timeout:
-        Seconds of worker silence after which its group is re-leased.
+        Seconds of worker silence after which its unit is re-leased.
         Workers heartbeat at a quarter of this, so it bounds both the
         cost of a worker death and the end-of-run linger.
     poll_interval:
@@ -370,6 +497,15 @@ class FleetExecutor:
         Optional overall wall-clock bound; :class:`FleetError` when the
         plan is still incomplete after this many seconds (``None``
         waits forever — workers may join at any time).
+    min_unit_cells:
+        Work-stealing floor (see :class:`UnitLedger`): the last pending
+        unit splits for an asking worker while both halves keep at
+        least this many cells; ``0`` restores whole-group leases.
+    auth_token:
+        Shared secret for the challenge–response handshake (see
+        :mod:`repro.distributed.protocol`); defaults to
+        ``REPRO_FLEET_TOKEN`` from the environment, and ``None``
+        disables authentication.
     on_bound:
         Callback invoked with the bound ``(host, port)`` once the
         coordinator accepts connections (tests and the CLI use it to
@@ -383,6 +519,8 @@ class FleetExecutor:
         lease_timeout: float = 30.0,
         poll_interval: float = 0.5,
         timeout: float | None = None,
+        min_unit_cells: int = 1,
+        auth_token: str | None = None,
         on_bound: Callable[[tuple[str, int]], None] | None = None,
     ) -> None:
         self.host = host
@@ -390,20 +528,25 @@ class FleetExecutor:
         self.lease_timeout = float(lease_timeout)
         self.poll_interval = float(poll_interval)
         self.timeout = timeout
+        self.min_unit_cells = int(min_unit_cells)
+        self.auth_token = check_auth_token(
+            auth_token
+            if auth_token is not None
+            else os.environ.get("REPRO_FLEET_TOKEN")
+        )
         self.on_bound = on_bound
         self.address: tuple[str, int] | None = None
         self.requeues = 0
+        self.steals = 0
 
     # ------------------------------------------------------------------
     def execute(
         self,
         runner: "ExperimentRunner",
-        plan: "ExperimentPlan",
-        done: set[tuple[str, str, int, str]],
+        workset: WorkSet,
     ) -> list[dict] | None:
         _check_process_portable(runner, "fleet execution")
-        pending = pending_group_indices(plan, done)
-        if not pending:
+        if not workset.pending():
             return []
         store_lock = threading.Lock()
 
@@ -411,17 +554,21 @@ class FleetExecutor:
             with store_lock:
                 return runner.store.completed()
 
-        ledger = GroupLedger(
-            plan, pending, self.lease_timeout, completed_cells
+        ledger = UnitLedger(
+            workset,
+            self.lease_timeout,
+            completed_cells,
+            min_unit_cells=self.min_unit_cells,
         )
         server = _CoordinatorServer(
             (self.host, self.port),
             ledger=ledger,
-            plan=plan,
+            workset=workset,
             store=runner.store,
             store_lock=store_lock,
             share_sessions=runner.share_sessions,
             poll_interval=self.poll_interval,
+            auth_token=self.auth_token,
         )
         self.address = (server.server_address[0], server.server_address[1])
         thread = threading.Thread(
@@ -459,6 +606,7 @@ class FleetExecutor:
                 time.sleep(0.05)
         finally:
             self.requeues = ledger.requeues
+            self.steals = ledger.steals
             server.shutdown()
             server.server_close()
             thread.join(timeout=5.0)
@@ -467,5 +615,6 @@ class FleetExecutor:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"FleetExecutor(host={self.host!r}, port={self.port}, "
-            f"lease_timeout={self.lease_timeout})"
+            f"lease_timeout={self.lease_timeout}, "
+            f"min_unit_cells={self.min_unit_cells})"
         )

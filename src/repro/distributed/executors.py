@@ -1,27 +1,41 @@
-"""Pluggable group executors: who runs a ``(case, backend)`` group.
+"""Pluggable work executors: who runs a plan's pending work units.
 
 The :class:`~repro.experiments.runner.ExperimentRunner` decides *what*
-is pending (resume bookkeeping, config-digest checks, record ordering);
-an executor decides *where* the pending groups run. The three built-in
-policies cover the scaling ladder:
+is pending (resume bookkeeping, config-digest checks, record ordering)
+and compiles it into a :class:`~repro.experiments.work.WorkSet` of
+:class:`~repro.experiments.work.WorkUnit`\\ s — a ``(case, backend)``
+group index plus an explicit cell subset. An executor decides *where*
+those units run, and is free to reshape them (split big units across
+idle workers, hand out single cells) because unit boundaries never
+change any cell's result. The three built-in policies cover the
+scaling ladder:
 
-* :class:`InlineExecutor` — every group in the calling process, one
+* :class:`InlineExecutor` — every unit in the calling process, one
   after another (the default, and the only executor that works without
   a results store).
-* :class:`ProcessShardExecutor` — independent groups fanned out to
-  local ``multiprocessing`` processes that meet only through the shared
-  JSONL store (what ``shards=N`` always did, now behind the seam).
-* :class:`~repro.distributed.coordinator.FleetExecutor` — groups leased
-  to remote worker processes over TCP, with lease-timeout requeue and
-  store merging (see :mod:`repro.distributed.coordinator`).
+* :class:`ProcessShardExecutor` — units fanned out to local
+  ``multiprocessing`` processes that meet only through the shared
+  JSONL store; big units are split (down to ``min_unit_cells``) so a
+  plan with fewer groups than shards still occupies every shard.
+* :class:`~repro.distributed.coordinator.FleetExecutor` — units leased
+  to remote worker processes over TCP with cell-level work stealing,
+  lease-timeout requeue and store merging (see
+  :mod:`repro.distributed.coordinator`).
 
 Executors receive the runner itself: they call back into
-:meth:`ExperimentRunner.run_groups` (directly, or from a shard/worker
+:meth:`ExperimentRunner.run_units` (directly, or from a shard/worker
 process that rebuilt an equivalent runner) so resume semantics are the
 store's ``(system, case, seed, backend)`` contract under every policy.
 An executor returns the freshly produced records, or ``None`` when its
 work reached the store through other processes and the runner should
 re-read it.
+
+Migration note: this SPI replaced the group-index ``GroupExecutor``
+protocol (``execute(runner, plan, done)``). Custom executors should
+now implement ``execute(runner, workset)`` and iterate
+``workset.pending()``; ``GroupExecutor`` remains as an alias of
+:class:`WorkExecutor`, and :meth:`ExperimentRunner.run_groups` remains
+as a shim over :meth:`ExperimentRunner.run_units`.
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ import multiprocessing
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ReproError
+from repro.experiments.work import WorkSet, WorkUnit, assign_units
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.plan import ExperimentPlan
@@ -39,22 +54,22 @@ __all__ = [
     "GroupExecutor",
     "InlineExecutor",
     "ProcessShardExecutor",
+    "WorkExecutor",
     "pending_group_indices",
     "shard_assignments",
 ]
 
 
 @runtime_checkable
-class GroupExecutor(Protocol):
-    """Execution policy for a plan's pending ``(case, backend)`` groups."""
+class WorkExecutor(Protocol):
+    """Execution policy for a plan's pending work units."""
 
     def execute(
         self,
         runner: "ExperimentRunner",
-        plan: "ExperimentPlan",
-        done: set[tuple[str, str, int, str]],
+        workset: WorkSet,
     ) -> list[dict] | None:
-        """Run every group with pending cells; record through the runner.
+        """Run every pending unit; record through the runner.
 
         Returns the fresh records, or ``None`` when they were appended
         to the runner's store by other processes (the runner re-reads
@@ -62,15 +77,21 @@ class GroupExecutor(Protocol):
         """
 
 
+#: Migration alias — the SPI used to be named after its old currency,
+#: whole ``(case, backend)`` groups.
+GroupExecutor = WorkExecutor
+
+
 def pending_group_indices(
     plan: "ExperimentPlan", done: set[tuple[str, str, int, str]]
 ) -> list[int]:
-    """Indices of plan groups that still have unrecorded cells."""
-    return [
-        i
-        for i, (_, keys) in enumerate(plan.groups())
-        if any(k.as_tuple() not in done for k in keys)
-    ]
+    """Indices of plan groups that still have unrecorded cells.
+
+    Re-expressed over :meth:`WorkSet.pending` so there is exactly one
+    source of truth for "what remains" (compile drops fully recorded
+    groups).
+    """
+    return [unit.group for unit in WorkSet.compile(plan, done).pending()]
 
 
 def shard_assignments(
@@ -78,9 +99,12 @@ def shard_assignments(
 ) -> list[list[int]]:
     """Round-robin split of pending group indices into shard work lists.
 
-    Never yields an empty assignment: asking for more shards than there
-    are pending groups simply produces fewer shards, instead of
-    spawning worker processes with nothing to do.
+    Kept for group-index callers; unit-level shard planning (the shard
+    executor's path) is :func:`repro.experiments.work.assign_units`
+    over :meth:`WorkSet.pending`. Never yields an empty assignment:
+    asking for more shards than there are pending groups simply
+    produces fewer shards, instead of spawning worker processes with
+    nothing to do.
     """
     if shards < 1:
         raise ReproError(f"shards must be >= 1, got {shards}")
@@ -108,41 +132,51 @@ def _check_process_portable(runner: "ExperimentRunner", what: str) -> None:
 
 
 class InlineExecutor:
-    """Run every pending group in the calling process (the default)."""
+    """Run every pending unit in the calling process (the default)."""
 
     def execute(
         self,
         runner: "ExperimentRunner",
-        plan: "ExperimentPlan",
-        done: set[tuple[str, str, int, str]],
+        workset: WorkSet,
     ) -> list[dict] | None:
-        return runner.run_groups(plan, range(len(plan.groups())), done)
+        # compile already excluded recorded cells, so nothing is done
+        return runner.run_units(workset.plan, workset.pending(), set())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "InlineExecutor()"
 
 
 class ProcessShardExecutor:
-    """Fan independent groups out to local shard processes.
+    """Fan pending units out to local shard processes.
 
     Parameters
     ----------
     shards:
         Upper bound on the number of worker processes; the actual count
-        never exceeds the number of pending groups (empty shards are
+        never exceeds the number of schedulable units (empty shards are
         skipped, not spawned).
+    min_unit_cells:
+        Split floor when dividing big units so every shard gets work:
+        a unit splits only while both halves keep at least this many
+        cells. ``0`` disables splitting (whole-group shards, the
+        pre-WorkUnit behaviour). Splitting moves only *where* cells
+        run, never what they record.
     """
 
-    def __init__(self, shards: int) -> None:
+    def __init__(self, shards: int, min_unit_cells: int = 1) -> None:
         if shards < 1:
             raise ReproError(f"shards must be >= 1, got {shards}")
+        if min_unit_cells < 0:
+            raise ReproError(
+                f"min_unit_cells must be >= 0, got {min_unit_cells}"
+            )
         self.shards = shards
+        self.min_unit_cells = min_unit_cells
 
     def execute(
         self,
         runner: "ExperimentRunner",
-        plan: "ExperimentPlan",
-        done: set[tuple[str, str, int, str]],
+        workset: WorkSet,
     ) -> list[dict] | None:
         _check_process_portable(runner, "sharded execution")
         from repro.experiments.store import HAS_APPEND_LOCK
@@ -152,20 +186,20 @@ class ProcessShardExecutor:
                 "sharded execution needs lock-serialised store appends, "
                 "unavailable on this platform; use the inline executor"
             )
-        pending = pending_group_indices(plan, done)
-        if not pending:
+        units = workset.split(self.shards, self.min_unit_cells).pending()
+        if not units:
             return []
         workers = [
             multiprocessing.Process(
                 target=_run_shard,
                 args=(
-                    plan.to_dict(),
-                    indices,
+                    workset.plan.to_dict(),
+                    [unit.to_dict() for unit in assignment],
                     str(runner.store.path),
                     runner.share_sessions,
                 ),
             )
-            for indices in shard_assignments(pending, self.shards)
+            for assignment in assign_units(units, self.shards)
         ]
         for worker in workers:
             worker.start()
@@ -180,21 +214,25 @@ class ProcessShardExecutor:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ProcessShardExecutor(shards={self.shards})"
+        return (
+            f"ProcessShardExecutor(shards={self.shards}, "
+            f"min_unit_cells={self.min_unit_cells})"
+        )
 
 
 def _run_shard(
     plan_payload: dict,
-    group_indices: Sequence[int],
+    unit_payloads: Sequence[dict],
     store_path: str,
     share_sessions: bool,
 ) -> None:
-    """Shard-process entry point: execute a subset of a plan's groups."""
+    """Shard-process entry point: execute a subset of a plan's units."""
     from repro.experiments.plan import ExperimentPlan
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.store import ResultsStore
 
     plan = ExperimentPlan.from_dict(plan_payload)
+    units = [WorkUnit.from_dict(payload) for payload in unit_payloads]
     store = ResultsStore(store_path)
     runner = ExperimentRunner(store=store, share_sessions=share_sessions)
-    runner.run_groups(plan, group_indices, store.completed())
+    runner.run_units(plan, units, store.completed())

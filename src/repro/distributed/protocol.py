@@ -13,34 +13,69 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     Join the fleet (``welcome``: the plan payload, session sharing and
     the lease timeout — a worker needs no plan file of its own).
 ``lease``
-    Ask for work (``group``: a leased group index; ``wait``: everything
-    is leased or another worker still holds undrained records;
-    ``drain``: the coordinator wants this worker's local records before
-    handing out more work; ``done``: the plan is fully recorded).
+    Ask for work (``unit``: a leased work-unit descriptor — a group
+    index plus the explicit cell subset to run, see
+    :class:`~repro.experiments.work.WorkUnit`; ``wait``: everything is
+    leased or another worker still holds undrained records; ``drain``:
+    the coordinator wants this worker's local records before handing
+    out more work; ``done``: the plan is fully recorded).
 ``heartbeat``
-    Keep a lease alive while a group runs (``ok`` / ``expired``).
+    Keep a lease alive while a unit runs (``ok`` / ``expired``).
 ``complete``
-    Report a leased group finished (``ok`` / ``stale`` when the lease
-    timed out and the group was already re-leased).
+    Report a leased unit finished (``ok`` / ``stale`` when the lease
+    timed out and the unit was already re-leased).
 ``records``
     Upload the worker's local store (``ok``; the coordinator merges the
     records into its own store, first writer wins).
+
+**Authentication.** With a shared secret configured
+(``--auth-token`` / ``REPRO_FLEET_TOKEN``) every exchange runs a
+*mutual* HMAC-SHA256 challenge–response before any payload moves, in
+either direction:
+
+1. the client opens with ``auth-hello`` carrying only a fresh nonce —
+   never the request itself;
+2. the coordinator replies ``challenge`` with its own nonce plus a
+   ``proof`` over the client's nonce (coordinator role), proving *it*
+   holds the token before the client reveals anything;
+3. the client verifies the proof and only then sends ``auth`` with its
+   ``mac`` over the coordinator's nonce (worker role) and the real
+   request; the coordinator verifies and dispatches.
+
+An unauthenticated peer connecting to the coordinator sees a random
+nonce and an ``error`` — never a byte of the plan or its records; a
+rogue listener impersonating the coordinator cannot produce the proof,
+so a worker never sends it a request (or its records) either. The two
+roles are domain-separated so a proof can never be replayed as a mac;
+nonces are per-connection, so captured responses prove nothing.
+(Confidentiality/integrity of the payload itself needs TLS, which this
+handshake deliberately does not attempt — an offline brute-force of a
+*weak* token against a captured proof also remains possible, as in any
+shared-secret scheme.)
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import secrets
 import socket
 import struct
 
 from repro.errors import ParallelError
 
 __all__ = [
+    "FleetAuthError",
     "FleetError",
     "MAX_MESSAGE_BYTES",
+    "auth_mac",
+    "auth_nonce",
+    "check_auth_token",
     "recv_message",
     "request",
     "send_message",
+    "verify_auth",
 ]
 
 #: Upper bound on one framed message. Record uploads are the largest
@@ -53,6 +88,52 @@ _HEADER = struct.Struct(">I")
 
 class FleetError(ParallelError):
     """Failure in the distributed coordinator/worker runtime."""
+
+
+class FleetAuthError(FleetError):
+    """Authentication failure — never retried (a retry cannot help)."""
+
+
+def auth_nonce() -> str:
+    """A fresh random nonce (one per connection side, never reused)."""
+    return secrets.token_hex(32)
+
+
+def auth_mac(token: str, nonce: str, role: str) -> str:
+    """``HMAC-SHA256(token, role ":" nonce)``.
+
+    ``role`` domain-separates the two directions of the handshake
+    (``"coordinator"`` proves over the client's nonce, ``"worker"``
+    over the coordinator's), so one side's response can never be
+    replayed as the other's.
+    """
+    return hmac.new(
+        token.encode(), f"{role}:{nonce}".encode(), hashlib.sha256
+    ).hexdigest()
+
+
+def verify_auth(token: str, nonce: str, mac, role: str) -> bool:
+    """Constant-time check of a peer's challenge response."""
+    return isinstance(mac, str) and hmac.compare_digest(
+        auth_mac(token, nonce, role), mac
+    )
+
+
+def check_auth_token(token: str | None) -> str | None:
+    """Validate a configured token (``None`` = auth disabled).
+
+    An *empty* token is rejected loudly instead of silently disabling
+    authentication — the classic unpopulated-secret foot-gun
+    (``REPRO_FLEET_TOKEN=""`` set by a deploy script would otherwise
+    run the fleet wide open while the operator believes it is authed).
+    """
+    if token is not None and not token:
+        raise FleetError(
+            "the fleet auth token must be non-empty — unset "
+            "REPRO_FLEET_TOKEN / omit --auth-token to disable "
+            "authentication instead"
+        )
+    return token
 
 
 def send_message(sock: socket.socket, payload: dict) -> None:
@@ -108,15 +189,70 @@ def recv_message(sock: socket.socket) -> dict | None:
 
 
 def request(
-    address: tuple[str, int], payload: dict, timeout: float = 30.0
+    address: tuple[str, int],
+    payload: dict,
+    timeout: float = 30.0,
+    token: str | None = None,
 ) -> dict:
-    """One request/reply exchange on a fresh connection."""
+    """One request/reply exchange on a fresh connection.
+
+    With a ``token``, the mutual handshake runs first and ``payload``
+    is only sent once the peer has *proved* it holds the same token —
+    a rogue listener on the coordinator's address never sees the
+    request (or a worker's record upload). Without one, a ``challenge``
+    reply raises :class:`FleetAuthError` immediately — retrying cannot
+    succeed.
+    """
+    check_auth_token(token)
     with socket.create_connection(address, timeout=timeout) as sock:
-        send_message(sock, payload)
+        if token is not None:
+            nonce = auth_nonce()
+            send_message(sock, {"type": "auth-hello", "nonce": nonce})
+            challenge = recv_message(sock)
+            if challenge is None:
+                raise FleetError(
+                    f"peer at {address[0]}:{address[1]} closed the "
+                    "connection during the auth handshake"
+                )
+            if challenge.get("type") != "challenge" or not verify_auth(
+                token, nonce, challenge.get("proof"), "coordinator"
+            ):
+                raise FleetAuthError(
+                    f"peer at {address[0]}:{address[1]} did not prove "
+                    "knowledge of the fleet auth token — refusing to "
+                    "send it the request (is --auth-token set on the "
+                    "coordinator, and identical on both sides?)"
+                )
+            send_message(
+                sock,
+                {
+                    "type": "auth",
+                    "mac": auth_mac(
+                        token, str(challenge.get("nonce", "")), "worker"
+                    ),
+                    "request": payload,
+                },
+            )
+        else:
+            send_message(sock, payload)
         reply = recv_message(sock)
+        if (
+            token is None
+            and reply is not None
+            and reply.get("type") == "challenge"
+        ):
+            raise FleetAuthError(
+                f"coordinator at {address[0]}:{address[1]} requires "
+                "a shared auth token (--auth-token or REPRO_FLEET_TOKEN)"
+            )
     if reply is None:
         raise FleetError(
             f"coordinator at {address[0]}:{address[1]} closed the "
             "connection without replying"
+        )
+    if reply.get("type") == "error" and reply.get("denied") == "auth":
+        raise FleetAuthError(
+            f"coordinator at {address[0]}:{address[1]} rejected the "
+            f"auth token: {reply.get('error')}"
         )
     return reply

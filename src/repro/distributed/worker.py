@@ -1,25 +1,33 @@
-"""Fleet worker: lease experiment groups, run them, upload the records.
+"""Fleet worker: lease work units, run their cells, upload the records.
 
 ``repro experiments worker --connect HOST:PORT`` runs this loop. A
 worker needs no plan file and no shared filesystem: the plan arrives in
-the coordinator's ``welcome`` payload, every leased ``(case, backend)``
-group executes through the worker's own
+the coordinator's ``welcome`` payload, and every leased
+:class:`~repro.experiments.work.WorkUnit` — a ``(case, backend)`` group
+index plus the *explicit cell subset* to run, possibly a whole group,
+possibly one stolen cell — executes through the worker's own
 :class:`~repro.experiments.runner.ExperimentRunner` (one shared
-:class:`~repro.engine.EngineSession` per group, exactly like a local
-run), and completed runs stream into a worker-local crash-safe
+:class:`~repro.engine.EngineSession` per unit's group context, exactly
+like a local run). Completed runs stream into a worker-local crash-safe
 :class:`~repro.experiments.store.ResultsStore` that is uploaded when
 the coordinator asks (``drain``) and merged first-writer-wins.
 
-While a group runs, a background thread heartbeats the lease at a
+While a unit runs, a background thread heartbeats the lease at a
 quarter of the coordinator's lease timeout; if the worker dies, the
-heartbeats stop and the coordinator re-leases the group. A worker that
-*outlives* its lease (e.g. a long GC pause) keeps its records — the
-``complete`` report comes back ``stale``, the re-run elsewhere wins the
-merge, nothing is duplicated.
+heartbeats stop and the coordinator re-leases the unit's cells. A
+worker that *outlives* its lease (e.g. a long GC pause) keeps its
+records — the ``complete`` report comes back ``stale``, the re-run
+elsewhere wins the merge, nothing is duplicated.
 
 Re-pointing a worker at the same ``--store`` after a crash resumes: the
 store's ``(system, case, seed, backend)`` contract skips the recorded
-cells of a re-leased group.
+cells of a re-leased unit — the resume granularity is the *cell*, so a
+store recorded under whole-group leases resumes under cell leases and
+vice versa.
+
+With a shared secret configured (``auth_token`` /
+``REPRO_FLEET_TOKEN``), every exchange answers the coordinator's HMAC
+challenge first (see :mod:`repro.distributed.protocol`).
 """
 
 from __future__ import annotations
@@ -31,7 +39,12 @@ import threading
 import time
 from typing import Callable
 
-from repro.distributed.protocol import FleetError, request
+from repro.distributed.protocol import (
+    FleetAuthError,
+    FleetError,
+    check_auth_token,
+    request,
+)
 
 __all__ = ["parse_address", "run_worker"]
 
@@ -54,7 +67,7 @@ def parse_address(value: str | tuple[str, int]) -> tuple[str, int]:
 
 
 class _LeaseHeartbeat:
-    """Background lease renewal while a group runs.
+    """Background lease renewal while a unit runs.
 
     Failures are deliberately swallowed: if the coordinator is gone the
     lease expires by itself, and the worker finds out at its next
@@ -68,11 +81,13 @@ class _LeaseHeartbeat:
         lease: int,
         interval: float,
         request_timeout: float,
+        token: str | None = None,
     ) -> None:
         self._payload = {"type": "heartbeat", "worker": worker, "lease": lease}
         self._address = address
         self._interval = interval
         self._request_timeout = request_timeout
+        self._token = token
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, daemon=True, name=f"lease-heartbeat-{lease}"
@@ -90,7 +105,10 @@ class _LeaseHeartbeat:
         while not self._stop.wait(self._interval):
             try:
                 request(
-                    self._address, self._payload, timeout=self._request_timeout
+                    self._address,
+                    self._payload,
+                    timeout=self._request_timeout,
+                    token=self._token,
                 )
             except (OSError, FleetError):
                 continue
@@ -107,6 +125,7 @@ def run_worker(
     worker_id: str | None = None,
     request_timeout: float = 30.0,
     max_failures: int = 20,
+    auth_token: str | None = None,
     on_record: Callable[[dict], None] | None = None,
     after_complete: Callable[[int], None] | None = None,
 ) -> dict:
@@ -119,7 +138,7 @@ def run_worker(
     store_path:
         Worker-local results store; a fresh temporary file when omitted.
         Reusing a path across worker restarts resumes interrupted
-        groups instead of recomputing them.
+        units instead of recomputing them.
     poll_interval:
         Idle re-ask cadence; defaults to what the coordinator
         advertises.
@@ -129,29 +148,44 @@ def run_worker(
     max_failures:
         Consecutive connection failures tolerated (the coordinator may
         start after the workers) before giving up.
+    auth_token:
+        Shared secret for coordinators that require authentication;
+        defaults to ``REPRO_FLEET_TOKEN`` from the environment. An
+        auth rejection raises immediately — retrying cannot help.
     on_record:
         Optional callback per completed run record (test hook).
     after_complete:
         Optional callback after each accepted/stale ``complete``
-        exchange, with the group index (test hook — fault injection).
+        exchange, with the unit's group index (test hook — fault
+        injection).
 
-    Returns a summary dict (groups/records executed, store path).
+    Returns a summary dict: ``units``/``records`` executed,
+    ``busy_seconds`` spent inside unit execution (the idle-time metric
+    of ``benchmarks/bench_executors.py``) and the local ``store`` path.
     """
     # imported here: repro.experiments lazily imports this package's
     # executors, so the worker stays import-cycle-free at module level
     from repro.experiments.plan import ExperimentPlan
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.store import ResultsStore, record_key
+    from repro.experiments.work import WorkUnit
 
     addr = parse_address(address)
     worker = worker_id or _default_worker_id()
+    if auth_token is None:
+        auth_token = os.environ.get("REPRO_FLEET_TOKEN")
+    check_auth_token(auth_token)
     failures = 0
 
     def rpc(payload: dict) -> dict:
         nonlocal failures
         while True:
             try:
-                reply = request(addr, payload, timeout=request_timeout)
+                reply = request(
+                    addr, payload, timeout=request_timeout, token=auth_token
+                )
+            except FleetAuthError:
+                raise  # a retry re-fails the same handshake
             except (OSError, FleetError) as exc:
                 failures += 1
                 if failures >= max_failures:
@@ -185,20 +219,32 @@ def run_worker(
     store = ResultsStore(store_path)
     heartbeat_interval = max(lease_timeout / 4.0, 0.05)
     groups = plan.groups()
+    # the store is parsed once; afterwards this in-memory index tracks
+    # it (this worker is the store's only writer), in append order —
+    # cell-level leasing makes leases frequent, and re-reading the
+    # whole JSONL per lease would be O(units x store size)
+    recorded = {record_key(r): r for r in store.records()}
     # a reused worker store may hold cells from other plans (or older
     # budgets); only this plan's cells are ever resumed or uploaded
     plan_cells = {k.as_tuple() for k in plan.runs()}
     drained_cells: set[tuple[str, str, int, str]] = set()
-    groups_run = 0
+    units_run = 0
     records_run = 0
+    busy_seconds = 0.0
     while True:
         reply = rpc({"type": "lease", "worker": worker})
         kind = reply.get("type")
-        if kind == "group":
+        if kind == "unit":
             lease = reply.get("lease")
-            index = int(reply.get("group", -1))
+            unit = WorkUnit.from_dict(reply.get("unit") or {})
+            started = time.perf_counter()
             with _LeaseHeartbeat(
-                addr, worker, lease, heartbeat_interval, request_timeout
+                addr,
+                worker,
+                lease,
+                heartbeat_interval,
+                request_timeout,
+                token=auth_token,
             ):
                 runner = ExperimentRunner(
                     store=store,
@@ -206,18 +252,19 @@ def run_worker(
                     progress=on_record,
                 )
                 # hold the local store to the same resume contract as
-                # any other store: a leased group only resumes cells
+                # any other store: a leased unit only resumes cells
                 # recorded under this plan's per-system config digest
-                recorded = {record_key(r): r for r in store.records()}
-                (case, _), keys = groups[index]
+                (case, _), keys = groups[unit.group]
                 for system in plan.systems:
                     runner.check_recorded_config(
                         recorded,
                         [k for k in keys if k.system == system],
                         plan.config_digest(case, system),
                     )
-                fresh = runner.run_groups(plan, [index], set(recorded))
-            groups_run += 1
+                fresh = runner.run_units(plan, [unit], set(recorded))
+            recorded.update((record_key(r), r) for r in fresh)
+            busy_seconds += time.perf_counter() - started
+            units_run += 1
             records_run += len(fresh)
             # 'stale' just means the lease expired under us; the records
             # are safe in the local store and the merge dedupes
@@ -226,20 +273,18 @@ def run_worker(
                     "type": "complete",
                     "worker": worker,
                     "lease": lease,
-                    "group": index,
                 }
             )
             if after_complete is not None:
-                after_complete(index)
+                after_complete(unit.group)
         elif kind == "drain":
             # incremental: only this plan's cells, minus what earlier
             # drains already delivered (a restart resets the set and
             # re-uploads once — the coordinator merge dedupes)
             fresh_records = [
                 r
-                for r in store.records()
-                if record_key(r) in plan_cells
-                and record_key(r) not in drained_cells
+                for key, r in recorded.items()
+                if key in plan_cells and key not in drained_cells
             ]
             rpc(
                 {
@@ -254,8 +299,9 @@ def run_worker(
         elif kind == "done":
             return {
                 "worker": worker,
-                "groups": groups_run,
+                "units": units_run,
                 "records": records_run,
+                "busy_seconds": busy_seconds,
                 "store": str(store.path),
             }
         else:

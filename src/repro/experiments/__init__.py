@@ -7,14 +7,17 @@ runs by ``(case, backend)`` and drives each group through **one shared**
 :class:`~repro.engine.EngineSession` — cross-system repeats of the same
 step context hit the shared cache — while streaming one record per
 completed run into a crash-safe :class:`ResultsStore` (JSONL; re-running
-the same plan resumes by skipping recorded cells). *Where* independent
-groups execute is a pluggable :mod:`repro.distributed` executor policy:
-inline, local shard processes, or a TCP worker fleet — resume stays the
-store's run-key contract under all of them.
+the same plan resumes by skipping recorded cells). Execution's currency
+is the sliceable :class:`WorkUnit` — a group plus an explicit cell
+subset (:mod:`repro.experiments.work`); *where* the pending units
+execute is a pluggable :mod:`repro.distributed` executor policy:
+inline, local shard processes, or a TCP worker fleet with cell-level
+leasing and within-group work stealing — resume stays the store's
+run-key contract under all of them.
 
 See :mod:`repro.experiments.plan`, :mod:`repro.experiments.runner`,
-:mod:`repro.experiments.store` and :mod:`repro.distributed` for the
-pieces.
+:mod:`repro.experiments.work`, :mod:`repro.experiments.store` and
+:mod:`repro.distributed` for the pieces.
 """
 
 from repro.experiments.plan import (
@@ -25,6 +28,7 @@ from repro.experiments.plan import (
 )
 from repro.experiments.runner import ExperimentResult, ExperimentRunner
 from repro.experiments.store import ResultsStore, record_key
+from repro.experiments.work import WorkSet, WorkUnit
 
 __all__ = [
     "BudgetSpec",
@@ -34,5 +38,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "ResultsStore",
+    "WorkSet",
+    "WorkUnit",
     "record_key",
 ]

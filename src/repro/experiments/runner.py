@@ -3,23 +3,29 @@
 The :class:`ExperimentRunner` turns a declarative
 :class:`~repro.experiments.plan.ExperimentPlan` into recorded runs:
 
-* runs are executed **group by group** (one group per ``(case,
-  backend)``, see :meth:`ExperimentPlan.groups`), and every group runs
-  against **one shared** :class:`~repro.engine.EngineSession` — so when
-  ESSIM-EA asks for a fitness value ESS already computed for the same
-  step context, the shared cross-system cache answers instead of the
-  simulator, and the standing worker pool is forked once per group
-  instead of once per run;
+* runs are executed as :class:`~repro.experiments.work.WorkUnit` units —
+  a ``(case, backend)`` group index plus an explicit cell subset (see
+  :meth:`ExperimentPlan.groups` and :mod:`repro.experiments.work`) —
+  and every unit runs against **one shared**
+  :class:`~repro.engine.EngineSession` — so when ESSIM-EA asks for a
+  fitness value ESS already computed for the same step context, the
+  shared cross-system cache answers instead of the simulator, and the
+  standing worker pool is forked once per unit instead of once per
+  run. Unit boundaries never change results: every cell is
+  reproducible from ``(plan, seed)`` alone, so a whole-group unit and
+  the same cells split across many units record identical bytes;
 * every completed run streams one record into a
   :class:`~repro.experiments.store.ResultsStore`; re-running the same
   plan against the same store resumes, computing only the missing
   ``(system, case, seed, backend)`` cells;
-* *where* the groups execute is a pluggable
-  :class:`~repro.distributed.executors.GroupExecutor` policy — inline
+* *where* the pending units execute is a pluggable
+  :class:`~repro.distributed.executors.WorkExecutor` policy — inline
   (the default), local shard processes (``shards=N``), or a TCP worker
-  fleet (:class:`~repro.distributed.coordinator.FleetExecutor`). Every
-  executor funnels work back through :meth:`ExperimentRunner.run_groups`
-  so resume semantics stay the store's run-key contract.
+  fleet (:class:`~repro.distributed.coordinator.FleetExecutor`) that
+  leases units cell-by-cell and steals from big groups by splitting
+  them. Every executor funnels work back through
+  :meth:`ExperimentRunner.run_units` so resume semantics stay the
+  store's run-key contract.
 
 The runner owns every session it creates: a crash mid-group (a raising
 system, a dying callback) still closes the shared session before the
@@ -43,12 +49,13 @@ from repro.experiments.store import (
     record_key,
     system_label,
 )
+from repro.experiments.work import WorkSet, WorkUnit
 from repro.systems.base import PredictionSystem
 from repro.systems.results import RunResult
 from repro.workloads.synthetic import ReferenceFire
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.distributed.executors import GroupExecutor
+    from repro.distributed.executors import WorkExecutor
 
 __all__ = ["ExperimentResult", "ExperimentRunner"]
 
@@ -180,16 +187,18 @@ class ExperimentRunner:
         self,
         plan: ExperimentPlan,
         shards: int = 1,
-        executor: "GroupExecutor | None" = None,
+        executor: "WorkExecutor | None" = None,
     ) -> ExperimentResult:
         """Execute (or resume) a plan; returns the full grid's records.
 
-        ``executor`` chooses *where* the pending groups run (see
-        :mod:`repro.distributed`); ``shards=N`` is sugar for
-        ``executor=ProcessShardExecutor(N)`` and the two are mutually
-        exclusive. The resume bookkeeping here is executor-independent:
-        recorded cells are skipped, configuration digests are checked
-        per system, and the returned records follow plan order.
+        The plan plus the store's recorded cells compile into a
+        :class:`WorkSet` of pending units; ``executor`` chooses *where*
+        those units run (see :mod:`repro.distributed`); ``shards=N`` is
+        sugar for ``executor=ProcessShardExecutor(N)`` and the two are
+        mutually exclusive. The resume bookkeeping here is
+        executor-independent: recorded cells are excluded at compile
+        time, configuration digests are checked per system, and the
+        returned records follow plan order.
         """
         if shards < 1:
             raise ReproError(f"shards must be >= 1, got {shards}")
@@ -221,7 +230,7 @@ class ExperimentRunner:
                 if shards == 1
                 else ProcessShardExecutor(shards)
             )
-        fresh = executor.execute(self, plan, done)
+        fresh = executor.execute(self, WorkSet.compile(plan, done))
         if fresh is None:
             # the executor's processes wrote through the store; re-read
             by_key = self._recorded_by_key()
@@ -275,19 +284,58 @@ class ExperimentRunner:
     ) -> list[dict]:
         """Execute the pending cells of the named plan groups, in order.
 
+        Compatibility shim over :meth:`run_units` (the execution SPI
+        since the unit-of-work redesign): each named group becomes one
+        whole-group :class:`WorkUnit`. Prefer :meth:`run_units` in new
+        code — it can execute arbitrary cell subsets.
+        """
+        groups = plan.groups()
+        units = [
+            WorkUnit(index, tuple(k.as_tuple() for k in groups[index][1]))
+            for index in group_indices
+        ]
+        return self.run_units(plan, units, done)
+
+    def run_units(
+        self,
+        plan: ExperimentPlan,
+        units: Sequence[WorkUnit],
+        done: set[tuple[str, str, int, str]],
+    ) -> list[dict]:
+        """Execute the pending cells of the given work units, in order.
+
         The executor SPI: every execution policy — inline, a shard
-        process, a fleet worker — ultimately calls this with the group
-        indices it is responsible for, so the grouping, shared-session
-        and store-streaming semantics are identical everywhere. Cells
-        in ``done`` are skipped; the group's session kwargs come from
-        the plan-level budget (per-system budget overrides never touch
-        the session shape, see :class:`ExperimentPlan`).
+        process, a fleet worker — ultimately calls this with the units
+        it is responsible for, so the session-sharing and
+        store-streaming semantics are identical everywhere. Each unit
+        runs against one shared :class:`EngineSession` built for its
+        group's ``(case, backend)`` context; cells in ``done`` are
+        skipped (the resume contract, applied identically at every
+        granularity); the session kwargs come from the plan-level
+        budget (per-system budget overrides never touch the session
+        shape, see :class:`ExperimentPlan`). A cell's record is
+        independent of which unit delivered it — splitting or merging
+        units never changes a byte of the store.
         """
         groups = plan.groups()
         records: list[dict] = []
-        for index in group_indices:
-            (case, backend), keys = groups[index]
-            pending = [k for k in keys if k.as_tuple() not in done]
+        for unit in units:
+            if not 0 <= unit.group < len(groups):
+                raise ReproError(
+                    f"work unit names group {unit.group}, but plan "
+                    f"{plan.name!r} has {len(groups)} groups"
+                )
+            (case, backend), keys = groups[unit.group]
+            by_cell = {k.as_tuple(): k for k in keys}
+            foreign = [c for c in unit.cells if c not in by_cell]
+            if foreign:
+                raise ReproError(
+                    f"work unit for group {unit.group} names cells outside "
+                    f"that group: {foreign}"
+                )
+            pending = [
+                by_cell[c] for c in unit.cells if c not in done
+            ]
             if not pending:
                 continue
             fire = case.build()

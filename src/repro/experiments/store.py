@@ -40,6 +40,7 @@ __all__ = [
     "HAS_APPEND_LOCK",
     "ResultsStore",
     "backends_by_system",
+    "parity_view",
     "record_key",
     "strip_wallclock",
     "system_label",
@@ -64,27 +65,53 @@ def record_key(record: dict) -> tuple[str, str, int, str]:
         raise ReproError(f"result record without a full run key: {exc}") from exc
 
 
-def strip_wallclock(record: dict) -> dict:
-    """A result record minus its wall-clock fields.
+def parity_view(record: dict) -> dict:
+    """A result record minus its scheduling-dependent observability.
 
-    The executor-parity view: every other field — qualities, kign
-    trajectories, evaluation and cache counters, config digests — is
+    The executor-parity view: every remaining field — qualities, kign
+    trajectories, requested-evaluation counts, config digests — is
     deterministic from ``(plan, seed)`` and must agree bitwise across
-    execution policies; only the measured seconds (top-level
-    ``seconds``/``run_seconds`` and the per-step stage ``timings``)
-    cannot. One definition, so every parity gate (tests, benchmarks,
-    the distributed-smoke CI job) normalizes the same fields.
+    execution policies *and work-unit granularities*. Two kinds of
+    field cannot and are stripped:
+
+    * **wall-clock** — top-level ``seconds``/``run_seconds`` and the
+      per-step stage ``timings``: no two executions measure the same
+      time;
+    * **session-reuse accounting** — the ``run.session`` payload and
+      the per-step engine ``simulations``/``cache`` counters: how many
+      evaluations were answered by a shared cache instead of the
+      simulator depends on *which cells shared a session*, i.e. on how
+      units were split/stolen across workers — scheduling observability,
+      not results (cache hits serve bitwise-identical values).
+
+    One definition, so every parity gate (tests, benchmarks, the
+    distributed-smoke CI job) normalizes the same fields.
     """
     out = dict(record)
     out.pop("seconds", None)
     out.pop("run_seconds", None)
     run = dict(out.get("run") or {})
-    run["steps"] = [
-        {k: v for k, v in step.items() if k != "timings"}
-        for step in run.get("steps", [])
-    ]
+    run.pop("session", None)
+    steps = []
+    for step in run.get("steps", []):
+        step = {k: v for k, v in step.items() if k != "timings"}
+        engine = step.get("engine")
+        if isinstance(engine, dict):
+            step["engine"] = {
+                k: v
+                for k, v in engine.items()
+                if k not in ("simulations", "cache")
+            }
+        steps.append(step)
+    run["steps"] = steps
     out["run"] = run
     return out
+
+
+#: Migration alias — the parity view once stripped only wall-clock
+#: fields; unit-level scheduling made session-reuse accounting equally
+#: execution-dependent, so the one shared view now strips both.
+strip_wallclock = parity_view
 
 
 def backends_by_system(records: Iterable[dict]) -> dict[str, dict[str, None]]:

@@ -140,6 +140,28 @@ class TestCompareCommand:
         with pytest.raises(SystemExit):
             main(["compare", "--systems", "ess,warp-drive", "--size", "24"])
 
+    def test_compare_results_store_resumes(self, capsys, tmp_path):
+        """compare is routed through the executor seam: it streams into
+        a results store and resumes from it like any experiment."""
+        store = tmp_path / "cmp.jsonl"
+        args = [
+            "compare", "--systems", "ess,ess-ns", "--size", "20",
+            "--steps", "2", "--population", "8", "--generations", "2",
+            "--results", str(store),
+        ]
+        assert main(args) == 0
+        assert "(resumed 0)" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "(resumed 2)" in capsys.readouterr().out
+
+    def test_compare_executor_process_needs_results(self, capsys):
+        with pytest.raises(SystemExit, match="ResultsStore"):
+            main(
+                ["compare", "--systems", "ess,ess-ns", "--size", "20",
+                 "--steps", "2", "--population", "8", "--generations", "2",
+                 "--executor", "process"]
+            )
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,13 +1,18 @@
 """Tests for the distributed execution subsystem.
 
-Covers the wire protocol (framing, EOF, oversize rejection), the shard
-assignment rule (never an empty shard), executor validation, and the
-acceptance properties of the subsystem: all three executors — inline,
-process shards, and a loopback two-worker TCP fleet — produce
-bitwise-identical sorted store records for the same plan and seeds
-(modulo wall-clock timing fields, which no two executions can share),
-and a fleet run with a worker killed mid-run completes after
-lease-timeout requeue with zero lost or duplicated cells.
+Covers the wire protocol (framing, EOF, oversize rejection, the HMAC
+challenge-response handshake), the shard assignment rules (never an
+empty shard), executor validation, the cell-leasing unit ledger
+(split-on-demand stealing, stale-lease requeue of exact cell subsets),
+and the acceptance properties of the subsystem: all executors — inline,
+process shards, and TCP fleets of every size — produce bitwise-identical
+sorted store records for the same plan and seeds (in the shared
+``parity_view``: wall-clock and session-reuse accounting excluded,
+nothing else may differ, at *any* unit granularity), a one-group plan
+spreads over a whole fleet via work stealing, resume crosses unit
+granularities in both directions, and a fleet run with a worker killed
+mid-run completes after lease-timeout requeue with zero lost or
+duplicated cells.
 """
 
 from __future__ import annotations
@@ -20,11 +25,12 @@ import threading
 import pytest
 
 from repro.distributed import (
+    FleetAuthError,
     FleetError,
     FleetExecutor,
-    GroupLedger,
     InlineExecutor,
     ProcessShardExecutor,
+    UnitLedger,
     parse_address,
     pending_group_indices,
     run_worker,
@@ -33,6 +39,7 @@ from repro.distributed import (
 from repro.distributed.protocol import (
     MAX_MESSAGE_BYTES,
     recv_message,
+    request,
     send_message,
 )
 from repro.errors import ReproError
@@ -42,9 +49,10 @@ from repro.experiments import (
     ExperimentPlan,
     ExperimentRunner,
     ResultsStore,
+    WorkSet,
     record_key,
 )
-from repro.experiments.store import HAS_APPEND_LOCK, strip_wallclock
+from repro.experiments.store import HAS_APPEND_LOCK, parity_view
 
 needs_fork = pytest.mark.skipif(
     not HAS_APPEND_LOCK
@@ -78,10 +86,19 @@ def _plan(**overrides) -> ExperimentPlan:
     return ExperimentPlan(**values)
 
 
+def _one_group_plan(n_seeds: int = 8) -> ExperimentPlan:
+    """One case × two systems × many seeds: the few-big-groups shape
+    that needs within-group stealing to occupy a fleet."""
+    return _plan(
+        cases=(CaseSpec("grassland", size=20, steps=2),),
+        seeds=tuple(range(n_seeds)),
+    )
+
+
 def _sorted_normalized(store: ResultsStore) -> list[dict]:
-    """Sorted records in the shared wall-clock-free parity view."""
+    """Sorted records in the shared scheduling-free parity view."""
     return [
-        strip_wallclock(r) for r in sorted(store.records(), key=record_key)
+        parity_view(r) for r in sorted(store.records(), key=record_key)
     ]
 
 
@@ -211,14 +228,14 @@ class TestExecutorSeam:
 # ----------------------------------------------------------------------
 # Lease ledger (no sockets: fake clock, fake store coverage)
 # ----------------------------------------------------------------------
-class TestGroupLedger:
-    def _ledger(self, covered: set, clock: list):
-        return GroupLedger(
-            _plan(),
-            [0, 1],
+class TestUnitLedger:
+    def _ledger(self, covered: set, clock: list, min_unit_cells: int = 0):
+        return UnitLedger(
+            WorkSet.compile(_plan(), set()),
             lease_timeout=5.0,
             completed_cells=lambda: set(covered),
             clock=lambda: clock[0],
+            min_unit_cells=min_unit_cells,
         )
 
     def test_poll_completion_detects_coverage_without_a_request(self):
@@ -231,7 +248,7 @@ class TestGroupLedger:
         ledger = self._ledger(covered, clock)
         g1 = ledger.lease("w")
         g2 = ledger.lease("w")
-        assert g1["type"] == g2["type"] == "group"
+        assert g1["type"] == g2["type"] == "unit"
         assert ledger.complete("w", g1["lease"]) == {"type": "ok"}
         assert ledger.complete("w", g2["lease"]) == {"type": "ok"}
         covered |= {k.as_tuple() for k in plan.runs()}
@@ -241,8 +258,8 @@ class TestGroupLedger:
         assert ledger.finished.is_set()
 
     def test_poll_completion_requeues_stranded_cells(self):
-        """A worker that completed groups but died before draining
-        leaves missing cells; polling requeues their groups."""
+        """A worker that completed units but died before draining
+        leaves missing cells; polling requeues them as units."""
         covered: set = set()
         clock = [0.0]
         ledger = self._ledger(covered, clock)
@@ -255,15 +272,16 @@ class TestGroupLedger:
         clock[0] = 10.0  # past the lease timeout — presumed dead
         assert not ledger.poll_completion()
         assert ledger.requeues == 2
-        # the requeued groups go to whoever asks next
-        assert ledger.lease("w2")["type"] == "group"
+        # the requeued units go to whoever asks next
+        assert ledger.lease("w2")["type"] == "unit"
 
-    def test_expired_lease_requeues_group(self):
+    def test_expired_lease_requeues_unit(self):
         covered: set = set()
         clock = [0.0]
         ledger = self._ledger(covered, clock)
         grant = ledger.lease("w")
-        assert ledger.lease("other")["type"] == "group"  # second group
+        ledger_grant2 = ledger.lease("other")  # second group
+        assert ledger_grant2["type"] == "unit"
         clock[0] = 3.0
         assert ledger.heartbeat("w", grant["lease"]) == {"type": "ok"}
         clock[0] = 7.0  # renewed at 3.0, deadline 8.0: still alive
@@ -271,7 +289,88 @@ class TestGroupLedger:
         clock[0] = 20.0
         assert ledger.heartbeat("w", grant["lease"]) == {"type": "expired"}
         assert ledger.complete("w", grant["lease"]) == {"type": "stale"}
-        assert ledger.lease("other")["type"] == "group"  # requeued
+        # both silent workers' units requeued, each the exact original
+        # cell subset — re-leased to whoever asks next
+        regrants = [ledger.lease("other"), ledger.lease("other")]
+        assert all(r["type"] == "unit" for r in regrants)
+        assert {tuple(map(tuple, r["unit"]["cells"])) for r in regrants} == {
+            tuple(map(tuple, g["unit"]["cells"]))
+            for g in (grant, ledger_grant2)
+        }
+
+    def test_last_pending_unit_splits_for_an_asking_worker(self):
+        """Work stealing: one big group spreads over every asker by
+        halving the last pending unit down to the min_unit_cells floor."""
+        plan = _one_group_plan(n_seeds=4)  # 8 cells, one group
+        clock = [0.0]
+        ledger = UnitLedger(
+            WorkSet.compile(plan, set()),
+            lease_timeout=5.0,
+            completed_cells=set,
+            clock=lambda: clock[0],
+            min_unit_cells=1,
+        )
+        sizes = []
+        grants = []
+        for worker in ("w1", "w2", "w3", "w4"):
+            grant = ledger.lease(worker)
+            assert grant["type"] == "unit"
+            grants.append(grant)
+            sizes.append(len(grant["unit"]["cells"]))
+        # every asker got work from the single group: 4, 2, 1, 1
+        assert sizes == [4, 2, 1, 1]
+        assert ledger.steals == 3
+        # the four leases tile the group exactly — no loss, no overlap
+        cells = [tuple(c) for g in grants for c in g["unit"]["cells"]]
+        assert sorted(cells) == sorted(k.as_tuple() for k in plan.runs())
+        assert len(set(cells)) == len(cells)
+        # everything is leased: a further asker waits
+        assert ledger.lease("w5") == {"type": "wait"}
+
+    def test_min_unit_cells_zero_keeps_whole_group_leases(self):
+        plan = _one_group_plan(n_seeds=4)
+        ledger = UnitLedger(
+            WorkSet.compile(plan, set()),
+            lease_timeout=5.0,
+            completed_cells=set,
+            min_unit_cells=0,
+        )
+        grant = ledger.lease("w1")
+        assert len(grant["unit"]["cells"]) == plan.n_runs
+        assert ledger.steals == 0
+        assert ledger.lease("w2") == {"type": "wait"}
+
+    def test_stale_lease_of_half_recorded_unit_requeues_missing_only(self):
+        """A worker that recorded half a unit and then died: the lease
+        expires and requeues the whole cell subset (the new worker's
+        store-resume skips nothing here — its store is its own), while
+        the end-of-run coverage check requeues exactly the cells whose
+        records never arrived. Nothing is lost, nothing doubled."""
+        plan = _one_group_plan(n_seeds=4)
+        all_cells = [k.as_tuple() for k in plan.runs()]
+        covered: set = set()
+        clock = [0.0]
+        ledger = UnitLedger(
+            WorkSet.compile(plan, set()),
+            lease_timeout=5.0,
+            completed_cells=lambda: set(covered),
+            clock=lambda: clock[0],
+            min_unit_cells=0,
+        )
+        grant = ledger.lease("w1")
+        # w1 drains half the unit's records, then goes silent
+        covered |= set(map(tuple, grant["unit"]["cells"][:4]))
+        clock[0] = 20.0
+        regrant = ledger.lease("w2")
+        assert regrant["type"] == "unit"
+        assert ledger.requeues == 1
+        assert regrant["unit"] == grant["unit"]  # exact cell subset
+        # w2 completes and drains only the cells w1 never delivered
+        assert ledger.complete("w2", regrant["lease"]) == {"type": "ok"}
+        covered |= set(map(tuple, regrant["unit"]["cells"]))
+        ledger.drained("w2")
+        assert sorted(covered) == sorted(all_cells)
+        assert ledger.poll_completion()
 
 
 # ----------------------------------------------------------------------
@@ -487,7 +586,9 @@ class TestWorkerInThread:
         result = ExperimentRunner(store=store).run(plan, executor=executor)
         for thread in threads:
             thread.join(timeout=60)
-        assert summary_box["groups"] == 1
+        # the single 2-cell group split for the lone worker's first ask
+        # (work stealing has no victim here, just smaller leases)
+        assert summary_box["units"] == 2
         assert summary_box["records"] == plan.n_runs
         assert len(result.records) == plan.n_runs
         # the overridden budget really reached the worker: ess-ns ran
@@ -496,6 +597,294 @@ class TestWorkerInThread:
         assert runs["ess-ns"]["steps"][0]["engine"]["evaluations"] > (
             runs["ess"]["steps"][0]["engine"]["evaluations"]
         )
+
+
+def _run_thread_fleet(
+    plan,
+    coord_store,
+    worker_stores,
+    timeout=120.0,
+    lease_timeout=10.0,
+    min_unit_cells=1,
+    auth_token=None,
+    worker_tokens=None,
+):
+    """In-thread fleet: N run_worker threads against a loopback
+    coordinator; returns (result, executor, summaries, errors)."""
+    threads: list[threading.Thread] = []
+    summaries: list[dict] = []
+    errors: list[Exception] = []
+    tokens = worker_tokens or {}
+
+    def worker(address, index, store_path):
+        try:
+            summaries.append(
+                run_worker(
+                    address,
+                    store_path=store_path,
+                    worker_id=f"thread-w{index}",
+                    auth_token=tokens.get(index, auth_token),
+                )
+            )
+        except Exception as exc:  # surfaced to the test thread
+            errors.append(exc)
+
+    def on_bound(address):
+        for index, store_path in enumerate(worker_stores):
+            thread = threading.Thread(
+                target=worker, args=(address, index, store_path)
+            )
+            thread.start()
+            threads.append(thread)
+
+    executor = FleetExecutor(
+        lease_timeout=lease_timeout,
+        poll_interval=0.05,
+        timeout=timeout,
+        min_unit_cells=min_unit_cells,
+        auth_token=auth_token,
+        on_bound=on_bound,
+    )
+    try:
+        result = ExperimentRunner(store=coord_store).run(
+            plan, executor=executor
+        )
+    finally:
+        for thread in threads:
+            thread.join(timeout=60)
+    return result, executor, summaries, errors
+
+
+class TestCellLeasing:
+    """Acceptance: cell-level leases spread one group over a fleet."""
+
+    def test_one_group_plan_occupies_every_worker(self, tmp_path):
+        """1 case × 2 systems × 8 seeds with 4 workers: every worker
+        completes at least one unit (work stealing found them work in a
+        single-group plan) and the merged store is bitwise-identical to
+        the inline executor in the shared parity view."""
+        plan = _one_group_plan(n_seeds=8)
+        inline = ResultsStore(tmp_path / "inline.jsonl")
+        ExperimentRunner(store=inline).run(
+            plan, executor=InlineExecutor()
+        )
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan,
+            store,
+            [tmp_path / f"w{i}.jsonl" for i in range(4)],
+        )
+        assert errors == []
+        assert len(summaries) == 4
+        assert all(s["units"] >= 1 for s in summaries), summaries
+        assert sum(s["records"] for s in summaries) == plan.n_runs
+        assert executor.steals >= 3  # 16 cells halved across 4 askers
+        assert len(result.records) == plan.n_runs
+        assert _sorted_normalized(store) == _sorted_normalized(inline)
+
+    def test_forced_mid_group_steal_is_bitwise_clean(self, tmp_path):
+        """A second worker stealing cells mid-group changes which
+        session computes them — and not a byte of the records."""
+        plan = _one_group_plan(n_seeds=2)  # 4 cells, one group
+        inline = ResultsStore(tmp_path / "inline.jsonl")
+        ExperimentRunner(store=inline).run(plan)
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan, store, [tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"]
+        )
+        assert errors == []
+        # the first ask always splits the lone pending unit: a steal
+        assert executor.steals >= 1
+        keys = [record_key(r) for r in store.records()]
+        assert sorted(keys) == sorted(k.as_tuple() for k in plan.runs())
+        assert len(set(keys)) == len(keys)
+        assert _sorted_normalized(store) == _sorted_normalized(inline)
+
+
+class TestMixedGranularityResume:
+    """Resume is the store's cell contract at every unit granularity."""
+
+    def test_group_recorded_store_resumes_under_cell_leases(
+        self, inline_store, tmp_path
+    ):
+        """A store written by whole-group inline execution resumes
+        under a cell-leasing fleet: only the missing cells run."""
+        plan = _plan()
+        store = ResultsStore(tmp_path / "resume.jsonl")
+        (_, keys0), _ = plan.groups()
+        done = {k.as_tuple() for k in keys0}
+        for record in inline_store.records():
+            if record_key(record) in done:
+                store.append(record)
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan, store, [tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"]
+        )
+        assert errors == []
+        assert result.n_resumed == len(done)
+        # the fleet computed exactly the other group's cells
+        assert sum(s["records"] for s in summaries) == plan.n_runs - len(
+            done
+        )
+        assert _sorted_normalized(store) == _sorted_normalized(inline_store)
+
+    def test_cell_recorded_store_resumes_under_group_execution(
+        self, inline_store, tmp_path
+    ):
+        """The inverse: a store holding scattered cell-leased records
+        resumes under plain inline whole-group execution."""
+        plan = _plan()
+        store = ResultsStore(tmp_path / "resume.jsonl")
+        runner = ExperimentRunner(store=store)
+        # record two scattered single cells, as a cell-leased fleet
+        # worker would: one unit per cell, mid-group granularity
+        workset = WorkSet.compile(plan, set())
+        for unit in workset.units:
+            single = unit
+            while single.n_cells > 1:
+                single = single.split()[0]
+            runner.run_units(plan, [single], set())
+        assert len(store.records()) == 2
+        result = ExperimentRunner(store=store).run(plan)
+        assert result.n_resumed == 2
+        assert len(result.records) == plan.n_runs
+        assert _sorted_normalized(store) == _sorted_normalized(inline_store)
+
+
+class TestFleetAuth:
+    """Shared-secret HMAC challenge-response on the coordinator."""
+
+    def test_authed_fleet_completes(self, tmp_path):
+        plan = _one_group_plan(n_seeds=2)
+        store = ResultsStore(tmp_path / "coord.jsonl")
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan,
+            store,
+            [tmp_path / "w0.jsonl"],
+            auth_token="fleet-secret",
+        )
+        assert errors == []
+        assert len(result.records) == plan.n_runs
+
+    def test_worker_without_token_is_rejected_before_plan_bytes(
+        self, tmp_path
+    ):
+        plan = _one_group_plan(n_seeds=2)
+        store = ResultsStore(tmp_path / "coord.jsonl")
+        with pytest.raises(FleetError, match="timed out"):
+            _run_thread_fleet(
+                plan,
+                store,
+                [tmp_path / "w0.jsonl"],
+                timeout=3.0,
+                lease_timeout=1.0,
+                auth_token="fleet-secret",
+                worker_tokens={0: None},
+            )
+        assert store.records() == []  # nothing ever executed
+
+    def test_wrong_token_raises_auth_error_without_retry_loop(
+        self, tmp_path
+    ):
+        plan = _one_group_plan(n_seeds=2)
+        store = ResultsStore(tmp_path / "coord.jsonl")
+        errors: list[Exception] = []
+
+        def on_bound(address):
+            def w():
+                try:
+                    run_worker(
+                        address,
+                        store_path=tmp_path / "w.jsonl",
+                        worker_id="intruder",
+                        auth_token="WRONG",
+                        max_failures=1000,  # an auth error must not retry
+                    )
+                except Exception as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=w)
+            thread.start()
+
+        executor = FleetExecutor(
+            lease_timeout=1.0,
+            poll_interval=0.05,
+            timeout=3.0,
+            auth_token="fleet-secret",
+            on_bound=on_bound,
+        )
+        with pytest.raises(FleetError, match="timed out"):
+            ExperimentRunner(store=store).run(plan, executor=executor)
+        assert errors and isinstance(errors[0], FleetAuthError)
+
+    def test_rogue_coordinator_never_receives_the_request(self):
+        """Mutual auth: a listener that cannot prove token knowledge
+        gets an auth-hello (a bare nonce) and nothing else — a worker's
+        record upload can never leak to an impersonated coordinator."""
+        received: list[dict] = []
+        server = socket.create_server(("127.0.0.1", 0))
+        address = server.getsockname()
+
+        def rogue():
+            conn, _ = server.accept()
+            with conn:
+                received.append(recv_message(conn))
+                # no proof — just an inviting reply
+                send_message(conn, {"type": "welcome", "plan": {}})
+
+        thread = threading.Thread(target=rogue)
+        thread.start()
+        secret_payload = {"type": "records", "records": [{"secret": 1}]}
+        try:
+            with pytest.raises(FleetAuthError, match="did not prove"):
+                request(address, secret_payload, token="fleet-secret")
+        finally:
+            thread.join(timeout=10)
+            server.close()
+        assert received == [
+            {"type": "auth-hello", "nonce": received[0]["nonce"]}
+        ]
+        assert "records" not in str(received)
+
+    def test_empty_token_is_rejected_not_silently_disabled(self, tmp_path):
+        """REPRO_FLEET_TOKEN="" (the unpopulated-secret foot-gun) must
+        fail fast everywhere instead of running the fleet open."""
+        with pytest.raises(FleetError, match="non-empty"):
+            FleetExecutor(auth_token="")
+        with pytest.raises(FleetError, match="non-empty"):
+            run_worker(("127.0.0.1", 1), auth_token="")
+        with pytest.raises(FleetError, match="non-empty"):
+            request(("127.0.0.1", 1), {"type": "hello"}, token="")
+
+    def test_unauthenticated_probe_sees_only_a_challenge(self, tmp_path):
+        """The welcome payload (the plan!) must never reach a peer that
+        has not answered the challenge."""
+        plan = _one_group_plan(n_seeds=2)
+        store = ResultsStore(tmp_path / "coord.jsonl")
+        probe_replies: list = []
+
+        def on_bound(address):
+            def probe():
+                # a tokenless client: request() raises on the challenge
+                try:
+                    request(address, {"type": "hello", "worker": "spy"})
+                except FleetAuthError as exc:
+                    probe_replies.append(exc)
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(timeout=10)
+
+        executor = FleetExecutor(
+            lease_timeout=1.0,
+            poll_interval=0.05,
+            timeout=2.0,
+            auth_token="fleet-secret",
+            on_bound=on_bound,
+        )
+        with pytest.raises(FleetError, match="timed out"):
+            ExperimentRunner(store=store).run(plan, executor=executor)
+        assert probe_replies, "the probe must have been challenged"
+        assert "auth token" in str(probe_replies[0])
 
 
 class TestWorkerStoreHygiene:
