@@ -397,27 +397,57 @@ def session_table(rows: list[dict]) -> str:
 # ----------------------------------------------------------------------
 def smoke_backends() -> list[dict]:
     """All backends agree bitwise on tiny synthetic/mosaic/ridge workloads."""
+    from _report import bench_json
+
     rows = []
     rows += compare_backends(
         grassland_case(size=24, n_steps=2), population=12, repeats=1
     )
     rows += compare_backends(_mosaic_fire(20), population=12, repeats=1)
     rows += compare_backends(_ridge_fire(20), population=12, repeats=1)
+    bench_json(
+        "engine",
+        "backends_smoke",
+        {"workload": dict(population=12, repeats=1), "rows": rows},
+    )
     return rows
 
 
 def smoke_session() -> list[dict]:
     """Persistent session agrees bitwise with per-step engines."""
-    return session_rows(
+    from _report import bench_json
+
+    rows = session_rows(
         grassland_case(size=20, n_steps=2), population=8, n_steps=2
     )
+    bench_json(
+        "engine",
+        "session_smoke",
+        {
+            "workload": dict(size=20, population=8, n_steps=2),
+            "rows": rows,
+        },
+    )
+    return rows
 
 
 def smoke_shared_sweep() -> list[dict]:
     """Shared-session sweeps agree bitwise and actually reuse across
     systems (no timing assertions at smoke sizes)."""
+    from _report import bench_json
+
     rows = sweep_session_rows(
         size=20, steps=2, population=8, generations=2, seeds=(0,)
+    )
+    bench_json(
+        "engine",
+        "shared_sweep_smoke",
+        {
+            "workload": dict(
+                size=20, steps=2, population=8, generations=2, seeds=[0]
+            ),
+            "rows": rows,
+        },
     )
     by_mode = {r["mode"]: r for r in rows}
     assert by_mode["shared session"]["cross_system_hits"] > 0
@@ -461,7 +491,7 @@ def smoke_pipeline() -> None:
 # Full benchmark (pytest-benchmark harness)
 # ----------------------------------------------------------------------
 def test_engine_backend_comparison_report(benchmark):
-    from _report import report, run_once
+    from _report import bench_json, report, run_once
 
     def _body():
         rows = []
@@ -496,6 +526,43 @@ def test_engine_backend_comparison_report(benchmark):
             + sweep_session_table(swrows)
         )
         report("engine_backends", text)
+        bench_json(
+            "engine",
+            "backends",
+            {
+                "workload": dict(populations=[64, 128], repeats=3),
+                "rows": rows,
+            },
+        )
+        bench_json(
+            "engine",
+            "cache",
+            {
+                "workload": dict(population=64, dup_fraction=_DUP_FRACTION),
+                "rows": crows,
+            },
+        )
+        bench_json(
+            "engine",
+            "session",
+            {
+                "workload": dict(
+                    size=48, population=64, n_steps=3, repeats=3
+                ),
+                "rows": srows,
+            },
+        )
+        bench_json(
+            "engine",
+            "shared_sweep",
+            {
+                "workload": dict(
+                    size=40, steps=3, population=32, generations=4,
+                    seeds=[0, 1], backend="process", n_workers=2, repeats=3,
+                ),
+                "rows": swrows,
+            },
+        )
 
         # Acceptance bars: ≥ 3× on the synthetic workload at pop ≥ 64,
         # ≥ 2× on the heterogeneous-raster workload at pop ≥ 64.

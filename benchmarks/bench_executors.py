@@ -310,31 +310,83 @@ def few_big_groups_table(rows: list[dict]) -> str:
 # ----------------------------------------------------------------------
 def smoke_executors() -> list[dict]:
     """All three executors agree bitwise on a tiny 2-group plan."""
-    return executor_rows(
+    from _report import bench_json
+
+    workload = dict(size=20, steps=2, population=8, generations=2, seeds=[0])
+    rows = executor_rows(
         size=20, steps=2, population=8, generations=2, seeds=(0,)
     )
+    bench_json(
+        "executors", "executors_smoke", {"workload": workload, "rows": rows}
+    )
+    return rows
 
 
 def smoke_few_big_groups() -> list[dict]:
     """Group vs unit leases agree bitwise on a tiny one-group plan."""
-    return few_big_groups_rows(
+    from _report import bench_json
+
+    workload = dict(
         size=20, steps=2, population=8, generations=2, n_seeds=4, workers=2
     )
+    rows = few_big_groups_rows(
+        size=20, steps=2, population=8, generations=2, n_seeds=4, workers=2
+    )
+    bench_json(
+        "executors",
+        "few_big_groups_smoke",
+        {"workload": workload, "rows": rows},
+    )
+    return rows
 
 
 # ----------------------------------------------------------------------
 # Full benchmark (pytest-benchmark harness)
 # ----------------------------------------------------------------------
 def test_executor_comparison_report(benchmark):
-    from _report import report, run_once
+    from _report import bench_json, report, run_once
 
     def _body():
         rows = executor_rows()
         report("bench_executors", executor_table(rows))
+        bench_json(
+            "executors",
+            "executors",
+            {
+                "workload": dict(
+                    size=28, steps=2, population=16, generations=3,
+                    seeds=[0, 1],
+                ),
+                "rows": rows,
+            },
+        )
         return rows
 
     rows = run_once(benchmark, _body)
     assert all(row["records"] == rows[0]["records"] for row in rows)
+
+
+def test_few_big_groups_report(benchmark):
+    from _report import bench_json, report, run_once
+
+    def _body():
+        rows = few_big_groups_rows()
+        report("bench_few_big_groups", few_big_groups_table(rows))
+        bench_json(
+            "executors",
+            "few_big_groups",
+            {
+                "workload": dict(
+                    size=28, steps=2, population=16, generations=3,
+                    n_seeds=6, workers=3,
+                ),
+                "rows": rows,
+            },
+        )
+        return rows
+
+    rows = run_once(benchmark, _body)
+    assert [r["records"] for r in rows] == [12, 12]
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -28,12 +28,14 @@ group and can stream results into a resumable ``--results`` store.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.metrics import compare_runs
 from repro.analysis.reporting import (
     format_comparison,
@@ -49,6 +51,8 @@ from repro.distributed import (
     ProcessShardExecutor,
     run_worker,
 )
+from repro.distributed.protocol import request as _fleet_request
+from repro.distributed.worker import parse_address
 from repro.engine import backend_names
 from repro.errors import ReproError
 from repro.experiments import (
@@ -124,6 +128,58 @@ def _add_budget(parser: argparse.ArgumentParser) -> None:
         "session, by every system of a (case, backend) group (0 = off; "
         "replaces --cache-size when set)",
     )
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by run, compare, sweep and the fleet
+    entry points (see :mod:`repro.obs`)."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream telemetry span events (one JSON object per line: "
+        "run/step/generation/unit spans, fleet summaries) into this "
+        "JSONL file",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a Prometheus-text metrics snapshot (engine batch "
+        "timings, cache hit/miss counters, fleet utilization) to this "
+        "file when the command finishes",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable stderr logging at this level (the "
+        "repro.distributed.* loggers narrate lease/steal/requeue/drain "
+        "events; default: logging stays unconfigured)",
+    )
+
+
+def _setup_obs(args: argparse.Namespace) -> None:
+    """Wire the parsed telemetry flags into the process registry."""
+    level = getattr(args, "log_level", None)
+    if level:
+        logging.basicConfig(
+            level=getattr(logging, level.upper()),
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
+    trace = getattr(args, "trace", None)
+    if trace:
+        obs.configure(trace_path=trace)
+
+
+def _teardown_obs(args: argparse.Namespace) -> None:
+    """Snapshot metrics (if asked) and close the trace sinks."""
+    metrics = getattr(args, "metrics", None)
+    if metrics:
+        try:
+            obs.dump_metrics(metrics)
+        except OSError as exc:
+            print(f"could not write metrics snapshot: {exc}", file=sys.stderr)
+    obs.shutdown()
 
 
 def _add_fleet(parser: argparse.ArgumentParser) -> None:
@@ -440,7 +496,71 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
         f"({result.n_resumed} resumed, {executor.requeues} unit "
         f"requeues, {executor.steals} unit steals) -> {store.path}"
     )
+    if executor.worker_stats:
+        print("fleet workers (busy/idle over membership span):")
+        print(_format_worker_stats(executor.worker_stats))
     print(format_experiment(result))
+    return 0
+
+
+def _format_worker_stats(workers: dict[str, dict]) -> str:
+    """Per-worker utilization lines (serve summary + status command)."""
+    lines = []
+    for worker in sorted(workers):
+        st = workers[worker]
+        util = st.get("utilization")
+        util_text = "util n/a" if util is None else f"util {util:6.1%}"
+        live = " [live]" if st.get("live") else ""
+        lines.append(
+            f"  {worker}: {util_text} "
+            f"(busy {st['busy_seconds']:.1f}s / "
+            f"idle {st['idle_seconds']:.1f}s), "
+            f"{st['units']} units, {st['cells']} cells, "
+            f"{st['leases']} leases{live}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_experiments_status(args: argparse.Namespace) -> int:
+    """One read-only snapshot of a running coordinator."""
+    try:
+        addr = parse_address(args.connect)
+        reply = _fleet_request(
+            addr,
+            {"type": "status"},
+            timeout=args.request_timeout,
+            token=args.auth_token,
+        )
+    except FleetError as exc:
+        raise SystemExit(str(exc)) from exc
+    except OSError as exc:
+        raise SystemExit(
+            f"no coordinator answering at {args.connect}: {exc}"
+        ) from exc
+    if reply.get("type") != "status":
+        raise SystemExit(
+            f"coordinator rejected the status probe: "
+            f"{reply.get('error', reply.get('type'))}"
+        )
+    progress = reply.get("progress") or {}
+    state = "finished" if reply.get("finished") else "running"
+    print(
+        f"plan {reply.get('plan')!r}: {reply.get('recorded_cells')}/"
+        f"{reply.get('expected_cells')} cells recorded ({state})"
+    )
+    print(
+        f"pending units: {progress.get('pending_units')} "
+        f"({progress.get('pending_cells')} cells), "
+        f"leased: {progress.get('leased')}, "
+        f"requeues: {progress.get('requeues')}, "
+        f"steals: {progress.get('steals')}"
+    )
+    workers = reply.get("workers") or {}
+    if workers:
+        print("workers:")
+        print(_format_worker_stats(workers))
+    else:
+        print("workers: none seen yet")
     return 0
 
 
@@ -505,6 +625,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_run.add_argument("system", choices=_SYSTEM_NAMES)
     _add_common(p_run)
     p_run.add_argument("--output", help="save the run as JSON")
+    _add_obs(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare systems on one case")
@@ -526,6 +647,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(resumable; required by --executor process/fleet)",
     )
     _add_executor(p_cmp)
+    _add_obs(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_swp = sub.add_parser(
@@ -581,6 +703,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "one per (case, backend) group",
     )
     p_swp.add_argument("--output", help="save the aggregated sweep as JSON")
+    _add_obs(p_swp)
     p_swp.set_defaults(func=_cmd_sweep)
 
     p_exp = sub.add_parser(
@@ -626,6 +749,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="workers give every run its own engine session instead of "
         "sharing one per leased group",
     )
+    _add_obs(p_serve)
     p_serve.set_defaults(func=_cmd_experiments_serve)
 
     p_wrk = exp_sub.add_parser(
@@ -660,7 +784,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="shared secret matching the coordinator's --auth-token "
         "(default: $REPRO_FLEET_TOKEN)",
     )
+    _add_obs(p_wrk)
     p_wrk.set_defaults(func=_cmd_experiments_worker)
+
+    p_st = exp_sub.add_parser(
+        "status",
+        help="query a running coordinator for live fleet progress and "
+        "per-worker utilization (read-only; never delays shutdown)",
+    )
+    p_st.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by serve-coordinator)",
+    )
+    p_st.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_FLEET_TOKEN"),
+        help="shared secret matching the coordinator's --auth-token "
+        "(default: $REPRO_FLEET_TOKEN)",
+    )
+    p_st.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for the coordinator's reply",
+    )
+    p_st.set_defaults(func=_cmd_experiments_status)
 
     p_mrg = exp_sub.add_parser(
         "merge-stores",
@@ -680,7 +830,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_mrg.set_defaults(func=_cmd_experiments_merge)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    _setup_obs(args)
+    try:
+        return args.func(args)
+    finally:
+        # even a failing command leaves a metrics snapshot and a
+        # flushed trace — that is when they are most wanted
+        _teardown_obs(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

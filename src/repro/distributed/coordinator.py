@@ -47,6 +47,7 @@ workers.
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 import threading
 import time
@@ -55,6 +56,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.experiments.store import record_key
 from repro.experiments.work import WorkSet, WorkUnit
+from repro.obs import telemetry
 
 from repro.distributed.executors import _check_process_portable
 from repro.distributed.protocol import (
@@ -71,6 +73,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.runner import ExperimentRunner
 
 __all__ = ["FleetExecutor", "GroupLedger", "UnitLedger"]
+
+log = logging.getLogger("repro.distributed.coordinator")
 
 
 class UnitLedger:
@@ -127,6 +131,9 @@ class UnitLedger:
         self._tentative: set[tuple[str, str, int, str]] = set()
         self._dirty: set[str] = set()
         self._last_seen: dict[str, float] = {}
+        # per-worker accounting fed by lease grants plus the telemetry
+        # payloads workers attach to heartbeats and complete reports
+        self._worker_stats: dict[str, dict] = {}
         self._told_done: set[str] = set()
         self._lock = threading.Lock()
         self.lease_timeout = float(lease_timeout)
@@ -141,13 +148,77 @@ class UnitLedger:
     def touch(self, worker: str) -> None:
         """Record contact from ``worker`` (liveness for drain waits)."""
         with self._lock:
-            self._last_seen[worker] = self.clock()
+            now = self.clock()
+            self._last_seen[worker] = now
+            self._stats(worker, now)
+
+    def _stats(self, worker: str, now: float) -> dict:
+        """This worker's accounting row (created on first contact)."""
+        st = self._worker_stats.get(worker)
+        if st is None:
+            st = self._worker_stats[worker] = {
+                "first_seen": now,
+                "leases": 0,
+                "units": 0,
+                "cells": 0,
+                "records": 0,
+                "busy_seconds": 0.0,
+                "lease_seconds": 0.0,
+            }
+        return st
+
+    def _fold_telemetry(self, st: dict, info) -> None:
+        """Fold a worker-reported telemetry payload into its stats row.
+
+        ``busy_seconds`` arrives as the worker's *cumulative* busy time,
+        so the fold is a max — late or duplicate reports never inflate
+        utilization.
+        """
+        if not isinstance(info, dict):
+            return
+        try:
+            busy = float(info.get("busy_seconds", 0.0))
+        except (TypeError, ValueError):
+            return
+        st["busy_seconds"] = max(st["busy_seconds"], busy)
+
+    def worker_stats(self) -> dict[str, dict]:
+        """Fleet-wide per-worker view: busy/idle split and utilization.
+
+        ``utilization`` is busy time over the worker's membership span
+        (first to last contact); ``None`` until the span is non-zero.
+        ``lease_seconds`` is coordinator-measured grant-to-complete
+        latency, summed over this worker's completed leases.
+        """
+        with self._lock:
+            now = self.clock()
+            out: dict[str, dict] = {}
+            for worker in sorted(self._worker_stats):
+                st = self._worker_stats[worker]
+                last = self._last_seen.get(worker, st["first_seen"])
+                span = max(last - st["first_seen"], 0.0)
+                busy = min(st["busy_seconds"], span) if span > 0 else 0.0
+                out[worker] = {
+                    "leases": st["leases"],
+                    "units": st["units"],
+                    "cells": st["cells"],
+                    "records": st["records"],
+                    "busy_seconds": st["busy_seconds"],
+                    "idle_seconds": max(span - busy, 0.0),
+                    "span_seconds": span,
+                    "lease_seconds": st["lease_seconds"],
+                    "utilization": (busy / span) if span > 0 else None,
+                    "live": now - self._last_seen.get(worker, 0.0)
+                    <= self.lease_timeout,
+                }
+            return out
 
     def lease(self, worker: str) -> dict:
         """Answer one work request; the heart of the scheduling policy."""
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
+            self._stats(worker, now)
             self._expire(now)
             if self.finished.is_set():
                 self._told_done.add(worker)
@@ -176,11 +247,17 @@ class UnitLedger:
             self._requeue_missing(missing)
             return self._grant(worker, now)
 
-    def heartbeat(self, worker: str, lease_id) -> dict:
-        """Renew a lease; ``expired`` once the unit was re-leased."""
+    def heartbeat(self, worker: str, lease_id, info: dict | None = None) -> dict:
+        """Renew a lease; ``expired`` once the unit was re-leased.
+
+        ``info`` is the worker's optional telemetry payload (cumulative
+        busy seconds), folded into the fleet utilization view so
+        in-flight work counts, not just completed units.
+        """
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
+            self._fold_telemetry(self._stats(worker, now), info)
             self._expire(now)
             lease = self._leases.get(_lease_key(lease_id))
             if lease is None or lease["worker"] != worker:
@@ -188,19 +265,50 @@ class UnitLedger:
             lease["deadline"] = now + self.lease_timeout
             return {"type": "ok"}
 
-    def complete(self, worker: str, lease_id) -> dict:
+    def complete(self, worker: str, lease_id, info: dict | None = None) -> dict:
         """Mark a leased unit tentatively complete (worker holds records)."""
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
+            st = self._stats(worker, now)
+            self._fold_telemetry(st, info)
             self._expire(now)
             key = _lease_key(lease_id)
             lease = self._leases.get(key)
             if lease is None or lease["worker"] != worker:
                 return {"type": "stale"}
             del self._leases[key]
-            self._tentative.update(lease["unit"].cells)
+            unit = lease["unit"]
+            self._tentative.update(unit.cells)
             self._dirty.add(worker)
+            lease_seconds = max(now - lease["granted"], 0.0)
+            st["units"] += 1
+            st["cells"] += unit.n_cells
+            st["lease_seconds"] += lease_seconds
+            if isinstance(info, dict):
+                try:
+                    st["records"] += int(info.get("records", 0))
+                except (TypeError, ValueError):
+                    pass
+            telemetry().histogram("repro_fleet_unit_seconds").observe(
+                lease_seconds
+            )
+            log.info(
+                "unit complete (lease %s, worker %s, group %d, "
+                "%d cells, %.3fs)",
+                key,
+                worker,
+                unit.group,
+                unit.n_cells,
+                lease_seconds,
+                extra={
+                    "worker": worker,
+                    "lease": key,
+                    "group": unit.group,
+                    "cells": unit.n_cells,
+                    "lease_seconds": lease_seconds,
+                },
+            )
             return {"type": "ok"}
 
     def drained(self, worker: str) -> None:
@@ -271,12 +379,42 @@ class UnitLedger:
             unit, kept = unit.split()
             self._pending.append(kept)
             self.steals += 1
+            telemetry().counter("repro_fleet_steals_total").inc()
+            log.info(
+                "steal: split group %d for %s (%d cells granted, "
+                "%d kept pending)",
+                unit.group,
+                worker,
+                unit.n_cells,
+                kept.n_cells,
+                extra={
+                    "worker": worker,
+                    "group": unit.group,
+                    "cells": unit.n_cells,
+                    "kept_cells": kept.n_cells,
+                },
+            )
         lease_id = next(self._lease_ids)
         self._leases[lease_id] = {
             "unit": unit,
             "worker": worker,
             "deadline": now + self.lease_timeout,
+            "granted": now,
         }
+        self._stats(worker, now)["leases"] += 1
+        log.info(
+            "lease %d granted to %s (group %d, %d cells)",
+            lease_id,
+            worker,
+            unit.group,
+            unit.n_cells,
+            extra={
+                "worker": worker,
+                "lease": lease_id,
+                "group": unit.group,
+                "cells": unit.n_cells,
+            },
+        )
         return {"type": "unit", "unit": unit.to_dict(), "lease": lease_id}
 
     def _expire(self, now: float) -> None:
@@ -286,6 +424,21 @@ class UnitLedger:
                 del self._leases[lease_id]
                 self._pending.append(lease["unit"])
                 self.requeues += 1
+                telemetry().counter("repro_fleet_requeues_total").inc()
+                log.warning(
+                    "lease %d expired (worker %s silent, group %d, "
+                    "%d cells requeued)",
+                    lease_id,
+                    lease["worker"],
+                    lease["unit"].group,
+                    lease["unit"].n_cells,
+                    extra={
+                        "worker": lease["worker"],
+                        "lease": lease_id,
+                        "group": lease["unit"].group,
+                        "cells": lease["unit"].n_cells,
+                    },
+                )
 
     def _requeue_missing(
         self, missing: set[tuple[str, str, int, str]]
@@ -299,6 +452,14 @@ class UnitLedger:
         for index in sorted(by_group):
             self._pending.append(WorkUnit(index, tuple(by_group[index])))
             self.requeues += 1
+            telemetry().counter("repro_fleet_requeues_total").inc()
+            log.warning(
+                "requeued %d unrecorded cells of group %d (records "
+                "died with their worker)",
+                len(by_group[index]),
+                index,
+                extra={"group": index, "cells": len(by_group[index])},
+            )
 
     def all_live_informed(self) -> bool:
         """Whether every worker still alive has been told ``done``."""
@@ -355,6 +516,7 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _CoordinatorHandler)
         plan = workset.plan
         self.ledger = ledger
+        self.plan_name = plan.name
         self.plan_payload = plan.to_dict()
         self.plan_cells = {k.as_tuple() for k in plan.runs()}
         self.store = store
@@ -378,9 +540,35 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
         if mtype == "lease":
             return self.ledger.lease(worker)
         if mtype == "heartbeat":
-            return self.ledger.heartbeat(worker, message.get("lease"))
+            return self.ledger.heartbeat(
+                worker, message.get("lease"), message.get("telemetry")
+            )
         if mtype == "complete":
-            return self.ledger.complete(worker, message.get("lease"))
+            return self.ledger.complete(
+                worker, message.get("lease"), message.get("telemetry")
+            )
+        if mtype == "status":
+            # read-only fleet snapshot for `repro experiments status`;
+            # deliberately does NOT touch() the asker — a status probe
+            # must never register as a worker the shutdown linger then
+            # waits to inform
+            with self.store_lock:
+                recorded = len(
+                    {
+                        record_key(r)
+                        for r in self.store.records()
+                    }
+                    & self.plan_cells
+                )
+            return {
+                "type": "status",
+                "plan": self.plan_name,
+                "expected_cells": len(self.plan_cells),
+                "recorded_cells": recorded,
+                "finished": self.ledger.finished.is_set(),
+                "progress": self.ledger.progress(),
+                "workers": self.ledger.worker_stats(),
+            }
         if mtype == "records":
             records = message.get("records")
             if not isinstance(records, list):
@@ -538,6 +726,10 @@ class FleetExecutor:
         self.address: tuple[str, int] | None = None
         self.requeues = 0
         self.steals = 0
+        # per-worker utilization view of the last execute() (see
+        # UnitLedger.worker_stats); also dumped as gauges and a
+        # fleet_summary trace event on finish
+        self.worker_stats: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     def execute(
@@ -607,10 +799,45 @@ class FleetExecutor:
         finally:
             self.requeues = ledger.requeues
             self.steals = ledger.steals
+            self.worker_stats = ledger.worker_stats()
+            self._export_fleet_telemetry()
             server.shutdown()
             server.server_close()
             thread.join(timeout=5.0)
         return None
+
+    def _export_fleet_telemetry(self) -> None:
+        """Dump the fleet-wide view into the metric registry and sinks."""
+        obs = telemetry()
+        for worker, st in self.worker_stats.items():
+            obs.gauge("repro_fleet_worker_busy_seconds", worker=worker).set(
+                st["busy_seconds"]
+            )
+            obs.gauge("repro_fleet_worker_idle_seconds", worker=worker).set(
+                st["idle_seconds"]
+            )
+            obs.counter("repro_fleet_worker_units_total", worker=worker).inc(
+                st["units"]
+            )
+        obs.emit(
+            {
+                "event": "fleet_summary",
+                "requeues": self.requeues,
+                "steals": self.steals,
+                "workers": self.worker_stats,
+            }
+        )
+        log.info(
+            "fleet finished: %d workers, %d requeues, %d steals",
+            len(self.worker_stats),
+            self.requeues,
+            self.steals,
+            extra={
+                "workers": len(self.worker_stats),
+                "requeues": self.requeues,
+                "steals": self.steals,
+            },
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -20,13 +20,24 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     the coordinator wants this worker's local records before handing
     out more work; ``done``: the plan is fully recorded).
 ``heartbeat``
-    Keep a lease alive while a unit runs (``ok`` / ``expired``).
+    Keep a lease alive while a unit runs (``ok`` / ``expired``). May
+    carry a ``telemetry`` payload — the worker's cumulative
+    ``busy_seconds`` and the in-flight unit's elapsed time — folded
+    into the coordinator's live utilization view.
 ``complete``
     Report a leased unit finished (``ok`` / ``stale`` when the lease
-    timed out and the unit was already re-leased).
+    timed out and the unit was already re-leased). May carry a
+    ``telemetry`` payload (``unit_seconds``, cumulative
+    ``busy_seconds``, ``records``, ``cells``) for per-worker
+    accounting.
 ``records``
     Upload the worker's local store (``ok``; the coordinator merges the
     records into its own store, first writer wins).
+``status``
+    Read-only fleet snapshot (``status``: plan name,
+    expected/recorded cell counts, ledger progress and per-worker
+    utilization). Sent by ``repro experiments status``; never counts
+    as worker contact, so probing a fleet cannot delay its shutdown.
 
 **Authentication.** With a shared secret configured
 (``--auth-token`` / ``REPRO_FLEET_TOKEN``) every exchange runs a

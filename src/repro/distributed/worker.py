@@ -32,6 +32,7 @@ challenge first (see :mod:`repro.distributed.protocol`).
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import tempfile
@@ -45,8 +46,11 @@ from repro.distributed.protocol import (
     check_auth_token,
     request,
 )
+from repro.obs import telemetry
 
 __all__ = ["parse_address", "run_worker"]
+
+log = logging.getLogger("repro.distributed.worker")
 
 
 def parse_address(value: str | tuple[str, int]) -> tuple[str, int]:
@@ -82,12 +86,15 @@ class _LeaseHeartbeat:
         interval: float,
         request_timeout: float,
         token: str | None = None,
+        busy_base: float = 0.0,
     ) -> None:
         self._payload = {"type": "heartbeat", "worker": worker, "lease": lease}
         self._address = address
         self._interval = interval
         self._request_timeout = request_timeout
         self._token = token
+        self._busy_base = busy_base
+        self._started = time.perf_counter()
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, daemon=True, name=f"lease-heartbeat-{lease}"
@@ -103,6 +110,14 @@ class _LeaseHeartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
+            # each beat carries the worker's live busy accounting, so
+            # the coordinator's utilization view covers in-flight units
+            # (not just completed ones)
+            elapsed = time.perf_counter() - self._started
+            self._payload["telemetry"] = {
+                "busy_seconds": self._busy_base + elapsed,
+                "unit_seconds": elapsed,
+            }
             try:
                 request(
                     self._address,
@@ -161,7 +176,12 @@ def run_worker(
 
     Returns a summary dict: ``units``/``records`` executed,
     ``busy_seconds`` spent inside unit execution (the idle-time metric
-    of ``benchmarks/bench_executors.py``) and the local ``store`` path.
+    of ``benchmarks/bench_executors.py``), the derived
+    ``idle_seconds``/``wall_seconds``, and the local ``store`` path.
+    The same busy/idle split lands in the process metric registry as
+    ``repro_worker_busy_seconds``/``repro_worker_idle_seconds`` gauges,
+    and is reported upstream on every heartbeat and ``complete``
+    exchange so the coordinator can aggregate fleet-wide utilization.
     """
     # imported here: repro.experiments lazily imports this package's
     # executors, so the worker stays import-cycle-free at module level
@@ -208,6 +228,14 @@ def run_worker(
     if welcome.get("type") != "welcome":
         raise FleetError(f"expected welcome, got {welcome.get('type')!r}")
     plan = ExperimentPlan.from_dict(welcome["plan"])
+    log.info(
+        "worker %s joined fleet at %s:%d (plan %s)",
+        worker,
+        addr[0],
+        addr[1],
+        plan.name,
+        extra={"worker": worker, "plan": plan.name},
+    )
     share_sessions = bool(welcome.get("share_sessions", True))
     lease_timeout = float(welcome.get("lease_timeout", 30.0))
     if poll_interval is None:
@@ -231,12 +259,26 @@ def run_worker(
     units_run = 0
     records_run = 0
     busy_seconds = 0.0
+    wall_started = time.perf_counter()
     while True:
         reply = rpc({"type": "lease", "worker": worker})
         kind = reply.get("type")
         if kind == "unit":
             lease = reply.get("lease")
             unit = WorkUnit.from_dict(reply.get("unit") or {})
+            log.info(
+                "worker %s leased unit (lease %s, group %d, %d cells)",
+                worker,
+                lease,
+                unit.group,
+                unit.n_cells,
+                extra={
+                    "worker": worker,
+                    "lease": lease,
+                    "group": unit.group,
+                    "cells": unit.n_cells,
+                },
+            )
             started = time.perf_counter()
             with _LeaseHeartbeat(
                 addr,
@@ -245,6 +287,7 @@ def run_worker(
                 heartbeat_interval,
                 request_timeout,
                 token=auth_token,
+                busy_base=busy_seconds,
             ):
                 runner = ExperimentRunner(
                     store=store,
@@ -263,9 +306,26 @@ def run_worker(
                     )
                 fresh = runner.run_units(plan, [unit], set(recorded))
             recorded.update((record_key(r), r) for r in fresh)
-            busy_seconds += time.perf_counter() - started
+            unit_seconds = time.perf_counter() - started
+            busy_seconds += unit_seconds
             units_run += 1
             records_run += len(fresh)
+            log.info(
+                "worker %s finished unit (lease %s, group %d, "
+                "%d records, %.3fs)",
+                worker,
+                lease,
+                unit.group,
+                len(fresh),
+                unit_seconds,
+                extra={
+                    "worker": worker,
+                    "lease": lease,
+                    "group": unit.group,
+                    "records": len(fresh),
+                    "unit_seconds": unit_seconds,
+                },
+            )
             # 'stale' just means the lease expired under us; the records
             # are safe in the local store and the merge dedupes
             rpc(
@@ -273,6 +333,15 @@ def run_worker(
                     "type": "complete",
                     "worker": worker,
                     "lease": lease,
+                    # per-unit timing + cumulative busy accounting: the
+                    # coordinator aggregates these into its fleet-wide
+                    # utilization view
+                    "telemetry": {
+                        "unit_seconds": unit_seconds,
+                        "busy_seconds": busy_seconds,
+                        "records": len(fresh),
+                        "cells": unit.n_cells,
+                    },
                 }
             )
             if after_complete is not None:
@@ -294,14 +363,50 @@ def run_worker(
                 }
             )
             drained_cells.update(record_key(r) for r in fresh_records)
+            log.info(
+                "worker %s drained %d records",
+                worker,
+                len(fresh_records),
+                extra={"worker": worker, "records": len(fresh_records)},
+            )
         elif kind == "wait":
             time.sleep(poll_interval)
         elif kind == "done":
+            wall_seconds = time.perf_counter() - wall_started
+            idle_seconds = max(wall_seconds - busy_seconds, 0.0)
+            obs = telemetry()
+            obs.gauge("repro_worker_busy_seconds", worker=worker).set(
+                busy_seconds
+            )
+            obs.gauge("repro_worker_idle_seconds", worker=worker).set(
+                idle_seconds
+            )
+            obs.counter("repro_worker_units_total", worker=worker).inc(
+                units_run
+            )
+            log.info(
+                "worker %s done: %d units, %d records, "
+                "busy %.3fs / idle %.3fs",
+                worker,
+                units_run,
+                records_run,
+                busy_seconds,
+                idle_seconds,
+                extra={
+                    "worker": worker,
+                    "units": units_run,
+                    "records": records_run,
+                    "busy_seconds": busy_seconds,
+                    "idle_seconds": idle_seconds,
+                },
+            )
             return {
                 "worker": worker,
                 "units": units_run,
                 "records": records_run,
                 "busy_seconds": busy_seconds,
+                "idle_seconds": idle_seconds,
+                "wall_seconds": wall_seconds,
                 "store": str(store.path),
             }
         else:

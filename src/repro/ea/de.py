@@ -24,6 +24,7 @@ from repro.ea.ga import FitnessFunction, _evaluate_missing, population_stats
 from repro.ea.history import EvolutionHistory, GenerationRecord
 from repro.ea.termination import Termination
 from repro.errors import EvolutionError
+from repro.obs import span
 from repro.rng import ensure_rng
 
 __all__ = ["DEConfig", "DEResult", "DifferentialEvolution"]
@@ -146,7 +147,8 @@ class DifferentialEvolution:
                 Individual(genome=trial_genomes[i], birth_generation=generation + 1)
                 for i in range(n)
             ]
-            evaluations += _evaluate_missing(trials, evaluate)
+            with span("generation", algo="de", generation=generation + 1):
+                evaluations += _evaluate_missing(trials, evaluate)
 
             # Greedy one-to-one replacement.
             for i in range(n):

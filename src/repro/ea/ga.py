@@ -35,6 +35,7 @@ from repro.ea.operators import (
 )
 from repro.ea.termination import Termination
 from repro.errors import EvolutionError
+from repro.obs import span
 from repro.rng import ensure_rng
 
 __all__ = ["FitnessFunction", "GAConfig", "GAResult", "GeneticAlgorithm", "generate_offspring"]
@@ -244,16 +245,17 @@ class GeneticAlgorithm:
         history = EvolutionHistory()
         generation = 0
         while termination.should_continue(generation, best.fitness):  # type: ignore[arg-type]
-            offspring = generate_offspring(
-                population,
-                fitness_vector(population),
-                cfg.offspring_count,
-                cfg,
-                space,
-                gen_rng,
-                generation + 1,
-            )
-            evaluations += _evaluate_missing(offspring, evaluate)
+            with span("generation", algo="ga", generation=generation + 1):
+                offspring = generate_offspring(
+                    population,
+                    fitness_vector(population),
+                    cfg.offspring_count,
+                    cfg,
+                    space,
+                    gen_rng,
+                    generation + 1,
+                )
+                evaluations += _evaluate_missing(offspring, evaluate)
 
             # Elitist generational replacement: keep the top `elitism`
             # parents, fill the rest with the best offspring; fall back

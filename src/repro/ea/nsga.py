@@ -59,6 +59,7 @@ from repro.ea.ga import (
 from repro.ea.history import EvolutionHistory, GenerationRecord
 from repro.ea.termination import Termination
 from repro.errors import EvolutionError
+from repro.obs import span
 from repro.rng import ensure_rng, spawn
 
 __all__ = ["NoveltyGAConfig", "NoveltyGAResult", "NoveltyGA"]
@@ -277,7 +278,8 @@ class NoveltyGA:
 
             # Lines 8-10: fitness for population ∪ offspring (cached).
             combined = population + offspring
-            evaluations += _evaluate_missing(combined, evaluate)
+            with span("generation", algo="ns", generation=generations + 1):
+                evaluations += _evaluate_missing(combined, evaluate)
 
             # Line 11: noveltySet = population ∪ offspring ∪ archive.
             combined_fitness = fitness_vector(combined)

@@ -43,6 +43,7 @@ from repro.firelib.propagation import _offset_azimuth_deg, stencil
 from repro.firelib.rothermel import ROS_EPSILON, FuelBed, spread
 from repro.firelib.simulator import FireSimulator
 from repro.grid.terrain import Terrain
+from repro.obs import telemetry
 from repro.units import METERS_TO_FEET, MPH_TO_FTMIN
 
 #: Element budget for the three batched ``(chunk, n_classes)`` field
@@ -124,6 +125,11 @@ class KernelCostModel:
         work = self.work(kernel, n_classes, box_cells, n_dirs)
         if work <= 0 or seconds <= 0.0:
             return
+        obs = telemetry()
+        obs.histogram("repro_engine_kernel_seconds", kernel=kernel).observe(
+            seconds
+        )
+        obs.counter("repro_engine_kernel_calls_total", kernel=kernel).inc()
         rate = seconds / work
         prev = self.rates.get(kernel)
         self.rates[kernel] = (

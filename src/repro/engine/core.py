@@ -19,6 +19,7 @@ evolutionary algorithms (callable ``(n, d) → (n,)`` with
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.engine.cache import (
     ScenarioResultCache,
 )
 from repro.errors import ParallelError, ReproError
+from repro.obs import telemetry
 
 __all__ = ["EngineStats", "SimulationEngine"]
 
@@ -192,10 +194,17 @@ class SimulationEngine:
         self.stats.evaluations += n
         if n == 0:
             return np.zeros(0)
+        obs = telemetry()
+        obs.counter(
+            "repro_engine_evaluations_total", backend=self.backend_name
+        ).inc(n)
 
         if not self._cache.enabled:
-            values = self._fitness(genomes, n)
+            values = self._timed_fitness(genomes, n, obs)
             self.stats.simulations += n
+            obs.counter(
+                "repro_engine_cache_misses_total", backend=self.backend_name
+            ).inc(n)
             return values
 
         out = np.empty(n, dtype=np.float64)
@@ -207,9 +216,16 @@ class SimulationEngine:
                 pending.setdefault(key, []).append(i)
             else:
                 out[i] = hit
+        misses = sum(len(indices) for indices in pending.values())
+        obs.counter(
+            "repro_engine_cache_hits_total", backend=self.backend_name
+        ).inc(n - misses)
+        obs.counter(
+            "repro_engine_cache_misses_total", backend=self.backend_name
+        ).inc(misses)
         if pending:
             rows = [indices[0] for indices in pending.values()]
-            values = self._fitness(genomes[rows], len(rows))
+            values = self._timed_fitness(genomes[rows], len(rows), obs)
             self.stats.simulations += len(rows)
             for (key, indices), value in zip(pending.items(), values):
                 self._cache.put(key, float(value))
@@ -227,6 +243,19 @@ class SimulationEngine:
         genomes = np.atleast_2d(np.asarray(genomes, dtype=np.float64))
         self.stats.map_simulations += genomes.shape[0]
         return self._backend.burned_map_batch(genomes)
+
+    def _timed_fitness(self, genomes, expected: int, obs) -> np.ndarray:
+        """Backend fitness batch, timed into the engine-batch histogram."""
+        started = time.perf_counter()
+        values = self._fitness(genomes, expected)
+        elapsed = time.perf_counter() - started
+        obs.histogram(
+            "repro_engine_batch_seconds", backend=self.backend_name
+        ).observe(elapsed)
+        obs.counter(
+            "repro_engine_simulations_total", backend=self.backend_name
+        ).inc(expected)
+        return values
 
     def _fitness(self, genomes: np.ndarray, expected: int) -> np.ndarray:
         values = np.asarray(

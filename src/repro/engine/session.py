@@ -51,6 +51,7 @@ from repro.engine.cache import (
 )
 from repro.engine.core import SimulationEngine
 from repro.errors import ReproError
+from repro.obs import telemetry
 
 __all__ = [
     "EngineSession",
@@ -190,10 +191,37 @@ class SessionScope:
         return current.minus(self._entry)
 
     def close(self) -> None:
-        """Freeze the delta and release the session's active-scope slot."""
+        """Freeze the delta and release the session's active-scope slot.
+
+        The frozen delta is also folded into the process metric
+        registry (``repro_session_*`` counters labelled by scope), so
+        session-reuse effectiveness is observable without parsing run
+        records.
+        """
         if self._frozen is None:
             self._frozen = self._session.stats
             self._session._scope_exited(self)
+            self._export_metrics()
+
+    def _export_metrics(self) -> None:
+        delta = self.stats
+        obs = telemetry()
+        labels = {"scope": self.label, "backend": delta.backend}
+        for name, value in (
+            ("repro_session_steps_total", delta.steps),
+            ("repro_session_contexts_total", delta.contexts),
+            ("repro_session_pool_reuses_total", delta.pool_reuses),
+            ("repro_session_cross_step_hits_total", delta.cross_step_hits),
+            (
+                "repro_session_cross_system_hits_total",
+                delta.cross_system_hits,
+            ),
+            ("repro_session_cache_hits_total", delta.cache.hits),
+            ("repro_session_cache_misses_total", delta.cache.misses),
+            ("repro_session_cache_evictions_total", delta.cache.evictions),
+        ):
+            if value > 0:
+                obs.counter(name, **labels).inc(value)
 
     def __enter__(self) -> "SessionScope":
         return self

@@ -50,6 +50,7 @@ from repro.experiments.store import (
     system_label,
 )
 from repro.experiments.work import WorkSet, WorkUnit
+from repro.obs import span, telemetry
 from repro.systems.base import PredictionSystem
 from repro.systems.results import RunResult
 from repro.workloads.synthetic import ReferenceFire
@@ -340,24 +341,42 @@ class ExperimentRunner:
                 continue
             fire = case.build()
             budget = plan.budget
-            records += self._execute_group(
-                fire=fire,
-                keys=pending,
-                make_system=lambda key, b=backend: plan.build_system(
-                    key.system, b
-                ),
-                session_kwargs=dict(
-                    backend=backend,
-                    n_workers=budget.n_workers,
-                    cache_size=budget.cache_size,
-                    session_cache_size=budget.session_cache_size,
-                ),
-                plan_name=plan.name,
-                config={
-                    system: plan.config_digest(case, system)
-                    for system in plan.systems
-                },
+            obs = telemetry()
+            obs.counter("repro_units_total", plan=plan.name).inc()
+            obs.counter("repro_unit_cells_total", plan=plan.name).inc(
+                len(pending)
             )
+            with span(
+                "unit",
+                plan=plan.name,
+                group=unit.group,
+                cells=unit.n_cells,
+                pending=len(pending),
+                case=case.name,
+                backend=backend,
+            ):
+                records += self._execute_group(
+                    fire=fire,
+                    keys=pending,
+                    make_system=lambda key, b=backend: plan.build_system(
+                        key.system, b
+                    ),
+                    session_kwargs=dict(
+                        backend=backend,
+                        n_workers=budget.n_workers,
+                        cache_size=budget.cache_size,
+                        session_cache_size=budget.session_cache_size,
+                    ),
+                    plan_name=plan.name,
+                    config={
+                        system: plan.config_digest(case, system)
+                        for system in plan.systems
+                    },
+                    unit_meta={
+                        "unit_group": unit.group,
+                        "unit_cells": unit.n_cells,
+                    },
+                )
         return records
 
     # ------------------------------------------------------------------
@@ -464,13 +483,16 @@ class ExperimentRunner:
         session_kwargs: dict,
         plan_name: str,
         config: str | Mapping[str, str] | None = None,
+        unit_meta: dict | None = None,
     ) -> list[dict]:
         """Run one group's pending cells against one shared session.
 
         The ``finally`` is the lifecycle guarantee: whatever dies inside
         the loop — a system run, a store append, a progress callback —
         the group's shared session is closed before the exception
-        escapes the runner.
+        escapes the runner. ``unit_meta`` is the scheduling provenance
+        attached to each record's ``telemetry`` block (and stripped by
+        :func:`~repro.experiments.store.parity_view`).
         """
         session = (
             self.session_factory(**session_kwargs)
@@ -482,19 +504,28 @@ class ExperimentRunner:
             for key in keys:
                 system = make_system(key)
                 start = time.perf_counter()
-                run = system.run(
-                    fire,
-                    rng=key.seed,
-                    session=session,
-                    scope_label=key.system,
-                )
+                with span(
+                    "run",
+                    system=key.system,
+                    case=key.case,
+                    seed=key.seed,
+                    backend=key.backend,
+                ):
+                    run = system.run(
+                        fire,
+                        rng=key.seed,
+                        session=session,
+                        scope_label=key.system,
+                    )
                 seconds = time.perf_counter() - start
                 digest = (
                     config.get(key.system)
                     if isinstance(config, Mapping)
                     else config
                 )
-                record = self._record(key, run, seconds, plan_name, digest)
+                record = self._record(
+                    key, run, seconds, plan_name, digest, unit_meta
+                )
                 if self.store is not None:
                     self.store.append(record)
                 records.append(record)
@@ -512,9 +543,10 @@ class ExperimentRunner:
         seconds: float,
         plan_name: str,
         config: str | None,
+        unit_meta: dict | None = None,
     ) -> dict:
         quality = run.mean_quality()
-        return {
+        record = {
             "plan": plan_name,
             "system": key.system,
             "case": key.case,
@@ -531,6 +563,11 @@ class ExperimentRunner:
             "shared_session": self.share_sessions,
             "run": run.to_dict(),
         }
+        if unit_meta is not None:
+            # scheduling provenance (which unit delivered this cell) —
+            # execution-dependent by definition, stripped by parity_view
+            record["telemetry"] = dict(unit_meta)
+        return record
 
 
 def _engine_signature(system: PredictionSystem) -> tuple:

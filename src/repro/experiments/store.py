@@ -82,7 +82,12 @@ def parity_view(record: dict) -> dict:
       evaluations were answered by a shared cache instead of the
       simulator depends on *which cells shared a session*, i.e. on how
       units were split/stolen across workers — scheduling observability,
-      not results (cache hits serve bitwise-identical values).
+      not results (cache hits serve bitwise-identical values);
+    * **telemetry provenance** — the top-level ``telemetry`` block
+      (which work unit delivered the cell, its size, any future
+      scheduling attribution): pure observability from
+      :mod:`repro.obs`, different under every executor and unit
+      granularity by design.
 
     One definition, so every parity gate (tests, benchmarks, the
     distributed-smoke CI job) normalizes the same fields.
@@ -90,6 +95,7 @@ def parity_view(record: dict) -> dict:
     out = dict(record)
     out.pop("seconds", None)
     out.pop("run_seconds", None)
+    out.pop("telemetry", None)
     run = dict(out.get("run") or {})
     run.pop("session", None)
     steps = []

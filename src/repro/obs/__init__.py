@@ -1,0 +1,107 @@
+"""``repro.obs`` — the unified, dependency-free telemetry subsystem.
+
+One process-local :class:`~repro.obs.metrics.Telemetry` registry holds
+every counter/gauge/histogram; :func:`~repro.obs.spans.span` traces
+nested work into the same registry; sinks decide where span events go
+(nowhere by default). The four layers of the stack instrument
+themselves against the process registry unconditionally — the cost of
+an unobserved metric update is a dict lookup and a locked add — and
+the CLI's ``--trace``/``--metrics`` flags merely attach a
+:class:`~repro.obs.sinks.JsonlSink` and schedule a Prometheus-text
+snapshot at exit.
+
+Typical wiring (what ``repro run --trace t.jsonl --metrics m.prom``
+does)::
+
+    from repro import obs
+
+    obs.configure(trace_path="t.jsonl")
+    ...  # run things; spans stream to t.jsonl as they close
+    obs.dump_metrics("m.prom")
+    obs.shutdown()
+
+Tests call :func:`reset` to swap in a fresh registry so parallel
+instrumented code never leaks counts across cases.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    parse_prometheus_text,
+)
+from repro.obs.sinks import JsonlSink, ListSink, NullSink, TelemetrySink
+from repro.obs.spans import SPAN_SECONDS_METRIC, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "NullSink",
+    "SPAN_SECONDS_METRIC",
+    "Telemetry",
+    "TelemetrySink",
+    "configure",
+    "dump_metrics",
+    "parse_prometheus_text",
+    "reset",
+    "shutdown",
+    "span",
+    "telemetry",
+]
+
+_lock = threading.Lock()
+_registry: Telemetry | None = None
+
+
+def telemetry() -> Telemetry:
+    """The process-global registry (created on first use)."""
+    global _registry
+    with _lock:
+        if _registry is None:
+            _registry = Telemetry()
+        return _registry
+
+
+def reset() -> Telemetry:
+    """Replace the process registry with a fresh one (closing the old
+    one's sinks) and return it — test isolation, or a clean slate
+    between independent fleet runs in one process."""
+    global _registry
+    with _lock:
+        old, _registry = _registry, Telemetry()
+        fresh = _registry
+    if old is not None:
+        old.close()
+    return fresh
+
+
+def configure(trace_path=None) -> Telemetry:
+    """Attach optional sinks to the process registry.
+
+    ``trace_path`` adds a :class:`JsonlSink` streaming span events to
+    that file. Returns the registry for chaining.
+    """
+    registry = telemetry()
+    if trace_path:
+        registry.add_sink(JsonlSink(trace_path))
+    return registry
+
+
+def dump_metrics(path) -> None:
+    """Write the process registry as a Prometheus text snapshot."""
+    telemetry().dump_prometheus(path)
+
+
+def shutdown() -> None:
+    """Close every sink attached to the process registry."""
+    telemetry().close()

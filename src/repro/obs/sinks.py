@@ -1,0 +1,103 @@
+"""Telemetry event sinks: where span/event records go.
+
+A sink receives finished-event dicts (one per closed span, plus
+free-form events like the coordinator's fleet summary) and must be
+cheap and non-throwing on the hot path. Two implementations:
+
+* :class:`NullSink` — the default; swallows everything, so
+  instrumentation costs nothing when nobody is listening;
+* :class:`JsonlSink` — one JSON object per line, append-mode, flushed
+  per event so a crashed run still leaves a readable trace prefix
+  (mirroring the :class:`~repro.experiments.store.ResultsStore`
+  durability stance, minus the fsync — traces are diagnostics, not
+  results).
+
+:class:`ListSink` collects events in memory; it exists for tests and
+for the coordinator's live status aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+__all__ = ["JsonlSink", "ListSink", "NullSink", "TelemetrySink"]
+
+
+@runtime_checkable
+class TelemetrySink(Protocol):
+    """What :class:`~repro.obs.metrics.Telemetry` fans events out to."""
+
+    def emit(self, event: dict) -> None:
+        """Receive one finished event (must not raise on the hot path)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...
+
+
+class NullSink:
+    """Discards every event — the zero-overhead default."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink:
+    """Collects events in memory (tests, in-process aggregation)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON line per event to ``path``.
+
+    The file is opened lazily on the first event (so configuring a
+    trace path never creates empty files for runs that emit nothing)
+    and every line is flushed immediately — a killed worker's trace
+    ends mid-run but stays parseable line by line.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a")
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None

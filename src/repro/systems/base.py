@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.scenario import ParameterSpace
 from repro.engine import EngineSession, backend_names
 from repro.errors import ReproError
+from repro.obs import span
 from repro.parallel.timing import StageTimings
 from repro.rng import ensure_rng, spawn
 from repro.stages.calibration import search_kign
@@ -185,87 +186,97 @@ class PredictionSystem(ABC):
 
         try:
             for step in range(1, fire.n_steps + 1):
-                timings = StageTimings()
-                start = fire.start_mask(step)
-                real = fire.real_mask(step)
-                # the session decides the engine configuration; mirroring
-                # it into the problem keeps worker-side rebuilds (island
-                # and pool processes drop the session on pickling)
-                # consistent with the master-side session views when the
-                # session was borrowed with settings differing from the
-                # system's own
-                problem = PredictionStepProblem(
-                    terrain=fire.terrain,
-                    start_burned=start,
-                    real_burned=real,
-                    horizon=fire.step_horizon(step),
-                    space=self.space,
-                    backend=session.backend,
-                    cache_size=session.cache_size,
-                    session=session,
-                )
-                engine = problem.engine  # session.for_step(...) view
-                try:
-                    with timings.measure("os"):
-                        os_out = self._optimize(
-                            engine, self.space, step_rngs[step - 1], step
-                        )
+                with span("step", system=self.name, step=step):
+                    timings = StageTimings()
+                    start = fire.start_mask(step)
+                    real = fire.real_mask(step)
+                    # the session decides the engine configuration;
+                    # mirroring it into the problem keeps worker-side
+                    # rebuilds (island and pool processes drop the
+                    # session on pickling) consistent with the
+                    # master-side session views when the session was
+                    # borrowed with settings differing from the
+                    # system's own
+                    problem = PredictionStepProblem(
+                        terrain=fire.terrain,
+                        start_burned=start,
+                        real_burned=real,
+                        horizon=fire.step_horizon(step),
+                        space=self.space,
+                        backend=session.backend,
+                        cache_size=session.cache_size,
+                        session=session,
+                    )
+                    engine = problem.engine  # session.for_step(...) view
+                    try:
+                        with timings.measure("os"):
+                            os_out = self._optimize(
+                                engine, self.space, step_rngs[step - 1], step
+                            )
 
-                    # SS: one probability matrix per island (Master-side),
-                    # simulated through the same engine so the step's
-                    # accounting covers the solution-set maps too.
-                    with timings.measure("ss"):
-                        matrices = []
-                        for genomes in os_out.solution_sets:
-                            if genomes.size == 0:
-                                raise ReproError(
-                                    f"{self.name}: empty solution set at "
-                                    f"step {step}"
+                        # SS: one probability matrix per island
+                        # (Master-side), simulated through the same
+                        # engine so the step's accounting covers the
+                        # solution-set maps too.
+                        with timings.measure("ss"):
+                            matrices = []
+                            for genomes in os_out.solution_sets:
+                                if genomes.size == 0:
+                                    raise ReproError(
+                                        f"{self.name}: empty solution set "
+                                        f"at step {step}"
+                                    )
+                                matrices.append(
+                                    aggregate_scenarios(engine, genomes)
                                 )
-                            matrices.append(aggregate_scenarios(engine, genomes))
-                finally:
-                    # Snapshot *before* close: closing freezes the engine
-                    # stats, and the shared session cache keeps mutating
-                    # in later steps.
-                    engine_stats = engine.stats.to_dict()
-                    engine.close()
+                    finally:
+                        # Snapshot *before* close: closing freezes the
+                        # engine stats, and the shared session cache
+                        # keeps mutating in later steps.
+                        engine_stats = engine.stats.to_dict()
+                        engine.close()
 
-                # CS per island; the Monitor keeps the best candidate.
-                with timings.measure("cs"):
-                    calibrations = [
-                        search_kign(m, real, pre_burned=start) for m in matrices
-                    ]
-                    chosen = int(
-                        np.argmax([c.fitness for c in calibrations])
-                    )
-                    calibration = calibrations[chosen]
-                    matrix = matrices[chosen]
-
-                # PS with the previous step's Kign on the chosen matrix.
-                quality = float("nan")
-                if kign_prev is not None:
-                    with timings.measure("ps"):
-                        prediction = predict(
-                            matrix, kign_prev, real_burned=real, pre_burned=start
+                    # CS per island; the Monitor keeps the best candidate.
+                    with timings.measure("cs"):
+                        calibrations = [
+                            search_kign(m, real, pre_burned=start)
+                            for m in matrices
+                        ]
+                        chosen = int(
+                            np.argmax([c.fitness for c in calibrations])
                         )
-                        quality = prediction.quality
+                        calibration = calibrations[chosen]
+                        matrix = matrices[chosen]
 
-                kign_prev = calibration.kign
-                result.steps.append(
-                    StepResult(
-                        step=step,
-                        kign=calibration.kign,
-                        calibration_fitness=calibration.fitness,
-                        prediction_quality=quality,
-                        best_scenario_fitness=os_out.best_fitness,
-                        n_solutions=int(
-                            sum(g.shape[0] for g in os_out.solution_sets)
-                        ),
-                        evaluations=os_out.evaluations,
-                        timings=timings,
-                        engine=engine_stats,
+                    # PS with the previous step's Kign on the chosen
+                    # matrix.
+                    quality = float("nan")
+                    if kign_prev is not None:
+                        with timings.measure("ps"):
+                            prediction = predict(
+                                matrix,
+                                kign_prev,
+                                real_burned=real,
+                                pre_burned=start,
+                            )
+                            quality = prediction.quality
+
+                    kign_prev = calibration.kign
+                    result.steps.append(
+                        StepResult(
+                            step=step,
+                            kign=calibration.kign,
+                            calibration_fitness=calibration.fitness,
+                            prediction_quality=quality,
+                            best_scenario_fitness=os_out.best_fitness,
+                            n_solutions=int(
+                                sum(g.shape[0] for g in os_out.solution_sets)
+                            ),
+                            evaluations=os_out.evaluations,
+                            timings=timings,
+                            engine=engine_stats,
+                        )
                     )
-                )
         finally:
             scope.close()
             if owns_session:

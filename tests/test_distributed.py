@@ -977,3 +977,186 @@ class TestWorkerStoreHygiene:
             )
         assert worker_errors, "the worker must have refused its store"
         assert "different configuration" in str(worker_errors[0])
+
+
+# ----------------------------------------------------------------------
+# Fleet telemetry: per-worker utilization and the status snapshot
+# ----------------------------------------------------------------------
+class TestFleetTelemetry:
+    def _ledger(self, clock: list, covered: set | None = None):
+        covered = set() if covered is None else covered
+        return UnitLedger(
+            WorkSet.compile(_plan(), set()),
+            lease_timeout=5.0,
+            completed_cells=lambda: set(covered),
+            clock=lambda: clock[0],
+            min_unit_cells=0,
+        )
+
+    def test_worker_stats_utilization_math(self):
+        """busy/idle split over the membership span, fed by the
+        telemetry payloads workers attach to heartbeats/completes."""
+        clock = [0.0]
+        ledger = self._ledger(clock)
+        grant = ledger.lease("w")  # first seen at t=0
+        clock[0] = 2.0
+        ledger.heartbeat("w", grant["lease"], {"busy_seconds": 1.5})
+        clock[0] = 4.0
+        ledger.complete(
+            "w", grant["lease"], {"busy_seconds": 3.5, "records": 2}
+        )
+        st = ledger.worker_stats()["w"]
+        assert st["leases"] == 1 and st["units"] == 1
+        assert st["cells"] == 2 and st["records"] == 2
+        assert st["busy_seconds"] == pytest.approx(3.5)
+        assert st["span_seconds"] == pytest.approx(4.0)
+        assert st["idle_seconds"] == pytest.approx(0.5)
+        assert st["utilization"] == pytest.approx(3.5 / 4.0)
+        assert st["lease_seconds"] == pytest.approx(4.0)
+        assert st["live"] is True
+        clock[0] = 30.0  # long silent: presumed dead
+        assert ledger.worker_stats()["w"]["live"] is False
+
+    def test_cumulative_busy_folds_with_max(self):
+        """Late or duplicate reports carry *cumulative* busy time, so
+        folding is a max — utilization can never be inflated by a
+        heartbeat racing the complete report."""
+        clock = [0.0]
+        ledger = self._ledger(clock)
+        grant = ledger.lease("w")
+        clock[0] = 4.0
+        ledger.heartbeat("w", grant["lease"], {"busy_seconds": 3.0})
+        # a delayed, lower cumulative report arrives after
+        ledger.heartbeat("w", grant["lease"], {"busy_seconds": 1.0})
+        assert ledger.worker_stats()["w"]["busy_seconds"] == pytest.approx(
+            3.0
+        )
+        # garbage telemetry is ignored, not fatal
+        ledger.heartbeat("w", grant["lease"], {"busy_seconds": "soon"})
+        ledger.heartbeat("w", grant["lease"], "not a dict")
+        assert ledger.worker_stats()["w"]["busy_seconds"] == pytest.approx(
+            3.0
+        )
+
+    def test_busy_clamped_to_membership_span(self):
+        """A worker whose clock disagrees wildly cannot report more
+        busy time than it was even a member for."""
+        clock = [0.0]
+        ledger = self._ledger(clock)
+        grant = ledger.lease("w")
+        clock[0] = 2.0
+        ledger.heartbeat("w", grant["lease"], {"busy_seconds": 100.0})
+        st = ledger.worker_stats()["w"]
+        assert st["busy_seconds"] == pytest.approx(100.0)  # as reported
+        assert st["idle_seconds"] == 0.0  # but never negative idle
+        assert st["utilization"] == pytest.approx(1.0)  # clamped to span
+
+    def _server(self, tmp_path, covered: set | None = None):
+        from repro.distributed.coordinator import _CoordinatorServer
+
+        plan = _plan()
+        workset = WorkSet.compile(plan, set())
+        ledger = UnitLedger(
+            workset,
+            lease_timeout=5.0,
+            completed_cells=lambda: set(covered or set()),
+        )
+        store = ResultsStore(tmp_path / "coord.jsonl")
+        return (
+            _CoordinatorServer(
+                ("127.0.0.1", 0),
+                ledger=ledger,
+                workset=workset,
+                store=store,
+                store_lock=threading.Lock(),
+                share_sessions=True,
+                poll_interval=0.05,
+            ),
+            plan,
+            store,
+        )
+
+    def test_status_dispatch_is_read_only(self, tmp_path):
+        """The status snapshot reports progress without registering the
+        asker as a worker — probing a fleet must never extend its
+        shutdown linger."""
+        server, plan, store = self._server(tmp_path)
+        try:
+            ledger = server.ledger
+            grant = ledger.lease("w1")
+            ledger.complete("w1", grant["lease"], {"records": 2})
+            reply = server.dispatch({"type": "status", "worker": "probe"})
+            assert reply["type"] == "status"
+            assert reply["plan"] == plan.name
+            assert reply["expected_cells"] == plan.n_runs
+            assert reply["recorded_cells"] == 0  # store still empty
+            assert reply["finished"] is False
+            assert reply["progress"]["workers"] == 1  # w1, not the probe
+            assert set(reply["workers"]) == {"w1"}
+            assert reply["workers"]["w1"]["units"] == 1
+        finally:
+            server.server_close()
+
+    def test_status_counts_only_this_plans_recorded_cells(self, tmp_path):
+        server, plan, store = self._server(tmp_path)
+        try:
+            record = {
+                "system": "ess",
+                "case": "grassland",
+                "seed": 0,
+                "backend": "vectorized",
+                "run": {"steps": []},
+            }
+            store.append(record)
+            store.append({**record, "case": "other-plan-case"})
+            reply = server.dispatch({"type": "status"})
+            assert reply["recorded_cells"] == 1
+            assert reply["expected_cells"] == plan.n_runs
+        finally:
+            server.server_close()
+
+    def test_status_cli_against_a_live_coordinator(self, tmp_path, capsys):
+        """`repro experiments status` end to end over the real socket."""
+        from repro.cli import main
+
+        server, plan, _ = self._server(tmp_path)
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            server.ledger.lease("w1")
+            host, port = server.server_address[:2]
+            assert (
+                main(
+                    ["experiments", "status", "--connect", f"{host}:{port}"]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert plan.name in out
+            assert f"0/{plan.n_runs} cells recorded" in out
+            assert "w1" in out
+            # the probe itself never became a worker
+            assert server.ledger.progress()["workers"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_status_cli_fails_cleanly_without_a_coordinator(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "experiments",
+                    "status",
+                    "--connect",
+                    "127.0.0.1:1",
+                    "--request-timeout",
+                    "0.5",
+                ]
+            )

@@ -1,0 +1,430 @@
+"""Tests for ``repro.obs`` — the unified telemetry subsystem.
+
+Covers the metric registry (get-or-create identity, label separation,
+kind-conflict rejection, histogram bucketing), nestable spans (parent
+lineage, error status, late attributes, per-thread stacks), the sinks
+(JSONL laziness and flush-per-line), the Prometheus text round-trip
+(``parse_prometheus_text(prometheus_text()) == snapshot()``), and the
+subsystem's one hard promise: **instrumentation never changes
+results** — a traced-and-metered run produces a store bitwise-identical
+(in the shared ``parity_view``) to an unobserved one, under every
+executor.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro import obs
+from repro.distributed import FleetExecutor, InlineExecutor, ProcessShardExecutor, run_worker
+from repro.errors import ReproError
+from repro.experiments import (
+    BudgetSpec,
+    CaseSpec,
+    ExperimentPlan,
+    ExperimentRunner,
+    ResultsStore,
+    record_key,
+)
+from repro.experiments.store import HAS_APPEND_LOCK, parity_view
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    JsonlSink,
+    ListSink,
+    SPAN_SECONDS_METRIC,
+    Telemetry,
+    parse_prometheus_text,
+    span,
+)
+
+needs_fork = pytest.mark.skipif(
+    not HAS_APPEND_LOCK
+    or "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs POSIX store locking and fork-start processes",
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Every test gets a pristine process registry (and leaves one)."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Metric registry
+# ----------------------------------------------------------------------
+class TestMetricRegistry:
+    def test_counter_get_or_create_identity(self):
+        t = Telemetry()
+        c = t.counter("requests_total", route="a")
+        assert t.counter("requests_total", route="a") is c
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_labels_separate_instruments(self):
+        t = Telemetry()
+        t.counter("hits_total", backend="ref").inc()
+        t.counter("hits_total", backend="vec").inc(4)
+        assert t.counter("hits_total", backend="ref").value == 1
+        assert t.counter("hits_total", backend="vec").value == 4
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ReproError):
+            Telemetry().counter("c_total").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Telemetry().gauge("inflight")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Telemetry().histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_kind_conflict_raises(self):
+        t = Telemetry()
+        t.counter("thing")
+        with pytest.raises(ReproError, match="already registered"):
+            t.gauge("thing")
+
+    def test_invalid_names_and_labels_raise(self):
+        t = Telemetry()
+        with pytest.raises(ReproError):
+            t.counter("bad name")
+        with pytest.raises(ReproError):
+            t.counter("ok_total", **{"bad-label": "x"})
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        t = Telemetry()
+        t.counter("b_total").inc()
+        t.gauge("a_gauge", zone="z").set(2)
+        snap = t.snapshot()
+        assert [e["name"] for e in snap] == ["a_gauge", "b_total"]
+        json.dumps(snap)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self):
+        t = Telemetry()
+        sink = ListSink()
+        t.add_sink(sink)
+        with span("run", t, system="ess") as outer:
+            with span("step", t, step=1):
+                pass
+            with span("step", t, step=2):
+                pass
+        events = sink.events
+        # children close (and emit) before the parent
+        assert [e["span"] for e in events] == ["step", "step", "run"]
+        steps, run = events[:2], events[2]
+        assert run["parent"] is None and run["depth"] == 0
+        assert all(e["parent"] == run["id"] for e in steps)
+        assert all(e["depth"] == 1 for e in steps)
+        assert run is outer
+        assert run["attrs"] == {"system": "ess"}
+        assert all(e["seconds"] >= 0 for e in events)
+
+    def test_block_can_attach_late_attrs(self):
+        t = Telemetry()
+        sink = ListSink()
+        t.add_sink(sink)
+        with span("unit", t, group=3) as ev:
+            ev["attrs"]["records"] = 7
+        assert sink.events[0]["attrs"] == {"group": 3, "records": 7}
+
+    def test_error_status_recorded_and_exception_propagates(self):
+        t = Telemetry()
+        sink = ListSink()
+        t.add_sink(sink)
+        with pytest.raises(ValueError):
+            with span("run", t):
+                raise ValueError("boom")
+        assert sink.events[0]["status"] == "error"
+        # the failed span still lands in the latency histogram
+        h = t.histogram(SPAN_SECONDS_METRIC, span="run")
+        assert h.count == 1
+
+    def test_span_durations_feed_the_histogram(self):
+        t = Telemetry()
+        with span("generation", t):
+            pass
+        with span("generation", t):
+            pass
+        assert t.histogram(SPAN_SECONDS_METRIC, span="generation").count == 2
+
+    def test_threads_have_independent_lineages(self):
+        t = Telemetry()
+        sink = ListSink()
+        t.add_sink(sink)
+        seen = {}
+
+        def other_thread():
+            with span("worker", t) as ev:
+                seen.update(ev)
+
+        with span("main", t):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        # the other thread's span must NOT inherit the main thread's
+        # open span as its parent
+        assert seen["parent"] is None and seen["depth"] == 0
+
+    def test_default_registry_is_the_process_one(self):
+        sink = ListSink()
+        obs.telemetry().add_sink(sink)
+        with span("solo"):
+            pass
+        assert [e["span"] for e in sink.events] == ["solo"]
+
+
+# ----------------------------------------------------------------------
+# Sinks and module-level wiring
+# ----------------------------------------------------------------------
+class TestSinks:
+    def test_jsonl_sink_is_lazy_and_line_parseable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # no empty files for silent runs
+        sink.emit({"event": "span", "span": "a"})
+        sink.emit({"event": "span", "span": "b"})
+        assert [json.loads(line)["span"] for line in path.open()] == [
+            "a",
+            "b",
+        ]
+        sink.close()
+        sink.emit({"event": "span", "span": "late"})  # dropped, no raise
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_reset_isolates_registries_and_closes_sinks(self, tmp_path):
+        first = obs.configure(trace_path=tmp_path / "t.jsonl")
+        first.counter("x_total").inc()
+        fresh = obs.reset()
+        assert fresh is obs.telemetry() and fresh is not first
+        assert fresh.snapshot() == []
+        assert fresh.sinks == []
+
+    def test_dump_metrics_writes_the_process_snapshot(self, tmp_path):
+        obs.telemetry().counter("things_total", kind="a").inc(3)
+        path = tmp_path / "m.prom"
+        obs.dump_metrics(path)
+        parsed = parse_prometheus_text(path.read_text())
+        assert parsed == obs.telemetry().snapshot()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text round-trip
+# ----------------------------------------------------------------------
+class TestPrometheusRoundTrip:
+    def _populated(self) -> Telemetry:
+        t = Telemetry()
+        t.counter("repro_cells_total", plan="p1").inc(12)
+        t.counter("repro_cells_total", plan="p2").inc(3)
+        t.gauge("repro_busy_seconds", worker='w "quoted"\\x').set(1.25)
+        t.histogram("repro_unit_seconds").observe(0.02)
+        t.histogram("repro_unit_seconds").observe(7.5)
+        t.histogram(
+            "repro_span_seconds", span="unit", buckets=(0.5, 2.0)
+        ).observe(1.0)
+        return t
+
+    def test_round_trip_equals_snapshot(self):
+        t = self._populated()
+        assert parse_prometheus_text(t.prometheus_text()) == t.snapshot()
+
+    def test_default_buckets_survive_the_trip(self):
+        t = Telemetry()
+        t.histogram("h_seconds").observe(0.3)
+        (entry,) = parse_prometheus_text(t.prometheus_text())
+        assert len(entry["buckets"]) == len(DEFAULT_BUCKETS) + 1
+        assert entry["buckets"]["+Inf"] == 1
+
+    def test_empty_registry_renders_and_parses_empty(self):
+        t = Telemetry()
+        assert t.prometheus_text() == ""
+        assert parse_prometheus_text("") == []
+
+    def test_unparseable_lines_raise(self):
+        with pytest.raises(ReproError):
+            parse_prometheus_text("what even is this line }{")
+
+
+# ----------------------------------------------------------------------
+# Instrumentation parity — observing a run never changes its results
+# ----------------------------------------------------------------------
+def _tiny_plan() -> ExperimentPlan:
+    """One (case, backend) group, two systems, two seeds: 4 cells."""
+    return ExperimentPlan(
+        name="obs-parity",
+        systems=("ess", "ess-ns"),
+        cases=(CaseSpec("grassland", size=20, steps=2),),
+        seeds=(0, 1),
+        backends=("vectorized",),
+        budget=BudgetSpec(
+            population=8, generations=2, session_cache_size=2048
+        ),
+    )
+
+
+def _sorted_normalized(store: ResultsStore) -> list[dict]:
+    return [
+        parity_view(r) for r in sorted(store.records(), key=record_key)
+    ]
+
+
+def _trace_events(path) -> list[dict]:
+    return [json.loads(line) for line in open(path)]
+
+
+class TestInstrumentationParity:
+    def test_traced_inline_run_matches_untraced(self, tmp_path):
+        plan = _tiny_plan()
+        plain = ResultsStore(tmp_path / "plain.jsonl")
+        ExperimentRunner(store=plain).run(plan, executor=InlineExecutor())
+
+        obs.reset()
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        obs.configure(trace_path=trace)
+        traced = ResultsStore(tmp_path / "traced.jsonl")
+        ExperimentRunner(store=traced).run(plan, executor=InlineExecutor())
+        obs.dump_metrics(metrics)
+        obs.shutdown()
+
+        # the one hard promise: not a byte of difference in the shared
+        # parity view
+        assert _sorted_normalized(traced) == _sorted_normalized(plain)
+        # unit provenance rides on the records and parity_view strips it
+        records = traced.records()
+        assert all("telemetry" in r for r in records)
+        assert all("telemetry" not in parity_view(r) for r in records)
+        assert all(
+            r["telemetry"]["unit_cells"] >= 1 for r in records
+        )
+
+        events = _trace_events(trace)
+        unit_spans = [e for e in events if e.get("span") == "unit"]
+        run_spans = [e for e in events if e.get("span") == "run"]
+        # inline execution: the single group arrives as one work unit
+        assert len(unit_spans) == 1
+        assert unit_spans[0]["attrs"]["cells"] == plan.n_runs
+        # one run span per cell, parented by its unit span
+        assert len(run_spans) == plan.n_runs
+        assert {e["parent"] for e in run_spans} == {unit_spans[0]["id"]}
+        # step and generation spans nest below runs
+        assert any(e.get("span") == "step" for e in events)
+        assert any(e.get("span") == "generation" for e in events)
+
+        parsed = parse_prometheus_text(metrics.read_text())
+        names = {e["name"] for e in parsed}
+        assert "repro_engine_cache_hits_total" in names
+        assert "repro_engine_cache_misses_total" in names
+        assert "repro_engine_batch_seconds" in names
+        assert "repro_units_total" in names
+        by_key = {
+            (e["name"], tuple(sorted(e["labels"].items()))): e
+            for e in parsed
+        }
+        assert (
+            by_key[("repro_units_total", (("plan", plan.name),))]["value"]
+            == 1
+        )
+
+    @needs_fork
+    def test_traced_process_shards_match_untraced_inline(self, tmp_path):
+        plan = _tiny_plan()
+        plain = ResultsStore(tmp_path / "plain.jsonl")
+        ExperimentRunner(store=plain).run(plan, executor=InlineExecutor())
+
+        obs.reset()
+        obs.configure(trace_path=tmp_path / "trace.jsonl")
+        sharded = ResultsStore(tmp_path / "sharded.jsonl")
+        ExperimentRunner(store=sharded).run(
+            plan, executor=ProcessShardExecutor(2)
+        )
+        obs.shutdown()
+        assert _sorted_normalized(sharded) == _sorted_normalized(plain)
+
+    def test_traced_fleet_matches_untraced_inline(self, tmp_path):
+        plan = _tiny_plan()
+        plain = ResultsStore(tmp_path / "plain.jsonl")
+        ExperimentRunner(store=plain).run(plan, executor=InlineExecutor())
+
+        obs.reset()
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        obs.configure(trace_path=trace)
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        threads: list[threading.Thread] = []
+        summaries: list[dict] = []
+
+        def worker(address, index):
+            summaries.append(
+                run_worker(
+                    address,
+                    store_path=str(tmp_path / f"w{index}.jsonl"),
+                    worker_id=f"obs-w{index}",
+                )
+            )
+
+        def on_bound(address):
+            for index in range(2):
+                thread = threading.Thread(
+                    target=worker, args=(address, index)
+                )
+                thread.start()
+                threads.append(thread)
+
+        executor = FleetExecutor(
+            lease_timeout=15.0,
+            poll_interval=0.05,
+            timeout=120.0,
+            on_bound=on_bound,
+        )
+        try:
+            ExperimentRunner(store=store).run(plan, executor=executor)
+        finally:
+            for thread in threads:
+                thread.join(timeout=60)
+        obs.dump_metrics(metrics)
+        obs.shutdown()
+
+        assert _sorted_normalized(store) == _sorted_normalized(plain)
+
+        # one unit span per unit a worker executed (in-thread workers
+        # share the process trace sink)
+        events = _trace_events(trace)
+        unit_spans = [e for e in events if e.get("span") == "unit"]
+        assert len(unit_spans) == sum(s["units"] for s in summaries)
+
+        # the coordinator's per-worker utilization view is populated
+        # and lands in the metrics snapshot as busy/idle gauges
+        assert set(executor.worker_stats) == {"obs-w0", "obs-w1"}
+        for st in executor.worker_stats.values():
+            assert st["busy_seconds"] >= 0.0
+            assert st["idle_seconds"] >= 0.0
+        names = {
+            e["name"] for e in parse_prometheus_text(metrics.read_text())
+        }
+        assert "repro_fleet_worker_busy_seconds" in names
+        assert "repro_fleet_worker_idle_seconds" in names
+        assert "repro_worker_busy_seconds" in names
+        assert "repro_fleet_unit_seconds" in names
+        # the fleet summary event reaches the trace sinks too
+        assert any(e.get("event") == "fleet_summary" for e in events)
