@@ -9,13 +9,15 @@ groups and the per-group cost; the fleet additionally pays the TCP
 lease/drain round-trips, which this bench shows to be negligible
 against real simulation work.
 
-``few_big_groups_rows`` measures the redesign this bench exists to
+``few_big_groups_rows`` measures the redesigns this bench exists to
 justify: on a one-case/many-seeds plan (a single ``(case, backend)``
-group) it runs the same fleet twice — whole-group leases
-(``min_unit_cells=0``, the pre-WorkUnit behaviour) versus cell-level
-leases with work stealing — and reports each worker's busy time
-against the run's wall-clock, i.e. how much fleet capacity sat idle
-before and after the unit-of-work redesign.
+group) it runs the same fleet three times — whole-group leases
+(``min_unit_cells=0``, the pre-WorkUnit behaviour), cell-level halving
+leases with work stealing, and cost-aware scheduling (predictive
+packing, capacity-sized leases, piggybacked granting) — and reports
+each worker's busy time against the run's wall-clock (how much fleet
+capacity sat idle) plus the coordinator's per-worker round-trip count
+(how much of the run was spent talking instead of working).
 
 ``smoke_executors`` / ``smoke_few_big_groups`` run the same
 comparisons at tiny sizes with no timing assertions — the
@@ -184,6 +186,7 @@ def _run_fleet_collecting(
     workers: int,
     min_unit_cells: int,
     label: str,
+    scheduling: str = "halving",
 ) -> tuple[float, list[dict], FleetExecutor]:
     """One fleet run; returns (wall seconds, worker summaries, executor)."""
     ctx = multiprocessing.get_context("fork")
@@ -209,6 +212,7 @@ def _run_fleet_collecting(
         poll_interval=0.05,
         timeout=3600.0,
         min_unit_cells=min_unit_cells,
+        scheduling=scheduling,
         on_bound=on_bound,
     )
     start = time.perf_counter()
@@ -232,15 +236,18 @@ def few_big_groups_rows(
     n_seeds: int = 6,
     workers: int = 3,
 ) -> list[dict]:
-    """Idle-worker time on a one-group plan, group vs unit leases.
+    """Idle-worker time on a one-group plan, across scheduling modes.
 
     The plan has a single ``(case, backend)`` group (one case, many
     seeds), so whole-group leasing pins all work on one worker while
-    the rest of the fleet idles; cell-level leasing spreads it by
-    splitting the unit for every asker. Rows report per-mode wall
-    clock, summed worker busy time and the implied idle time
-    (``workers * wall - busy``); both stores must agree bitwise in the
-    parity view.
+    the rest of the fleet idles; cell-level halving leasing spreads it
+    by splitting the unit for every asker; cost-aware scheduling packs
+    it predictively, sizes leases to measured worker throughput and
+    piggybacks granting on the complete reports (fewer round-trips for
+    the same work). Rows report per-mode wall clock, summed worker
+    busy time, the implied idle time (``workers * wall - busy``) and
+    the coordinator's round-trip accounting; all stores must agree
+    bitwise in the parity view.
     """
     plan = ExperimentPlan(
         name="bench-few-big-groups",
@@ -258,21 +265,30 @@ def few_big_groups_rows(
     fingerprints: list = []
     with tempfile.TemporaryDirectory(prefix="bench-few-big-") as tmp:
         workdir = Path(tmp)
-        for label, min_unit_cells in (
-            ("group leases", 0),
-            ("unit leases", 1),
+        for label, min_unit_cells, scheduling in (
+            ("group leases", 0, "halving"),
+            ("unit leases", 1, "halving"),
+            ("cost-aware units", 1, "cost"),
         ):
             store = ResultsStore(
                 workdir / f"{label.split()[0]}.jsonl"
             )
             wall, summaries, executor = _run_fleet_collecting(
-                plan, store, workdir, workers, min_unit_cells, label.split()[0]
+                plan,
+                store,
+                workdir,
+                workers,
+                min_unit_cells,
+                label.split()[0],
+                scheduling,
             )
             busy = sum(s["busy_seconds"] for s in summaries)
+            stats = executor.worker_stats.values()
             fingerprints.append(_fingerprint(store))
             rows.append(
                 {
                     "mode": label,
+                    "scheduling": scheduling,
                     "workers": workers,
                     "seconds": wall,
                     "busy_seconds": busy,
@@ -281,26 +297,36 @@ def few_big_groups_rows(
                         s["units"] for s in summaries
                     ),
                     "steals": executor.steals,
+                    # wire-exchange accounting: total worker requests
+                    # and how many of them were pure lease asks — the
+                    # overhead piggybacked granting exists to cut
+                    "round_trips": sum(s["round_trips"] for s in stats),
+                    "lease_requests": sum(
+                        s["lease_requests"] for s in stats
+                    ),
+                    "piggybacked": sum(s["piggybacked"] for s in stats),
                     "records": len(store.records()),
                 }
             )
-        assert fingerprints[1] == fingerprints[0], (
-            "unit leases diverged from group leases"
-        )
+        for row, fingerprint in zip(rows[1:], fingerprints[1:]):
+            assert fingerprint == fingerprints[0], (
+                f"{row['mode']} diverged from group leases"
+            )
     return rows
 
 
 def few_big_groups_table(rows: list[dict]) -> str:
     header = (
-        f"{'mode':<16}{'records':>8}{'seconds':>10}{'busy':>8}"
-        f"{'idle':>8}{'steals':>8}  units/worker"
+        f"{'mode':<18}{'records':>8}{'seconds':>10}{'busy':>8}"
+        f"{'idle':>8}{'steals':>8}{'trips':>7}  units/worker"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
-            f"{row['mode']:<16}{row['records']:>8}{row['seconds']:>10.2f}"
+            f"{row['mode']:<18}{row['records']:>8}{row['seconds']:>10.2f}"
             f"{row['busy_seconds']:>8.2f}{row['idle_seconds']:>8.2f}"
-            f"{row['steals']:>8}  {row['units_per_worker']}"
+            f"{row['steals']:>8}{row['round_trips']:>7}  "
+            f"{row['units_per_worker']}"
         )
     return "\n".join(lines)
 
@@ -323,7 +349,13 @@ def smoke_executors() -> list[dict]:
 
 
 def smoke_few_big_groups() -> list[dict]:
-    """Group vs unit leases agree bitwise on a tiny one-group plan."""
+    """All scheduling modes agree bitwise on a tiny one-group plan.
+
+    Also asserts the round-trip claim that is timing-free and thus
+    CI-safe: cost scheduling's piggybacked granting must finish the
+    same plan in strictly fewer worker round-trips than halving unit
+    leases, with at least one lease actually piggybacked.
+    """
     from _report import bench_json
 
     workload = dict(
@@ -332,6 +364,13 @@ def smoke_few_big_groups() -> list[dict]:
     rows = few_big_groups_rows(
         size=20, steps=2, population=8, generations=2, n_seeds=4, workers=2
     )
+    halving = next(r for r in rows if r["mode"] == "unit leases")
+    cost = next(r for r in rows if r["mode"] == "cost-aware units")
+    assert cost["round_trips"] < halving["round_trips"], (
+        f"piggybacked granting should cut round-trips: "
+        f"cost {cost['round_trips']} vs halving {halving['round_trips']}"
+    )
+    assert cost["piggybacked"] > 0, "no lease was piggybacked"
     bench_json(
         "executors",
         "few_big_groups_smoke",
@@ -386,10 +425,50 @@ def test_few_big_groups_report(benchmark):
         return rows
 
     rows = run_once(benchmark, _body)
-    assert [r["records"] for r in rows] == [12, 12]
+    assert [r["records"] for r in rows] == [12, 12, 12]
+    halving = next(r for r in rows if r["mode"] == "unit leases")
+    cost = next(r for r in rows if r["mode"] == "cost-aware units")
+    assert cost["round_trips"] < halving["round_trips"], (
+        f"piggybacked granting should cut round-trips: "
+        f"cost {cost['round_trips']} vs halving {halving['round_trips']}"
+    )
+    assert cost["idle_seconds"] <= halving["idle_seconds"] * 1.1, (
+        f"cost scheduling should not idle the fleet more: "
+        f"cost {cost['idle_seconds']:.2f}s vs halving "
+        f"{halving['idle_seconds']:.2f}s"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation
-    print(executor_table(executor_rows()))
-    print()
-    print(few_big_groups_table(few_big_groups_rows()))
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--few-big-groups",
+        action="store_true",
+        help="run only the few-big-groups scheduling comparison and "
+        "record it under benchmarks/reports/ (the full-size rows the "
+        "committed BENCH report keeps)",
+    )
+    cli = ap.parse_args()
+    if cli.few_big_groups:
+        from _report import bench_json, report
+
+        fbg_rows = few_big_groups_rows()
+        report("bench_few_big_groups", few_big_groups_table(fbg_rows))
+        bench_json(
+            "executors",
+            "few_big_groups",
+            {
+                "workload": dict(
+                    size=28, steps=2, population=16, generations=3,
+                    n_seeds=6, workers=3,
+                ),
+                "rows": fbg_rows,
+            },
+        )
+        print(few_big_groups_table(fbg_rows))
+    else:
+        print(executor_table(executor_rows()))
+        print()
+        print(few_big_groups_table(few_big_groups_rows()))

@@ -215,6 +215,24 @@ def _add_fleet(parser: argparse.ArgumentParser) -> None:
         "cells; 0 disables splitting (whole-group leases)",
     )
     parser.add_argument(
+        "--scheduling",
+        choices=("cost", "halving"),
+        default="cost",
+        help="lease scheduling policy: 'cost' (default) packs units by "
+        "predicted cost, sizes leases to each worker's measured "
+        "throughput and piggybacks the next lease on every complete "
+        "report; 'halving' restores the original largest-whole/"
+        "split-last policy",
+    )
+    parser.add_argument(
+        "--target-unit-seconds",
+        type=float,
+        default=1.0,
+        help="cost scheduling's per-lease wall-clock target: leases "
+        "grow until a unit is predicted to take about this long, with "
+        "--min-unit-cells as the floor",
+    )
+    parser.add_argument(
         "--auth-token",
         default=os.environ.get("REPRO_FLEET_TOKEN"),
         help="shared secret for the coordinator's HMAC challenge-"
@@ -435,7 +453,9 @@ def _make_executor(args: argparse.Namespace):
     for the inline default, which honours ``--shards`` sugar)."""
     if args.executor == "process":
         return ProcessShardExecutor(
-            args.shards, min_unit_cells=args.min_unit_cells
+            args.shards,
+            min_unit_cells=args.min_unit_cells,
+            scheduling=args.scheduling,
         )
     if args.executor == "fleet":
         return FleetExecutor(
@@ -443,6 +463,8 @@ def _make_executor(args: argparse.Namespace):
             port=args.port,
             lease_timeout=args.lease_timeout,
             min_unit_cells=args.min_unit_cells,
+            scheduling=args.scheduling,
+            target_unit_seconds=args.target_unit_seconds,
             auth_token=args.auth_token,
             on_bound=_announce_coordinator,
         )
@@ -478,6 +500,8 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         timeout=args.timeout,
         min_unit_cells=args.min_unit_cells,
+        scheduling=args.scheduling,
+        target_unit_seconds=args.target_unit_seconds,
         auth_token=args.auth_token,
         on_bound=_announce_coordinator,
     )
@@ -511,12 +535,18 @@ def _format_worker_stats(workers: dict[str, dict]) -> str:
         util = st.get("utilization")
         util_text = "util n/a" if util is None else f"util {util:6.1%}"
         live = " [live]" if st.get("live") else ""
+        throughput = st.get("throughput")
+        rate_text = (
+            "" if throughput is None else f", {throughput:.1f} cells/s"
+        )
+        trips = st.get("round_trips")
+        trips_text = "" if trips is None else f", {trips} round-trips"
         lines.append(
             f"  {worker}: {util_text} "
             f"(busy {st['busy_seconds']:.1f}s / "
             f"idle {st['idle_seconds']:.1f}s), "
             f"{st['units']} units, {st['cells']} cells, "
-            f"{st['leases']} leases{live}"
+            f"{st['leases']} leases{rate_text}{trips_text}{live}"
         )
     return "\n".join(lines)
 
@@ -561,6 +591,19 @@ def _cmd_experiments_status(args: argparse.Namespace) -> int:
         print(_format_worker_stats(workers))
     else:
         print("workers: none seen yet")
+    costs = reply.get("costs")
+    if isinstance(costs, dict):
+        rates = costs.get("rates") or {}
+        samples = costs.get("samples") or {}
+        if rates:
+            print("cost model (measured per-cell rates):")
+            for kernel in sorted(rates):
+                print(
+                    f"  {kernel}: {rates[kernel] * 1000.0:.2f} ms/cell "
+                    f"(n={samples.get(kernel, 0)})"
+                )
+        else:
+            print("cost model: no measured rates yet (priors only)")
     return 0
 
 
@@ -572,6 +615,7 @@ def _cmd_experiments_worker(args: argparse.Namespace) -> int:
             poll_interval=args.poll_interval,
             worker_id=args.id,
             auth_token=args.auth_token,
+            throttle=args.throttle,
         )
     except FleetError as exc:
         raise SystemExit(str(exc)) from exc
@@ -777,6 +821,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_wrk.add_argument(
         "--id", help="stable worker identity (default: hostname-pid)"
+    )
+    p_wrk.add_argument(
+        "--throttle",
+        type=float,
+        default=None,
+        metavar="SECONDS_PER_CELL",
+        help="artificially slow this worker down by sleeping this many "
+        "seconds per executed cell — a test knob for exercising "
+        "capacity-aware scheduling on heterogeneous fleets (default: "
+        "$REPRO_WORKER_THROTTLE)",
     )
     p_wrk.add_argument(
         "--auth-token",

@@ -7,13 +7,30 @@ The :class:`FleetExecutor` is the distributed arm of the executor seam
 :mod:`repro.distributed.protocol` to any number of
 ``repro experiments worker`` processes, on this machine or others.
 
-Scheduling is **cell-level with work stealing**: the ledger starts
-from whole-group units, and when a worker asks for work while only one
-unit remains pending, that unit is *split* — half is granted, half
-stays pending for the next asker — down to the ``min_unit_cells``
-floor. A one-case/many-seeds plan (one big group, the shape that used
-to pin a whole fleet behind a single worker) therefore spreads across
-every worker that asks. Splitting moves only *where* cells execute:
+Scheduling is **cell-level with work stealing**, in one of two modes:
+
+* ``cost`` (the default) — predictive packing. A fleet-wide
+  :class:`~repro.experiments.costs.UnitCostModel` (seeded from plan
+  priors and engine kernel snapshots, updated online from the cost
+  reports workers attach to ``complete``/heartbeat messages) prices
+  every pending unit; grants carve a near-target-cost piece off the
+  costliest unit, sized **capacity-aware** — proportional to the
+  asking worker's measured throughput (cells/second) among the live
+  fleet, so a slow machine gets proportionally fewer cells. A worker
+  with no throughput sample yet receives a small probe lease first.
+  Same-group requeued fragments re-merge before re-lease, the
+  ``min_unit_cells`` constant becomes the *floor* under an adaptive
+  minimum (the cells amounting to ``target_unit_seconds`` of predicted
+  work), and the next lease piggybacks on the ``complete`` reply (with
+  the worker's records inline), so a steady-state worker pays zero
+  extra round-trips per unit.
+* ``halving`` — the original policy: grant the largest pending unit
+  whole; when only one unit remains, split it in half for each asker
+  down to the ``min_unit_cells`` floor.
+
+A one-case/many-seeds plan (one big group, the shape that used to pin
+a whole fleet behind a single worker) spreads across every worker that
+asks under either mode. Splitting moves only *where* cells execute:
 every cell is reproducible from ``(plan, seed)`` alone, so the store's
 bytes are identical at any granularity.
 
@@ -54,8 +71,9 @@ import time
 import socketserver
 from typing import TYPE_CHECKING, Callable
 
+from repro.experiments.costs import UnitCostModel, plan_cost_model
 from repro.experiments.store import record_key
-from repro.experiments.work import WorkSet, WorkUnit
+from repro.experiments.work import WorkSet, WorkUnit, merge_group_units
 from repro.obs import telemetry
 
 from repro.distributed.executors import _check_process_portable
@@ -98,7 +116,18 @@ class UnitLedger:
         Work-stealing floor: when a worker asks and only one pending
         unit remains, it splits as long as both halves keep at least
         this many cells. ``0`` disables splitting (whole-group leases,
-        the pre-WorkUnit behaviour).
+        the pre-WorkUnit behaviour). With a ``cost_model`` this is the
+        *floor* under the adaptive minimum derived from measured
+        per-cell cost.
+    cost_model:
+        A :class:`~repro.experiments.costs.UnitCostModel` switches the
+        grant path to predictive cost-aware packing (see the module
+        docstring); ``None`` keeps the original halving policy.
+    target_unit_seconds:
+        Cost mode's lease-size target: grants aim for at least this
+        much predicted work per unit once per-cell cost is measured,
+        so tiny sliver leases (one session each, all overhead) stop at
+        a wall-clock bound instead of a guessed cell count.
     """
 
     def __init__(
@@ -108,6 +137,8 @@ class UnitLedger:
         completed_cells: Callable[[], set[tuple[str, str, int, str]]],
         clock: Callable[[], float] = time.monotonic,
         min_unit_cells: int = 1,
+        cost_model: UnitCostModel | None = None,
+        target_unit_seconds: float = 1.0,
     ) -> None:
         if lease_timeout <= 0:
             raise FleetError(
@@ -116,6 +147,11 @@ class UnitLedger:
         if min_unit_cells < 0:
             raise FleetError(
                 f"min_unit_cells must be >= 0, got {min_unit_cells}"
+            )
+        if target_unit_seconds <= 0:
+            raise FleetError(
+                f"target_unit_seconds must be positive, got "
+                f"{target_unit_seconds}"
             )
         units = workset.pending()
         self._group_of = {
@@ -140,6 +176,16 @@ class UnitLedger:
         self.min_unit_cells = int(min_unit_cells)
         self.completed_cells = completed_cells
         self.clock = clock
+        self.cost_model = cost_model
+        self.target_unit_seconds = float(target_unit_seconds)
+        # group index -> cost-model kernel key (cost mode prices a
+        # unit by its group's (case, backend) kernel)
+        self._kernel_of: dict[int, str] = {
+            index: UnitCostModel.kernel_key(case.name, backend)
+            for index, ((case, backend), _keys) in enumerate(
+                workset.plan.groups()
+            )
+        }
         self.finished = threading.Event()
         self.requeues = 0
         self.steals = 0
@@ -150,7 +196,7 @@ class UnitLedger:
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
-            self._stats(worker, now)
+            self._stats(worker, now)["round_trips"] += 1
 
     def _stats(self, worker: str, now: float) -> dict:
         """This worker's accounting row (created on first contact)."""
@@ -164,6 +210,15 @@ class UnitLedger:
                 "records": 0,
                 "busy_seconds": 0.0,
                 "lease_seconds": 0.0,
+                # wire-exchange accounting: every request this worker
+                # sent (the cost piggybacked granting exists to cut)
+                "round_trips": 0,
+                "lease_requests": 0,
+                "completes": 0,
+                "drains": 0,
+                "piggybacked": 0,
+                # measured capacity, EMA cells/second from unit timings
+                "throughput": None,
             }
         return st
 
@@ -207,6 +262,12 @@ class UnitLedger:
                     "idle_seconds": max(span - busy, 0.0),
                     "span_seconds": span,
                     "lease_seconds": st["lease_seconds"],
+                    "round_trips": st["round_trips"],
+                    "lease_requests": st["lease_requests"],
+                    "completes": st["completes"],
+                    "drains": st["drains"],
+                    "piggybacked": st["piggybacked"],
+                    "throughput": st["throughput"],
                     "utilization": (busy / span) if span > 0 else None,
                     "live": now - self._last_seen.get(worker, 0.0)
                     <= self.lease_timeout,
@@ -218,34 +279,41 @@ class UnitLedger:
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
-            self._stats(worker, now)
-            self._expire(now)
-            if self.finished.is_set():
-                self._told_done.add(worker)
-                return {"type": "done"}
-            if worker in self._dirty:
-                # collect this worker's records before handing out more
-                # work: the shorter a record's worker-only window, the
-                # less a worker death costs
-                return {"type": "drain"}
-            if self._pending:
-                return self._grant(worker, now)
-            if self._leases:
-                return {"type": "wait"}
-            if any(
-                now - self._last_seen.get(w, 0.0) <= self.lease_timeout
-                for w in self._dirty
-            ):
-                return {"type": "wait"}  # a live worker still owes records
-            # nothing pending, nothing leased, no live worker undrained:
-            # verify coverage against the store, the only ground truth
-            missing = self._expected - self.completed_cells()
-            if not missing:
-                self.finished.set()
-                self._told_done.add(worker)
-                return {"type": "done"}
-            self._requeue_missing(missing)
+            st = self._stats(worker, now)
+            st["round_trips"] += 1
+            st["lease_requests"] += 1
+            return self._lease_locked(worker, now)
+
+    def _lease_locked(self, worker: str, now: float) -> dict:
+        """The lease decision, lock held — shared by the ``lease``
+        request path and the piggybacked grant on a ``complete``."""
+        self._expire(now)
+        if self.finished.is_set():
+            self._told_done.add(worker)
+            return {"type": "done"}
+        if worker in self._dirty:
+            # collect this worker's records before handing out more
+            # work: the shorter a record's worker-only window, the
+            # less a worker death costs
+            return {"type": "drain"}
+        if self._pending:
             return self._grant(worker, now)
+        if self._leases:
+            return {"type": "wait"}
+        if any(
+            now - self._last_seen.get(w, 0.0) <= self.lease_timeout
+            for w in self._dirty
+        ):
+            return {"type": "wait"}  # a live worker still owes records
+        # nothing pending, nothing leased, no live worker undrained:
+        # verify coverage against the store, the only ground truth
+        missing = self._expected - self.completed_cells()
+        if not missing:
+            self.finished.set()
+            self._told_done.add(worker)
+            return {"type": "done"}
+        self._requeue_missing(missing)
+        return self._grant(worker, now)
 
     def heartbeat(self, worker: str, lease_id, info: dict | None = None) -> dict:
         """Renew a lease; ``expired`` once the unit was re-leased.
@@ -257,39 +325,105 @@ class UnitLedger:
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
-            self._fold_telemetry(self._stats(worker, now), info)
+            st = self._stats(worker, now)
+            st["round_trips"] += 1
+            self._fold_telemetry(st, info)
             self._expire(now)
             lease = self._leases.get(_lease_key(lease_id))
             if lease is None or lease["worker"] != worker:
                 return {"type": "expired"}
             lease["deadline"] = now + self.lease_timeout
+            if self.cost_model is not None and isinstance(info, dict):
+                # an in-flight unit's elapsed time bounds its cost from
+                # below — a unit running long teaches the model before
+                # it completes; engine snapshots fold unconditionally
+                unit = lease["unit"]
+                kernel = self._kernel_of.get(unit.group, "")
+                try:
+                    elapsed = float(info.get("unit_seconds", 0.0))
+                except (TypeError, ValueError):
+                    elapsed = 0.0
+                self.cost_model.observe_lower_bound(
+                    kernel, unit.n_cells, elapsed
+                )
+                self.cost_model.fold_engine(info.get("engine_costs"))
             return {"type": "ok"}
 
-    def complete(self, worker: str, lease_id, info: dict | None = None) -> dict:
-        """Mark a leased unit tentatively complete (worker holds records)."""
+    def complete(
+        self,
+        worker: str,
+        lease_id,
+        info: dict | None = None,
+        drained: bool = False,
+        grant_next: bool = False,
+    ) -> dict:
+        """Mark a leased unit tentatively complete.
+
+        ``drained=True`` means the worker's records arrived inline with
+        this report (piggyback mode) and were already merged into the
+        coordinator store — the worker owes nothing, so it is not
+        marked dirty. ``grant_next=True`` attaches the worker's next
+        lease decision as ``next`` on the reply (even on a stale
+        lease: the worker still wants work), collapsing the
+        complete → drain → records → lease round-trip chain into one
+        exchange.
+        """
         with self._lock:
             now = self.clock()
             self._last_seen[worker] = now
             st = self._stats(worker, now)
+            st["round_trips"] += 1
+            st["completes"] += 1
             self._fold_telemetry(st, info)
             self._expire(now)
+            if drained:
+                self._dirty.discard(worker)
             key = _lease_key(lease_id)
             lease = self._leases.get(key)
             if lease is None or lease["worker"] != worker:
-                return {"type": "stale"}
+                reply = {"type": "stale"}
+                if grant_next:
+                    st["piggybacked"] += 1
+                    reply["next"] = self._lease_locked(worker, now)
+                return reply
             del self._leases[key]
             unit = lease["unit"]
             self._tentative.update(unit.cells)
-            self._dirty.add(worker)
+            if not drained:
+                self._dirty.add(worker)
             lease_seconds = max(now - lease["granted"], 0.0)
             st["units"] += 1
             st["cells"] += unit.n_cells
             st["lease_seconds"] += lease_seconds
+            unit_seconds = lease_seconds
             if isinstance(info, dict):
                 try:
                     st["records"] += int(info.get("records", 0))
                 except (TypeError, ValueError):
                     pass
+                try:
+                    reported = float(info.get("unit_seconds", 0.0))
+                    if reported > 0.0:
+                        # the worker's own measurement excludes network
+                        # and queueing — the honest per-unit cost
+                        unit_seconds = reported
+                except (TypeError, ValueError):
+                    pass
+            if unit_seconds > 0.0:
+                # measured capacity: EMA of cells/second, the input to
+                # cost mode's proportional lease sizing
+                throughput = unit.n_cells / unit_seconds
+                prev = st["throughput"]
+                st["throughput"] = (
+                    throughput
+                    if prev is None
+                    else prev + 0.5 * (throughput - prev)
+                )
+            if self.cost_model is not None:
+                kernel = self._kernel_of.get(unit.group, "")
+                self.cost_model.observe(kernel, unit.n_cells, unit_seconds)
+                if isinstance(info, dict):
+                    self.cost_model.fold_engine(info.get("engine_costs"))
             telemetry().histogram("repro_fleet_unit_seconds").observe(
                 lease_seconds
             )
@@ -309,12 +443,20 @@ class UnitLedger:
                     "lease_seconds": lease_seconds,
                 },
             )
-            return {"type": "ok"}
+            reply = {"type": "ok"}
+            if grant_next:
+                st["piggybacked"] += 1
+                reply["next"] = self._lease_locked(worker, now)
+            return reply
 
     def drained(self, worker: str) -> None:
         """The worker's local records reached the coordinator store."""
         with self._lock:
-            self._last_seen[worker] = self.clock()
+            now = self.clock()
+            self._last_seen[worker] = now
+            st = self._stats(worker, now)
+            st["round_trips"] += 1
+            st["drains"] += 1
             self._dirty.discard(worker)
 
     def poll_completion(self) -> bool:
@@ -350,12 +492,14 @@ class UnitLedger:
     def _grant(self, worker: str, now: float) -> dict:
         """Lease one unit — stealing half of the last one if need be.
 
-        Grants the largest pending unit whole while others remain; when
-        it is the *last* pending unit (and splittable above the
-        ``min_unit_cells`` floor), it splits instead — half granted,
-        half kept pending — so every asking worker finds work until the
-        floor is reached. Each split is a steal: work that a single
-        worker would otherwise own mid-group moves to the asker.
+        In halving mode: grants the largest pending unit whole while
+        others remain; when it is the *last* pending unit (and
+        splittable above the ``min_unit_cells`` floor), it splits
+        instead — half granted, half kept pending — so every asking
+        worker finds work until the floor is reached. Each split is a
+        steal: work that a single worker would otherwise own mid-group
+        moves to the asker. Cost mode (:meth:`_grant_cost`) replaces
+        the whole-or-half rule with predictive carving.
 
         The split deliberately does NOT check how many workers exist:
         fleets grow at any moment and hellos race leases, so gating on
@@ -366,6 +510,8 @@ class UnitLedger:
         reuse — never different results); single-worker fleets that
         care should run ``min_unit_cells=0`` or a coarse floor.
         """
+        if self.cost_model is not None:
+            return self._grant_cost(worker, now)
         i = max(
             range(len(self._pending)),
             key=lambda j: self._pending[j].n_cells,
@@ -378,22 +524,115 @@ class UnitLedger:
         ):
             unit, kept = unit.split()
             self._pending.append(kept)
-            self.steals += 1
-            telemetry().counter("repro_fleet_steals_total").inc()
-            log.info(
-                "steal: split group %d for %s (%d cells granted, "
-                "%d kept pending)",
-                unit.group,
-                worker,
-                unit.n_cells,
-                kept.n_cells,
-                extra={
-                    "worker": worker,
-                    "group": unit.group,
-                    "cells": unit.n_cells,
-                    "kept_cells": kept.n_cells,
-                },
+            self._count_steal(worker, unit, kept)
+        return self._issue(worker, unit, now)
+
+    def _grant_cost(self, worker: str, now: float) -> dict:
+        """Cost mode's grant: carve a capacity-sized piece off the
+        costliest pending unit.
+
+        Same-group requeued fragments re-merge first (one carve, one
+        engine session, instead of re-leasing slivers); the carve size
+        comes from :meth:`_target_cells` — proportional to the asking
+        worker's measured share of fleet throughput, floored by the
+        adaptive minimum. ``min_unit_cells=0`` keeps whole-unit grants
+        here too (the operator asked for whole-group leases).
+        """
+        self._pending = merge_group_units(self._pending)
+
+        def cost(unit: WorkUnit) -> float:
+            return self.cost_model.estimate(
+                self._kernel_of.get(unit.group, ""), unit.n_cells
             )
+
+        i = max(
+            range(len(self._pending)),
+            key=lambda j: (cost(self._pending[j]), -j),
+        )
+        pending_cells = sum(u.n_cells for u in self._pending)
+        unit = self._pending.pop(i)
+        if self.min_unit_cells > 0:
+            target = self._target_cells(worker, unit, pending_cells, now)
+            floor = max(self.min_unit_cells, 1)
+            if target >= floor and unit.n_cells - target >= floor:
+                unit, kept = unit.split_at(target)
+                self._pending.append(kept)
+                self._count_steal(worker, unit, kept)
+        return self._issue(worker, unit, now)
+
+    def _target_cells(
+        self, worker: str, unit: WorkUnit, pending_cells: int, now: float
+    ) -> int:
+        """How many cells this worker's next lease should carry.
+
+        Proportional capacity sizing: the worker's EMA throughput over
+        the summed throughput of the live fleet, applied to the
+        remaining pending cells. A worker with no sample yet gets a
+        small probe (capacity-aware sizing needs a capacity
+        measurement); no asker ever receives more than half of what
+        remains, for the same reason the halving policy never checks
+        worker counts — late joiners and hello/lease races must still
+        find work. The floor is the adaptive minimum: the cells
+        amounting to ``target_unit_seconds`` of predicted work, capped
+        by a fair share so small workloads still spread, and never
+        below the configured ``min_unit_cells``.
+        """
+        floor = max(self.min_unit_cells, 1)
+        live = [
+            w
+            for w, seen in self._last_seen.items()
+            if now - seen <= self.lease_timeout
+        ]
+        n_live = max(len(live), 1)
+        fair = max(pending_cells // n_live, 1)
+        st = self._worker_stats.get(worker) or {}
+        throughput = st.get("throughput")
+        if throughput is None:
+            probe = max(floor, fair // 4)
+            return min(probe, unit.n_cells)
+        known = [
+            self._worker_stats[w]["throughput"]
+            for w in live
+            if self._worker_stats.get(w, {}).get("throughput")
+        ]
+        mean = sum(known) / len(known) if known else throughput
+        total = sum(
+            self._worker_stats.get(w, {}).get("throughput") or mean
+            for w in live
+        )
+        share = throughput / total if total > 0 else 1.0 / n_live
+        kernel = self._kernel_of.get(unit.group, "")
+        adaptive = self.cost_model.min_cells_for(
+            kernel, self.target_unit_seconds, floor
+        )
+        adaptive = max(min(adaptive, fair), floor)
+        half = max(pending_cells // 2, 1)
+        target = max(min(round(pending_cells * share), half), adaptive)
+        return min(target, unit.n_cells)
+
+    def _count_steal(
+        self, worker: str, granted: WorkUnit, kept: WorkUnit
+    ) -> None:
+        """Account one split-for-an-asker (mid-group work movement)."""
+        self.steals += 1
+        telemetry().counter("repro_fleet_steals_total").inc()
+        log.info(
+            "steal: split group %d for %s (%d cells granted, "
+            "%d kept pending)",
+            granted.group,
+            worker,
+            granted.n_cells,
+            kept.n_cells,
+            extra={
+                "worker": worker,
+                "group": granted.group,
+                "cells": granted.n_cells,
+                "kept_cells": kept.n_cells,
+            },
+        )
+
+    def _issue(self, worker: str, unit: WorkUnit, now: float) -> dict:
+        """Record and serialize one granted lease."""
         lease_id = next(self._lease_ids)
         self._leases[lease_id] = {
             "unit": unit,
@@ -536,6 +775,10 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
                 "share_sessions": self.share_sessions,
                 "lease_timeout": self.ledger.lease_timeout,
                 "poll_interval": self.poll_interval,
+                # cost mode collapses complete→drain→records→lease into
+                # one exchange: workers that see this flag attach their
+                # records to `complete` and read `next` off the reply
+                "piggyback": self.ledger.cost_model is not None,
             }
         if mtype == "lease":
             return self.ledger.lease(worker)
@@ -544,8 +787,24 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
                 worker, message.get("lease"), message.get("telemetry")
             )
         if mtype == "complete":
+            drained = False
+            records = message.get("records")
+            if isinstance(records, list):
+                # piggybacked drain: the worker's records arrive with
+                # the report; merge them BEFORE the ledger sees the
+                # completion so the coverage check already counts them
+                wanted = [
+                    r for r in records if record_key(r) in self.plan_cells
+                ]
+                with self.store_lock:
+                    self.store.merge(wanted)
+                drained = True
             return self.ledger.complete(
-                worker, message.get("lease"), message.get("telemetry")
+                worker,
+                message.get("lease"),
+                message.get("telemetry"),
+                drained=drained,
+                grant_next=self.ledger.cost_model is not None,
             )
         if mtype == "status":
             # read-only fleet snapshot for `repro experiments status`;
@@ -568,6 +827,11 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
                 "finished": self.ledger.finished.is_set(),
                 "progress": self.ledger.progress(),
                 "workers": self.ledger.worker_stats(),
+                "costs": (
+                    self.ledger.cost_model.to_dict()
+                    if self.ledger.cost_model is not None
+                    else None
+                ),
             }
         if mtype == "records":
             records = message.get("records")
@@ -689,6 +953,14 @@ class FleetExecutor:
         Work-stealing floor (see :class:`UnitLedger`): the last pending
         unit splits for an asking worker while both halves keep at
         least this many cells; ``0`` restores whole-group leases.
+    scheduling:
+        ``"cost"`` (the default) prices units with a plan-seeded
+        :class:`~repro.experiments.costs.UnitCostModel` and grants
+        capacity-aware, piggybacked leases; ``"halving"`` restores the
+        original largest-whole/split-last policy.
+    target_unit_seconds:
+        Cost mode's per-lease wall-clock target (see
+        :class:`UnitLedger`).
     auth_token:
         Shared secret for the challenge–response handshake (see
         :mod:`repro.distributed.protocol`); defaults to
@@ -708,15 +980,24 @@ class FleetExecutor:
         poll_interval: float = 0.5,
         timeout: float | None = None,
         min_unit_cells: int = 1,
+        scheduling: str = "cost",
+        target_unit_seconds: float = 1.0,
         auth_token: str | None = None,
         on_bound: Callable[[tuple[str, int]], None] | None = None,
     ) -> None:
+        if scheduling not in ("cost", "halving"):
+            raise FleetError(
+                f"unknown scheduling mode {scheduling!r}; "
+                "choose 'cost' or 'halving'"
+            )
         self.host = host
         self.port = port
         self.lease_timeout = float(lease_timeout)
         self.poll_interval = float(poll_interval)
         self.timeout = timeout
         self.min_unit_cells = int(min_unit_cells)
+        self.scheduling = scheduling
+        self.target_unit_seconds = float(target_unit_seconds)
         self.auth_token = check_auth_token(
             auth_token
             if auth_token is not None
@@ -730,6 +1011,8 @@ class FleetExecutor:
         # UnitLedger.worker_stats); also dumped as gauges and a
         # fleet_summary trace event on finish
         self.worker_stats: dict[str, dict] = {}
+        # the fleet-wide cost model of the last execute() (cost mode)
+        self.cost_model: UnitCostModel | None = None
 
     # ------------------------------------------------------------------
     def execute(
@@ -746,11 +1029,17 @@ class FleetExecutor:
             with store_lock:
                 return runner.store.completed()
 
+        if self.scheduling == "cost":
+            self.cost_model = plan_cost_model(workset.plan)
+        else:
+            self.cost_model = None
         ledger = UnitLedger(
             workset,
             self.lease_timeout,
             completed_cells,
             min_unit_cells=self.min_unit_cells,
+            cost_model=self.cost_model,
+            target_unit_seconds=self.target_unit_seconds,
         )
         server = _CoordinatorServer(
             (self.host, self.port),
@@ -843,5 +1132,6 @@ class FleetExecutor:
         return (
             f"FleetExecutor(host={self.host!r}, port={self.port}, "
             f"lease_timeout={self.lease_timeout}, "
-            f"min_unit_cells={self.min_unit_cells})"
+            f"min_unit_cells={self.min_unit_cells}, "
+            f"scheduling={self.scheduling!r})"
         )

@@ -15,8 +15,12 @@ scaling ladder:
   a results store).
 * :class:`ProcessShardExecutor` — units fanned out to local
   ``multiprocessing`` processes that meet only through the shared
-  JSONL store; big units are split (down to ``min_unit_cells``) so a
-  plan with fewer groups than shards still occupies every shard.
+  JSONL store; units are pre-split (down to ``min_unit_cells``) and
+  packed into near-equal-**cost** shard assignments under a
+  plan-seeded :class:`~repro.experiments.costs.UnitCostModel`
+  (``scheduling="halving"`` restores count-based splitting), so a
+  plan with fewer groups than shards still occupies every shard and
+  shards finish together.
 * :class:`~repro.distributed.coordinator.FleetExecutor` — units leased
   to remote worker processes over TCP with cell-level work stealing,
   lease-timeout requeue and store merging (see
@@ -44,7 +48,14 @@ import multiprocessing
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ReproError
-from repro.experiments.work import WorkSet, WorkUnit, assign_units
+from repro.experiments.costs import UnitCostModel, plan_cost_model
+from repro.experiments.work import (
+    WorkSet,
+    WorkUnit,
+    assign_units,
+    assign_units_by_cost,
+    split_units_by_cost,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.plan import ExperimentPlan
@@ -161,17 +172,44 @@ class ProcessShardExecutor:
         cells. ``0`` disables splitting (whole-group shards, the
         pre-WorkUnit behaviour). Splitting moves only *where* cells
         run, never what they record.
+    scheduling:
+        ``"cost"`` (the default) pre-splits and packs units by
+        *predicted cost* — near-equal-cost chunks, LPT assignment plus
+        local swap/shift refinement
+        (:func:`repro.experiments.work.split_units_by_cost` /
+        :func:`~repro.experiments.work.assign_units_by_cost`) under a
+        plan-seeded :class:`~repro.experiments.costs.UnitCostModel` —
+        so shards finish together even when groups differ wildly in
+        cost. ``"halving"`` restores cell-count splitting with
+        round-robin assignment.
+    cost_model:
+        Explicit :class:`~repro.experiments.costs.UnitCostModel` for
+        cost scheduling (tests, or a model saved from a previous run);
+        defaults to one seeded from the plan's budgets at execute time.
     """
 
-    def __init__(self, shards: int, min_unit_cells: int = 1) -> None:
+    def __init__(
+        self,
+        shards: int,
+        min_unit_cells: int = 1,
+        scheduling: str = "cost",
+        cost_model: UnitCostModel | None = None,
+    ) -> None:
         if shards < 1:
             raise ReproError(f"shards must be >= 1, got {shards}")
         if min_unit_cells < 0:
             raise ReproError(
                 f"min_unit_cells must be >= 0, got {min_unit_cells}"
             )
+        if scheduling not in ("cost", "halving"):
+            raise ReproError(
+                f"unknown scheduling mode {scheduling!r}; "
+                "choose 'cost' or 'halving'"
+            )
         self.shards = shards
         self.min_unit_cells = min_unit_cells
+        self.scheduling = scheduling
+        self.cost_model = cost_model
 
     def execute(
         self,
@@ -186,7 +224,33 @@ class ProcessShardExecutor:
                 "sharded execution needs lock-serialised store appends, "
                 "unavailable on this platform; use the inline executor"
             )
-        units = workset.split(self.shards, self.min_unit_cells).pending()
+        if self.scheduling == "cost":
+            model = self.cost_model or plan_cost_model(workset.plan)
+            kernels = {
+                index: UnitCostModel.kernel_key(case.name, backend)
+                for index, ((case, backend), _keys) in enumerate(
+                    workset.plan.groups()
+                )
+            }
+
+            def rate_of(group: int) -> float:
+                return model.rate(kernels.get(group, ""))
+
+            pending = workset.pending()
+            if self.min_unit_cells > 0:
+                units = split_units_by_cost(
+                    pending, self.shards, rate_of, self.min_unit_cells
+                )
+            else:
+                units = list(pending)  # whole-group shards, as asked
+            assignments = assign_units_by_cost(
+                units, self.shards, rate_of
+            )
+        else:
+            units = workset.split(
+                self.shards, self.min_unit_cells
+            ).pending()
+            assignments = assign_units(units, self.shards)
         if not units:
             return []
         workers = [
@@ -199,7 +263,7 @@ class ProcessShardExecutor:
                     runner.share_sessions,
                 ),
             )
-            for assignment in assign_units(units, self.shards)
+            for assignment in assignments
         ]
         for worker in workers:
             worker.start()
@@ -216,7 +280,8 @@ class ProcessShardExecutor:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"ProcessShardExecutor(shards={self.shards}, "
-            f"min_unit_cells={self.min_unit_cells})"
+            f"min_unit_cells={self.min_unit_cells}, "
+            f"scheduling={self.scheduling!r})"
         )
 
 

@@ -11,7 +11,9 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
 
 ``hello``
     Join the fleet (``welcome``: the plan payload, session sharing and
-    the lease timeout — a worker needs no plan file of its own).
+    the lease timeout — a worker needs no plan file of its own. Under
+    cost scheduling the welcome also advertises ``piggyback: true``,
+    switching the worker to the low-round-trip loop below).
 ``lease``
     Ask for work (``unit``: a leased work-unit descriptor — a group
     index plus the explicit cell subset to run, see
@@ -22,22 +24,32 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
 ``heartbeat``
     Keep a lease alive while a unit runs (``ok`` / ``expired``). May
     carry a ``telemetry`` payload — the worker's cumulative
-    ``busy_seconds`` and the in-flight unit's elapsed time — folded
-    into the coordinator's live utilization view.
+    ``busy_seconds``, the in-flight unit's elapsed time, and an
+    ``engine_costs`` kernel-rate snapshot — folded into the
+    coordinator's live utilization view and its unit cost model (an
+    in-flight unit's elapsed time bounds its cost from below).
 ``complete``
     Report a leased unit finished (``ok`` / ``stale`` when the lease
     timed out and the unit was already re-leased). May carry a
     ``telemetry`` payload (``unit_seconds``, cumulative
-    ``busy_seconds``, ``records``, ``cells``) for per-worker
-    accounting.
+    ``busy_seconds``, ``records``, ``cells``, ``engine_costs``) for
+    per-worker accounting and online cost-model updates. Under
+    piggyback the request also carries the worker's undrained
+    ``records`` inline (an implicit drain) and the reply carries
+    ``next`` — a full lease decision (``unit``/``wait``/``drain``/
+    ``done``), collapsing complete → drain → records → lease into one
+    round-trip. ``next`` rides ``stale`` replies too: a worker whose
+    lease expired still wants work.
 ``records``
     Upload the worker's local store (``ok``; the coordinator merges the
     records into its own store, first writer wins).
 ``status``
     Read-only fleet snapshot (``status``: plan name,
-    expected/recorded cell counts, ledger progress and per-worker
-    utilization). Sent by ``repro experiments status``; never counts
-    as worker contact, so probing a fleet cannot delay its shutdown.
+    expected/recorded cell counts, ledger progress, per-worker
+    utilization/round-trip accounting, and — under cost scheduling —
+    the fleet-wide cost model as ``costs``). Sent by
+    ``repro experiments status``; never counts as worker contact, so
+    probing a fleet cannot delay its shutdown.
 
 **Authentication.** With a shared secret configured
 (``--auth-token`` / ``REPRO_FLEET_TOKEN``) every exchange runs a

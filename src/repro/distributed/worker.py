@@ -28,6 +28,20 @@ vice versa.
 With a shared secret configured (``auth_token`` /
 ``REPRO_FLEET_TOKEN``), every exchange answers the coordinator's HMAC
 challenge first (see :mod:`repro.distributed.protocol`).
+
+When the coordinator's ``welcome`` advertises ``piggyback`` (cost
+scheduling), the worker collapses its steady-state loop to **one
+round-trip per unit**: every ``complete`` report carries the local
+store's not-yet-uploaded records inline, and the reply carries the
+next lease decision (``next``) — no separate ``drain``/``records``/
+``lease`` exchanges while work flows. Each ``complete`` and heartbeat
+also ships a cost report (measured unit seconds plus the engine's
+kernel-rate snapshot), feeding the coordinator's fleet-wide
+:class:`~repro.experiments.costs.UnitCostModel`.
+
+``REPRO_WORKER_THROTTLE`` (seconds per cell, or the ``throttle``
+parameter) artificially slows a worker down — a test/CI knob for
+exercising capacity-aware lease sizing on heterogeneous fleets.
 """
 
 from __future__ import annotations
@@ -87,6 +101,7 @@ class _LeaseHeartbeat:
         request_timeout: float,
         token: str | None = None,
         busy_base: float = 0.0,
+        engine_costs: Callable[[], dict] | None = None,
     ) -> None:
         self._payload = {"type": "heartbeat", "worker": worker, "lease": lease}
         self._address = address
@@ -94,6 +109,7 @@ class _LeaseHeartbeat:
         self._request_timeout = request_timeout
         self._token = token
         self._busy_base = busy_base
+        self._engine_costs = engine_costs
         self._started = time.perf_counter()
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -118,6 +134,13 @@ class _LeaseHeartbeat:
                 "busy_seconds": self._busy_base + elapsed,
                 "unit_seconds": elapsed,
             }
+            if self._engine_costs is not None:
+                # in-flight cost report: elapsed time bounds the unit's
+                # cost from below, and the engine's kernel rates give
+                # the coordinator's model its pre-measurement priors
+                self._payload["telemetry"]["engine_costs"] = (
+                    self._engine_costs()
+                )
             try:
                 request(
                     self._address,
@@ -143,6 +166,7 @@ def run_worker(
     auth_token: str | None = None,
     on_record: Callable[[dict], None] | None = None,
     after_complete: Callable[[int], None] | None = None,
+    throttle: float | None = None,
 ) -> dict:
     """Serve one coordinator until its plan is fully recorded.
 
@@ -173,6 +197,13 @@ def run_worker(
         Optional callback after each accepted/stale ``complete``
         exchange, with the unit's group index (test hook — fault
         injection).
+    throttle:
+        Artificial slowdown in seconds *per cell*, slept after each
+        unit executes (inside the heartbeat window, so the reported
+        unit timing includes it); defaults to
+        ``REPRO_WORKER_THROTTLE`` from the environment. Exists so
+        tests and CI can make one fleet member measurably slower and
+        assert that capacity-aware scheduling gives it less work.
 
     Returns a summary dict: ``units``/``records`` executed,
     ``busy_seconds`` spent inside unit execution (the idle-time metric
@@ -185,6 +216,7 @@ def run_worker(
     """
     # imported here: repro.experiments lazily imports this package's
     # executors, so the worker stays import-cycle-free at module level
+    from repro.engine.backends import kernel_costs
     from repro.experiments.plan import ExperimentPlan
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.store import ResultsStore, record_key
@@ -195,6 +227,20 @@ def run_worker(
     if auth_token is None:
         auth_token = os.environ.get("REPRO_FLEET_TOKEN")
     check_auth_token(auth_token)
+    if throttle is None:
+        raw = os.environ.get("REPRO_WORKER_THROTTLE")
+        if raw:
+            try:
+                throttle = float(raw)
+            except ValueError as exc:
+                raise FleetError(
+                    "REPRO_WORKER_THROTTLE must be seconds per cell "
+                    f"(a float), got {raw!r}"
+                ) from exc
+    if throttle is not None and throttle < 0:
+        raise FleetError(
+            f"worker throttle must be >= 0, got {throttle}"
+        )
     failures = 0
 
     def rpc(payload: dict) -> dict:
@@ -238,6 +284,7 @@ def run_worker(
     )
     share_sessions = bool(welcome.get("share_sessions", True))
     lease_timeout = float(welcome.get("lease_timeout", 30.0))
+    piggyback = bool(welcome.get("piggyback", False))
     if poll_interval is None:
         poll_interval = float(welcome.get("poll_interval", 0.5))
     if store_path is None:
@@ -260,12 +307,31 @@ def run_worker(
     records_run = 0
     busy_seconds = 0.0
     wall_started = time.perf_counter()
+
+    def undrained_records() -> list[dict]:
+        """This plan's local records the coordinator has not seen yet.
+
+        Everything undrained, not just the latest unit's fresh runs: a
+        reused store resumes cells locally without re-running them, and
+        those records must still reach the coordinator or its coverage
+        check would requeue (and re-run) them forever.
+        """
+        return [
+            r
+            for key, r in recorded.items()
+            if key in plan_cells and key not in drained_cells
+        ]
+
+    # piggyback mode threads the next lease decision through each
+    # `complete` reply; `reply = None` means "ask the coordinator"
+    reply: dict | None = None
     while True:
-        reply = rpc({"type": "lease", "worker": worker})
-        kind = reply.get("type")
+        message = reply or rpc({"type": "lease", "worker": worker})
+        reply = None
+        kind = message.get("type")
         if kind == "unit":
-            lease = reply.get("lease")
-            unit = WorkUnit.from_dict(reply.get("unit") or {})
+            lease = message.get("lease")
+            unit = WorkUnit.from_dict(message.get("unit") or {})
             log.info(
                 "worker %s leased unit (lease %s, group %d, %d cells)",
                 worker,
@@ -288,6 +354,7 @@ def run_worker(
                 request_timeout,
                 token=auth_token,
                 busy_base=busy_seconds,
+                engine_costs=lambda: kernel_costs().snapshot(),
             ):
                 runner = ExperimentRunner(
                     store=store,
@@ -305,6 +372,11 @@ def run_worker(
                         plan.config_digest(case, system),
                     )
                 fresh = runner.run_units(plan, [unit], set(recorded))
+                if throttle:
+                    # heterogeneity knob: the sleep happens inside the
+                    # heartbeat window and before the timing cut, so
+                    # the coordinator's throughput EMA sees it
+                    time.sleep(throttle * unit.n_cells)
             recorded.update((record_key(r), r) for r in fresh)
             unit_seconds = time.perf_counter() - started
             busy_seconds += unit_seconds
@@ -328,33 +400,41 @@ def run_worker(
             )
             # 'stale' just means the lease expired under us; the records
             # are safe in the local store and the merge dedupes
-            rpc(
-                {
-                    "type": "complete",
-                    "worker": worker,
-                    "lease": lease,
-                    # per-unit timing + cumulative busy accounting: the
-                    # coordinator aggregates these into its fleet-wide
-                    # utilization view
-                    "telemetry": {
-                        "unit_seconds": unit_seconds,
-                        "busy_seconds": busy_seconds,
-                        "records": len(fresh),
-                        "cells": unit.n_cells,
-                    },
-                }
-            )
+            payload = {
+                "type": "complete",
+                "worker": worker,
+                "lease": lease,
+                # per-unit timing + cumulative busy accounting + the
+                # engine's kernel-rate snapshot: the coordinator folds
+                # these into its utilization view and cost model
+                "telemetry": {
+                    "unit_seconds": unit_seconds,
+                    "busy_seconds": busy_seconds,
+                    "records": len(fresh),
+                    "cells": unit.n_cells,
+                    "engine_costs": kernel_costs().snapshot(),
+                },
+            }
+            uploaded: list[dict] = []
+            if piggyback:
+                # inline drain: the records ride the report, so the
+                # worker owes nothing if it dies right after this
+                uploaded = undrained_records()
+                payload["records"] = uploaded
+            completion = rpc(payload)
+            drained_cells.update(record_key(r) for r in uploaded)
+            nxt = completion.get("next")
+            if isinstance(nxt, dict):
+                # piggybacked grant: the reply already decided our next
+                # move — no separate lease round-trip
+                reply = nxt
             if after_complete is not None:
                 after_complete(unit.group)
         elif kind == "drain":
             # incremental: only this plan's cells, minus what earlier
             # drains already delivered (a restart resets the set and
             # re-uploads once — the coordinator merge dedupes)
-            fresh_records = [
-                r
-                for key, r in recorded.items()
-                if key in plan_cells and key not in drained_cells
-            ]
+            fresh_records = undrained_records()
             rpc(
                 {
                     "type": "records",

@@ -61,6 +61,7 @@ __all__ = [
     "register_backend",
     "backend_names",
     "create_backend",
+    "kernel_costs",
     "reset_kernel_costs",
 ]
 
@@ -162,10 +163,46 @@ class KernelCostModel:
             return "raster" if best == "table" else "table"
         return best
 
+    def snapshot(self) -> dict[str, float]:
+        """Serializable copy of the measured rates (fleet cost reports).
+
+        Workers attach this to their wire telemetry so a coordinator's
+        :class:`~repro.experiments.costs.UnitCostModel` can seed unit
+        cost estimates from engine measurements made anywhere in the
+        fleet.
+        """
+        return dict(self.rates)
+
+    def restore(self, snapshot) -> None:
+        """Fold a :meth:`snapshot` back in (existing rates EMA-merge).
+
+        Unknown kernels adopt the snapshot rate outright; already
+        measured kernels move toward it by ``alpha``, so restoring a
+        stale snapshot cannot erase fresher local measurements.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        for kernel, rate in snapshot.items():
+            try:
+                rate = float(rate)
+            except (TypeError, ValueError):
+                continue
+            if rate <= 0.0:
+                continue
+            prev = self.rates.get(kernel)
+            self.rates[str(kernel)] = (
+                rate if prev is None else prev + self.alpha * (rate - prev)
+            )
+
 
 #: Process-wide cost model: measurements survive step and session
 #: boundaries, so later steps start from calibrated rates.
 _KERNEL_COSTS = KernelCostModel()
+
+
+def kernel_costs() -> KernelCostModel:
+    """The process-wide kernel cost model (snapshot it for the wire)."""
+    return _KERNEL_COSTS
 
 
 def reset_kernel_costs() -> None:

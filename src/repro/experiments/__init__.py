@@ -20,6 +20,7 @@ See :mod:`repro.experiments.plan`, :mod:`repro.experiments.runner`,
 :mod:`repro.distributed` for the pieces.
 """
 
+from repro.experiments.costs import UnitCostModel
 from repro.experiments.plan import (
     BudgetSpec,
     CaseSpec,
@@ -38,6 +39,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "ResultsStore",
+    "UnitCostModel",
     "WorkSet",
     "WorkUnit",
     "record_key",

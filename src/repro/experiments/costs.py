@@ -1,0 +1,258 @@
+"""Predictive unit cost model: what will this WorkUnit cost to run?
+
+Scheduling a :class:`~repro.experiments.work.WorkUnit` well needs a
+*prediction* of its runtime before anyone has run it. All cells of a
+unit share one ``(case, backend)`` kernel context (the group), so the
+model estimates a unit as ``cells × per-cell rate`` with one
+EMA-smoothed per-cell rate per kernel key:
+
+* **measured** rates come from completed units — the coordinator folds
+  every ``(kernel, cells, seconds)`` cost report a worker attaches to
+  its ``complete``/heartbeat messages, so the model is fleet-wide, not
+  per-process;
+* before a kernel has a sample, the estimate falls back to an
+  **engine-derived prior**: workers also ship
+  :meth:`~repro.engine.backends.KernelCostModel.snapshot` rates
+  (seconds per engine work unit), which — multiplied by a per-kernel
+  ``prior_work`` magnitude derived from the plan's budget — give a
+  relative ordering across groups of different shapes;
+* with neither, the mean of the measured rates of *other* kernels, and
+  finally a fixed default, so an estimate always exists.
+
+The model is plain serializable state (:meth:`to_dict` /
+:meth:`from_dict`): two schedulers built from identical snapshots make
+identical decisions, which is what makes cost-aware splitting testable
+for determinism. Nothing here touches results — cost estimates decide
+*where and in what chunks* cells run, never what they record.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["UnitCostModel", "plan_cost_model"]
+
+
+class UnitCostModel:
+    """EMA per-cell cost rates per kernel key, with layered fallbacks.
+
+    Parameters
+    ----------
+    alpha:
+        EMA smoothing factor for measured per-cell rates (and folded
+        engine rates): ``rate += alpha * (sample - rate)``.
+    default_rate:
+        Per-cell seconds assumed when nothing at all is known.
+    default_engine_rate:
+        Seconds per engine work unit assumed when priors exist but no
+        engine kernel rate has been folded yet.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        default_rate: float = 1e-3,
+        default_engine_rate: float = 1e-8,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError(f"EMA alpha must be in (0, 1], got {alpha}")
+        if default_rate <= 0 or default_engine_rate <= 0:
+            raise ReproError("default cost rates must be positive")
+        self.alpha = float(alpha)
+        self.default_rate = float(default_rate)
+        self.default_engine_rate = float(default_engine_rate)
+        #: measured per-cell seconds, EMA per kernel key
+        self.rates: dict[str, float] = {}
+        #: number of measured unit timings folded per kernel key
+        self.samples: dict[str, int] = {}
+        #: folded engine kernel rates (seconds per engine work unit)
+        self.engine: dict[str, float] = {}
+        #: per-kernel prior work magnitude (engine work units per cell)
+        self.prior_work: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def kernel_key(case_name: str, backend: str) -> str:
+        """The model's kernel identity of a ``(case, backend)`` group."""
+        return f"{case_name}:{backend}"
+
+    def set_prior_work(self, kernel: str, work: float) -> None:
+        """Seed a kernel's pre-measurement work magnitude (per cell)."""
+        if work <= 0:
+            raise ReproError(f"prior work must be positive, got {work}")
+        self.prior_work[str(kernel)] = float(work)
+
+    # ------------------------------------------------------------------
+    def observe(self, kernel: str, cells: int, seconds: float) -> None:
+        """Fold one measured unit timing into the kernel's rate EMA."""
+        if cells <= 0 or seconds <= 0.0:
+            return
+        rate = float(seconds) / int(cells)
+        prev = self.rates.get(kernel)
+        self.rates[kernel] = (
+            rate if prev is None else prev + self.alpha * (rate - prev)
+        )
+        self.samples[kernel] = self.samples.get(kernel, 0) + 1
+
+    def observe_lower_bound(
+        self, kernel: str, cells: int, seconds: float
+    ) -> None:
+        """Fold an *in-flight* cost report (heartbeat of a running unit).
+
+        The elapsed seconds of an unfinished unit bound its true cost
+        from below, so only estimate-*raising* reports update the EMA —
+        a unit running longer than predicted teaches the model before it
+        even completes, while a half-done unit never drags rates down.
+        """
+        if cells <= 0 or seconds <= 0.0:
+            return
+        if float(seconds) / int(cells) > self.rate(kernel):
+            self.observe(kernel, cells, seconds)
+
+    def fold_engine(self, snapshot) -> None:
+        """Fold a worker-shipped :class:`KernelCostModel` snapshot.
+
+        ``snapshot`` maps engine kernel names to measured seconds per
+        engine work unit; malformed payloads (wire input) are ignored.
+        """
+        if not isinstance(snapshot, Mapping):
+            return
+        for kernel, rate in snapshot.items():
+            try:
+                rate = float(rate)
+            except (TypeError, ValueError):
+                continue
+            if rate <= 0.0:
+                continue
+            prev = self.engine.get(str(kernel))
+            self.engine[str(kernel)] = (
+                rate if prev is None else prev + self.alpha * (rate - prev)
+            )
+
+    # ------------------------------------------------------------------
+    def rate(self, kernel: str) -> float:
+        """Per-cell seconds for ``kernel``: measured, else prior, else
+        the mean measured rate, else the default — never zero."""
+        measured = self.rates.get(kernel)
+        if measured is not None:
+            return measured
+        prior = self.prior_work.get(kernel)
+        if prior is not None:
+            engine_rate = (
+                sum(self.engine.values()) / len(self.engine)
+                if self.engine
+                else self.default_engine_rate
+            )
+            return prior * engine_rate
+        if self.rates:
+            return sum(self.rates.values()) / len(self.rates)
+        return self.default_rate
+
+    def estimate(self, kernel: str, cells: int) -> float:
+        """Predicted seconds for ``cells`` cells of ``kernel`` work."""
+        return max(int(cells), 0) * self.rate(kernel)
+
+    def min_cells_for(
+        self, kernel: str, target_seconds: float, floor: int = 1
+    ) -> int:
+        """Cells of ``kernel`` work amounting to ``target_seconds``.
+
+        The adaptive ``min_unit_cells``: lease sizes chase a wall-clock
+        target instead of a fixed cell count, so a floor tuned for one
+        workload does not produce absurd unit sizes on another. Never
+        below ``floor`` (the operator's configured constant) and never
+        below one cell.
+        """
+        floor = max(int(floor), 1)
+        rate = self.rate(kernel)
+        if target_seconds <= 0.0 or rate <= 0.0:
+            return floor
+        return max(int(target_seconds / rate), floor)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Stable JSON form (status payloads, determinism tests)."""
+        return {
+            "alpha": self.alpha,
+            "default_rate": self.default_rate,
+            "default_engine_rate": self.default_engine_rate,
+            "rates": dict(sorted(self.rates.items())),
+            "samples": dict(sorted(self.samples.items())),
+            "engine": dict(sorted(self.engine.items())),
+            "prior_work": dict(sorted(self.prior_work.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnitCostModel":
+        """Inverse of :meth:`to_dict`, with validation."""
+        try:
+            model = cls(
+                alpha=float(data.get("alpha", 0.3)),
+                default_rate=float(data.get("default_rate", 1e-3)),
+                default_engine_rate=float(
+                    data.get("default_engine_rate", 1e-8)
+                ),
+            )
+            model.rates = {
+                str(k): float(v)
+                for k, v in dict(data.get("rates", {})).items()
+            }
+            model.samples = {
+                str(k): int(v)
+                for k, v in dict(data.get("samples", {})).items()
+            }
+            model.engine = {
+                str(k): float(v)
+                for k, v in dict(data.get("engine", {})).items()
+            }
+            model.prior_work = {
+                str(k): float(v)
+                for k, v in dict(data.get("prior_work", {})).items()
+            }
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"malformed cost model: {exc}") from exc
+        return model
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"UnitCostModel(rates={self.rates!r}, "
+            f"samples={self.samples!r})"
+        )
+
+
+def plan_cost_model(plan) -> UnitCostModel:
+    """A :class:`UnitCostModel` seeded from a plan's budgets.
+
+    Before any unit has run, the only cost signal is the plan itself:
+    a cell of a ``(case, backend)`` group runs one system's search for
+    ``population × generations`` evaluations, each simulating
+    ``steps`` steps of a ``size²`` grid with an 8-cell neighborhood.
+    That product — averaged over the plan's systems, whose budgets may
+    differ — seeds each kernel's ``prior_work``, so groups order
+    correctly by *relative* cost from the first grant. The local
+    engine's measured kernel rates
+    (:func:`repro.engine.backends.kernel_costs`) are folded in when
+    available to scale the prior toward real seconds.
+    """
+    from repro.engine.backends import kernel_costs
+
+    model = UnitCostModel()
+    for (case, backend), _keys in plan.groups():
+        per_system = [
+            plan.budget_for(system).population
+            * plan.budget_for(system).generations
+            for system in plan.systems
+        ]
+        work = (
+            (sum(per_system) / len(per_system))
+            * case.steps
+            * case.size**2
+            * 8
+        )
+        model.set_prior_work(
+            UnitCostModel.kernel_key(case.name, backend), work
+        )
+    model.fold_engine(kernel_costs().snapshot())
+    return model

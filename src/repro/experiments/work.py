@@ -29,14 +29,23 @@ re-run after stale leases without changing a byte of the results store.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.plan import ExperimentPlan
 
-__all__ = ["WorkUnit", "WorkSet", "assign_units", "split_units"]
+__all__ = [
+    "WorkUnit",
+    "WorkSet",
+    "assign_units",
+    "assign_units_by_cost",
+    "improve_assignment",
+    "merge_group_units",
+    "split_units",
+    "split_units_by_cost",
+]
 
 #: One results-store cell: ``(system, case, seed, backend)``.
 Cell = tuple[str, str, int, str]
@@ -94,9 +103,22 @@ class WorkUnit:
         unit's cells, disjointly, and merging them back
         (:meth:`merge`) round-trips to the original unit.
         """
+        return self.split_at((self.n_cells + 1) // 2)
+
+    def split_at(self, cut: int) -> tuple["WorkUnit", "WorkUnit"]:
+        """Split after the first ``cut`` cells, preserving cell order.
+
+        The cost-aware generalisation of :meth:`split`: a scheduler that
+        knows how many cells amount to one lease's worth of work carves
+        exactly that many off the front. Both sides must keep at least
+        one cell.
+        """
         if self.n_cells < 2:
             raise ReproError("cannot split a single-cell work unit")
-        cut = (self.n_cells + 1) // 2
+        if not 1 <= cut < self.n_cells:
+            raise ReproError(
+                f"split point must be in [1, {self.n_cells - 1}], got {cut}"
+            )
         return (
             WorkUnit(self.group, self.cells[:cut]),
             WorkUnit(self.group, self.cells[cut:]),
@@ -286,3 +308,171 @@ def assign_units(
         buckets[k].append(unit)
         loads[k] += unit.n_cells
     return buckets
+
+
+# ----------------------------------------------------------------------
+# Cost-aware scheduling: the same split/assign decisions driven by a
+# predicted per-cell cost instead of raw cell counts. Rates arrive as a
+# ``rate_of(group) -> seconds-per-cell`` callable (usually a
+# :class:`~repro.experiments.costs.UnitCostModel` bound to the plan's
+# kernel keys) so this module stays free of model dependencies.
+# ----------------------------------------------------------------------
+def _carve(unit: WorkUnit, parts: int) -> list[WorkUnit]:
+    """Carve a unit into ``parts`` contiguous near-equal-cell chunks."""
+    parts = max(1, min(int(parts), unit.n_cells))
+    base, extra = divmod(unit.n_cells, parts)
+    out: list[WorkUnit] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append(WorkUnit(unit.group, unit.cells[start : start + size]))
+        start += size
+    return out
+
+
+def split_units_by_cost(
+    units: Sequence[WorkUnit],
+    parts: int,
+    rate_of: Callable[[int], float],
+    min_unit_cells: int = 1,
+) -> list[WorkUnit]:
+    """Pre-split units into near-equal-*cost* pieces, ``parts`` total.
+
+    Each unit is carved into contiguous chunks whose count is its share
+    of the total predicted cost (LPT-friendly: expensive groups yield
+    more pieces, cheap ones stay whole), so downstream assignment can
+    balance *time*, not cell counts. ``min_unit_cells`` keeps the same
+    floor semantics as :func:`split_units` (``0`` disables splitting);
+    deterministic for a given rate function. Splitting never changes
+    what any cell records — only where it may run.
+    """
+    if parts < 1:
+        raise ReproError(f"parts must be >= 1, got {parts}")
+    if min_unit_cells < 1:
+        return list(units)
+    total = sum(rate_of(u.group) * u.n_cells for u in units)
+    if total <= 0.0:
+        return split_units(units, parts, min_unit_cells)
+    target = total / parts
+    out: list[WorkUnit] = []
+    for unit in units:
+        cost = rate_of(unit.group) * unit.n_cells
+        pieces = max(1, round(cost / target))
+        pieces = min(pieces, max(unit.n_cells // min_unit_cells, 1))
+        out.extend(_carve(unit, pieces))
+    return out
+
+
+def merge_group_units(units: Sequence[WorkUnit]) -> list[WorkUnit]:
+    """Re-merge same-group fragments into one unit per group.
+
+    Requeued splits of one group (a dead worker's leases trickling
+    back) are worth re-leasing as a whole: one engine session instead
+    of several, and the cost model sizes one carve instead of many
+    slivers. Fragments concatenate in input order under the
+    first-seen group order; disjointness is enforced by
+    :meth:`WorkUnit.merge`.
+    """
+    by_group: dict[int, WorkUnit] = {}
+    order: list[int] = []
+    for unit in units:
+        if unit.group in by_group:
+            by_group[unit.group] = by_group[unit.group].merge(unit)
+        else:
+            by_group[unit.group] = unit
+            order.append(unit.group)
+    return [by_group[group] for group in order]
+
+
+def improve_assignment(
+    buckets: Sequence[Sequence[WorkUnit]],
+    cost_of: Callable[[WorkUnit], float],
+    max_rounds: int = 32,
+) -> list[list[WorkUnit]]:
+    """Cheap neighborhood search over an assignment: shift and swap.
+
+    Classic bin-packing local moves applied to the makespan (the
+    most-loaded bucket): each round considers *shifting* one unit from
+    the most- to the least-loaded bucket and *swapping* a unit pair
+    between the two most-loaded buckets, applies the best strictly
+    improving move, and stops when none exists (or after
+    ``max_rounds``). Bounded and deterministic — a polish pass over the
+    greedy LPT seed, not an exact solver.
+    """
+    out = [list(bucket) for bucket in buckets]
+    if len(out) < 2:
+        return out
+    loads = [sum(cost_of(u) for u in bucket) for bucket in out]
+    for _ in range(max_rounds):
+        order = sorted(range(len(out)), key=lambda i: (-loads[i], i))
+        hi, lo = order[0], order[-1]
+        pair_max = loads[hi]
+        best: tuple | None = None
+        for j, unit in enumerate(out[hi]):
+            cost = cost_of(unit)
+            new_max = max(loads[hi] - cost, loads[lo] + cost)
+            if new_max < pair_max and (best is None or new_max < best[0]):
+                best = (new_max, "shift", j, -1)
+        second = order[1]
+        for j, unit in enumerate(out[hi]):
+            cost_u = cost_of(unit)
+            for k, other in enumerate(out[second]):
+                cost_v = cost_of(other)
+                if cost_u <= cost_v:
+                    continue
+                new_max = max(
+                    loads[hi] - cost_u + cost_v,
+                    loads[second] - cost_v + cost_u,
+                )
+                if new_max < pair_max and (
+                    best is None or new_max < best[0]
+                ):
+                    best = (new_max, "swap", j, k)
+        if best is None:
+            break
+        _, kind, j, k = best
+        if kind == "shift":
+            unit = out[hi].pop(j)
+            out[lo].append(unit)
+            loads[hi] -= cost_of(unit)
+            loads[lo] += cost_of(unit)
+        else:
+            unit, other = out[hi][j], out[second][k]
+            out[hi][j], out[second][k] = other, unit
+            delta = cost_of(unit) - cost_of(other)
+            loads[hi] -= delta
+            loads[second] += delta
+    return out
+
+
+def assign_units_by_cost(
+    units: Sequence[WorkUnit],
+    parts: int,
+    rate_of: Callable[[int], float],
+) -> list[list[WorkUnit]]:
+    """Cost-balanced assignment: LPT by predicted cost, then polish.
+
+    Like :func:`assign_units` but greedy on ``rate_of``-predicted unit
+    cost instead of cell count, followed by the
+    :func:`improve_assignment` neighborhood pass. Never yields an empty
+    bucket; deterministic (ties break toward the earlier unit and the
+    lower bucket).
+    """
+    if parts < 1:
+        raise ReproError(f"parts must be >= 1, got {parts}")
+
+    def cost_of(unit: WorkUnit) -> float:
+        return rate_of(unit.group) * unit.n_cells
+
+    buckets: list[list[WorkUnit]] = [
+        [] for _ in range(min(parts, len(units)))
+    ]
+    loads = [0.0] * len(buckets)
+    ranked = sorted(
+        range(len(units)), key=lambda i: (-cost_of(units[i]), i)
+    )
+    for i in ranked:
+        k = min(range(len(buckets)), key=lambda j: (loads[j], j))
+        buckets[k].append(units[i])
+        loads[k] += cost_of(units[i])
+    return [b for b in improve_assignment(buckets, cost_of) if b]

@@ -49,7 +49,9 @@ from repro.experiments import (
     ExperimentPlan,
     ExperimentRunner,
     ResultsStore,
+    UnitCostModel,
     WorkSet,
+    WorkUnit,
     record_key,
 )
 from repro.experiments.store import HAS_APPEND_LOCK, parity_view
@@ -411,7 +413,15 @@ def inline_store(tmp_path_factory):
     return store
 
 
-def _run_fleet(plan, store, tmp_path, targets, lease_timeout, timeout=180.0):
+def _run_fleet(
+    plan,
+    store,
+    tmp_path,
+    targets,
+    lease_timeout,
+    timeout=180.0,
+    scheduling="cost",
+):
     """Run a fleet of worker processes against a loopback coordinator."""
     procs: list = []
 
@@ -428,6 +438,7 @@ def _run_fleet(plan, store, tmp_path, targets, lease_timeout, timeout=180.0):
         lease_timeout=lease_timeout,
         poll_interval=0.05,
         timeout=timeout,
+        scheduling=scheduling,
         on_bound=on_bound,
     )
     try:
@@ -504,17 +515,21 @@ class TestExecutorParity:
 
 @needs_fork
 class TestFleetFailureRecovery:
+    @pytest.mark.parametrize("scheduling", ["cost", "halving"])
     @pytest.mark.parametrize(
         "dier",
         [_worker_dying_mid_group, _worker_dying_after_complete],
         ids=["killed-mid-group", "killed-after-complete-undrained"],
     )
     def test_killed_worker_requeues_and_completes(
-        self, dier, inline_store, tmp_path
+        self, dier, scheduling, inline_store, tmp_path
     ):
         """Acceptance: a fleet run with one worker killed mid-run
         completes after lease-timeout requeue with zero lost or
-        duplicated (system, case, seed, backend) cells."""
+        duplicated (system, case, seed, backend) cells — under both
+        scheduling policies (under cost/piggyback the after-complete
+        death is lossless for the *reported* unit, but the dier also
+        abandons its piggybacked next lease, which must requeue)."""
         plan = _plan()
         store = ResultsStore(tmp_path / "fleet.jsonl")
         result, executor, procs = _run_fleet(
@@ -526,6 +541,7 @@ class TestFleetFailureRecovery:
                 lambda addr, path: _worker(addr, path, "survivor"),
             ],
             lease_timeout=2.0,
+            scheduling=scheduling,
         )
         assert executor.requeues >= 1
         exit_codes = sorted(p.exitcode for p in procs)
@@ -608,6 +624,8 @@ def _run_thread_fleet(
     min_unit_cells=1,
     auth_token=None,
     worker_tokens=None,
+    scheduling="cost",
+    worker_throttles=None,
 ):
     """In-thread fleet: N run_worker threads against a loopback
     coordinator; returns (result, executor, summaries, errors)."""
@@ -615,6 +633,7 @@ def _run_thread_fleet(
     summaries: list[dict] = []
     errors: list[Exception] = []
     tokens = worker_tokens or {}
+    throttles = worker_throttles or {}
 
     def worker(address, index, store_path):
         try:
@@ -624,6 +643,7 @@ def _run_thread_fleet(
                     store_path=store_path,
                     worker_id=f"thread-w{index}",
                     auth_token=tokens.get(index, auth_token),
+                    throttle=throttles.get(index),
                 )
             )
         except Exception as exc:  # surfaced to the test thread
@@ -642,6 +662,7 @@ def _run_thread_fleet(
         poll_interval=0.05,
         timeout=timeout,
         min_unit_cells=min_unit_cells,
+        scheduling=scheduling,
         auth_token=auth_token,
         on_bound=on_bound,
     )
@@ -1160,3 +1181,233 @@ class TestFleetTelemetry:
                     "0.5",
                 ]
             )
+
+# ----------------------------------------------------------------------
+# Cost-aware scheduling: the predictive grant path of the unit ledger
+# ----------------------------------------------------------------------
+class TestCostLedger:
+    """Deterministic (fake-clock) coverage of the cost-mode grant path:
+    probe-first sizing, throughput-proportional leases, piggybacked
+    granting, fragment re-merge, and snapshot determinism."""
+
+    def _ledger(
+        self,
+        covered: set,
+        clock: list,
+        plan=None,
+        model: UnitCostModel | None = None,
+        target_unit_seconds: float = 1.0,
+    ):
+        return UnitLedger(
+            WorkSet.compile(plan or _one_group_plan(n_seeds=8), set()),
+            lease_timeout=5.0,
+            completed_cells=lambda: set(covered),
+            clock=lambda: clock[0],
+            min_unit_cells=1,
+            cost_model=model or UnitCostModel(),
+            target_unit_seconds=target_unit_seconds,
+        )
+
+    def test_unknown_worker_gets_a_probe_lease(self):
+        """A worker with no measured throughput gets a small probe (a
+        quarter of its fair share), not half of everything — sizing
+        information before committing cells."""
+        clock = [0.0]
+        ledger = self._ledger(set(), clock)  # 16 cells, one group
+        grant = ledger.lease("w1")
+        assert grant["type"] == "unit"
+        unit = WorkUnit.from_dict(grant["unit"])
+        assert unit.n_cells == 4  # fair share 16, probe = 16 // 4
+
+    def test_measured_throughput_sizes_leases_proportionally(self):
+        """Once both workers have measured throughput, the faster one
+        is granted strictly more cells per lease."""
+        clock = [0.0]
+        ledger = self._ledger(set(), clock)
+        g1 = ledger.lease("w1")
+        g2 = ledger.lease("w2")
+        # identical wall-clock, 4x the cells: w1 measures 4x faster
+        ledger.complete(
+            "w1", g1["lease"], {"unit_seconds": 1.0}, drained=True
+        )
+        ledger.complete(
+            "w2", g2["lease"], {"unit_seconds": 1.0}, drained=True
+        )
+        fast = WorkUnit.from_dict(ledger.lease("w1")["unit"])
+        slow = WorkUnit.from_dict(ledger.lease("w2")["unit"])
+        assert fast.n_cells > slow.n_cells >= 1
+        stats = ledger.worker_stats()
+        assert stats["w1"]["throughput"] == pytest.approx(4.0)
+        assert stats["w2"]["throughput"] == pytest.approx(1.0)
+
+    def test_piggybacked_complete_carries_the_next_lease(self):
+        """complete(drained=True, grant_next=True) collapses
+        complete -> drain -> lease into one exchange and the round-trip
+        accounting shows it."""
+        clock = [0.0]
+        ledger = self._ledger(set(), clock)
+        grant = ledger.lease("w1")
+        reply = ledger.complete(
+            "w1",
+            grant["lease"],
+            {"unit_seconds": 0.5},
+            drained=True,
+            grant_next=True,
+        )
+        assert reply["type"] == "ok"
+        assert reply["next"]["type"] == "unit"
+        st = ledger.worker_stats()["w1"]
+        assert st["lease_requests"] == 1  # only the explicit ask
+        assert st["piggybacked"] == 1
+        assert st["completes"] == 1
+        assert st["drains"] == 0  # the drain rode the complete
+        assert st["round_trips"] == 2
+
+    def test_stale_complete_still_grants_next(self):
+        """A worker whose lease expired still wants work: ``next``
+        rides the stale reply too."""
+        clock = [0.0]
+        ledger = self._ledger(set(), clock)
+        grant = ledger.lease("w1")
+        clock[0] = 20.0  # lease long dead
+        reply = ledger.complete(
+            "w1", grant["lease"], drained=True, grant_next=True
+        )
+        assert reply["type"] == "stale"
+        assert reply["next"]["type"] == "unit"
+
+    def test_requeued_fragments_remerge_before_regrant(self):
+        """Expired sliver leases from the same group fuse back into one
+        contiguous unit before the next grant carves it afresh —
+        fragmentation does not compound across worker deaths."""
+        clock = [0.0]
+        ledger = self._ledger(set(), clock)
+        a = ledger.lease("w1")
+        b = ledger.lease("w2")
+        assert a["type"] == b["type"] == "unit"
+        clock[0] = 20.0  # both leases expire, fragments requeue
+        grant = ledger.lease("w3")
+        assert grant["type"] == "unit"
+        assert ledger.requeues == 2
+        # the two fragments and the remainder merged into one unit
+        # before w3's probe was carved from it
+        assert ledger.progress()["pending_units"] == 1
+
+    def test_grants_deterministic_from_identical_snapshots(self):
+        """Two ledgers seeded from the same serialized cost model and
+        driven through the same call sequence make identical grant
+        decisions — cell for cell."""
+        source = UnitCostModel()
+        source.observe("grassland:vectorized", 4, 2.0)
+        payload = source.to_dict()
+        transcripts = []
+        for _ in range(2):
+            clock = [0.0]
+            ledger = self._ledger(
+                set(), clock, model=UnitCostModel.from_dict(payload)
+            )
+            grants = []
+            g1 = ledger.lease("w1")
+            grants.append(g1["unit"])
+            g2 = ledger.lease("w2")
+            grants.append(g2["unit"])
+            ledger.complete(
+                "w1", g1["lease"], {"unit_seconds": 0.5}, drained=True
+            )
+            reply = ledger.complete(
+                "w2",
+                g2["lease"],
+                {"unit_seconds": 2.0},
+                drained=True,
+                grant_next=True,
+            )
+            grants.append(reply["next"]["unit"])
+            grants.append(ledger.lease("w1")["unit"])
+            transcripts.append(grants)
+        assert transcripts[0] == transcripts[1]
+
+    def test_target_unit_seconds_must_be_positive(self):
+        with pytest.raises(FleetError, match="target_unit_seconds"):
+            self._ledger(set(), [0.0], target_unit_seconds=0.0)
+        with pytest.raises(FleetError, match="scheduling"):
+            FleetExecutor(scheduling="bogus")
+        with pytest.raises(ReproError, match="scheduling"):
+            ProcessShardExecutor(2, scheduling="bogus")
+
+
+class TestCostFleetEndToEnd:
+    """Thread fleets under the default cost scheduling: piggybacked
+    round-trips happen, legacy halving still works, and a throttled
+    worker receives proportionally fewer cells — all bitwise-clean."""
+
+    def test_cost_fleet_piggybacks_and_matches_inline(self, tmp_path):
+        plan = _one_group_plan(n_seeds=8)
+        inline = ResultsStore(tmp_path / "inline.jsonl")
+        ExperimentRunner(store=inline).run(plan)
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan, store, [tmp_path / f"w{i}.jsonl" for i in range(2)]
+        )
+        assert errors == []
+        stats = executor.worker_stats
+        assert sum(s["piggybacked"] for s in stats.values()) >= 1
+        # every completion was reported, none needed a separate drain
+        # round-trip afterwards
+        assert all(s["drains"] == 0 for s in stats.values()), stats
+        assert all(s["round_trips"] >= 1 for s in stats.values())
+        assert _sorted_normalized(store) == _sorted_normalized(inline)
+
+    def test_halving_fleet_still_matches_inline(self, tmp_path):
+        """scheduling="halving" keeps the PR 6 behaviour end to end:
+        no piggybacking, explicit drains, identical records."""
+        plan = _one_group_plan(n_seeds=4)
+        inline = ResultsStore(tmp_path / "inline.jsonl")
+        ExperimentRunner(store=inline).run(plan)
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan,
+            store,
+            [tmp_path / f"w{i}.jsonl" for i in range(2)],
+            scheduling="halving",
+        )
+        assert errors == []
+        stats = executor.worker_stats
+        assert sum(s["piggybacked"] for s in stats.values()) == 0
+        assert sum(s["drains"] for s in stats.values()) >= 1
+        assert _sorted_normalized(store) == _sorted_normalized(inline)
+
+    def test_heterogeneous_fleet_respects_capacity(self, tmp_path):
+        """Acceptance: in a 3-worker fleet with one worker throttled to
+        a fraction of the others' speed, capacity-aware sizing hands
+        the slow worker proportionally fewer cells, every worker still
+        completes at least one unit, and the merged store is
+        bitwise-identical to the inline run."""
+        plan = _one_group_plan(n_seeds=12)  # 24 cells, one group
+        inline = ResultsStore(tmp_path / "inline.jsonl")
+        ExperimentRunner(store=inline).run(plan)
+        store = ResultsStore(tmp_path / "fleet.jsonl")
+        result, executor, summaries, errors = _run_thread_fleet(
+            plan,
+            store,
+            [tmp_path / f"w{i}.jsonl" for i in range(3)],
+            worker_throttles={0: 0.5},  # +0.5 s per cell on worker 0
+        )
+        assert errors == []
+        assert len(summaries) == 3
+        assert all(s["units"] >= 1 for s in summaries), summaries
+        stats = executor.worker_stats
+        throttled = stats["thread-w0"]["cells"]
+        others = [
+            stats[w]["cells"] for w in stats if w != "thread-w0"
+        ]
+        assert throttled >= 1
+        assert throttled < sum(others) / len(others), stats
+        assert _sorted_normalized(store) == _sorted_normalized(inline)
+
+    def test_worker_throttle_env_knob_is_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_THROTTLE", "soon")
+        with pytest.raises(FleetError, match="REPRO_WORKER_THROTTLE"):
+            run_worker(("127.0.0.1", 9))
+        monkeypatch.delenv("REPRO_WORKER_THROTTLE")
+        with pytest.raises(FleetError, match="throttle"):
+            run_worker(("127.0.0.1", 9), throttle=-0.1)
