@@ -1,24 +1,27 @@
-"""Diff freshly measured executor-bench rows against a committed baseline.
+"""Diff freshly measured bench rows against a committed baseline.
 
-CI copies the repository's ``BENCH_executors.json`` aside *before* the
-smoke benchmarks run (they merge sections into the committed path in
-place), reruns the smoke bodies, and then calls this script to print
-how the scheduling metrics moved against what the repository claims:
+CI copies the repository's BENCH report (``BENCH_executors.json``,
+``BENCH_engine.json``) aside *before* the smoke benchmarks run (they
+merge sections into the committed path in place), reruns the smoke
+bodies, and then calls this script to print how the metrics moved
+against what the repository claims:
 
     python benchmarks/check_bench_baseline.py \
         --baseline baseline.json \
         --fresh benchmarks/reports/BENCH_executors.json \
         --section few_big_groups_smoke
 
-Rows are matched by their ``mode`` label (``group leases`` /
-``unit leases`` / ``cost-aware units``). Wall-clock metrics
-(``seconds``, ``idle_seconds``) vary with machine load, so the script
-is a trajectory printer, not a gate: it always exits 0 unless the
-files are unreadable or the section/rows are missing entirely —
-*structural* drift (a mode row disappearing from the committed report)
-is the one thing it fails on. Counter metrics (``round_trips``,
-``lease_requests``, ``piggybacked``, ``steals``) are deterministic
-enough that a reviewer can read a regression straight off the deltas.
+Rows are matched by the ``--key`` label: ``mode`` by default
+(``group leases`` / ``unit leases`` / ``cost-aware units``), or e.g.
+``backend`` for the engine report's ``backends_smoke`` section.
+Wall-clock metrics (``seconds``, ``idle_seconds``, ``evals_per_sec``,
+``speedup``) vary with machine load, so the script is a trajectory
+printer, not a gate: it always exits 0 unless the files are unreadable
+or the section/rows are missing entirely — *structural* drift (a row
+disappearing from the committed report) is the one thing it fails on.
+Counter metrics (``round_trips``, ``lease_requests``, ``piggybacked``,
+``steals``) are deterministic enough that a reviewer can read a
+regression straight off the deltas.
 """
 
 from __future__ import annotations
@@ -28,10 +31,14 @@ import json
 import sys
 
 #: Metrics worth diffing, in print order: (key, format, is_timing).
+#: Rows missing a key simply skip it, so executor and engine reports
+#: share one table.
 METRICS = (
     ("seconds", "{:.2f}", True),
     ("busy_seconds", "{:.2f}", True),
     ("idle_seconds", "{:.2f}", True),
+    ("evals_per_sec", "{:.0f}", True),
+    ("speedup", "{:.2f}", True),
     ("round_trips", "{:d}", False),
     ("lease_requests", "{:d}", False),
     ("piggybacked", "{:d}", False),
@@ -39,8 +46,8 @@ METRICS = (
 )
 
 
-def load_rows(path: str, section: str) -> dict[str, dict]:
-    """``mode -> row`` for one section of a BENCH report file."""
+def load_rows(path: str, section: str, key: str = "mode") -> dict[str, dict]:
+    """``row[key] -> row`` for one section of a BENCH report file."""
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -52,7 +59,13 @@ def load_rows(path: str, section: str) -> dict[str, dict]:
             f"{path} has no rows under section {section!r} "
             f"(sections: {sorted(doc.get('sections', {}))})"
         )
-    return {row["mode"]: row for row in payload["rows"] if "mode" in row}
+    rows = {row[key]: row for row in payload["rows"] if key in row}
+    if not rows:
+        raise SystemExit(
+            f"{path} section {section!r} has no rows labelled by "
+            f"{key!r} (row keys: {sorted(payload['rows'][0])})"
+        )
+    return rows
 
 
 def diff_rows(baseline: dict[str, dict], fresh: dict[str, dict]) -> list[str]:
@@ -103,10 +116,18 @@ def main(argv: list[str] | None = None) -> int:
         default="few_big_groups_smoke",
         help="section to diff (default: few_big_groups_smoke)",
     )
+    ap.add_argument(
+        "--key",
+        default="mode",
+        help="row-identity label within the section (default: mode; "
+        "use 'backend' for the engine report)",
+    )
     args = ap.parse_args(argv)
-    baseline = load_rows(args.baseline, args.section)
-    fresh = load_rows(args.fresh, args.section)
-    print(f"bench baseline diff — section {args.section!r}")
+    baseline = load_rows(args.baseline, args.section, args.key)
+    fresh = load_rows(args.fresh, args.section, args.key)
+    print(
+        f"bench baseline diff — section {args.section!r} by {args.key!r}"
+    )
     for line in diff_rows(baseline, fresh):
         print(line)
     return 0

@@ -15,8 +15,12 @@ Five commands cover the common workflows without writing a script:
   fleet).
 * ``experiments`` — distributed-execution utilities:
   ``serve-coordinator`` (lease a plan's work units to TCP workers),
-  ``worker`` (join a coordinator's fleet) and ``merge-stores``
-  (aggregate several JSONL results stores into one).
+  ``worker`` (join a coordinator's fleet), ``status`` (read-only fleet
+  snapshot, optionally re-polled with ``--watch``) and
+  ``merge-stores`` (aggregate several JSONL results stores into one).
+* ``obs`` — observability utilities: ``timeline`` merges the fleet's
+  ``--trace`` JSONL files into one Perfetto-loadable Chrome
+  trace-event timeline.
 
 ``compare`` and ``sweep`` are thin *plan builders*: they assemble a
 declarative :class:`~repro.experiments.plan.ExperimentPlan` from the
@@ -31,6 +35,7 @@ import argparse
 import logging
 import os
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -62,7 +67,10 @@ from repro.experiments import (
     ExperimentRunner,
     ResultsStore,
 )
+from repro.experiments.costs import DEFAULT_SLOW_UNIT_FACTOR
 from repro.firelib.simulator import FireSimulator
+from repro.obs.http import ObsHTTPServer
+from repro.obs.timeline import export_timeline
 from repro.rng import make_rng
 from repro.systems.factory import SYSTEM_NAMES as _SYSTEM_NAMES
 from repro.systems.factory import build_system as _build_system
@@ -155,10 +163,28 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         "repro.distributed.* loggers narrate lease/steal/requeue/drain "
         "events; default: logging stays unconfigured)",
     )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live observability over HTTP on 127.0.0.1:PORT "
+        "while the command runs: /metrics (Prometheus text of the "
+        "process registry — under a fleet coordinator that includes "
+        "the folded per-worker series), /healthz, and /status (JSON "
+        "fleet snapshot when a coordinator is live, read-only; 0 = "
+        "OS-assigned, the bound address is printed)",
+    )
+
+
+#: The live observability HTTP server, when ``--http-port`` asked for
+#: one (started in :func:`_setup_obs`, closed in :func:`_teardown_obs`).
+_http_server: ObsHTTPServer | None = None
 
 
 def _setup_obs(args: argparse.Namespace) -> None:
     """Wire the parsed telemetry flags into the process registry."""
+    global _http_server
     level = getattr(args, "log_level", None)
     if level:
         logging.basicConfig(
@@ -169,10 +195,26 @@ def _setup_obs(args: argparse.Namespace) -> None:
     trace = getattr(args, "trace", None)
     if trace:
         obs.configure(trace_path=trace)
+    http_port = getattr(args, "http_port", None)
+    if http_port is not None:
+        server = ObsHTTPServer(port=http_port)
+        try:
+            host, port = server.start()
+        except OSError as exc:
+            raise SystemExit(
+                f"could not bind the observability HTTP server on port "
+                f"{http_port}: {exc}"
+            ) from exc
+        _http_server = server
+        print(f"observability http on {host}:{port}", flush=True)
 
 
 def _teardown_obs(args: argparse.Namespace) -> None:
     """Snapshot metrics (if asked) and close the trace sinks."""
+    global _http_server
+    if _http_server is not None:
+        _http_server.close()
+        _http_server = None
     metrics = getattr(args, "metrics", None)
     if metrics:
         try:
@@ -239,6 +281,15 @@ def _add_fleet(parser: argparse.ArgumentParser) -> None:
         "response handshake; unauthenticated peers are rejected before "
         "any plan bytes are sent (default: $REPRO_FLEET_TOKEN; unset "
         "disables authentication)",
+    )
+    parser.add_argument(
+        "--slow-unit-factor",
+        type=float,
+        default=DEFAULT_SLOW_UNIT_FACTOR,
+        help="emit a slow_unit trace event when a completed unit "
+        "exceeds its cost-model prediction by this factor (its "
+        "observed/predicted ratio always lands in the "
+        "repro_cost_residual_ratio histogram; 0 disables the event)",
     )
 
 
@@ -466,6 +517,7 @@ def _make_executor(args: argparse.Namespace):
             scheduling=args.scheduling,
             target_unit_seconds=args.target_unit_seconds,
             auth_token=args.auth_token,
+            slow_unit_factor=args.slow_unit_factor,
             on_bound=_announce_coordinator,
         )
     return None
@@ -503,6 +555,7 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
         scheduling=args.scheduling,
         target_unit_seconds=args.target_unit_seconds,
         auth_token=args.auth_token,
+        slow_unit_factor=args.slow_unit_factor,
         on_bound=_announce_coordinator,
     )
     runner = ExperimentRunner(
@@ -523,8 +576,33 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
     if executor.worker_stats:
         print("fleet workers (busy/idle over membership span):")
         print(_format_worker_stats(executor.worker_stats))
+    quantiles = _format_unit_seconds_quantiles()
+    if quantiles:
+        print(quantiles)
     print(format_experiment(result))
     return 0
+
+
+def _format_unit_seconds_quantiles() -> str | None:
+    """One-line p50/p95/max summary of completed-unit wall times.
+
+    Reads the coordinator's ``repro_fleet_unit_seconds`` histogram from
+    the process registry; ``None`` when no unit completed in-process.
+    """
+    for entry in obs.telemetry().snapshot():
+        if (
+            entry.get("name") == "repro_fleet_unit_seconds"
+            and entry.get("type") == "histogram"
+            and entry.get("count")
+        ):
+            p50 = obs.histogram_quantile(entry, 0.5)
+            p95 = obs.histogram_quantile(entry, 0.95)
+            return (
+                f"unit seconds: p50 {p50:.2f}s, p95 {p95:.2f}s, "
+                f"max {entry.get('max', 0.0):.2f}s "
+                f"over {entry['count']} units"
+            )
+    return None
 
 
 def _format_worker_stats(workers: dict[str, dict]) -> str:
@@ -551,8 +629,13 @@ def _format_worker_stats(workers: dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
-def _cmd_experiments_status(args: argparse.Namespace) -> int:
-    """One read-only snapshot of a running coordinator."""
+def _probe_status(args: argparse.Namespace) -> dict:
+    """One read-only ``status`` exchange with a coordinator.
+
+    Raises :class:`SystemExit` with a clean one-line message on any
+    failure — no coordinator listening, auth mismatch, or a non-status
+    reply.
+    """
     try:
         addr = parse_address(args.connect)
         reply = _fleet_request(
@@ -572,6 +655,11 @@ def _cmd_experiments_status(args: argparse.Namespace) -> int:
             f"coordinator rejected the status probe: "
             f"{reply.get('error', reply.get('type'))}"
         )
+    return reply
+
+
+def _print_status(reply: dict) -> None:
+    """Render one status snapshot (shared by one-shot and --watch)."""
     progress = reply.get("progress") or {}
     state = "finished" if reply.get("finished") else "running"
     print(
@@ -604,7 +692,42 @@ def _cmd_experiments_status(args: argparse.Namespace) -> int:
                 )
         else:
             print("cost model: no measured rates yet (priors only)")
-    return 0
+
+
+def _cmd_experiments_status(args: argparse.Namespace) -> int:
+    """Read-only coordinator snapshot(s): one-shot, or --watch loop."""
+    if not args.watch:
+        _print_status(_probe_status(args))
+        return 0
+    if args.watch < 0:
+        raise SystemExit(
+            f"--watch must be a non-negative interval, got {args.watch:g}"
+        )
+    interval = max(args.watch, 0.2)  # protect the coordinator's accept loop
+    probed_once = False
+    try:
+        while True:
+            try:
+                reply = _probe_status(args)
+            except SystemExit:
+                if not probed_once:
+                    raise
+                # a coordinator that answered before and is now gone
+                # has finished (or died) — either way the watch is over
+                print(f"coordinator at {args.connect} has gone away")
+                return 0
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            elif probed_once:
+                print(f"--- {time.strftime('%H:%M:%S')} ---")
+            probed_once = True
+            _print_status(reply)
+            if reply.get("finished"):
+                return 0
+            sys.stdout.flush()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_experiments_worker(args: argparse.Namespace) -> int:
@@ -641,6 +764,30 @@ def _cmd_experiments_merge(args: argparse.Namespace) -> int:
         f"{summary['records']} records, {summary['duplicates']} "
         "duplicate cells dropped (first writer wins)"
     )
+    return 0
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    """Merge trace JSONL files into one Perfetto-loadable timeline."""
+    try:
+        summary = export_timeline(
+            args.traces, args.output, trace_id=args.trace_id
+        )
+    except _USER_ERRORS as exc:
+        raise SystemExit(str(exc)) from exc
+    trace_ids = summary.get("trace_ids") or []
+    ids_text = ", ".join(trace_ids) if trace_ids else "none tagged"
+    print(
+        f"timeline written: {args.output} ({summary.get('spans', 0)} "
+        f"spans on {len(summary.get('tracks') or [])} track(s); "
+        f"trace ids: {ids_text})"
+    )
+    if len(trace_ids) > 1 and not args.trace_id:
+        print(
+            "note: events from multiple trace ids were merged; pass "
+            "--trace-id to isolate one run",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -864,6 +1011,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=10.0,
         help="seconds to wait for the coordinator's reply",
     )
+    p_st.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-probe and redraw every SECONDS until the plan "
+        "finishes or the coordinator goes away (default: one snapshot)",
+    )
     p_st.set_defaults(func=_cmd_experiments_status)
 
     p_mrg = exp_sub.add_parser(
@@ -882,6 +1037,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="source stores, in precedence order",
     )
     p_mrg.set_defaults(func=_cmd_experiments_merge)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability utilities over collected telemetry files",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_tl = obs_sub.add_parser(
+        "timeline",
+        help="merge --trace JSONL files into one Chrome trace-event "
+        "timeline (open in Perfetto or chrome://tracing); propagated "
+        "trace ids and clock offsets place spans on per-worker tracks",
+    )
+    p_tl.add_argument(
+        "traces",
+        nargs="+",
+        metavar="TRACE_JSONL",
+        help="trace files written by --trace (one per process: "
+        "coordinator and each worker)",
+    )
+    p_tl.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="destination timeline JSON",
+    )
+    p_tl.add_argument(
+        "--trace-id",
+        default=None,
+        help="keep only spans of this propagated trace id (default: "
+        "all events; untagged events are always kept)",
+    )
+    p_tl.set_defaults(func=_cmd_obs_timeline)
 
     args = parser.parse_args(argv)
     _setup_obs(args)

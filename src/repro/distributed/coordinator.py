@@ -71,10 +71,16 @@ import time
 import socketserver
 from typing import TYPE_CHECKING, Callable
 
-from repro.experiments.costs import UnitCostModel, plan_cost_model
+from repro.experiments.costs import (
+    DEFAULT_SLOW_UNIT_FACTOR,
+    UnitCostModel,
+    plan_cost_model,
+    record_residual,
+)
 from repro.experiments.store import record_key
 from repro.experiments.work import WorkSet, WorkUnit, merge_group_units
 from repro.obs import telemetry
+from repro.obs.http import clear_status_provider, set_status_provider
 
 from repro.distributed.executors import _check_process_portable
 from repro.distributed.protocol import (
@@ -128,6 +134,12 @@ class UnitLedger:
         much predicted work per unit once per-cell cost is measured,
         so tiny sliver leases (one session each, all overhead) stop at
         a wall-clock bound instead of a guessed cell count.
+    slow_unit_factor:
+        Residual monitoring (cost mode): every completed unit's
+        observed/predicted ratio lands in the
+        ``repro_cost_residual_ratio`` histogram, and a unit slower
+        than ``factor × predicted`` emits a ``slow_unit`` trace event
+        naming the worker.
     """
 
     def __init__(
@@ -139,6 +151,7 @@ class UnitLedger:
         min_unit_cells: int = 1,
         cost_model: UnitCostModel | None = None,
         target_unit_seconds: float = 1.0,
+        slow_unit_factor: float = DEFAULT_SLOW_UNIT_FACTOR,
     ) -> None:
         if lease_timeout <= 0:
             raise FleetError(
@@ -178,6 +191,7 @@ class UnitLedger:
         self.clock = clock
         self.cost_model = cost_model
         self.target_unit_seconds = float(target_unit_seconds)
+        self.slow_unit_factor = float(slow_unit_factor)
         # group index -> cost-model kernel key (cost mode prices a
         # unit by its group's (case, backend) kernel)
         self._kernel_of: dict[int, str] = {
@@ -222,12 +236,14 @@ class UnitLedger:
             }
         return st
 
-    def _fold_telemetry(self, st: dict, info) -> None:
+    def _fold_telemetry(self, worker: str, st: dict, info) -> None:
         """Fold a worker-reported telemetry payload into its stats row.
 
         ``busy_seconds`` arrives as the worker's *cumulative* busy time,
         so the fold is a max — late or duplicate reports never inflate
-        utilization.
+        utilization. The per-worker busy gauge updates live here (not
+        only at fleet finish), so a ``/metrics`` scrape mid-run already
+        shows ``repro_fleet_worker_busy_seconds{worker=...}``.
         """
         if not isinstance(info, dict):
             return
@@ -236,6 +252,9 @@ class UnitLedger:
         except (TypeError, ValueError):
             return
         st["busy_seconds"] = max(st["busy_seconds"], busy)
+        telemetry().gauge(
+            "repro_fleet_worker_busy_seconds", worker=worker
+        ).set(st["busy_seconds"])
 
     def worker_stats(self) -> dict[str, dict]:
         """Fleet-wide per-worker view: busy/idle split and utilization.
@@ -327,7 +346,7 @@ class UnitLedger:
             self._last_seen[worker] = now
             st = self._stats(worker, now)
             st["round_trips"] += 1
-            self._fold_telemetry(st, info)
+            self._fold_telemetry(worker, st, info)
             self._expire(now)
             lease = self._leases.get(_lease_key(lease_id))
             if lease is None or lease["worker"] != worker:
@@ -374,7 +393,7 @@ class UnitLedger:
             st = self._stats(worker, now)
             st["round_trips"] += 1
             st["completes"] += 1
-            self._fold_telemetry(st, info)
+            self._fold_telemetry(worker, st, info)
             self._expire(now)
             if drained:
                 self._dirty.discard(worker)
@@ -421,6 +440,18 @@ class UnitLedger:
                 )
             if self.cost_model is not None:
                 kernel = self._kernel_of.get(unit.group, "")
+                # residual first: the ratio must judge the prediction
+                # the scheduler actually used, before this unit's own
+                # timing teaches the model
+                record_residual(
+                    self.cost_model,
+                    kernel,
+                    unit.n_cells,
+                    unit_seconds,
+                    slow_factor=self.slow_unit_factor,
+                    worker=worker,
+                    group=unit.group,
+                )
                 self.cost_model.observe(kernel, unit.n_cells, unit_seconds)
                 if isinstance(info, dict):
                     self.cost_model.fold_engine(info.get("engine_costs"))
@@ -751,6 +782,7 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
         share_sessions: bool,
         poll_interval: float,
         auth_token: str | None = None,
+        trace: dict | None = None,
     ) -> None:
         super().__init__(address, _CoordinatorHandler)
         plan = workset.plan
@@ -763,13 +795,33 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
         self.share_sessions = share_sessions
         self.poll_interval = poll_interval
         self.auth_token = auth_token
+        # the run's trace context {trace_id, parent_span} — stamped on
+        # welcome and every lease so workers' spans join one tree
+        self.trace = dict(trace) if trace else None
+
+    def _stamp_trace(self, reply: dict) -> dict:
+        if self.trace is not None and reply.get("type") == "unit":
+            reply["trace"] = dict(self.trace)
+        return reply
+
+    def _stamp_clock(self, message: dict, reply: dict) -> dict:
+        """Answer a ``sent_at`` timestamp with the coordinator-measured
+        clock-offset estimate (coordinator time minus worker send time —
+        skewed by one-way latency, plenty for timeline alignment)."""
+        sent = message.get("sent_at")
+        if sent is not None:
+            try:
+                reply["clock_offset"] = time.time() - float(sent)
+            except (TypeError, ValueError):
+                pass
+        return reply
 
     def dispatch(self, message: dict) -> dict:
         mtype = message.get("type")
         worker = str(message.get("worker", ""))
         if mtype == "hello":
             self.ledger.touch(worker)
-            return {
+            reply = {
                 "type": "welcome",
                 "plan": self.plan_payload,
                 "share_sessions": self.share_sessions,
@@ -780,13 +832,19 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
                 # records to `complete` and read `next` off the reply
                 "piggyback": self.ledger.cost_model is not None,
             }
+            if self.trace is not None:
+                reply["trace"] = dict(self.trace)
+            return reply
         if mtype == "lease":
-            return self.ledger.lease(worker)
+            return self._stamp_trace(self.ledger.lease(worker))
         if mtype == "heartbeat":
-            return self.ledger.heartbeat(
+            telemetry().fold_snapshot(message.get("metrics"), worker=worker)
+            reply = self.ledger.heartbeat(
                 worker, message.get("lease"), message.get("telemetry")
             )
+            return self._stamp_clock(message, reply)
         if mtype == "complete":
+            telemetry().fold_snapshot(message.get("metrics"), worker=worker)
             drained = False
             records = message.get("records")
             if isinstance(records, list):
@@ -799,13 +857,16 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
                 with self.store_lock:
                     self.store.merge(wanted)
                 drained = True
-            return self.ledger.complete(
+            reply = self.ledger.complete(
                 worker,
                 message.get("lease"),
                 message.get("telemetry"),
                 drained=drained,
                 grant_next=self.ledger.cost_model is not None,
             )
+            if isinstance(reply.get("next"), dict):
+                self._stamp_trace(reply["next"])
+            return self._stamp_clock(message, reply)
         if mtype == "status":
             # read-only fleet snapshot for `repro experiments status`;
             # deliberately does NOT touch() the asker — a status probe
@@ -822,6 +883,7 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
             return {
                 "type": "status",
                 "plan": self.plan_name,
+                "trace": dict(self.trace) if self.trace else None,
                 "expected_cells": len(self.plan_cells),
                 "recorded_cells": recorded,
                 "finished": self.ledger.finished.is_set(),
@@ -961,6 +1023,10 @@ class FleetExecutor:
     target_unit_seconds:
         Cost mode's per-lease wall-clock target (see
         :class:`UnitLedger`).
+    slow_unit_factor:
+        Residual-monitoring threshold (see :class:`UnitLedger`): a
+        completed unit slower than ``factor × predicted`` emits a
+        ``slow_unit`` trace event naming the worker.
     auth_token:
         Shared secret for the challenge–response handshake (see
         :mod:`repro.distributed.protocol`); defaults to
@@ -982,6 +1048,7 @@ class FleetExecutor:
         min_unit_cells: int = 1,
         scheduling: str = "cost",
         target_unit_seconds: float = 1.0,
+        slow_unit_factor: float = DEFAULT_SLOW_UNIT_FACTOR,
         auth_token: str | None = None,
         on_bound: Callable[[tuple[str, int]], None] | None = None,
     ) -> None:
@@ -998,6 +1065,7 @@ class FleetExecutor:
         self.min_unit_cells = int(min_unit_cells)
         self.scheduling = scheduling
         self.target_unit_seconds = float(target_unit_seconds)
+        self.slow_unit_factor = float(slow_unit_factor)
         self.auth_token = check_auth_token(
             auth_token
             if auth_token is not None
@@ -1040,6 +1108,7 @@ class FleetExecutor:
             min_unit_cells=self.min_unit_cells,
             cost_model=self.cost_model,
             target_unit_seconds=self.target_unit_seconds,
+            slow_unit_factor=self.slow_unit_factor,
         )
         server = _CoordinatorServer(
             (self.host, self.port),
@@ -1050,6 +1119,10 @@ class FleetExecutor:
             share_sessions=runner.share_sessions,
             poll_interval=self.poll_interval,
             auth_token=self.auth_token,
+            # the runner's `plan` root span adopted this context just
+            # before calling us; stamping it on welcome/lease replies
+            # hangs every worker's spans under that root
+            trace=telemetry().trace_context(),
         )
         self.address = (server.server_address[0], server.server_address[1])
         thread = threading.Thread(
@@ -1059,6 +1132,10 @@ class FleetExecutor:
             name="fleet-coordinator",
         )
         thread.start()
+        # while serving, the observability HTTP endpoint (if any)
+        # mirrors the read-only status message for this run
+        status_provider = lambda: server.dispatch({"type": "status"})  # noqa: E731
+        set_status_provider(status_provider)
         try:
             if self.on_bound is not None:
                 self.on_bound(self.address)
@@ -1086,6 +1163,7 @@ class FleetExecutor:
             ):
                 time.sleep(0.05)
         finally:
+            clear_status_provider(status_provider)
             self.requeues = ledger.requeues
             self.steals = ledger.steals
             self.worker_stats = ledger.worker_stats()
@@ -1111,6 +1189,7 @@ class FleetExecutor:
         obs.emit(
             {
                 "event": "fleet_summary",
+                "time": time.time(),
                 "requeues": self.requeues,
                 "steals": self.steals,
                 "workers": self.worker_stats,

@@ -253,6 +253,9 @@ class ProcessShardExecutor:
             assignments = assign_units(units, self.shards)
         if not units:
             return []
+        from repro.obs import telemetry
+
+        trace = telemetry().trace_context()
         workers = [
             multiprocessing.Process(
                 target=_run_shard,
@@ -261,6 +264,7 @@ class ProcessShardExecutor:
                     [unit.to_dict() for unit in assignment],
                     str(runner.store.path),
                     runner.share_sessions,
+                    trace,
                 ),
             )
             for assignment in assignments
@@ -290,12 +294,26 @@ def _run_shard(
     unit_payloads: Sequence[dict],
     store_path: str,
     share_sessions: bool,
+    trace: dict | None = None,
 ) -> None:
-    """Shard-process entry point: execute a subset of a plan's units."""
+    """Shard-process entry point: execute a subset of a plan's units.
+
+    ``trace`` is the parent process's trace context (trace id + the
+    ``plan`` root span id); adopting it keeps every shard's spans on
+    the same cross-process trace tree. Explicit adoption matters under
+    the ``spawn`` start method, where nothing is inherited; under
+    ``fork`` it also refreshes the span-id prefix so shard span ids
+    never collide with the parent's.
+    """
     from repro.experiments.plan import ExperimentPlan
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.store import ResultsStore
+    from repro.obs import telemetry
 
+    if isinstance(trace, dict) and trace.get("trace_id"):
+        telemetry().adopt_trace(
+            trace.get("trace_id"), trace.get("parent_span")
+        )
     plan = ExperimentPlan.from_dict(plan_payload)
     units = [WorkUnit.from_dict(payload) for payload in unit_payloads]
     store = ResultsStore(store_path)

@@ -13,7 +13,10 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     Join the fleet (``welcome``: the plan payload, session sharing and
     the lease timeout — a worker needs no plan file of its own. Under
     cost scheduling the welcome also advertises ``piggyback: true``,
-    switching the worker to the low-round-trip loop below).
+    switching the worker to the low-round-trip loop below. When the
+    coordinator runs under a ``plan`` root span, the welcome also
+    carries ``trace`` — ``{"trace_id", "parent_span"}`` — which the
+    worker adopts so every fleet process traces into one tree).
 ``lease``
     Ask for work (``unit``: a leased work-unit descriptor — a group
     index plus the explicit cell subset to run, see
@@ -27,7 +30,12 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     ``busy_seconds``, the in-flight unit's elapsed time, and an
     ``engine_costs`` kernel-rate snapshot — folded into the
     coordinator's live utilization view and its unit cost model (an
-    in-flight unit's elapsed time bounds its cost from below).
+    in-flight unit's elapsed time bounds its cost from below). Also
+    carries ``metrics`` (a delta-encoded registry snapshot, see
+    :func:`repro.obs.snapshot_delta`) which the coordinator folds into
+    its fleet registry labelled by worker, and ``sent_at`` (the
+    worker's wall clock at send time) from which replies derive a
+    ``clock_offset`` estimate for merged-timeline alignment.
 ``complete``
     Report a leased unit finished (``ok`` / ``stale`` when the lease
     timed out and the unit was already re-leased). May carry a
@@ -39,7 +47,11 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     ``next`` — a full lease decision (``unit``/``wait``/``drain``/
     ``done``), collapsing complete → drain → records → lease into one
     round-trip. ``next`` rides ``stale`` replies too: a worker whose
-    lease expired still wants work.
+    lease expired still wants work. Like heartbeats, ``complete``
+    carries ``metrics`` + ``sent_at``; the reply echoes a
+    ``clock_offset``, and ``unit`` replies (direct leases and
+    piggybacked ``next``) are stamped with the coordinator's ``trace``
+    context.
 ``records``
     Upload the worker's local store (``ok``; the coordinator merges the
     records into its own store, first writer wins).

@@ -60,7 +60,7 @@ from repro.distributed.protocol import (
     check_auth_token,
     request,
 )
-from repro.obs import telemetry
+from repro.obs import snapshot_delta, telemetry
 
 __all__ = ["parse_address", "run_worker"]
 
@@ -102,6 +102,7 @@ class _LeaseHeartbeat:
         token: str | None = None,
         busy_base: float = 0.0,
         engine_costs: Callable[[], dict] | None = None,
+        metrics: Callable[[], list] | None = None,
     ) -> None:
         self._payload = {"type": "heartbeat", "worker": worker, "lease": lease}
         self._address = address
@@ -110,6 +111,7 @@ class _LeaseHeartbeat:
         self._token = token
         self._busy_base = busy_base
         self._engine_costs = engine_costs
+        self._metrics = metrics
         self._started = time.perf_counter()
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -141,6 +143,15 @@ class _LeaseHeartbeat:
                 self._payload["telemetry"]["engine_costs"] = (
                     self._engine_costs()
                 )
+            if self._metrics is not None:
+                # metric delta since the last shipped snapshot; the
+                # coordinator folds it worker-labelled into the fleet
+                # registry (a delta lost to a failed beat is acceptable
+                # monitoring loss, never results loss)
+                self._payload["metrics"] = self._metrics()
+            # sent_at lets the coordinator answer with a clock-offset
+            # estimate (unused here, but it keeps both reply shapes equal)
+            self._payload["sent_at"] = time.time()
             try:
                 request(
                     self._address,
@@ -270,9 +281,40 @@ def run_worker(
                 )
             return reply
 
+    registry = telemetry()
+    # span ids namespace by worker id: traces merged across the fleet
+    # stay collision-free and attribute to the right track
+    registry.set_span_prefix(worker)
+
+    def adopt_trace(payload: dict) -> None:
+        """Join the coordinator's trace (stamped on welcome/leases):
+        this worker's spans then carry the fleet-wide trace_id and
+        parent onto the coordinator's `plan` root span."""
+        trace = payload.get("trace")
+        if isinstance(trace, dict) and trace.get("trace_id"):
+            registry.adopt_trace(
+                trace.get("trace_id"), trace.get("parent_span")
+            )
+
+    metrics_lock = threading.Lock()
+    last_metrics: list = []
+
+    def metrics_delta() -> list:
+        """Registry movement since the last shipped snapshot (shared by
+        the heartbeat thread and the complete path, hence the lock)."""
+        nonlocal last_metrics
+        with metrics_lock:
+            current = registry.snapshot()
+            delta = snapshot_delta(last_metrics, current)
+            last_metrics = current
+            return delta
+
+    clock_offset: float | None = None
+
     welcome = rpc({"type": "hello", "worker": worker})
     if welcome.get("type") != "welcome":
         raise FleetError(f"expected welcome, got {welcome.get('type')!r}")
+    adopt_trace(welcome)
     plan = ExperimentPlan.from_dict(welcome["plan"])
     log.info(
         "worker %s joined fleet at %s:%d (plan %s)",
@@ -330,6 +372,7 @@ def run_worker(
         reply = None
         kind = message.get("type")
         if kind == "unit":
+            adopt_trace(message)
             lease = message.get("lease")
             unit = WorkUnit.from_dict(message.get("unit") or {})
             log.info(
@@ -355,6 +398,7 @@ def run_worker(
                 token=auth_token,
                 busy_base=busy_seconds,
                 engine_costs=lambda: kernel_costs().snapshot(),
+                metrics=metrics_delta,
             ):
                 runner = ExperimentRunner(
                     store=store,
@@ -414,6 +458,8 @@ def run_worker(
                     "cells": unit.n_cells,
                     "engine_costs": kernel_costs().snapshot(),
                 },
+                "metrics": metrics_delta(),
+                "sent_at": time.time(),
             }
             uploaded: list[dict] = []
             if piggyback:
@@ -423,6 +469,21 @@ def run_worker(
                 payload["records"] = uploaded
             completion = rpc(payload)
             drained_cells.update(record_key(r) for r in uploaded)
+            offset = completion.get("clock_offset")
+            if isinstance(offset, (int, float)):
+                # coordinator-measured clock offset: timeline export
+                # shifts this worker's timestamps by the last estimate
+                first = clock_offset is None
+                clock_offset = float(offset)
+                if first:
+                    registry.emit(
+                        {
+                            "event": "clock_sync",
+                            "time": time.time(),
+                            "worker": worker,
+                            "clock_offset": clock_offset,
+                        }
+                    )
             nxt = completion.get("next")
             if isinstance(nxt, dict):
                 # piggybacked grant: the reply already decided our next
@@ -464,6 +525,17 @@ def run_worker(
             obs.counter("repro_worker_units_total", worker=worker).inc(
                 units_run
             )
+            if clock_offset is not None:
+                # final estimate, so the trace file's last clock_sync
+                # is the freshest one timeline export will use
+                obs.emit(
+                    {
+                        "event": "clock_sync",
+                        "time": time.time(),
+                        "worker": worker,
+                        "clock_offset": clock_offset,
+                    }
+                )
             log.info(
                 "worker %s done: %d units, %d records, "
                 "busy %.3fs / idle %.3fs",
@@ -487,6 +559,7 @@ def run_worker(
                 "busy_seconds": busy_seconds,
                 "idle_seconds": idle_seconds,
                 "wall_seconds": wall_seconds,
+                "clock_offset": clock_offset,
                 "store": str(store.path),
             }
         else:

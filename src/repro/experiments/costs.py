@@ -24,15 +24,52 @@ The model is plain serializable state (:meth:`to_dict` /
 identical decisions, which is what makes cost-aware splitting testable
 for determinism. Nothing here touches results — cost estimates decide
 *where and in what chunks* cells run, never what they record.
+
+Prediction quality is itself observable: :func:`record_residual` folds
+each completed unit's observed-vs-predicted ratio into the
+``repro_cost_residual_ratio`` histogram (labelled by kernel) and emits
+a ``slow_unit`` trace event when a unit blows past its prediction —
+so a drifting or mis-seeded model shows up on ``/metrics`` instead of
+silently degrading the schedule.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Mapping
 
 from repro.errors import ReproError
 
-__all__ = ["UnitCostModel", "plan_cost_model"]
+__all__ = [
+    "DEFAULT_SLOW_UNIT_FACTOR",
+    "RESIDUAL_BUCKETS",
+    "RESIDUAL_METRIC",
+    "UnitCostModel",
+    "plan_cost_model",
+    "record_residual",
+]
+
+#: Histogram of observed/predicted unit seconds, labelled by kernel.
+RESIDUAL_METRIC = "repro_cost_residual_ratio"
+
+#: Ratio-oriented bounds: 1.0 means a perfect prediction, the low end
+#: catches over-predictions, the high end runaway under-predictions.
+RESIDUAL_BUCKETS: tuple[float, ...] = (
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    1.0,
+    1.5,
+    2.0,
+    3.0,
+    5.0,
+    10.0,
+)
+
+#: A unit slower than ``factor × predicted`` earns a ``slow_unit``
+#: trace event (configurable via ``--slow-unit-factor``).
+DEFAULT_SLOW_UNIT_FACTOR = 3.0
 
 
 class UnitCostModel:
@@ -220,6 +257,58 @@ class UnitCostModel:
             f"UnitCostModel(rates={self.rates!r}, "
             f"samples={self.samples!r})"
         )
+
+
+def record_residual(
+    model: UnitCostModel,
+    kernel: str,
+    cells: int,
+    seconds: float,
+    slow_factor: float = DEFAULT_SLOW_UNIT_FACTOR,
+    registry=None,
+    **attrs,
+) -> float | None:
+    """Record one completed unit's observed-vs-predicted ratio.
+
+    Call *before* folding the observation into ``model`` so the ratio
+    judges the prediction the scheduler actually used. The ratio lands
+    in :data:`RESIDUAL_METRIC` labelled by kernel; a ``slow_unit``
+    event (carrying ``attrs``, e.g. the worker) is emitted only when
+    the kernel already has a *measured* sample and the ratio exceeds
+    ``slow_factor`` — a unit can't meaningfully be "slow" against a
+    never-measured prior. Returns the ratio, or None when it is
+    undefined (zero prediction, zero cells, or non-positive timing).
+    """
+    if registry is None:
+        from repro.obs import telemetry
+
+        registry = telemetry()
+    predicted = model.estimate(kernel, cells)
+    if predicted <= 0.0 or seconds <= 0.0 or cells <= 0:
+        return None
+    ratio = float(seconds) / predicted
+    registry.histogram(
+        RESIDUAL_METRIC, buckets=RESIDUAL_BUCKETS, kernel=kernel
+    ).observe(ratio)
+    if (
+        slow_factor
+        and slow_factor > 0
+        and ratio > slow_factor
+        and model.samples.get(kernel, 0) > 0
+    ):
+        registry.emit(
+            {
+                "event": "slow_unit",
+                "time": time.time(),
+                "kernel": kernel,
+                "cells": int(cells),
+                "seconds": float(seconds),
+                "predicted": predicted,
+                "ratio": ratio,
+                **attrs,
+            }
+        )
+    return ratio
 
 
 def plan_cost_model(plan) -> UnitCostModel:

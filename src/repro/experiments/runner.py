@@ -42,6 +42,12 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.engine import EngineSession
 from repro.errors import ReproError
+from repro.experiments.costs import (
+    DEFAULT_SLOW_UNIT_FACTOR,
+    UnitCostModel,
+    plan_cost_model,
+    record_residual,
+)
 from repro.experiments.plan import ExperimentPlan, RunKey
 from repro.experiments.store import (
     ResultsStore,
@@ -169,6 +175,12 @@ class ExperimentRunner:
         Optional callback invoked with each freshly recorded run
         record. Exceptions it raises abort the experiment (after the
         record is persisted) but never leak the group session.
+    slow_unit_factor:
+        A unit slower than ``factor × predicted`` (against the
+        plan-seeded :class:`UnitCostModel`) earns a ``slow_unit`` trace
+        event; the observed/predicted ratio always lands in the
+        ``repro_cost_residual_ratio`` histogram. Monitoring only —
+        never changes what runs or what is recorded.
     """
 
     def __init__(
@@ -177,11 +189,17 @@ class ExperimentRunner:
         share_sessions: bool = True,
         session_factory: Callable[..., EngineSession] | None = None,
         progress: Callable[[dict], None] | None = None,
+        slow_unit_factor: float | None = None,
     ) -> None:
         self.store = store
         self.share_sessions = share_sessions
         self.session_factory = session_factory or EngineSession
         self.progress = progress
+        self.slow_unit_factor = (
+            DEFAULT_SLOW_UNIT_FACTOR
+            if slow_unit_factor is None
+            else float(slow_unit_factor)
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -231,7 +249,29 @@ class ExperimentRunner:
                 if shards == 1
                 else ProcessShardExecutor(shards)
             )
-        fresh = executor.execute(self, WorkSet.compile(plan, done))
+        # one `plan` root span per execution: the registry adopts its
+        # trace context so every span below — including those emitted by
+        # shard processes and fleet workers, which receive the context
+        # over the wire — hangs off this root under one trace_id
+        registry = telemetry()
+        previous = registry.trace_context()
+        trace_id = (previous or {}).get("trace_id") or registry.new_trace_id()
+        registry.adopt_trace(trace_id, (previous or {}).get("parent_span"))
+        try:
+            with span(
+                "plan",
+                plan=plan.name,
+                runs=len(all_keys),
+                resumed=n_resumed,
+                executor=type(executor).__name__,
+            ) as plan_span:
+                registry.adopt_trace(trace_id, plan_span["id"])
+                fresh = executor.execute(self, WorkSet.compile(plan, done))
+        finally:
+            registry.adopt_trace(
+                (previous or {}).get("trace_id"),
+                (previous or {}).get("parent_span"),
+            )
         if fresh is None:
             # the executor's processes wrote through the store; re-read
             by_key = self._recorded_by_key()
@@ -320,6 +360,7 @@ class ExperimentRunner:
         """
         groups = plan.groups()
         records: list[dict] = []
+        cost_model: UnitCostModel | None = None
         for unit in units:
             if not 0 <= unit.group < len(groups):
                 raise ReproError(
@@ -346,6 +387,9 @@ class ExperimentRunner:
             obs.counter("repro_unit_cells_total", plan=plan.name).inc(
                 len(pending)
             )
+            if cost_model is None:
+                cost_model = plan_cost_model(plan)
+            kernel = UnitCostModel.kernel_key(case.name, backend)
             with span(
                 "unit",
                 plan=plan.name,
@@ -354,7 +398,7 @@ class ExperimentRunner:
                 pending=len(pending),
                 case=case.name,
                 backend=backend,
-            ):
+            ) as unit_span:
                 records += self._execute_group(
                     fire=fire,
                     keys=pending,
@@ -377,6 +421,19 @@ class ExperimentRunner:
                         "unit_cells": unit.n_cells,
                     },
                 )
+            # judge the prediction the model held *before* this unit,
+            # then teach it — later units in the same batch get
+            # measured rates instead of plan priors
+            record_residual(
+                cost_model,
+                kernel,
+                len(pending),
+                unit_span["seconds"],
+                slow_factor=self.slow_unit_factor,
+                plan=plan.name,
+                group=unit.group,
+            )
+            cost_model.observe(kernel, len(pending), unit_span["seconds"])
         return records
 
     # ------------------------------------------------------------------

@@ -34,7 +34,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     Telemetry,
+    histogram_quantile,
     parse_prometheus_text,
+    snapshot_delta,
 )
 from repro.obs.sinks import JsonlSink, ListSink, NullSink, TelemetrySink
 from repro.obs.spans import SPAN_SECONDS_METRIC, span
@@ -52,9 +54,11 @@ __all__ = [
     "TelemetrySink",
     "configure",
     "dump_metrics",
+    "histogram_quantile",
     "parse_prometheus_text",
     "reset",
     "shutdown",
+    "snapshot_delta",
     "span",
     "telemetry",
 ]

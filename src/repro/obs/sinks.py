@@ -19,6 +19,7 @@ for the coordinator's live status aggregation.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -76,6 +77,12 @@ class JsonlSink:
     trace path never creates empty files for runs that emit nothing)
     and every line is flushed immediately — a killed worker's trace
     ends mid-run but stays parseable line by line.
+
+    Filesystem trouble never propagates to the instrumented code: if
+    the target directory vanishes before the first event it is simply
+    recreated, and if the file cannot be opened or written at all the
+    sink logs one warning, goes dark, and drops further events —
+    losing a trace must not kill the run it was tracing.
     """
 
     def __init__(self, path) -> None:
@@ -83,21 +90,33 @@ class JsonlSink:
         self._lock = threading.Lock()
         self._fh = None
         self._closed = False
+        self._broken = False
 
     def emit(self, event: dict) -> None:
         line = json.dumps(event, sort_keys=True, default=str) + "\n"
         with self._lock:
-            if self._closed:
+            if self._closed or self._broken:
                 return
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fh = open(self.path, "a")
-            self._fh.write(line)
-            self._fh.flush()
+            try:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = open(self.path, "a")
+                self._fh.write(line)
+                self._fh.flush()
+            except OSError as exc:
+                self._broken = True
+                logging.getLogger("repro.obs").warning(
+                    "trace sink %s failed (%s); dropping further events",
+                    self.path,
+                    exc,
+                )
 
     def close(self) -> None:
         with self._lock:
             self._closed = True
             if self._fh is not None:
-                self._fh.close()
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
                 self._fh = None

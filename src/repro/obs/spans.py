@@ -16,9 +16,18 @@ On exit each span
   free), and
 * emits one event dict to the registry's sinks::
 
-      {"event": "span", "span": "unit", "id": 7, "parent": 2,
-       "depth": 1, "start": <unix time>, "seconds": 0.42,
-       "status": "ok" | "error", "attrs": {...}}
+      {"event": "span", "span": "unit", "id": "1a2bp1-7",
+       "parent": "1a2bp1-2", "depth": 1, "start": <unix time>,
+       "seconds": 0.42, "status": "ok" | "error", "thread": <ident>,
+       "attrs": {...}}
+
+Span ids are strings namespaced by a per-process, per-registry prefix
+(:meth:`Telemetry.set_span_prefix` pins it — fleet workers use their
+worker id), so traces merged across processes never collide. When the
+registry has adopted a trace context (:meth:`Telemetry.adopt_trace`),
+every span additionally carries ``trace_id`` and a span opened with an
+empty local stack parents onto the adopted remote span — that is how a
+worker's ``unit`` spans hang under the coordinator's ``plan`` root.
 
 Nesting is tracked per *thread* (a ``threading.local`` stack on the
 registry): the experiment runner's threads and the fleet worker's
@@ -28,6 +37,7 @@ thread never becomes the parent of work on another.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -60,15 +70,19 @@ def span(name: str, telemetry: Telemetry | None = None, **attrs):
 
         telemetry = default_telemetry()
     stack = telemetry._stack()
+    trace = telemetry.trace_context()
     event = {
         "event": "span",
         "span": str(name),
         "id": telemetry._next_span_id(),
-        "parent": stack[-1] if stack else None,
+        "parent": stack[-1] if stack else (trace or {}).get("parent_span"),
         "depth": len(stack),
         "start": time.time(),
+        "thread": threading.get_ident(),
         "attrs": dict(attrs),
     }
+    if trace:
+        event["trace_id"] = trace["trace_id"]
     stack.append(event["id"])
     started = time.perf_counter()
     try:
