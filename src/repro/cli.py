@@ -16,8 +16,14 @@ Five commands cover the common workflows without writing a script:
 * ``experiments`` — distributed-execution utilities:
   ``serve-coordinator`` (lease a plan's work units to TCP workers),
   ``worker`` (join a coordinator's fleet), ``status`` (read-only fleet
-  snapshot, optionally re-polled with ``--watch``) and
-  ``merge-stores`` (aggregate several JSONL results stores into one).
+  snapshot, optionally re-polled with ``--watch``), ``drain``
+  (gracefully retire a worker — it finishes its lease, uploads its
+  records and exits with nothing requeued) and ``merge-stores``
+  (aggregate several JSONL results stores into one).
+* ``serve`` — the always-on prediction service
+  (:mod:`repro.service`): an HTTP gateway accepting plan submissions
+  from many tenants plus a multi-plan fleet coordinator feeding one
+  elastic worker pool under cost-weighted fair-share scheduling.
 * ``obs`` — observability utilities: ``timeline`` merges the fleet's
   ``--trace`` JSONL files into one Perfetto-loadable Chrome
   trace-event timeline.
@@ -556,6 +562,7 @@ def _cmd_experiments_serve(args: argparse.Namespace) -> int:
         target_unit_seconds=args.target_unit_seconds,
         auth_token=args.auth_token,
         slow_unit_factor=args.slow_unit_factor,
+        cost_snapshot=args.cost_snapshot,
         on_bound=_announce_coordinator,
     )
     runner = ExperimentRunner(
@@ -739,13 +746,79 @@ def _cmd_experiments_worker(args: argparse.Namespace) -> int:
             worker_id=args.id,
             auth_token=args.auth_token,
             throttle=args.throttle,
+            backoff_base=args.backoff_base,
+            backoff_cap=args.backoff_cap,
         )
     except FleetError as exc:
         raise SystemExit(str(exc)) from exc
+    ending = "drained" if summary.get("drained") else "done"
     print(
-        f"worker {summary['worker']} done: {summary['units']} units, "
+        f"worker {summary['worker']} {ending}: {summary['units']} units, "
         f"{summary['records']} records (local store: {summary['store']})"
     )
+    return 0
+
+
+def _cmd_experiments_drain(args: argparse.Namespace) -> int:
+    """Ask a coordinator to gracefully retire one worker."""
+    try:
+        addr = parse_address(args.connect)
+        reply = _fleet_request(
+            addr,
+            {"type": "drain", "target": args.worker},
+            timeout=args.request_timeout,
+            token=args.auth_token,
+        )
+    except FleetError as exc:
+        raise SystemExit(str(exc)) from exc
+    except OSError as exc:
+        raise SystemExit(
+            f"no coordinator answering at {args.connect}: {exc}"
+        ) from exc
+    if reply.get("type") != "ok":
+        raise SystemExit(
+            f"coordinator rejected the drain: "
+            f"{reply.get('error', reply.get('type'))}"
+        )
+    print(
+        f"worker {reply.get('draining')} draining: it finishes its "
+        "leased unit, uploads its records and exits — nothing requeues"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on prediction service (HTTP + fleet ports)."""
+    from repro.service import PredictionService, ServiceError
+
+    try:
+        service = PredictionService(
+            args.spool,
+            host=args.host,
+            port=args.port,
+            fleet_port=args.fleet_port,
+            lease_timeout=args.lease_timeout,
+            poll_interval=args.poll_interval,
+            min_unit_cells=args.min_unit_cells,
+            target_unit_seconds=args.target_unit_seconds,
+            max_active=args.max_active,
+            share_sessions=not args.isolated_sessions,
+            auth_token=args.auth_token,
+        )
+    except (ServiceError, FleetError, OSError) as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        (gw_host, gw_port), (fl_host, fl_port) = service.start()
+    except OSError as exc:
+        raise SystemExit(f"could not bind the service: {exc}") from exc
+    print(f"service http on {gw_host}:{gw_port}", flush=True)
+    print(f"service fleet on {fl_host}:{fl_port}", flush=True)
+    print(
+        f"spool: {service.queue.spool} "
+        f"(plans survive restarts; POST /plans to submit)",
+        flush=True,
+    )
+    service.serve_forever()
     return 0
 
 
@@ -940,6 +1013,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="workers give every run its own engine session instead of "
         "sharing one per leased group",
     )
+    p_serve.add_argument(
+        "--cost-snapshot",
+        metavar="PATH",
+        help="persist the fleet cost model to this JSON sidecar on "
+        "finish and restore it on start, so the next run's first "
+        "leases are already sized from measured per-cell rates "
+        "(missing or unreadable files mean a cold start, never an "
+        "error)",
+    )
     _add_obs(p_serve)
     p_serve.set_defaults(func=_cmd_experiments_serve)
 
@@ -985,8 +1067,57 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="shared secret matching the coordinator's --auth-token "
         "(default: $REPRO_FLEET_TOKEN)",
     )
+    p_wrk.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="initial retry delay ceiling after a failed coordinator "
+        "exchange; doubles per consecutive failure (with jitter) up "
+        "to --backoff-cap",
+    )
+    p_wrk.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="maximum retry delay ceiling under the exponential "
+        "backoff",
+    )
     _add_obs(p_wrk)
     p_wrk.set_defaults(func=_cmd_experiments_worker)
+
+    p_drn = exp_sub.add_parser(
+        "drain",
+        help="gracefully retire one worker: it finishes its leased "
+        "unit, uploads its records and exits with nothing requeued "
+        "(elastic scale-down)",
+    )
+    p_drn.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (single-plan or service fleet port)",
+    )
+    p_drn.add_argument(
+        "--worker",
+        required=True,
+        help="worker identity to retire (the --id it joined with, "
+        "default hostname-pid; see 'repro experiments status')",
+    )
+    p_drn.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_FLEET_TOKEN"),
+        help="shared secret matching the coordinator's --auth-token "
+        "(default: $REPRO_FLEET_TOKEN)",
+    )
+    p_drn.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for the coordinator's reply",
+    )
+    p_drn.set_defaults(func=_cmd_experiments_drain)
 
     p_st = exp_sub.add_parser(
         "status",
@@ -1037,6 +1168,90 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="source stores, in precedence order",
     )
     p_mrg.set_defaults(func=_cmd_experiments_merge)
+
+    p_svc = sub.add_parser(
+        "serve",
+        help="run the always-on prediction service: an HTTP gateway "
+        "for plan submission/polling/streaming plus a multi-plan "
+        "fleet coordinator with cost-weighted fair-share scheduling "
+        "across tenants",
+    )
+    p_svc.add_argument(
+        "--spool",
+        required=True,
+        metavar="DIR",
+        help="service state directory: admitted plans, per-plan "
+        "results stores and the cost-model snapshot live here, so a "
+        "restarted service resumes its queue",
+    )
+    p_svc.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address for both ports (0.0.0.0 to accept remote "
+        "clients and workers)",
+    )
+    p_svc.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="HTTP gateway port (0 = OS-assigned; the bound address "
+        "is printed)",
+    )
+    p_svc.add_argument(
+        "--fleet-port",
+        type=int,
+        default=0,
+        help="worker-facing fleet protocol port (0 = OS-assigned; "
+        "point 'repro experiments worker --connect' here)",
+    )
+    p_svc.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of worker silence after which its leased unit "
+        "is handed to another worker",
+    )
+    p_svc.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="idle re-ask cadence advertised to workers, seconds",
+    )
+    p_svc.add_argument(
+        "--min-unit-cells",
+        type=int,
+        default=1,
+        help="work-stealing floor per plan (see serve-coordinator)",
+    )
+    p_svc.add_argument(
+        "--target-unit-seconds",
+        type=float,
+        default=1.0,
+        help="per-lease wall-clock target for cost-sized grants",
+    )
+    p_svc.add_argument(
+        "--max-active",
+        type=int,
+        default=8,
+        help="admission bound: plans queued or running at once before "
+        "submissions are answered 429 with a Retry-After derived "
+        "from the cost model's predicted drain time",
+    )
+    p_svc.add_argument(
+        "--isolated-sessions",
+        action="store_true",
+        help="workers give every run its own engine session instead "
+        "of sharing one per leased group",
+    )
+    p_svc.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_FLEET_TOKEN"),
+        help="shared secret for the fleet port's HMAC handshake "
+        "(default: $REPRO_FLEET_TOKEN; unset disables authentication; "
+        "the HTTP gateway is unauthenticated — bind it privately)",
+    )
+    _add_obs(p_svc)
+    p_svc.set_defaults(func=_cmd_serve)
 
     p_obs = sub.add_parser(
         "obs",

@@ -40,7 +40,7 @@ from repro.distributed.executors import (
     shard_assignments,
 )
 from repro.distributed.protocol import FleetAuthError, FleetError
-from repro.distributed.worker import parse_address, run_worker
+from repro.distributed.worker import backoff_delay, parse_address, run_worker
 
 __all__ = [
     "FleetAuthError",
@@ -52,6 +52,7 @@ __all__ = [
     "ProcessShardExecutor",
     "UnitLedger",
     "WorkExecutor",
+    "backoff_delay",
     "parse_address",
     "pending_group_indices",
     "run_worker",

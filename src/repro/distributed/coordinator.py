@@ -74,8 +74,11 @@ from typing import TYPE_CHECKING, Callable
 from repro.experiments.costs import (
     DEFAULT_SLOW_UNIT_FACTOR,
     UnitCostModel,
+    load_cost_model,
     plan_cost_model,
     record_residual,
+    save_cost_model,
+    seed_plan_priors,
 )
 from repro.experiments.store import record_key
 from repro.experiments.work import WorkSet, WorkUnit, merge_group_units
@@ -179,6 +182,9 @@ class UnitLedger:
         # a requeue never double-counts)
         self._tentative: set[tuple[str, str, int, str]] = set()
         self._dirty: set[str] = set()
+        # workers asked to leave gracefully: no new grants, `bye` once
+        # they hold no lease and owe no records
+        self._draining: set[str] = set()
         self._last_seen: dict[str, float] = {}
         # per-worker accounting fed by lease grants plus the telemetry
         # payloads workers attach to heartbeats and complete reports
@@ -290,6 +296,7 @@ class UnitLedger:
                     "utilization": (busy / span) if span > 0 else None,
                     "live": now - self._last_seen.get(worker, 0.0)
                     <= self.lease_timeout,
+                    "draining": worker in self._draining,
                 }
             return out
 
@@ -315,6 +322,19 @@ class UnitLedger:
             # work: the shorter a record's worker-only window, the
             # less a worker death costs
             return {"type": "drain"}
+        if worker in self._draining:
+            # graceful leave: records are in (not dirty), so once no
+            # lease is outstanding the worker may go — its leased unit,
+            # if any, finishes first (the sequential worker loop only
+            # asks between units, so an ask while holding a lease means
+            # a heartbeat raced us; waiting is always safe)
+            if any(
+                lease["worker"] == worker
+                for lease in self._leases.values()
+            ):
+                return {"type": "wait"}
+            self._told_done.add(worker)
+            return {"type": "bye"}
         if self._pending:
             return self._grant(worker, now)
         if self._leases:
@@ -489,6 +509,71 @@ class UnitLedger:
             st["round_trips"] += 1
             st["drains"] += 1
             self._dirty.discard(worker)
+
+    def drain_worker(self, worker: str) -> None:
+        """Ask ``worker`` to leave gracefully (elastic scale-down).
+
+        The worker keeps any lease it holds and finishes it normally;
+        it just never receives another grant, and once its records are
+        merged its next ask is answered ``bye``. Nothing is requeued —
+        a drain moves zero cells, which is the point (contrast a kill,
+        where the lease expires and its cells re-run elsewhere).
+        """
+        with self._lock:
+            self._draining.add(worker)
+            telemetry().counter("repro_fleet_drains_total").inc()
+            log.info(
+                "worker %s draining (finish leased units, no new "
+                "grants)",
+                worker,
+                extra={"worker": worker},
+            )
+
+    def worker_dirty(self, worker: str) -> bool:
+        """Whether ``worker`` still owes records (an un-drained store)."""
+        with self._lock:
+            return worker in self._dirty
+
+    def holds_lease(self, worker: str) -> bool:
+        """Whether ``worker`` currently holds an active lease."""
+        with self._lock:
+            self._expire(self.clock())
+            return any(
+                lease["worker"] == worker
+                for lease in self._leases.values()
+            )
+
+    def grantable(self) -> bool:
+        """Whether a lease request right now would receive a unit.
+
+        The multi-plan scheduler (:class:`repro.service.PlanQueue`)
+        calls this to shortlist plans before its fair-share pick; the
+        end-of-plan coverage/requeue path is handled by the
+        :meth:`poll_completion` housekeeping it runs first.
+        """
+        with self._lock:
+            self._expire(self.clock())
+            return not self.finished.is_set() and bool(self._pending)
+
+    def predicted_remaining_seconds(self) -> float:
+        """Cost-model prediction of the work not yet verified complete.
+
+        Pending plus currently-leased units, priced by the ledger's
+        cost model (zero without one). Admission backpressure derives
+        Retry-After from this; it is a prediction, not a promise.
+        """
+        with self._lock:
+            if self.cost_model is None or self.finished.is_set():
+                return 0.0
+            units = list(self._pending) + [
+                lease["unit"] for lease in self._leases.values()
+            ]
+            return sum(
+                self.cost_model.estimate(
+                    self._kernel_of.get(unit.group, ""), unit.n_cells
+                )
+                for unit in units
+            )
 
     def poll_completion(self) -> bool:
         """Coordinator-side completion check (needs no worker request).
@@ -867,6 +952,14 @@ class _CoordinatorServer(socketserver.ThreadingTCPServer):
             if isinstance(reply.get("next"), dict):
                 self._stamp_trace(reply["next"])
             return self._stamp_clock(message, reply)
+        if mtype == "drain":
+            # operator request: gracefully retire ``target`` (elastic
+            # scale-down — finish leased units, no new grants, `bye`)
+            target = str(message.get("target", "") or worker)
+            if not target:
+                raise FleetError("drain message without a target worker")
+            self.ledger.drain_worker(target)
+            return {"type": "ok", "draining": target}
         if mtype == "status":
             # read-only fleet snapshot for `repro experiments status`;
             # deliberately does NOT touch() the asker — a status probe
@@ -1032,6 +1125,13 @@ class FleetExecutor:
         :mod:`repro.distributed.protocol`); defaults to
         ``REPRO_FLEET_TOKEN`` from the environment, and ``None``
         disables authentication.
+    cost_snapshot:
+        Optional sidecar path for the fleet cost model (cost mode): a
+        snapshot found there is restored on start — measured rates
+        survive coordinator restarts, so the first grants of the next
+        run are already capacity-informed — and the refined model is
+        written back on finish. Missing or unreadable files mean a
+        cold start, never an error.
     on_bound:
         Callback invoked with the bound ``(host, port)`` once the
         coordinator accepts connections (tests and the CLI use it to
@@ -1050,6 +1150,7 @@ class FleetExecutor:
         target_unit_seconds: float = 1.0,
         slow_unit_factor: float = DEFAULT_SLOW_UNIT_FACTOR,
         auth_token: str | None = None,
+        cost_snapshot: str | os.PathLike | None = None,
         on_bound: Callable[[tuple[str, int]], None] | None = None,
     ) -> None:
         if scheduling not in ("cost", "halving"):
@@ -1071,6 +1172,7 @@ class FleetExecutor:
             if auth_token is not None
             else os.environ.get("REPRO_FLEET_TOKEN")
         )
+        self.cost_snapshot = cost_snapshot
         self.on_bound = on_bound
         self.address: tuple[str, int] | None = None
         self.requeues = 0
@@ -1099,6 +1201,16 @@ class FleetExecutor:
 
         if self.scheduling == "cost":
             self.cost_model = plan_cost_model(workset.plan)
+            if self.cost_snapshot is not None:
+                restored = load_cost_model(self.cost_snapshot)
+                if restored is not None:
+                    # the snapshot's measured rates win; this plan's
+                    # budget priors only fill kernels it never saw
+                    seed_plan_priors(
+                        restored, workset.plan, overwrite=False
+                    )
+                    restored.fold_engine(self.cost_model.engine)
+                    self.cost_model = restored
         else:
             self.cost_model = None
         ledger = UnitLedger(
@@ -1171,6 +1283,15 @@ class FleetExecutor:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5.0)
+            if self.cost_snapshot is not None and self.cost_model is not None:
+                try:
+                    save_cost_model(self.cost_model, self.cost_snapshot)
+                except OSError as exc:  # a hint, never worth failing a run
+                    log.warning(
+                        "could not persist cost snapshot %s: %s",
+                        self.cost_snapshot,
+                        exc,
+                    )
         return None
 
     def _export_fleet_telemetry(self) -> None:

@@ -16,14 +16,21 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     switching the worker to the low-round-trip loop below. When the
     coordinator runs under a ``plan`` root span, the welcome also
     carries ``trace`` — ``{"trace_id", "parent_span"}`` — which the
-    worker adopts so every fleet process traces into one tree).
+    worker adopts so every fleet process traces into one tree. A
+    multi-plan service coordinator (:mod:`repro.service`) instead
+    advertises ``multi_plan: true`` and ships no plan: each ``unit``
+    reply then carries ``plan_id`` plus the plan payload inline, and
+    the worker echoes ``plan_id`` on ``heartbeat``/``complete``/
+    ``records`` so the service routes them to the right ledger).
 ``lease``
     Ask for work (``unit``: a leased work-unit descriptor — a group
     index plus the explicit cell subset to run, see
     :class:`~repro.experiments.work.WorkUnit`; ``wait``: everything is
     leased or another worker still holds undrained records; ``drain``:
     the coordinator wants this worker's local records before handing
-    out more work; ``done``: the plan is fully recorded).
+    out more work; ``done``: the plan is fully recorded; ``bye``: this
+    worker was asked to leave — see ``drain`` below — and owes
+    nothing, so it may exit; nothing it ran will requeue).
 ``heartbeat``
     Keep a lease alive while a unit runs (``ok`` / ``expired``). May
     carry a ``telemetry`` payload — the worker's cumulative
@@ -62,6 +69,14 @@ Message ``type`` values (worker → coordinator, reply in parentheses):
     the fleet-wide cost model as ``costs``). Sent by
     ``repro experiments status``; never counts as worker contact, so
     probing a fleet cannot delay its shutdown.
+``drain``
+    Operator request (``repro experiments drain``, or the service
+    gateway's ``POST /workers/<id>/drain``): gracefully retire the
+    worker named ``target`` (``ok``). The target finishes any unit it
+    holds and keeps completing/draining normally, but receives no new
+    grants; once its records are merged, its next ask is answered
+    ``bye`` and it exits with zero requeued cells — elastic
+    scale-down without re-running anything.
 
 **Authentication.** With a shared secret configured
 (``--auth-token`` / ``REPRO_FLEET_TOKEN``) every exchange runs a

@@ -25,6 +25,11 @@ cells of a re-leased unit — the resume granularity is the *cell*, so a
 store recorded under whole-group leases resumes under cell leases and
 vice versa.
 
+Connection failures retry under capped exponential backoff with
+jitter (see :func:`backoff_delay`), so a worker started *before* its
+coordinator — or surviving a coordinator restart — reconnects instead
+of exiting, and a restarting fleet does not reconnect in lockstep.
+
 With a shared secret configured (``auth_token`` /
 ``REPRO_FLEET_TOKEN``), every exchange answers the coordinator's HMAC
 challenge first (see :mod:`repro.distributed.protocol`).
@@ -39,6 +44,17 @@ also ships a cost report (measured unit seconds plus the engine's
 kernel-rate snapshot), feeding the coordinator's fleet-wide
 :class:`~repro.experiments.costs.UnitCostModel`.
 
+A ``welcome`` advertising ``multi_plan`` (the always-on
+:mod:`repro.service` coordinator) carries no plan of its own: each
+``unit`` reply names its plan (``plan_id``) and ships the plan payload
+inline, and the worker keeps one execution context — plan, local
+store, resume index — per plan it has served. The worker's
+``complete``/``heartbeat``/``records`` messages echo ``plan_id`` so
+the service routes them to the right ledger and store. A worker asked
+to leave (the service's drain lifecycle) receives ``bye`` once its
+leases are finished and its records merged, and returns its summary
+with ``drained: true``.
+
 ``REPRO_WORKER_THROTTLE`` (seconds per cell, or the ``throttle``
 parameter) artificially slows a worker down — a test/CI knob for
 exercising capacity-aware lease sizing on heterogeneous fleets.
@@ -48,6 +64,7 @@ from __future__ import annotations
 
 import logging
 import os
+import random
 import socket
 import tempfile
 import threading
@@ -62,7 +79,7 @@ from repro.distributed.protocol import (
 )
 from repro.obs import snapshot_delta, telemetry
 
-__all__ = ["parse_address", "run_worker"]
+__all__ = ["backoff_delay", "parse_address", "run_worker"]
 
 log = logging.getLogger("repro.distributed.worker")
 
@@ -84,6 +101,29 @@ def parse_address(value: str | tuple[str, int]) -> tuple[str, int]:
         ) from exc
 
 
+def backoff_delay(
+    failures: int,
+    base: float = 0.5,
+    cap: float = 5.0,
+    jitter: Callable[[], float] = random.random,
+) -> float:
+    """Seconds to sleep before retry number ``failures`` (1-based).
+
+    Capped exponential backoff with jitter: the ceiling doubles from
+    ``base`` up to ``cap``, and the actual delay is uniform in
+    ``[ceiling/2, ceiling]`` — late-started workers hammer a missing
+    coordinator less and less, and a whole fleet surviving a
+    coordinator restart spreads its reconnections instead of
+    stampeding in lockstep. ``jitter`` is injectable for tests.
+    """
+    if base <= 0 or cap <= 0:
+        raise FleetError(
+            f"backoff base and cap must be positive, got {base}/{cap}"
+        )
+    ceiling = min(float(cap), float(base) * (2.0 ** max(failures - 1, 0)))
+    return ceiling * (0.5 + 0.5 * jitter())
+
+
 class _LeaseHeartbeat:
     """Background lease renewal while a unit runs.
 
@@ -103,8 +143,12 @@ class _LeaseHeartbeat:
         busy_base: float = 0.0,
         engine_costs: Callable[[], dict] | None = None,
         metrics: Callable[[], list] | None = None,
+        plan_id: str | None = None,
     ) -> None:
         self._payload = {"type": "heartbeat", "worker": worker, "lease": lease}
+        if plan_id is not None:
+            # multi-plan coordinators route the beat by plan
+            self._payload["plan_id"] = plan_id
         self._address = address
         self._interval = interval
         self._request_timeout = request_timeout
@@ -178,6 +222,8 @@ def run_worker(
     on_record: Callable[[dict], None] | None = None,
     after_complete: Callable[[int], None] | None = None,
     throttle: float | None = None,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 5.0,
 ) -> dict:
     """Serve one coordinator until its plan is fully recorded.
 
@@ -188,7 +234,9 @@ def run_worker(
     store_path:
         Worker-local results store; a fresh temporary file when omitted.
         Reusing a path across worker restarts resumes interrupted
-        units instead of recomputing them.
+        units instead of recomputing them. Serving a multi-plan
+        coordinator this is a *directory* (one store per plan inside);
+        created if missing.
     poll_interval:
         Idle re-ask cadence; defaults to what the coordinator
         advertises.
@@ -197,7 +245,9 @@ def run_worker(
         ``hostname-pid``).
     max_failures:
         Consecutive connection failures tolerated (the coordinator may
-        start after the workers) before giving up.
+        start after the workers) before giving up. Retries back off
+        exponentially with jitter between ``backoff_base`` and
+        ``backoff_cap`` seconds (see :func:`backoff_delay`).
     auth_token:
         Shared secret for coordinators that require authentication;
         defaults to ``REPRO_FLEET_TOKEN`` from the environment. An
@@ -219,7 +269,9 @@ def run_worker(
     Returns a summary dict: ``units``/``records`` executed,
     ``busy_seconds`` spent inside unit execution (the idle-time metric
     of ``benchmarks/bench_executors.py``), the derived
-    ``idle_seconds``/``wall_seconds``, and the local ``store`` path.
+    ``idle_seconds``/``wall_seconds``, the local ``store`` path, and
+    ``drained`` — True when the exit was a graceful ``bye`` after a
+    drain rather than plan completion.
     The same busy/idle split lands in the process metric registry as
     ``repro_worker_busy_seconds``/``repro_worker_idle_seconds`` gauges,
     and is reported upstream on every heartbeat and ``complete``
@@ -271,7 +323,9 @@ def run_worker(
                         f"exchanges with {addr[0]}:{addr[1]} — giving up "
                         f"({exc})"
                     ) from exc
-                time.sleep(poll_interval or 0.5)
+                time.sleep(
+                    backoff_delay(failures, backoff_base, backoff_cap)
+                )
                 continue
             failures = 0
             if reply.get("type") == "error":
@@ -315,54 +369,179 @@ def run_worker(
     if welcome.get("type") != "welcome":
         raise FleetError(f"expected welcome, got {welcome.get('type')!r}")
     adopt_trace(welcome)
-    plan = ExperimentPlan.from_dict(welcome["plan"])
-    log.info(
-        "worker %s joined fleet at %s:%d (plan %s)",
-        worker,
-        addr[0],
-        addr[1],
-        plan.name,
-        extra={"worker": worker, "plan": plan.name},
-    )
+    multi_plan = bool(welcome.get("multi_plan", False))
     share_sessions = bool(welcome.get("share_sessions", True))
     lease_timeout = float(welcome.get("lease_timeout", 30.0))
     piggyback = bool(welcome.get("piggyback", False))
     if poll_interval is None:
         poll_interval = float(welcome.get("poll_interval", 0.5))
     if store_path is None:
-        store_path = os.path.join(
-            tempfile.mkdtemp(prefix="repro-fleet-worker-"), "store.jsonl"
+        tmpdir = tempfile.mkdtemp(prefix="repro-fleet-worker-")
+        store_path = tmpdir if multi_plan else os.path.join(
+            tmpdir, "store.jsonl"
         )
-    store = ResultsStore(store_path)
     heartbeat_interval = max(lease_timeout / 4.0, 0.05)
-    groups = plan.groups()
-    # the store is parsed once; afterwards this in-memory index tracks
-    # it (this worker is the store's only writer), in append order —
-    # cell-level leasing makes leases frequent, and re-reading the
-    # whole JSONL per lease would be O(units x store size)
-    recorded = {record_key(r): r for r in store.records()}
-    # a reused worker store may hold cells from other plans (or older
-    # budgets); only this plan's cells are ever resumed or uploaded
-    plan_cells = {k.as_tuple() for k in plan.runs()}
-    drained_cells: set[tuple[str, str, int, str]] = set()
+
+    class PlanContext:
+        """One plan's execution state: the plan, its group table, the
+        worker-local store, and the in-memory resume/drain index.
+
+        The store is parsed once; afterwards ``recorded`` tracks it
+        (this worker is the store's only writer), in append order —
+        cell-level leasing makes leases frequent, and re-reading the
+        whole JSONL per lease would be O(units x store size). A reused
+        store may hold cells from other plans (or older budgets); only
+        this plan's cells are ever resumed or uploaded.
+        """
+
+        def __init__(self, plan: "ExperimentPlan", path) -> None:
+            self.plan = plan
+            self.groups = plan.groups()
+            self.plan_cells = {k.as_tuple() for k in plan.runs()}
+            self.store = ResultsStore(path)
+            self.recorded = {
+                record_key(r): r for r in self.store.records()
+            }
+            self.drained_cells: set[tuple[str, str, int, str]] = set()
+
+        def undrained_records(self) -> list[dict]:
+            """This plan's local records the coordinator has not seen
+            yet — everything undrained, not just the latest unit's
+            fresh runs: a reused store resumes cells locally without
+            re-running them, and those records must still reach the
+            coordinator or its coverage check would requeue (and
+            re-run) them forever."""
+            return [
+                r
+                for key, r in self.recorded.items()
+                if key in self.plan_cells and key not in self.drained_cells
+            ]
+
+    contexts: dict[object, PlanContext] = {}
+
+    def context_for(plan_id, payload) -> PlanContext:
+        """The (cached) execution context of one plan.
+
+        Single-plan coordinators key the lone context under ``None``
+        (built once from the welcome); a multi-plan service names the
+        plan on every unit and ships its payload inline, and each
+        plan's store lives in its own file under the store directory.
+        """
+        if plan_id in contexts:
+            return contexts[plan_id]
+        if not isinstance(payload, dict):
+            raise FleetError(
+                f"unit for unknown plan {plan_id!r} without a plan payload"
+            )
+        plan = ExperimentPlan.from_dict(payload)
+        os.makedirs(store_path, exist_ok=True)
+        path = os.path.join(store_path, f"{plan_id}.jsonl")
+        context = contexts[plan_id] = PlanContext(plan, path)
+        log.info(
+            "worker %s opened plan %s (%s, store %s)",
+            worker,
+            plan_id,
+            plan.name,
+            path,
+            extra={"worker": worker, "plan": plan.name},
+        )
+        return context
+
+    if multi_plan:
+        log.info(
+            "worker %s joined multi-plan service at %s:%d",
+            worker,
+            addr[0],
+            addr[1],
+            extra={"worker": worker},
+        )
+    else:
+        plan = ExperimentPlan.from_dict(welcome["plan"])
+        contexts[None] = PlanContext(plan, store_path)
+        log.info(
+            "worker %s joined fleet at %s:%d (plan %s)",
+            worker,
+            addr[0],
+            addr[1],
+            plan.name,
+            extra={"worker": worker, "plan": plan.name},
+        )
+
     units_run = 0
     records_run = 0
     busy_seconds = 0.0
     wall_started = time.perf_counter()
 
-    def undrained_records() -> list[dict]:
-        """This plan's local records the coordinator has not seen yet.
+    def drain_to_coordinator(plan_id) -> int:
+        """Upload one context's undrained records (incremental: minus
+        what earlier drains already delivered — a restart resets the
+        set and re-uploads once; the coordinator merge dedupes)."""
+        ctx = contexts.get(plan_id)
+        if ctx is None:
+            return 0
+        fresh_records = ctx.undrained_records()
+        payload = {
+            "type": "records",
+            "worker": worker,
+            "records": fresh_records,
+        }
+        if plan_id is not None:
+            payload["plan_id"] = plan_id
+        rpc(payload)
+        ctx.drained_cells.update(record_key(r) for r in fresh_records)
+        return len(fresh_records)
 
-        Everything undrained, not just the latest unit's fresh runs: a
-        reused store resumes cells locally without re-running them, and
-        those records must still reach the coordinator or its coverage
-        check would requeue (and re-run) them forever.
-        """
-        return [
-            r
-            for key, r in recorded.items()
-            if key in plan_cells and key not in drained_cells
-        ]
+    def summary(drained: bool) -> dict:
+        wall_seconds = time.perf_counter() - wall_started
+        idle_seconds = max(wall_seconds - busy_seconds, 0.0)
+        obs = telemetry()
+        obs.gauge("repro_worker_busy_seconds", worker=worker).set(
+            busy_seconds
+        )
+        obs.gauge("repro_worker_idle_seconds", worker=worker).set(
+            idle_seconds
+        )
+        obs.counter("repro_worker_units_total", worker=worker).inc(
+            units_run
+        )
+        if clock_offset is not None:
+            # final estimate, so the trace file's last clock_sync
+            # is the freshest one timeline export will use
+            obs.emit(
+                {
+                    "event": "clock_sync",
+                    "time": time.time(),
+                    "worker": worker,
+                    "clock_offset": clock_offset,
+                }
+            )
+        log.info(
+            "worker %s %s: %d units, %d records, busy %.3fs / idle %.3fs",
+            worker,
+            "drained" if drained else "done",
+            units_run,
+            records_run,
+            busy_seconds,
+            idle_seconds,
+            extra={
+                "worker": worker,
+                "units": units_run,
+                "records": records_run,
+                "busy_seconds": busy_seconds,
+                "idle_seconds": idle_seconds,
+            },
+        )
+        return {
+            "worker": worker,
+            "units": units_run,
+            "records": records_run,
+            "busy_seconds": busy_seconds,
+            "idle_seconds": idle_seconds,
+            "wall_seconds": wall_seconds,
+            "clock_offset": clock_offset,
+            "drained": drained,
+            "store": str(store_path),
+        }
 
     # piggyback mode threads the next lease decision through each
     # `complete` reply; `reply = None` means "ask the coordinator"
@@ -374,6 +553,8 @@ def run_worker(
         if kind == "unit":
             adopt_trace(message)
             lease = message.get("lease")
+            plan_id = message.get("plan_id") if multi_plan else None
+            ctx = context_for(plan_id, message.get("plan"))
             unit = WorkUnit.from_dict(message.get("unit") or {})
             log.info(
                 "worker %s leased unit (lease %s, group %d, %d cells)",
@@ -399,29 +580,32 @@ def run_worker(
                 busy_base=busy_seconds,
                 engine_costs=lambda: kernel_costs().snapshot(),
                 metrics=metrics_delta,
+                plan_id=plan_id,
             ):
                 runner = ExperimentRunner(
-                    store=store,
+                    store=ctx.store,
                     share_sessions=share_sessions,
                     progress=on_record,
                 )
                 # hold the local store to the same resume contract as
                 # any other store: a leased unit only resumes cells
                 # recorded under this plan's per-system config digest
-                (case, _), keys = groups[unit.group]
-                for system in plan.systems:
+                (case, _), keys = ctx.groups[unit.group]
+                for system in ctx.plan.systems:
                     runner.check_recorded_config(
-                        recorded,
+                        ctx.recorded,
                         [k for k in keys if k.system == system],
-                        plan.config_digest(case, system),
+                        ctx.plan.config_digest(case, system),
                     )
-                fresh = runner.run_units(plan, [unit], set(recorded))
+                fresh = runner.run_units(
+                    ctx.plan, [unit], set(ctx.recorded)
+                )
                 if throttle:
                     # heterogeneity knob: the sleep happens inside the
                     # heartbeat window and before the timing cut, so
                     # the coordinator's throughput EMA sees it
                     time.sleep(throttle * unit.n_cells)
-            recorded.update((record_key(r), r) for r in fresh)
+            ctx.recorded.update((record_key(r), r) for r in fresh)
             unit_seconds = time.perf_counter() - started
             busy_seconds += unit_seconds
             units_run += 1
@@ -461,14 +645,16 @@ def run_worker(
                 "metrics": metrics_delta(),
                 "sent_at": time.time(),
             }
+            if plan_id is not None:
+                payload["plan_id"] = plan_id
             uploaded: list[dict] = []
             if piggyback:
                 # inline drain: the records ride the report, so the
                 # worker owes nothing if it dies right after this
-                uploaded = undrained_records()
+                uploaded = ctx.undrained_records()
                 payload["records"] = uploaded
             completion = rpc(payload)
-            drained_cells.update(record_key(r) for r in uploaded)
+            ctx.drained_cells.update(record_key(r) for r in uploaded)
             offset = completion.get("clock_offset")
             if isinstance(offset, (int, float)):
                 # coordinator-measured clock offset: timeline export
@@ -492,75 +678,25 @@ def run_worker(
             if after_complete is not None:
                 after_complete(unit.group)
         elif kind == "drain":
-            # incremental: only this plan's cells, minus what earlier
-            # drains already delivered (a restart resets the set and
-            # re-uploads once — the coordinator merge dedupes)
-            fresh_records = undrained_records()
-            rpc(
-                {
-                    "type": "records",
-                    "worker": worker,
-                    "records": fresh_records,
-                }
+            plan_ids = (
+                [message["plan_id"]]
+                if "plan_id" in message
+                else list(contexts)
             )
-            drained_cells.update(record_key(r) for r in fresh_records)
+            drained_n = sum(drain_to_coordinator(p) for p in plan_ids)
             log.info(
                 "worker %s drained %d records",
                 worker,
-                len(fresh_records),
-                extra={"worker": worker, "records": len(fresh_records)},
+                drained_n,
+                extra={"worker": worker, "records": drained_n},
             )
         elif kind == "wait":
             time.sleep(poll_interval)
         elif kind == "done":
-            wall_seconds = time.perf_counter() - wall_started
-            idle_seconds = max(wall_seconds - busy_seconds, 0.0)
-            obs = telemetry()
-            obs.gauge("repro_worker_busy_seconds", worker=worker).set(
-                busy_seconds
-            )
-            obs.gauge("repro_worker_idle_seconds", worker=worker).set(
-                idle_seconds
-            )
-            obs.counter("repro_worker_units_total", worker=worker).inc(
-                units_run
-            )
-            if clock_offset is not None:
-                # final estimate, so the trace file's last clock_sync
-                # is the freshest one timeline export will use
-                obs.emit(
-                    {
-                        "event": "clock_sync",
-                        "time": time.time(),
-                        "worker": worker,
-                        "clock_offset": clock_offset,
-                    }
-                )
-            log.info(
-                "worker %s done: %d units, %d records, "
-                "busy %.3fs / idle %.3fs",
-                worker,
-                units_run,
-                records_run,
-                busy_seconds,
-                idle_seconds,
-                extra={
-                    "worker": worker,
-                    "units": units_run,
-                    "records": records_run,
-                    "busy_seconds": busy_seconds,
-                    "idle_seconds": idle_seconds,
-                },
-            )
-            return {
-                "worker": worker,
-                "units": units_run,
-                "records": records_run,
-                "busy_seconds": busy_seconds,
-                "idle_seconds": idle_seconds,
-                "wall_seconds": wall_seconds,
-                "clock_offset": clock_offset,
-                "store": str(store.path),
-            }
+            return summary(drained=False)
+        elif kind == "bye":
+            # graceful leave: the coordinator confirmed every lease is
+            # finished and every record merged — nothing requeues
+            return summary(drained=True)
         else:
             raise FleetError(f"unexpected coordinator reply {kind!r}")

@@ -35,6 +35,9 @@ silently degrading the schedule.
 
 from __future__ import annotations
 
+import json
+import logging
+import os
 import time
 from typing import Mapping
 
@@ -45,9 +48,14 @@ __all__ = [
     "RESIDUAL_BUCKETS",
     "RESIDUAL_METRIC",
     "UnitCostModel",
+    "load_cost_model",
     "plan_cost_model",
     "record_residual",
+    "save_cost_model",
+    "seed_plan_priors",
 ]
+
+log = logging.getLogger("repro.experiments.costs")
 
 #: Histogram of observed/predicted unit seconds, labelled by kernel.
 RESIDUAL_METRIC = "repro_cost_residual_ratio"
@@ -328,7 +336,23 @@ def plan_cost_model(plan) -> UnitCostModel:
     from repro.engine.backends import kernel_costs
 
     model = UnitCostModel()
+    seed_plan_priors(model, plan)
+    model.fold_engine(kernel_costs().snapshot())
+    return model
+
+
+def seed_plan_priors(model: UnitCostModel, plan, overwrite: bool = True) -> None:
+    """Seed ``model`` with a plan's budget-derived ``prior_work``.
+
+    ``overwrite=False`` only fills kernels the model has never heard
+    of — how a long-lived scheduler (a restored snapshot, or a service
+    admitting its Nth plan) takes new work on board without clobbering
+    priors it already refined.
+    """
     for (case, backend), _keys in plan.groups():
+        kernel = UnitCostModel.kernel_key(case.name, backend)
+        if not overwrite and kernel in model.prior_work:
+            continue
         per_system = [
             plan.budget_for(system).population
             * plan.budget_for(system).generations
@@ -340,8 +364,39 @@ def plan_cost_model(plan) -> UnitCostModel:
             * case.size**2
             * 8
         )
-        model.set_prior_work(
-            UnitCostModel.kernel_key(case.name, backend), work
-        )
-    model.fold_engine(kernel_costs().snapshot())
-    return model
+        model.set_prior_work(kernel, work)
+
+
+def save_cost_model(model: UnitCostModel, path) -> None:
+    """Persist ``model`` as a JSON sidecar (atomic replace).
+
+    A coordinator writes this on shutdown so the *next* run's first
+    grants are already informed: two schedulers built from identical
+    snapshots make identical decisions, so restoring one only moves
+    scheduling toward measured reality — never results.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(model.to_dict(), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_cost_model(path) -> UnitCostModel | None:
+    """Restore a :func:`save_cost_model` sidecar; ``None`` when the
+    file is missing or unreadable (a cold start, never an error — the
+    snapshot is a scheduling hint, not state the run depends on)."""
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict):
+            raise ReproError("cost snapshot is not a JSON object")
+        return UnitCostModel.from_dict(data)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, ReproError) as exc:
+        log.warning("ignoring unreadable cost snapshot %s: %s", path, exc)
+        return None

@@ -1,0 +1,190 @@
+"""Multi-plan fleet endpoint: the service's worker-facing TCP server.
+
+Same wire protocol, same handler, different brain: the
+:class:`ServiceCoordinator` reuses the single-plan coordinator's
+connection handler (framing + mutual HMAC auth live there) but routes
+every message to a :class:`~repro.service.queue.PlanQueue` instead of
+one ledger. The differences a worker observes:
+
+* the ``welcome`` advertises ``multi_plan: true`` and carries **no
+  plan** — there is no "the" plan; each ``unit`` grant ships its
+  ``plan_id`` and plan payload inline and the worker echoes the id on
+  ``heartbeat``/``complete``/``records``;
+* ``piggyback`` is always on (the queue prices every grant with its
+  cost model, so the low-round-trip loop is unconditional);
+* there is no ``done`` — an always-on service never finishes; workers
+  leave only via the ``drain`` → ``bye`` lifecycle.
+"""
+
+from __future__ import annotations
+
+import logging
+import socketserver
+import threading
+import time
+
+from repro.distributed.coordinator import _CoordinatorHandler
+from repro.distributed.protocol import FleetError, check_auth_token
+from repro.obs import telemetry
+
+from repro.service.queue import PlanQueue
+
+__all__ = ["ServiceCoordinator"]
+
+log = logging.getLogger("repro.service.coordinator")
+
+
+class ServiceCoordinator:
+    """Serve a :class:`PlanQueue` to fleet workers over TCP.
+
+    Parameters
+    ----------
+    queue:
+        The multi-plan scheduler every message is routed to.
+    host, port:
+        Listen address; port ``0`` lets the OS pick (read it back from
+        :attr:`address` after :meth:`start`).
+    share_sessions, poll_interval:
+        Advertised to workers on ``welcome``, same meaning as the
+        single-plan coordinator.
+    auth_token:
+        Shared secret for the mutual challenge–response handshake
+        (``None`` disables authentication) — enforced by the shared
+        connection handler before any dispatch here.
+    """
+
+    def __init__(
+        self,
+        queue: PlanQueue,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        share_sessions: bool = True,
+        poll_interval: float = 0.5,
+        auth_token: str | None = None,
+    ) -> None:
+        self.queue = queue
+        self.host = host
+        self.port = port
+        self.share_sessions = bool(share_sessions)
+        self.poll_interval = float(poll_interval)
+        self.auth_token = check_auth_token(auth_token)
+        self.address: tuple[str, int] | None = None
+        self._server: _ServiceServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a daemon thread; returns ``(host, port)``."""
+        server = _ServiceServer((self.host, self.port), self)
+        self._server = server
+        self.address = (
+            server.server_address[0],
+            int(server.server_address[1]),
+        )
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name="service-coordinator",
+        )
+        self._thread.start()
+        log.info(
+            "service coordinator listening on %s:%d", *self.address
+        )
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, message: dict) -> dict:
+        """Route one fleet message to the queue (the handler calls this
+        after framing and, when configured, authentication)."""
+        mtype = message.get("type")
+        worker = str(message.get("worker", ""))
+        queue = self.queue
+        if mtype == "hello":
+            queue.touch(worker)
+            return {
+                "type": "welcome",
+                "multi_plan": True,
+                "piggyback": True,
+                "share_sessions": self.share_sessions,
+                "lease_timeout": queue.lease_timeout,
+                "poll_interval": self.poll_interval,
+            }
+        if mtype == "lease":
+            return queue.lease(worker)
+        if mtype == "heartbeat":
+            telemetry().fold_snapshot(
+                message.get("metrics"), worker=worker
+            )
+            reply = queue.heartbeat(
+                worker,
+                message.get("plan_id"),
+                message.get("lease"),
+                message.get("telemetry"),
+            )
+            return _stamp_clock(message, reply)
+        if mtype == "complete":
+            telemetry().fold_snapshot(
+                message.get("metrics"), worker=worker
+            )
+            reply = queue.complete(
+                worker,
+                message.get("plan_id"),
+                message.get("lease"),
+                message.get("telemetry"),
+                message.get("records"),
+            )
+            return _stamp_clock(message, reply)
+        if mtype == "records":
+            return queue.merge_records(
+                worker, message.get("plan_id"), message.get("records")
+            )
+        if mtype == "drain":
+            target = str(message.get("target", "") or worker)
+            if not target:
+                raise FleetError("drain message without a target worker")
+            queue.drain_worker(target)
+            return {"type": "ok", "draining": target}
+        if mtype == "status":
+            # read-only, never counts as worker contact
+            return queue.status()
+        raise FleetError(f"unknown fleet message type {mtype!r}")
+
+
+def _stamp_clock(message: dict, reply: dict) -> dict:
+    """Echo a ``sent_at`` timestamp as a ``clock_offset`` estimate
+    (identical semantics to the single-plan coordinator)."""
+    sent = message.get("sent_at")
+    if sent is not None:
+        try:
+            reply["clock_offset"] = time.time() - float(sent)
+        except (TypeError, ValueError):
+            pass
+    return reply
+
+
+class _ServiceServer(socketserver.ThreadingTCPServer):
+    """The TCP shell: framing/auth handler + dispatch to the service.
+
+    ``_CoordinatorHandler`` only touches ``server.auth_token`` and
+    ``server.dispatch`` — exactly the surface this shim provides.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: tuple[str, int], service: ServiceCoordinator
+    ) -> None:
+        super().__init__(address, _CoordinatorHandler)
+        self.auth_token = service.auth_token
+        self.dispatch = service.dispatch

@@ -25,7 +25,12 @@ from repro.experiments import (
     WorkUnit,
     record_key,
 )
-from repro.experiments.costs import plan_cost_model
+from repro.experiments.costs import (
+    load_cost_model,
+    plan_cost_model,
+    save_cost_model,
+    seed_plan_priors,
+)
 from repro.experiments.store import parity_view
 from repro.experiments.work import (
     assign_units_by_cost,
@@ -298,3 +303,99 @@ class TestCostSplitParity:
             ]
 
         assert normalized(carved) == normalized(whole)
+
+
+# ----------------------------------------------------------------------
+# Snapshot persistence: the sidecar a coordinator leaves for its heir
+# ----------------------------------------------------------------------
+class TestCostSnapshotPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        model = UnitCostModel()
+        model.observe("grassland:vectorized", 10, 2.0)
+        model.observe("river_gap:vectorized", 4, 1.0)
+        model.fold_engine({"spread": 1e-7})
+        model.set_prior_work("forest:vectorized", 123.0)
+        path = tmp_path / "costs.json"
+        save_cost_model(model, path)
+        restored = load_cost_model(path)
+        assert restored is not None
+        assert restored.to_dict() == model.to_dict()
+        # identical snapshots make identical scheduling decisions
+        assert restored.estimate("grassland:vectorized", 7) == (
+            model.estimate("grassland:vectorized", 7)
+        )
+
+    def test_missing_snapshot_is_a_cold_start(self, tmp_path):
+        assert load_cost_model(tmp_path / "absent.json") is None
+
+    def test_corrupt_snapshot_is_a_cold_start(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert load_cost_model(path) is None
+        path.write_text('["a", "list"]', encoding="utf-8")
+        assert load_cost_model(path) is None
+
+    def test_seed_plan_priors_overwrite_modes(self):
+        plan = _plan()
+        model = UnitCostModel()
+        seed_plan_priors(model, plan)
+        kernel = UnitCostModel.kernel_key("grassland", "vectorized")
+        assert kernel in model.prior_work
+        original = model.prior_work[kernel]
+        model.prior_work[kernel] = original * 10
+        # overwrite=False respects the refined prior...
+        seed_plan_priors(model, plan, overwrite=False)
+        assert model.prior_work[kernel] == original * 10
+        # ...overwrite=True resets it to the plan's budget estimate
+        seed_plan_priors(model, plan, overwrite=True)
+        assert model.prior_work[kernel] == original
+
+    def test_fleet_executor_restores_and_persists_snapshot(self, tmp_path):
+        """A FleetExecutor pointed at a sidecar restores its measured
+        rates before serving and writes the refined model on finish."""
+        import threading
+
+        from repro.distributed import FleetExecutor, run_worker
+
+        snapshot = tmp_path / "fleet-costs.json"
+        primed = UnitCostModel()
+        primed.observe("grassland:vectorized", 100, 5.0)
+        save_cost_model(primed, snapshot)
+
+        plan = _plan(
+            seeds=(0,), cases=(CaseSpec("grassland", size=20, steps=2),)
+        )
+        store = ResultsStore(tmp_path / "results.jsonl")
+        threads: list[threading.Thread] = []
+
+        def on_bound(address):
+            thread = threading.Thread(
+                target=run_worker,
+                args=(address,),
+                kwargs={
+                    "store_path": tmp_path / "worker.jsonl",
+                    "worker_id": "snapshot-w0",
+                },
+            )
+            thread.start()
+            threads.append(thread)
+
+        executor = FleetExecutor(
+            lease_timeout=10.0,
+            poll_interval=0.05,
+            timeout=120.0,
+            cost_snapshot=snapshot,
+            on_bound=on_bound,
+        )
+        result = ExperimentRunner(store=store).run(plan, executor=executor)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(result.records) == plan.n_runs
+        assert executor.cost_model is not None
+        # the restored measured rate was live while serving (it was
+        # then refined by this run's own unit timings)
+        assert "grassland:vectorized" in executor.cost_model.rates
+        # and the refined model was written back on finish
+        rewritten = load_cost_model(snapshot)
+        assert rewritten is not None
+        assert rewritten.samples["grassland:vectorized"] >= 1
